@@ -1,0 +1,20 @@
+//! # pdnn-baselines — the trainers the paper compares against
+//!
+//! * [`sgd`] — serial minibatch SGD with momentum: "the most popular
+//!   methodology to train DNNs" (paper Section II.A), executed on one
+//!   multi-core machine.
+//! * [`parallel_sgd`] — synchronous data-parallel SGD, implemented to
+//!   *measure* the communication pathology the paper cites as the
+//!   reason distributed SGD loses to serial SGD: a Θ(parameters)
+//!   allreduce per O(hundreds-of-frames) minibatch.
+//! * [`pretrain`] — greedy discriminative layer-wise pretraining (the
+//!   paper's refs [6][8] pipeline), producing the deep-network
+//!   initialization Hessian-free training fine-tunes.
+
+pub mod parallel_sgd;
+pub mod pretrain;
+pub mod sgd;
+
+pub use parallel_sgd::{train_parallel_sgd, ParallelSgdOutput};
+pub use pretrain::{discriminative_pretrain, PretrainConfig};
+pub use sgd::{evaluate, train_sgd, EpochStats, SgdConfig};

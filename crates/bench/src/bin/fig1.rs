@@ -1,0 +1,38 @@
+//! Figure 1 — execution time per rank/thread configuration.
+//!
+//! `cargo run -p pdnn-bench --bin fig1 -- --hours 50`  → Figure 1(a)
+//! `cargo run -p pdnn-bench --bin fig1 -- --hours 400` → Figure 1(b)
+
+use pdnn_bench::{arg_num, emit};
+use pdnn_perfmodel::figures::{fig1, fig1a_configs, fig1b_configs};
+use pdnn_perfmodel::JobSpec;
+
+fn main() {
+    let hours: f64 = arg_num("--hours", 50.0);
+    let (job, configs, name) = if hours >= 100.0 {
+        (JobSpec::ce_400h(), fig1b_configs(), "fig1b")
+    } else {
+        (JobSpec::ce_50h(), fig1a_configs(), "fig1a")
+    };
+    println!(
+        "Modeling {:.0}-hour training data: {} frames, {} parameters\n",
+        job.hours,
+        pdnn_util::fmt_count(job.frames()),
+        pdnn_util::fmt_count(job.params()),
+    );
+    emit(&fig1(&job, &configs), name);
+
+    if hours >= 100.0 {
+        let v = pdnn_perfmodel::figures::fig1_values(&job, &configs);
+        let t4096 = v.iter().find(|(l, _)| l == "4096-4-16").unwrap().1;
+        let t8192 = v.iter().find(|(l, _)| l == "8192-4-16").unwrap().1;
+        println!(
+            "Two racks (8192-4-16) vs one (4096-4-16): {:.0}% additional speedup (paper: 22%)",
+            (t4096 / t8192 - 1.0) * 100.0
+        );
+        println!(
+            "400-hour training completes in {:.1} h (paper: 6.3 h)",
+            t8192 / 3600.0
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Figures 2 and 3 — master and worker cycle breakdowns per function
+//! and counter category, for the three full-SMT configurations.
+
+use pdnn_bench::emit;
+use pdnn_perfmodel::figures::{fig2, fig3};
+use pdnn_perfmodel::JobSpec;
+
+fn main() {
+    let job = JobSpec::ce_50h();
+    emit(&fig2(&job), "fig2_master_cycles");
+    emit(&fig3(&job), "fig3_worker_cycles");
+    println!(
+        "Shapes to compare with the paper:\n\
+         - master cycles concentrate in coordination/wait as ranks grow;\n\
+         - worker gradient_loss cycles shrink with more ranks;\n\
+         - worker_curvature_product varies (random curvature resample)."
+    );
+}

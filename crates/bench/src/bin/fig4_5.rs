@@ -1,0 +1,20 @@
+//! Figures 4 and 5 — master and worker MPI communication time, split
+//! into collective and point-to-point classes.
+
+use pdnn_bench::emit;
+use pdnn_perfmodel::figures::{fig4, fig5};
+use pdnn_perfmodel::JobSpec;
+
+fn main() {
+    let job = JobSpec::ce_50h();
+    emit(&fig4(&job), "fig4_master_mpi");
+    emit(&fig5(&job), "fig5_worker_mpi");
+    println!(
+        "Shapes to compare with the paper:\n\
+         - the master spends most MPI time inside collectives (blocked\n\
+           in MPI_Reduce while workers compute);\n\
+         - master point-to-point time (load_data) grows with ranks;\n\
+         - worker collective time grows with ranks (waiting on the\n\
+           serial master between commands)."
+    );
+}

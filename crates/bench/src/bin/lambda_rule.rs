@@ -1,0 +1,71 @@
+//! λ-rule ablation (DESIGN.md §2): the paper's Algorithm 1 as printed
+//! *inverts* the Levenberg–Marquardt update relative to Martens
+//! (2010). This bench trains the same task under both rules and shows
+//! the literal rule is worse: λ drifts the wrong way, steps get
+//! rejected, and the final held-out loss suffers.
+
+use pdnn_bench::{arg_num, emit};
+use pdnn_core::{DnnProblem, HfConfig, HfOptimizer, LambdaRule, Objective};
+use pdnn_dnn::{Activation, Network};
+use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_tensor::gemm::GemmContext;
+use pdnn_util::report::Table;
+use pdnn_util::Prng;
+
+fn main() {
+    let iters: usize = arg_num("--iters", 10);
+    let corpus = Corpus::generate(CorpusSpec {
+        utterances: 96,
+        ..CorpusSpec::tiny(555)
+    });
+    let (train_ids, held_ids) = corpus.split_heldout(0.2);
+
+    let mut t = Table::new(
+        "Levenberg-Marquardt rule ablation",
+        &[
+            "rule",
+            "final heldout loss",
+            "final accuracy",
+            "accepted",
+            "rejected",
+            "final lambda",
+        ],
+    );
+
+    for (name, rule) in [
+        ("Martens (corrected)", LambdaRule::Martens),
+        ("paper-literal (inverted)", LambdaRule::PaperLiteral),
+    ] {
+        let mut rng = Prng::new(3);
+        let net: Network<f32> = Network::new(
+            &[corpus.spec().feature_dim, 24, corpus.spec().states],
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let mut problem = DnnProblem::new(
+            net,
+            GemmContext::sequential(),
+            corpus.shard(&train_ids),
+            corpus.shard(&held_ids),
+            Objective::CrossEntropy,
+        );
+        let mut cfg = HfConfig::small_task();
+        cfg.max_iters = iters;
+        cfg.lambda_rule = rule;
+        let mut opt = HfOptimizer::new(cfg);
+        let stats = opt.train(&mut problem);
+        let last = stats.iter().rev().find(|s| s.accepted);
+        let accepted = stats.iter().filter(|s| s.accepted).count();
+        t.row(&[
+            name.to_string(),
+            last.map(|s| format!("{:.4}", s.heldout_after))
+                .unwrap_or_else(|| "n/a".into()),
+            last.map(|s| format!("{:.3}", s.heldout_accuracy))
+                .unwrap_or_else(|| "n/a".into()),
+            format!("{accepted}"),
+            format!("{}", stats.len() - accepted),
+            format!("{:.3}", opt.lambda()),
+        ]);
+    }
+    emit(&t, "lambda_rule");
+}

@@ -1,0 +1,73 @@
+//! Load-balance ablation (Section V.C): utterance-to-worker assignment
+//! strategies, their imbalance factors at several scales, and the
+//! modeled effect of imbalance on end-to-end training time.
+
+use pdnn_bench::emit;
+use pdnn_perfmodel::{bgq_time, BgqRun, JobSpec};
+use pdnn_speech::{assignment_imbalance, partition, Strategy};
+use pdnn_util::report::Table;
+use pdnn_util::Prng;
+
+fn synthetic_lengths(n: usize, sigma: f64, seed: u64) -> Vec<usize> {
+    let mut rng = Prng::new(seed);
+    (0..n)
+        .map(|_| rng.log_normal(60.0f64.ln(), sigma).round().max(2.0) as usize)
+        .collect()
+}
+
+fn main() {
+    // Part 1: measured imbalance of each strategy as data scales.
+    let mut t = Table::new(
+        "Utterance partitioning: imbalance factor (max/mean frames per worker)",
+        &["utterances", "workers", "contiguous", "round-robin", "sorted-LPT"],
+    );
+    for &(utts, workers) in &[(256usize, 16usize), (1024, 64), (8192, 256), (32768, 1024)] {
+        let lens = synthetic_lengths(utts, 0.7, 99);
+        let mut cells = vec![format!("{utts}"), format!("{workers}")];
+        for strat in [Strategy::Contiguous, Strategy::RoundRobin, Strategy::SortedBalanced] {
+            let imb = assignment_imbalance(&lens, &partition(&lens, workers, strat));
+            cells.push(format!("{imb:.3}"));
+        }
+        t.row(&cells);
+    }
+    emit(&t, "loadbalance_imbalance");
+
+    // Part 2: modeled end-to-end effect — every synchronous phase
+    // waits for the slowest worker, so imbalance multiplies into
+    // training time.
+    let mut t2 = Table::new(
+        "Modeled 50-hour training time vs load imbalance (4096-4-16)",
+        &["assignment", "imbalance", "hours", "slowdown"],
+    );
+    let run = BgqRun::new(4096, 4, 16);
+    // A 50-hour corpus at the synthetic median (~60 frames/utterance)
+    // has ~300k utterances — ~70 per worker at 4096 ranks.
+    let lens = synthetic_lengths(300_000, 0.7, 99);
+    let base = {
+        let mut job = JobSpec::ce_50h();
+        job.imbalance = 1.0;
+        bgq_time(&job, &run).total_hours()
+    };
+    for (name, strat) in [
+        ("sorted-LPT (paper)", Strategy::SortedBalanced),
+        ("round-robin", Strategy::RoundRobin),
+        ("contiguous (naive)", Strategy::Contiguous),
+    ] {
+        let imb = assignment_imbalance(&lens, &partition(&lens, 4095, strat));
+        let mut job = JobSpec::ce_50h();
+        job.imbalance = imb;
+        let hours = bgq_time(&job, &run).total_hours();
+        t2.row(&[
+            name.to_string(),
+            format!("{imb:.3}"),
+            format!("{hours:.2}"),
+            format!("{:.2}x", hours / base),
+        ]);
+    }
+    emit(&t2, "loadbalance_effect");
+    println!(
+        "The paper: \"distributing data evenly across compute nodes helps the\n\
+         program proceed in a synchronized pace\" — the imbalance factor of the\n\
+         naive assignments multiplies directly into every compute phase."
+    );
+}

@@ -1,0 +1,14 @@
+//! Table I — scaling-up performance: Intel Xeon cluster (96 processes)
+//! vs BG/Q (4096 MPI ranks) for cross-entropy and sequence training.
+
+use pdnn_bench::emit;
+use pdnn_perfmodel::figures::table1;
+
+fn main() {
+    emit(&table1(), "table1");
+    println!(
+        "Paper values for comparison:\n\
+         50-hour Cross-Entropy:  9 h vs 1.3 h  = 6.9x (12.6x freq-adjusted)\n\
+         50-hour Sequence:      18.7 h vs 4.19 h = 4.5x (8.2x freq-adjusted)"
+    );
+}

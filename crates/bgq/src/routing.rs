@@ -1,0 +1,214 @@
+//! Dimension-ordered routing and link-contention analysis.
+//!
+//! BG/Q routes packets dimension by dimension (A, then B, …, then E),
+//! taking the shorter way around each ring. Enumerating the links a
+//! message crosses lets us count how much traffic each physical link
+//! carries under a communication pattern — which is how the
+//! master/worker architecture's central weakness shows up in
+//! hardware: under all-to-one traffic the links adjacent to the
+//! master saturate while the rest of the torus idles. The paper's
+//! Section VII contrast ("a Linux cluster … will suffer from several
+//! communication bottlenecks (collisions)") is the same phenomenon on
+//! a much weaker network.
+
+use crate::torus::Torus;
+use std::collections::HashMap;
+
+/// A directed physical link: from a node, along a dimension, in a
+/// direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Source node id.
+    pub from: usize,
+    /// Torus dimension (0..5).
+    pub dim: usize,
+    /// `+1` or `-1` around the ring.
+    pub positive: bool,
+}
+
+impl Torus {
+    /// Node id from coordinates.
+    pub fn node_at(&self, coords: [usize; 5]) -> usize {
+        let mut id = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            debug_assert!(c < self.dims[d]);
+            id = id * self.dims[d] + c;
+        }
+        id
+    }
+
+    /// The sequence of links a packet from `a` to `b` crosses under
+    /// dimension-ordered shortest-way routing.
+    pub fn route(&self, a: usize, b: usize) -> Vec<Link> {
+        let mut pos = self.coords(a);
+        let target = self.coords(b);
+        let mut links = Vec::new();
+        for d in 0..5 {
+            let ext = self.dims[d];
+            while pos[d] != target[d] {
+                // Shorter way around the ring (ties go positive).
+                let fwd = (target[d] + ext - pos[d]) % ext;
+                let positive = fwd <= ext - fwd;
+                let from = self.node_at(pos);
+                pos[d] = if positive {
+                    (pos[d] + 1) % ext
+                } else {
+                    (pos[d] + ext - 1) % ext
+                };
+                links.push(Link {
+                    from,
+                    dim: d,
+                    positive,
+                });
+            }
+        }
+        links
+    }
+
+    /// Per-link traffic (in message units) of a communication pattern
+    /// given as `(src, dst)` pairs; each pair contributes one unit to
+    /// every link on its route.
+    pub fn link_traffic(&self, pattern: &[(usize, usize)]) -> HashMap<Link, u64> {
+        let mut traffic: HashMap<Link, u64> = HashMap::new();
+        for &(src, dst) in pattern {
+            for link in self.route(src, dst) {
+                *traffic.entry(link).or_insert(0) += 1;
+            }
+        }
+        traffic
+    }
+
+    /// Contention factor of a pattern: the busiest link's traffic
+    /// divided by the mean over used links. 1.0 = perfectly spread.
+    pub fn contention_factor(&self, pattern: &[(usize, usize)]) -> f64 {
+        let traffic = self.link_traffic(pattern);
+        if traffic.is_empty() {
+            return 1.0;
+        }
+        let max = *traffic.values().max().unwrap() as f64;
+        let mean = traffic.values().sum::<u64>() as f64 / traffic.len() as f64;
+        max / mean
+    }
+}
+
+/// All-to-one pattern (every node sends to `root`) — the master/worker
+/// reduction hotspot.
+pub fn all_to_one(torus: &Torus, root: usize) -> Vec<(usize, usize)> {
+    (0..torus.nodes()).filter(|&n| n != root).map(|n| (n, root)).collect()
+}
+
+/// Nearest-neighbor shift pattern (every node sends one hop along
+/// dimension 0) — the contention-free contrast case.
+pub fn neighbor_shift(torus: &Torus) -> Vec<(usize, usize)> {
+    (0..torus.nodes())
+        .map(|n| {
+            let mut c = torus.coords(n);
+            c[0] = (c[0] + 1) % torus.dims[0];
+            (n, torus.node_at(c))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_at_inverts_coords() {
+        let t = Torus::for_nodes(512);
+        for id in [0usize, 1, 100, 511] {
+            assert_eq!(t.node_at(t.coords(id)), id);
+        }
+    }
+
+    #[test]
+    fn route_length_equals_hop_distance() {
+        let t = Torus::for_nodes(512);
+        for (a, b) in [(0usize, 0usize), (0, 1), (3, 400), (17, 511), (255, 256)] {
+            assert_eq!(t.route(a, b).len(), t.hops(a, b), "{a}->{b}");
+        }
+    }
+
+    #[test]
+    fn route_is_dimension_ordered() {
+        let t = Torus::for_nodes(512);
+        let route = t.route(0, 511);
+        let dims: Vec<usize> = route.iter().map(|l| l.dim).collect();
+        let mut sorted = dims.clone();
+        sorted.sort_unstable();
+        assert_eq!(dims, sorted, "dimensions visited out of order");
+    }
+
+    #[test]
+    fn route_takes_the_short_way_around() {
+        // Ring of 8 in dim 0: 0 -> 7 goes backwards (1 hop).
+        let t = Torus { dims: [8, 1, 1, 1, 1] };
+        let route = t.route(0, 7);
+        assert_eq!(route.len(), 1);
+        assert!(!route[0].positive);
+    }
+
+    #[test]
+    fn all_to_one_concentrates_on_the_roots_links() {
+        let t = Torus::for_nodes(512);
+        let pattern = all_to_one(&t, 0);
+        let traffic = t.link_traffic(&pattern);
+        // The links delivering into the root carry hundreds of units
+        // each (512 sources over ≤ 10 incoming links).
+        let into_root: u64 = traffic
+            .iter()
+            .filter(|(link, _)| {
+                // A link whose traversal lands on node 0.
+                let mut c = t.coords(link.from);
+                let ext = t.dims[link.dim];
+                c[link.dim] = if link.positive {
+                    (c[link.dim] + 1) % ext
+                } else {
+                    (c[link.dim] + ext - 1) % ext
+                };
+                t.node_at(c) == 0
+            })
+            .map(|(_, &v)| v)
+            .sum();
+        assert_eq!(into_root, 511, "every message ends at the root");
+        let contention = t.contention_factor(&pattern);
+        assert!(contention > 10.0, "all-to-one contention only {contention}");
+    }
+
+    #[test]
+    fn neighbor_shift_is_contention_free() {
+        let t = Torus::for_nodes(512);
+        let pattern = neighbor_shift(&t);
+        let factor = t.contention_factor(&pattern);
+        assert!((factor - 1.0).abs() < 1e-9, "shift contention {factor}");
+        // And every link used carries exactly one unit.
+        let traffic = t.link_traffic(&pattern);
+        assert!(traffic.values().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn all_to_one_scales_worse_than_neighbor_traffic() {
+        // The hotspot grows linearly with node count; the shift stays
+        // at one unit per link — the quantitative version of "a
+        // master/worker design needs a reduction tree, not raw p2p".
+        let small = Torus::for_nodes(64);
+        let large = Torus::for_nodes(512);
+        let hot_small = *small
+            .link_traffic(&all_to_one(&small, 0))
+            .values()
+            .max()
+            .unwrap();
+        let hot_large = *large
+            .link_traffic(&all_to_one(&large, 0))
+            .values()
+            .max()
+            .unwrap();
+        assert!(hot_large > hot_small * 4, "{hot_small} -> {hot_large}");
+    }
+
+    #[test]
+    fn empty_pattern_is_uncontended() {
+        let t = Torus::for_nodes(32);
+        assert_eq!(t.contention_factor(&[]), 1.0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Truncated conjugate gradient for the damped quadratic model.
+//!
+//! `CG-Minimize(q_θ(d), d_0)` from the paper's Algorithm 1: minimize
+//!
+//! ```text
+//! q(d) = g·d + ½ d·(G + λI)d
+//! ```
+//!
+//! accessing the curvature only through matrix–vector products. Two
+//! Martens (2010) specifics are implemented faithfully:
+//!
+//! * **Relative-progress truncation** — stop at iteration `i` once
+//!   `i > k` and `(q_i − q_{i−k}) / q_i < k·ε` with
+//!   `k = max(10, 0.1·i)`: CG is cut off when per-iteration progress
+//!   on the quadratic stalls, not at a fixed count.
+//! * **Iterate series** — CG visits a sequence of partial solutions
+//!   `{d_1, d_2, …, d_N}`; a geometrically thinned subset (indices
+//!   `⌈γ^j⌉`) is returned for the caller's backtracking pass, which
+//!   re-evaluates them on held-out data and may *reject* later
+//!   iterates (CG over-fits the quadratic model on a curvature
+//!   minibatch).
+//!
+//! The quadratic value is tracked with the cheap identity
+//! `q(d) = ½ d·(r + g)` where `r = (G+λI)d + g` is the residual.
+
+use pdnn_tensor::blas1;
+
+/// Configuration for one CG solve.
+#[derive(Clone, Copy, Debug)]
+pub struct CgConfig {
+    /// Hard cap on iterations (the paper's runs use a few hundred).
+    pub max_iters: usize,
+    /// Minimum iterations before the truncation test applies.
+    pub min_iters: usize,
+    /// Relative-progress tolerance ε of the Martens test.
+    pub epsilon: f64,
+    /// Geometric thinning factor for the stored iterate series.
+    pub store_gamma: f64,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig {
+            max_iters: 250,
+            min_iters: 10,
+            epsilon: 5e-4,
+            store_gamma: 1.3,
+        }
+    }
+}
+
+/// One stored partial solution.
+#[derive(Clone, Debug)]
+pub struct CgIterate {
+    /// CG iteration index (1-based) at which this was captured.
+    pub iter: usize,
+    /// The partial solution `d_i`.
+    pub d: Vec<f32>,
+    /// Quadratic model value `q(d_i)`.
+    pub q: f64,
+}
+
+/// Result of a truncated CG solve.
+#[derive(Clone, Debug)]
+pub struct CgResult {
+    /// Thinned iterate series `{d_1, …, d_N}` (always includes the
+    /// final iterate as the last element).
+    pub iterates: Vec<CgIterate>,
+    /// Number of iterations executed.
+    pub iters: usize,
+    /// Why the solve stopped.
+    pub stop: CgStop,
+}
+
+impl CgResult {
+    /// The final direction `d_N`.
+    pub fn final_d(&self) -> &[f32] {
+        &self
+            .iterates
+            .last()
+            .expect("CG always stores the final iterate")
+            .d
+    }
+
+    /// The final quadratic value `q(d_N)`.
+    pub fn final_q(&self) -> f64 {
+        self.iterates.last().expect("non-empty").q
+    }
+}
+
+/// Why CG stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CgStop {
+    /// The Martens relative-progress test fired.
+    RelativeProgress,
+    /// The iteration cap was hit.
+    MaxIters,
+    /// The residual became (numerically) zero — exact solve.
+    Converged,
+    /// Negative curvature was encountered (`p·Ap ≤ 0`); with λ-damped
+    /// Gauss–Newton this indicates numerical trouble, and CG returns
+    /// the best iterate so far.
+    NegativeCurvature,
+}
+
+/// Minimize `q(d) = g·d + ½ d·A d` starting from `d0`.
+///
+/// `apply_a` must compute the (damped) curvature product `A v`.
+pub fn cg_minimize(
+    g: &[f32],
+    d0: &[f32],
+    apply_a: impl FnMut(&[f32]) -> Vec<f32>,
+    config: &CgConfig,
+) -> CgResult {
+    cg_minimize_precond(g, d0, apply_a, None, config)
+}
+
+/// Preconditioned variant of [`cg_minimize`].
+///
+/// `precond`, when given, is the diagonal of the preconditioner `M`;
+/// CG then solves the implicitly transformed system (standard PCG
+/// with `z = M⁻¹ r`). The paper's implementation "currently does not
+/// use a preconditioner" and cites Chapelle/Kingsbury's as future
+/// work — this is that extension, with Martens' empirical-Fisher
+/// diagonal supplied by the optimizer (see `HfConfig::preconditioner`
+/// and the `preconditioner` ablation bench).
+///
+/// # Panics
+/// If lengths mismatch or any preconditioner entry is not strictly
+/// positive (M must be SPD).
+pub fn cg_minimize_precond(
+    g: &[f32],
+    d0: &[f32],
+    mut apply_a: impl FnMut(&[f32]) -> Vec<f32>,
+    precond: Option<&[f32]>,
+    config: &CgConfig,
+) -> CgResult {
+    let n = g.len();
+    assert_eq!(d0.len(), n, "cg: d0 length mismatch");
+    assert!(config.max_iters >= 1, "cg: max_iters must be >= 1");
+    assert!(config.store_gamma > 1.0, "cg: store_gamma must exceed 1");
+    if let Some(m) = precond {
+        assert_eq!(m.len(), n, "cg: preconditioner length mismatch");
+        assert!(
+            m.iter().all(|&v| v > 0.0 && v.is_finite()),
+            "cg: preconditioner must be strictly positive"
+        );
+    }
+    let apply_minv = |r: &[f32]| -> Vec<f32> {
+        match precond {
+            Some(m) => r.iter().zip(m.iter()).map(|(&ri, &mi)| ri / mi).collect(),
+            None => r.to_vec(),
+        }
+    };
+
+    let mut d = d0.to_vec();
+    // r = A d + g
+    let mut r = apply_a(&d);
+    blas1::add(g, &mut r);
+    // z = M⁻¹ r; p = -z
+    let z = apply_minv(&r);
+    let mut p: Vec<f32> = z.iter().map(|&v| -v).collect();
+    let mut rr = blas1::dot(&r, &z);
+
+    let q_of = |d: &[f32], r: &[f32]| -> f64 {
+        // q(d) = ½ d·(r + g)
+        let mut s = 0.0f64;
+        for i in 0..d.len() {
+            s += d[i] as f64 * (r[i] as f64 + g[i] as f64);
+        }
+        0.5 * s
+    };
+
+    let mut q_hist: Vec<f64> = vec![q_of(&d, &r)];
+    let mut iterates: Vec<CgIterate> = Vec::new();
+    let mut next_store = 1usize;
+    let mut store_exp = 0u32;
+    let mut stop = CgStop::MaxIters;
+    let mut iters = 0usize;
+
+    for i in 1..=config.max_iters {
+        let ap = apply_a(&p);
+        let pap = blas1::dot(&p, &ap);
+        if pap <= 0.0 {
+            stop = if rr == 0.0 {
+                CgStop::Converged
+            } else {
+                CgStop::NegativeCurvature
+            };
+            break;
+        }
+        let alpha = rr / pap;
+        blas1::axpy(alpha as f32, &p, &mut d);
+        blas1::axpy(alpha as f32, &ap, &mut r);
+        let z = apply_minv(&r);
+        let rr_new = blas1::dot(&r, &z);
+        let beta = rr_new / rr;
+        rr = rr_new;
+        for j in 0..n {
+            p[j] = -z[j] + beta as f32 * p[j];
+        }
+
+        iters = i;
+        let q = q_of(&d, &r);
+        q_hist.push(q);
+
+        if i == next_store {
+            iterates.push(CgIterate {
+                iter: i,
+                d: d.clone(),
+                q,
+            });
+            store_exp += 1;
+            next_store = next_store.max(config.store_gamma.powi(store_exp as i32).ceil() as usize);
+            if next_store <= i {
+                next_store = i + 1;
+            }
+        }
+
+        if rr < 1e-24 {
+            stop = CgStop::Converged;
+            break;
+        }
+
+        // Martens relative-progress test.
+        let k = (10.0f64).max(0.1 * i as f64).floor() as usize;
+        if i >= config.min_iters.max(k) && q < 0.0 {
+            let q_prev = q_hist[i - k];
+            if (q - q_prev) / q < k as f64 * config.epsilon {
+                stop = CgStop::RelativeProgress;
+                break;
+            }
+        }
+    }
+
+    // Always include the final iterate.
+    let last_q = *q_hist.last().unwrap();
+    let need_final = iterates.last().map(|it| it.iter != iters).unwrap_or(true);
+    if need_final {
+        iterates.push(CgIterate {
+            iter: iters.max(1),
+            d,
+            q: last_q,
+        });
+    }
+
+    CgResult {
+        iterates,
+        iters: iters.max(1),
+        stop,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    /// Dense SPD multiply used as the oracle.
+    fn dense_apply(a: &[Vec<f64>]) -> impl FnMut(&[f32]) -> Vec<f32> + '_ {
+        move |v: &[f32]| {
+            a.iter()
+                .map(|row| {
+                    row.iter()
+                        .zip(v.iter())
+                        .map(|(&aij, &vj)| aij * vj as f64)
+                        .sum::<f64>() as f32
+                })
+                .collect()
+        }
+    }
+
+    fn spd_matrix(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        // A = B^T B + n·I: comfortably SPD.
+        let mut rng = pdnn_util::Prng::new(seed);
+        let b: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.normal()).collect())
+            .collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i][j] += b[k][i] * b[k][j];
+                }
+            }
+            a[i][i] += n as f64;
+        }
+        a
+    }
+
+    /// Gaussian elimination solve for the reference solution.
+    fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        let n = b.len();
+        let mut m: Vec<Vec<f64>> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(row, &bi)| {
+                let mut r = row.clone();
+                r.push(bi);
+                r
+            })
+            .collect();
+        for col in 0..n {
+            let piv = (col..n)
+                .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+                .unwrap();
+            m.swap(col, piv);
+            let diag = m[col][col];
+            for row in 0..n {
+                if row != col {
+                    let f = m[row][col] / diag;
+                    for k in col..=n {
+                        m[row][k] -= f * m[col][k];
+                    }
+                }
+            }
+        }
+        (0..n).map(|i| m[i][n] / m[i][i]).collect()
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let n = 12;
+        let a = spd_matrix(n, 1);
+        let g: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let d0 = vec![0.0f32; n];
+        let cfg = CgConfig {
+            max_iters: 200,
+            min_iters: 1,
+            epsilon: 1e-12,
+            store_gamma: 1.3,
+        };
+        let result = cg_minimize(&g, &d0, dense_apply(&a), &cfg);
+        // Exact answer: A d* = -g.
+        let neg_g: Vec<f64> = g.iter().map(|&v| -v as f64).collect();
+        let d_star = dense_solve(&a, &neg_g);
+        for (got, want) in result.final_d().iter().zip(d_star.iter()) {
+            assert!((*got as f64 - want).abs() < 1e-4, "{got} vs {want}");
+        }
+        assert!(matches!(result.stop, CgStop::Converged | CgStop::RelativeProgress | CgStop::MaxIters));
+    }
+
+    #[test]
+    fn q_decreases_monotonically_along_stored_iterates() {
+        let n = 20;
+        let a = spd_matrix(n, 2);
+        let g: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).cos()).collect();
+        let result = cg_minimize(&g, &vec![0.0; n], dense_apply(&a), &CgConfig::default());
+        for w in result.iterates.windows(2) {
+            // Exact CG decreases q monotonically; f32 arithmetic and
+            // the incrementally updated residual allow small wobble.
+            assert!(
+                w[1].q <= w[0].q + 1e-5 * (1.0 + w[0].q.abs()),
+                "q increased: {} -> {}",
+                w[0].q,
+                w[1].q
+            );
+        }
+        // From d0 = 0, q(d) must be negative (any progress beats 0).
+        assert!(result.final_q() < 0.0);
+    }
+
+    #[test]
+    fn warm_start_changes_trajectory_but_still_descends() {
+        let n = 10;
+        let a = spd_matrix(n, 3);
+        let g: Vec<f32> = vec![1.0; n];
+        let cold = cg_minimize(&g, &vec![0.0; n], dense_apply(&a), &CgConfig::default());
+        let warm_start: Vec<f32> = cold.final_d().iter().map(|&v| 0.5 * v).collect();
+        let warm = cg_minimize(&g, &warm_start, dense_apply(&a), &CgConfig::default());
+        // Warm-started CG must do at least as well at the end.
+        assert!(warm.final_q() <= cold.final_q() + 1e-8);
+    }
+
+    #[test]
+    fn truncation_fires_before_cap_on_easy_problems() {
+        // Identity curvature: CG converges in one step; the relative
+        // progress (or convergence) test must stop it long before 200.
+        let n = 50;
+        let g: Vec<f32> = (0..n).map(|i| (i as f32 + 1.0) * 0.01).collect();
+        let result = cg_minimize(
+            &g,
+            &vec![0.0; n],
+            |v| v.to_vec(),
+            &CgConfig::default(),
+        );
+        assert!(result.iters <= 3, "iters = {}", result.iters);
+        assert!(matches!(
+            result.stop,
+            CgStop::Converged | CgStop::RelativeProgress
+        ));
+    }
+
+    #[test]
+    fn iterate_series_is_thinned_and_ends_with_final() {
+        let n = 64;
+        let a = spd_matrix(n, 4);
+        let g: Vec<f32> = (0..n).map(|i| ((i * i) as f32).sin()).collect();
+        let cfg = CgConfig {
+            max_iters: 60,
+            min_iters: 60, // force the cap so we see many iterates
+            epsilon: 0.0,
+            store_gamma: 1.3,
+        };
+        let result = cg_minimize(&g, &vec![0.0; n], dense_apply(&a), &cfg);
+        let idx: Vec<usize> = result.iterates.iter().map(|it| it.iter).collect();
+        // Strictly increasing and far fewer than 60 entries.
+        assert!(idx.windows(2).all(|w| w[0] < w[1]), "{idx:?}");
+        assert!(idx.len() < 25, "{} stored", idx.len());
+        assert_eq!(*idx.last().unwrap(), result.iters);
+        assert_eq!(idx[0], 1, "first iterate d_1 must be stored");
+    }
+
+    #[test]
+    fn zero_gradient_returns_zero_step() {
+        let n = 8;
+        let g = vec![0.0f32; n];
+        let result = cg_minimize(&g, &vec![0.0; n], |v| v.to_vec(), &CgConfig::default());
+        assert!(result.final_d().iter().all(|&v| v == 0.0));
+        assert_eq!(result.final_q(), 0.0);
+    }
+
+    #[test]
+    fn negative_curvature_is_detected() {
+        // A = -I: every direction has negative curvature.
+        let g = vec![1.0f32; 4];
+        let result = cg_minimize(
+            &g,
+            &[0.0; 4],
+            |v| v.iter().map(|&x| -x).collect(),
+            &CgConfig::default(),
+        );
+        assert_eq!(result.stop, CgStop::NegativeCurvature);
+    }
+
+    #[test]
+    #[should_panic(expected = "d0 length mismatch")]
+    fn length_mismatch_panics() {
+        cg_minimize(&[1.0], &[1.0, 2.0], |v| v.to_vec(), &CgConfig::default());
+    }
+
+    /// A badly conditioned diagonal system: plain CG needs many
+    /// iterations; Jacobi preconditioning (the exact inverse here)
+    /// converges almost immediately.
+    #[test]
+    fn preconditioning_cuts_iterations_on_ill_conditioned_systems() {
+        let n = 64;
+        let diag: Vec<f64> = (0..n).map(|i| 10f64.powf(4.0 * i as f64 / n as f64)).collect();
+        let apply = |v: &[f32]| -> Vec<f32> {
+            v.iter()
+                .zip(diag.iter())
+                .map(|(&x, &d)| (x as f64 * d) as f32)
+                .collect()
+        };
+        let g: Vec<f32> = (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect();
+        let cfg = CgConfig {
+            max_iters: 200,
+            min_iters: 1,
+            epsilon: 1e-10,
+            store_gamma: 1.3,
+        };
+        let plain = cg_minimize(&g, &vec![0.0; n], apply, &cfg);
+        let m: Vec<f32> = diag.iter().map(|&d| d as f32).collect();
+        let pre = cg_minimize_precond(&g, &vec![0.0; n], apply, Some(&m), &cfg);
+        assert!(
+            pre.iters * 3 < plain.iters,
+            "precond {} vs plain {} iterations",
+            pre.iters,
+            plain.iters
+        );
+        // Both reach (essentially) the same minimizer.
+        let q_gap = (pre.final_q() - plain.final_q()).abs();
+        assert!(q_gap < 1e-4 * (1.0 + plain.final_q().abs()), "q gap {q_gap}");
+    }
+
+    #[test]
+    fn identity_preconditioner_matches_plain_cg() {
+        let n = 20;
+        let a = spd_matrix(n, 5);
+        let g: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).sin()).collect();
+        let cfg = CgConfig::default();
+        let plain = cg_minimize(&g, &vec![0.0; n], dense_apply(&a), &cfg);
+        let m = vec![1.0f32; n];
+        let pre = cg_minimize_precond(&g, &vec![0.0; n], dense_apply(&a), Some(&m), &cfg);
+        assert_eq!(plain.iters, pre.iters);
+        assert_eq!(plain.final_d(), pre.final_d());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn nonpositive_preconditioner_rejected() {
+        let g = vec![1.0f32; 4];
+        let m = vec![1.0f32, 0.0, 1.0, 1.0];
+        cg_minimize_precond(&g, &[0.0; 4], |v| v.to_vec(), Some(&m), &CgConfig::default());
+    }
+}

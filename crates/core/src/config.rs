@@ -1,0 +1,149 @@
+//! Optimizer configuration.
+
+use crate::cg::CgConfig;
+use crate::damping::LambdaRule;
+use crate::line_search::ArmijoConfig;
+use crate::stopping::StopRule;
+
+/// CG preconditioning policy.
+///
+/// The paper's implementation "currently does not use a
+/// preconditioner"; [`Preconditioner::EmpiricalFisher`] implements the
+/// Martens-style diagonal it cites as future work:
+/// `M = (diag(Σ ∇L_f²) + λ)^ξ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Preconditioner {
+    /// Plain CG (the paper's configuration).
+    None,
+    /// Martens empirical-Fisher diagonal with the given exponent ξ
+    /// (0.75 in Martens 2010).
+    EmpiricalFisher {
+        /// Exponent ξ applied to the damped diagonal.
+        exponent: f64,
+    },
+}
+
+/// Hessian-free training configuration (Algorithm 1 knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct HfConfig {
+    /// Outer HF iterations ("20 to 40 iterations through the entire
+    /// data set" in the paper's experience).
+    pub max_iters: usize,
+    /// Inner CG solve configuration.
+    pub cg: CgConfig,
+    /// Initial damping λ0.
+    pub lambda0: f64,
+    /// Which λ adaptation rule to use (Martens vs paper-literal).
+    pub lambda_rule: LambdaRule,
+    /// Momentum β on the CG warm start `d_0 ← β d_N` (paper: β < 1).
+    pub momentum: f64,
+    /// Armijo line-search parameters.
+    pub armijo: ArmijoConfig,
+    /// Fraction of training utterances resampled for each CG call's
+    /// curvature products ("about 1% to 3%" in the paper; small tasks
+    /// should use much larger fractions).
+    pub curvature_fraction: f64,
+    /// Base seed for curvature resampling (per-iteration seeds derive
+    /// from it, so runs are reproducible).
+    pub seed: u64,
+    /// Stop early when held-out loss falls below this value.
+    pub target_heldout_loss: Option<f64>,
+    /// CG preconditioning policy.
+    pub preconditioner: Preconditioner,
+    /// Convergence criteria beyond the iteration cap (patience,
+    /// relative-improvement threshold). `target_heldout_loss` above is
+    /// folded in for backward compatibility.
+    pub stop: StopRule,
+    /// L2 weight decay coefficient applied to the training objective
+    /// (`loss += l2/2·‖θ‖²`); the exact `l2·I` term is added to the
+    /// curvature, so CG sees the true Hessian of the penalty. Held-out
+    /// evaluations report the unpenalized loss.
+    pub l2: f64,
+}
+
+impl Default for HfConfig {
+    fn default() -> Self {
+        HfConfig {
+            max_iters: 30,
+            cg: CgConfig::default(),
+            lambda0: 1.0,
+            lambda_rule: LambdaRule::Martens,
+            momentum: 0.95,
+            armijo: ArmijoConfig::default(),
+            curvature_fraction: 0.02,
+            seed: 0xD1CE,
+            target_heldout_loss: None,
+            stop: StopRule::default(),
+            preconditioner: Preconditioner::None,
+            l2: 0.0,
+        }
+    }
+}
+
+impl HfConfig {
+    /// A configuration suited to the small synthetic tasks used in
+    /// tests and examples: generous curvature fraction, short CG.
+    pub fn small_task() -> Self {
+        HfConfig {
+            max_iters: 15,
+            cg: CgConfig {
+                max_iters: 60,
+                min_iters: 5,
+                epsilon: 5e-4,
+                store_gamma: 1.3,
+            },
+            lambda0: 0.1,
+            curvature_fraction: 0.5,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants; called by the optimizer at start.
+    pub fn validate(&self) {
+        if let Preconditioner::EmpiricalFisher { exponent } = self.preconditioner {
+            assert!(
+                exponent > 0.0 && exponent <= 1.0,
+                "preconditioner exponent must be in (0, 1]"
+            );
+        }
+        assert!(self.max_iters >= 1, "max_iters must be >= 1");
+        assert!(
+            self.curvature_fraction > 0.0 && self.curvature_fraction <= 1.0,
+            "curvature_fraction must be in (0, 1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.momentum),
+            "momentum must be in [0, 1)"
+        );
+        assert!(self.lambda0 > 0.0, "lambda0 must be positive");
+        assert!(self.l2 >= 0.0, "l2 must be non-negative");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        HfConfig::default().validate();
+        HfConfig::small_task().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "curvature_fraction")]
+    fn bad_fraction_rejected() {
+        let mut c = HfConfig::default();
+        c.curvature_fraction = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn bad_momentum_rejected() {
+        let mut c = HfConfig::default();
+        c.momentum = 1.0;
+        c.validate();
+    }
+}

@@ -1,0 +1,486 @@
+//! Algorithm 1: the Hessian-free outer loop.
+//!
+//! One iteration (paper Section IV):
+//!
+//! 1. `g ← ∇L(θ)` over **all** training data (data-parallel when the
+//!    problem is distributed).
+//! 2. `{d_1 … d_N} ← CG-Minimize(q_θ, d_0)` with
+//!    `q_θ(d) = g·d + ½ d·(G + λI)d`, Gauss–Newton products over a
+//!    fresh curvature minibatch.
+//! 3. **Backtracking** over the CG iterate series on *held-out* loss:
+//!    CG can overfit the minibatch quadratic, so later iterates may be
+//!    worse on held-out data than earlier ones.
+//! 4. Step rejection (`λ ← 3/2 λ, d_0 ← 0, continue`) when no iterate
+//!    beats the current parameters.
+//! 5. Levenberg–Marquardt λ adaptation from
+//!    `ρ = (L_best − L_prev)/q(d_N)` (Martens orientation: actual over
+//!    predicted reduction, both negative on success — see
+//!    `crate::damping` for the paper-literal discrepancy).
+//! 6. Armijo backtracking line search on the chosen iterate, then
+//!    `θ ← θ + α d_i`, momentum `d_0 ← β d_N`.
+
+use crate::cg::{cg_minimize_precond, CgStop};
+use crate::config::{HfConfig, Preconditioner};
+use crate::damping::Damping;
+use crate::line_search::armijo_search;
+use crate::problem::HfProblem;
+use crate::stopping::{StopReason, StopState};
+use pdnn_tensor::blas1;
+
+/// Statistics from one outer HF iteration.
+#[derive(Clone, Debug)]
+pub struct IterStats {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// Mean training loss at the start of the iteration.
+    pub train_loss: f64,
+    /// L2 norm of the (mean) gradient.
+    pub grad_norm: f64,
+    /// Held-out loss before the update (`L_prev`).
+    pub heldout_before: f64,
+    /// Held-out loss after the update (equals `heldout_before` on
+    /// rejection).
+    pub heldout_after: f64,
+    /// Held-out frame accuracy after the update.
+    pub heldout_accuracy: f64,
+    /// λ in effect during CG (before post-step adaptation).
+    pub lambda: f64,
+    /// Reduction ratio ρ (NaN on rejection).
+    pub rho: f64,
+    /// CG iterations executed.
+    pub cg_iters: usize,
+    /// Why CG stopped.
+    pub cg_stop: CgStop,
+    /// CG iteration index of the chosen direction (0 on rejection).
+    pub chosen_iter: usize,
+    /// Line-search step length (0 on rejection).
+    pub alpha: f64,
+    /// Whether the update was applied.
+    pub accepted: bool,
+    /// Held-out evaluations consumed this iteration.
+    pub heldout_evals: usize,
+}
+
+/// The Hessian-free optimizer (stateful across iterations: damping
+/// level, momentum direction, last held-out loss).
+pub struct HfOptimizer {
+    config: HfConfig,
+    damping: Damping,
+    d_prev: Option<Vec<f32>>,
+    loss_prev: Option<f64>,
+}
+
+impl HfOptimizer {
+    /// Create an optimizer with the given configuration.
+    pub fn new(config: HfConfig) -> Self {
+        config.validate();
+        HfOptimizer {
+            damping: Damping::new(config.lambda0, config.lambda_rule),
+            config,
+            d_prev: None,
+            loss_prev: None,
+        }
+    }
+
+    /// Current damping λ.
+    pub fn lambda(&self) -> f64 {
+        self.damping.lambda()
+    }
+
+    /// Run up to `config.max_iters` iterations, stopping early per
+    /// the configured [`crate::stopping::StopRule`] (or
+    /// `target_heldout_loss`).
+    pub fn train<P: HfProblem>(&mut self, problem: &mut P) -> Vec<IterStats> {
+        self.train_with_reason(problem).0
+    }
+
+    /// Like [`HfOptimizer::train`], also reporting why training
+    /// stopped.
+    pub fn train_with_reason<P: HfProblem>(
+        &mut self,
+        problem: &mut P,
+    ) -> (Vec<IterStats>, StopReason) {
+        let mut rule = self.config.stop;
+        if rule.target_loss.is_none() {
+            rule.target_loss = self.config.target_heldout_loss;
+        }
+        let mut stop = StopState::new(rule);
+        let mut stats = Vec::with_capacity(self.config.max_iters);
+        for iter in 0..self.config.max_iters {
+            let s = self.step(problem, iter);
+            let reason = stop.observe(s.heldout_before, s.heldout_after);
+            stats.push(s);
+            if let Some(reason) = reason {
+                return (stats, reason);
+            }
+        }
+        (stats, StopReason::MaxIters)
+    }
+
+    /// Execute one outer iteration.
+    pub fn step<P: HfProblem>(&mut self, problem: &mut P, iter: usize) -> IterStats {
+        let n = problem.num_params();
+        let theta0 = problem.theta();
+        assert_eq!(theta0.len(), n);
+        let mut heldout_evals = 0usize;
+
+        let loss_prev = match self.loss_prev {
+            Some(l) => l,
+            None => {
+                heldout_evals += 1;
+                let e = problem.heldout_eval(&theta0);
+                self.loss_prev = Some(e.loss);
+                e.loss
+            }
+        };
+
+        // 1. Gradient over all training data (+ L2 penalty terms).
+        let (mut train_loss, mut g) = problem.gradient();
+        let l2 = self.config.l2;
+        if l2 > 0.0 {
+            blas1::axpy(l2 as f32, &theta0, &mut g);
+            train_loss += 0.5 * l2 * blas1::dot(&theta0, &theta0);
+        }
+        let g = g;
+        let train_loss = train_loss;
+        let grad_norm = blas1::nrm2(&g);
+
+        // 2. Curvature minibatch + truncated CG.
+        let sample_seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(iter as u64);
+        problem.sample_curvature(sample_seed, self.config.curvature_fraction);
+
+        let lambda = self.damping.lambda();
+        let d0: Vec<f32> = match &self.d_prev {
+            Some(d) => d.clone(),
+            None => vec![0.0; n],
+        };
+        // Optional Martens preconditioner: M = (diag(Fisher) + λ)^ξ.
+        let precond: Option<Vec<f32>> = match self.config.preconditioner {
+            Preconditioner::None => None,
+            Preconditioner::EmpiricalFisher { exponent } => {
+                problem.fisher_diagonal().map(|diag| {
+                    diag.into_iter()
+                        .map(|d| ((d.max(0.0) as f64 + lambda).powf(exponent)) as f32)
+                        .collect()
+                })
+            }
+        };
+        let cg = cg_minimize_precond(
+            &g,
+            &d0,
+            |v| {
+                let mut gv = problem.gn_product(v);
+                // Damping plus the exact curvature of the L2 penalty.
+                blas1::axpy((lambda + l2) as f32, v, &mut gv);
+                gv
+            },
+            precond.as_deref(),
+            &self.config.cg,
+        );
+
+        // Momentum for the *next* iteration uses the final direction
+        // regardless of which iterate the backtracking picks.
+        let d_final = cg.final_d().to_vec();
+        let q_final = cg.final_q();
+
+        // 3. Backtracking over the iterate series on held-out loss.
+        let mut eval_at = |d: &[f32], evals: &mut usize| {
+            let mut trial = theta0.clone();
+            blas1::add(d, &mut trial);
+            *evals += 1;
+            problem.heldout_eval(&trial).loss
+        };
+        let n_stored = cg.iterates.len();
+        let mut best_pos = n_stored - 1;
+        let mut l_best = eval_at(&cg.iterates[best_pos].d, &mut heldout_evals);
+        for pos in (0..n_stored.saturating_sub(1)).rev() {
+            let l_curr = eval_at(&cg.iterates[pos].d, &mut heldout_evals);
+            if loss_prev >= l_best && l_curr >= l_best {
+                break;
+            }
+            l_best = l_curr;
+            best_pos = pos;
+        }
+
+        // 4. Rejection: no iterate improves held-out loss.
+        if loss_prev < l_best || !l_best.is_finite() {
+            self.damping.on_reject();
+            self.d_prev = None; // d_0 ← 0
+            return IterStats {
+                iter,
+                train_loss,
+                grad_norm,
+                heldout_before: loss_prev,
+                heldout_after: loss_prev,
+                heldout_accuracy: f64::NAN,
+                lambda,
+                rho: f64::NAN,
+                cg_iters: cg.iters,
+                cg_stop: cg.stop,
+                chosen_iter: 0,
+                alpha: 0.0,
+                accepted: false,
+                heldout_evals,
+            };
+        }
+
+        // 5. λ adaptation from the reduction ratio.
+        let rho = if q_final != 0.0 {
+            (l_best - loss_prev) / q_final
+        } else {
+            f64::NAN
+        };
+        if rho.is_finite() {
+            self.damping.adjust(rho);
+        }
+
+        // 6. Armijo line search along the chosen iterate.
+        let chosen = &cg.iterates[best_pos];
+        let slope = blas1::dot(&g, &chosen.d);
+        let search = armijo_search(
+            loss_prev,
+            slope,
+            |alpha| {
+                let mut trial = theta0.clone();
+                blas1::axpy(alpha as f32, &chosen.d, &mut trial);
+                heldout_evals += 1;
+                problem.heldout_eval(&trial).loss
+            },
+            &self.config.armijo,
+        );
+        // The backtracking already certified d_i improves held-out
+        // loss at α = 1, so a failed search falls back to the full
+        // step rather than rejecting.
+        let alpha = search.map(|r| r.alpha).unwrap_or(1.0);
+
+        let mut theta_new = theta0;
+        blas1::axpy(alpha as f32, &chosen.d, &mut theta_new);
+        problem.set_theta(&theta_new);
+
+        // Momentum warm start: d_0 ← β d_N.
+        let beta = self.config.momentum as f32;
+        self.d_prev = if beta > 0.0 {
+            let mut d = d_final;
+            blas1::scal(beta, &mut d);
+            Some(d)
+        } else {
+            None
+        };
+
+        heldout_evals += 1;
+        let after = problem.heldout_eval(&theta_new);
+        self.loss_prev = Some(after.loss);
+
+        IterStats {
+            iter,
+            train_loss,
+            grad_norm,
+            heldout_before: loss_prev,
+            heldout_after: after.loss,
+            heldout_accuracy: after.accuracy,
+            lambda,
+            rho,
+            cg_iters: cg.iters,
+            cg_stop: cg.stop,
+            chosen_iter: chosen.iter,
+            alpha,
+            accepted: true,
+            heldout_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::HeldoutEval;
+
+    /// Exactly solvable problem: L(θ) = ½‖θ − t‖², G = I.
+    /// HF must land on t almost immediately.
+    struct Quadratic {
+        theta: Vec<f32>,
+        target: Vec<f32>,
+    }
+
+    impl Quadratic {
+        fn loss_of(&self, theta: &[f32]) -> f64 {
+            theta
+                .iter()
+                .zip(self.target.iter())
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    0.5 * d * d
+                })
+                .sum()
+        }
+    }
+
+    impl HfProblem for Quadratic {
+        fn num_params(&self) -> usize {
+            self.theta.len()
+        }
+        fn theta(&self) -> Vec<f32> {
+            self.theta.clone()
+        }
+        fn set_theta(&mut self, theta: &[f32]) {
+            self.theta = theta.to_vec();
+        }
+        fn gradient(&mut self) -> (f64, Vec<f32>) {
+            let g: Vec<f32> = self
+                .theta
+                .iter()
+                .zip(self.target.iter())
+                .map(|(&a, &b)| a - b)
+                .collect();
+            (self.loss_of(&self.theta.clone()), g)
+        }
+        fn sample_curvature(&mut self, _seed: u64, _fraction: f64) {}
+        fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
+            v.to_vec()
+        }
+        fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
+            HeldoutEval {
+                loss: self.loss_of(theta),
+                accuracy: 0.0,
+                frames: 1,
+            }
+        }
+        fn train_frames(&self) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn solves_quadratic_in_few_iterations() {
+        let mut problem = Quadratic {
+            theta: vec![0.0; 10],
+            target: (0..10).map(|i| i as f32 * 0.3 - 1.0).collect(),
+        };
+        let mut cfg = HfConfig::small_task();
+        cfg.max_iters = 6;
+        cfg.lambda0 = 0.01;
+        let mut opt = HfOptimizer::new(cfg);
+        let stats = opt.train(&mut problem);
+        let last = stats.last().unwrap();
+        assert!(last.heldout_after < 1e-6, "final loss {}", last.heldout_after);
+        for (got, want) in problem.theta.iter().zip(problem.target.iter()) {
+            assert!((got - want).abs() < 1e-3);
+        }
+        // First iteration already accepted a near-Newton step.
+        assert!(stats[0].accepted);
+        assert!(stats[0].alpha > 0.0);
+    }
+
+    #[test]
+    fn heldout_loss_never_increases_on_accepted_steps() {
+        let mut problem = Quadratic {
+            theta: vec![2.0; 8],
+            target: vec![-1.0; 8],
+        };
+        let mut opt = HfOptimizer::new(HfConfig::small_task());
+        let stats = opt.train(&mut problem);
+        for s in &stats {
+            if s.accepted {
+                assert!(
+                    s.heldout_after <= s.heldout_before + 1e-9,
+                    "iter {}: {} -> {}",
+                    s.iter,
+                    s.heldout_before,
+                    s.heldout_after
+                );
+            }
+        }
+    }
+
+    /// A problem whose held-out loss is adversarially constant: every
+    /// step must be rejected and λ must grow.
+    struct NoImprovement {
+        theta: Vec<f32>,
+    }
+
+    impl HfProblem for NoImprovement {
+        fn num_params(&self) -> usize {
+            self.theta.len()
+        }
+        fn theta(&self) -> Vec<f32> {
+            self.theta.clone()
+        }
+        fn set_theta(&mut self, theta: &[f32]) {
+            self.theta = theta.to_vec();
+        }
+        fn gradient(&mut self) -> (f64, Vec<f32>) {
+            (1.0, vec![1.0; self.theta.len()])
+        }
+        fn sample_curvature(&mut self, _seed: u64, _fraction: f64) {}
+        fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
+            v.to_vec()
+        }
+        fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
+            // Strictly worse for any nonzero step.
+            let step: f64 = theta.iter().map(|&t| (t as f64).abs()).sum();
+            HeldoutEval {
+                loss: 1.0 + step,
+                accuracy: 0.0,
+                frames: 1,
+            }
+        }
+        fn train_frames(&self) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn rejection_boosts_lambda_and_keeps_theta() {
+        let mut problem = NoImprovement { theta: vec![0.0; 5] };
+        let mut cfg = HfConfig::small_task();
+        cfg.max_iters = 4;
+        let mut opt = HfOptimizer::new(cfg);
+        let lambda0 = opt.lambda();
+        let stats = opt.train(&mut problem);
+        assert!(stats.iter().all(|s| !s.accepted));
+        assert!(stats.iter().all(|s| s.alpha == 0.0));
+        assert!(opt.lambda() > lambda0 * 2.0, "λ grew to {}", opt.lambda());
+        assert!(problem.theta.iter().all(|&t| t == 0.0), "θ moved");
+        // heldout_after equals heldout_before on rejection.
+        for s in &stats {
+            assert_eq!(s.heldout_after, s.heldout_before);
+        }
+    }
+
+    #[test]
+    fn early_stop_on_target() {
+        let mut problem = Quadratic {
+            theta: vec![1.0; 4],
+            target: vec![0.0; 4],
+        };
+        let mut cfg = HfConfig::small_task();
+        cfg.max_iters = 50;
+        cfg.target_heldout_loss = Some(1e-4);
+        let mut opt = HfOptimizer::new(cfg);
+        let stats = opt.train(&mut problem);
+        assert!(stats.len() < 50, "ran {} iterations", stats.len());
+        assert!(stats.last().unwrap().heldout_after <= 1e-4);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let mut problem = Quadratic {
+            theta: vec![0.5; 6],
+            target: vec![0.0; 6],
+        };
+        let mut opt = HfOptimizer::new(HfConfig::small_task());
+        let s = opt.step(&mut problem, 0);
+        assert_eq!(s.iter, 0);
+        assert!(s.grad_norm > 0.0);
+        assert!(s.cg_iters >= 1);
+        assert!(s.heldout_evals >= 2);
+        if s.accepted {
+            assert!(s.chosen_iter >= 1);
+            assert!(s.rho.is_finite());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Chunked (memory-bounded) evaluation must be numerically equivalent
+//! to single-batch evaluation — the property that lets the library
+//! scale to corpora whose activations do not fit in memory.
+
+use pdnn_core::problem::chunk_ranges;
+use pdnn_core::{DnnProblem, HfProblem, Objective};
+use pdnn_dnn::{Activation, Network};
+use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_tensor::gemm::GemmContext;
+use pdnn_util::Prng;
+use proptest::prelude::*;
+
+fn problems(chunk: Option<usize>, seq: bool) -> DnnProblem {
+    let corpus = Corpus::generate(CorpusSpec {
+        utterances: 48,
+        ..CorpusSpec::tiny(606)
+    });
+    let (train_ids, held_ids) = corpus.split_heldout(0.25);
+    let mut rng = Prng::new(1);
+    let net = Network::new(
+        &[corpus.spec().feature_dim, 14, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let objective = if seq {
+        Objective::Sequence(corpus.denominator_graph())
+    } else {
+        Objective::CrossEntropy
+    };
+    let p = DnnProblem::new(
+        net,
+        GemmContext::sequential(),
+        corpus.shard(&train_ids),
+        corpus.shard(&held_ids),
+        objective,
+    );
+    match chunk {
+        Some(c) => p.with_max_batch_frames(c),
+        None => p,
+    }
+}
+
+#[test]
+fn chunked_gradient_matches_single_batch() {
+    for seq in [false, true] {
+        let (loss_full, grad_full) = problems(None, seq).gradient();
+        for chunk in [64usize, 200, 1_000_000] {
+            let (loss_c, grad_c) = problems(Some(chunk), seq).gradient();
+            assert!(
+                (loss_full - loss_c).abs() < 1e-6 * (1.0 + loss_full.abs()),
+                "seq={seq} chunk={chunk}: loss {loss_full} vs {loss_c}"
+            );
+            let max_diff = grad_full
+                .iter()
+                .zip(grad_c.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff < 1e-5, "seq={seq} chunk={chunk}: grad diff {max_diff}");
+        }
+    }
+}
+
+#[test]
+fn chunked_heldout_matches_single_batch() {
+    for seq in [false, true] {
+        let mut full = problems(None, seq);
+        let theta = full.theta();
+        let e_full = full.heldout_eval(&theta);
+        for chunk in [50usize, 333] {
+            let mut c = problems(Some(chunk), seq);
+            let e_c = c.heldout_eval(&theta);
+            assert!(
+                (e_full.loss - e_c.loss).abs() < 1e-6 * (1.0 + e_full.loss.abs()),
+                "seq={seq} chunk={chunk}: {} vs {}",
+                e_full.loss,
+                e_c.loss
+            );
+            assert_eq!(e_full.frames, e_c.frames);
+            assert!((e_full.accuracy - e_c.accuracy).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn chunk_ranges_basics() {
+    // Three utterances of 5, 10, 3 frames with an 8-frame budget:
+    // [5], [10] (oversized alone), [3].
+    let r = chunk_ranges(&[5, 10, 3], 8);
+    assert_eq!(r.len(), 3);
+    assert_eq!(r[0], (0..1, 0..5));
+    assert_eq!(r[1], (1..2, 5..15));
+    assert_eq!(r[2], (2..3, 15..18));
+
+    // Large budget: everything in one chunk.
+    let r = chunk_ranges(&[5, 10, 3], 1000);
+    assert_eq!(r, vec![(0..3, 0..18)]);
+
+    // Empty shard: no chunks.
+    assert!(chunk_ranges(&[], 8).is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunk_ranges_partition_exactly(
+        lens in proptest::collection::vec(1usize..40, 0..30),
+        max_frames in 1usize..100,
+    ) {
+        let chunks = chunk_ranges(&lens, max_frames);
+        // Utterance ranges tile [0, n).
+        let mut u_expect = 0usize;
+        let mut f_expect = 0usize;
+        for (ur, fr) in &chunks {
+            prop_assert_eq!(ur.start, u_expect);
+            prop_assert_eq!(fr.start, f_expect);
+            prop_assert!(ur.end > ur.start, "empty chunk");
+            let frames: usize = lens[ur.clone()].iter().sum();
+            prop_assert_eq!(fr.end - fr.start, frames);
+            // Budget respected unless the chunk is a single utterance.
+            if ur.end - ur.start > 1 {
+                prop_assert!(frames <= max_frames);
+            }
+            u_expect = ur.end;
+            f_expect = fr.end;
+        }
+        prop_assert_eq!(u_expect, lens.len());
+        prop_assert_eq!(f_expect, lens.iter().sum::<usize>());
+    }
+}

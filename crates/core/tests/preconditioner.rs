@@ -1,0 +1,194 @@
+//! Tests for the CG preconditioner extension (the paper's cited
+//! future work): correctness of the plumbing, benefit on
+//! ill-conditioned problems, and serial/distributed agreement of the
+//! empirical-Fisher diagonal.
+
+use pdnn_core::config::Preconditioner;
+use pdnn_core::{DnnProblem, HeldoutEval, HfConfig, HfOptimizer, HfProblem, Objective};
+use pdnn_dnn::{Activation, Network};
+use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_tensor::gemm::GemmContext;
+use pdnn_util::Prng;
+
+/// Quadratic with a badly conditioned diagonal curvature and an exact
+/// Fisher diagonal — preconditioned HF should spend far fewer CG
+/// iterations.
+struct IllConditioned {
+    theta: Vec<f32>,
+    diag: Vec<f64>,
+}
+
+impl IllConditioned {
+    fn new(n: usize) -> Self {
+        IllConditioned {
+            theta: vec![1.0; n],
+            diag: (0..n)
+                .map(|i| 10f64.powf(4.0 * i as f64 / n as f64))
+                .collect(),
+        }
+    }
+    fn loss_of(&self, theta: &[f32]) -> f64 {
+        theta
+            .iter()
+            .zip(self.diag.iter())
+            .map(|(&t, &d)| 0.5 * d * (t as f64) * (t as f64))
+            .sum()
+    }
+}
+
+impl HfProblem for IllConditioned {
+    fn num_params(&self) -> usize {
+        self.theta.len()
+    }
+    fn theta(&self) -> Vec<f32> {
+        self.theta.clone()
+    }
+    fn set_theta(&mut self, theta: &[f32]) {
+        self.theta = theta.to_vec();
+    }
+    fn gradient(&mut self) -> (f64, Vec<f32>) {
+        let g = self
+            .theta
+            .iter()
+            .zip(self.diag.iter())
+            .map(|(&t, &d)| (d * t as f64) as f32)
+            .collect();
+        (self.loss_of(&self.theta.clone()), g)
+    }
+    fn sample_curvature(&mut self, _seed: u64, _fraction: f64) {}
+    fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
+        v.iter()
+            .zip(self.diag.iter())
+            .map(|(&x, &d)| (d * x as f64) as f32)
+            .collect()
+    }
+    fn fisher_diagonal(&mut self) -> Option<Vec<f32>> {
+        Some(self.diag.iter().map(|&d| d as f32).collect())
+    }
+    fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
+        HeldoutEval {
+            loss: self.loss_of(theta),
+            accuracy: 0.0,
+            frames: 1,
+        }
+    }
+    fn train_frames(&self) -> u64 {
+        1
+    }
+}
+
+fn total_cg_iters(precond: Preconditioner) -> (usize, f64) {
+    let mut problem = IllConditioned::new(48);
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 4;
+    cfg.cg.max_iters = 150;
+    cfg.cg.epsilon = 1e-8;
+    cfg.preconditioner = precond;
+    let stats = HfOptimizer::new(cfg).train(&mut problem);
+    (
+        stats.iter().map(|s| s.cg_iters).sum(),
+        stats.last().unwrap().heldout_after,
+    )
+}
+
+#[test]
+fn preconditioning_reduces_cg_work_on_ill_conditioned_curvature() {
+    let (plain_iters, plain_loss) = total_cg_iters(Preconditioner::None);
+    let (pre_iters, pre_loss) =
+        total_cg_iters(Preconditioner::EmpiricalFisher { exponent: 1.0 });
+    assert!(
+        pre_iters * 2 < plain_iters,
+        "precond {pre_iters} vs plain {plain_iters} CG iterations"
+    );
+    // Both reach a good solution.
+    assert!(plain_loss < 1e-3, "plain loss {plain_loss}");
+    assert!(pre_loss < 1e-3, "precond loss {pre_loss}");
+}
+
+#[test]
+fn preconditioned_dnn_training_converges() {
+    let corpus = Corpus::generate(CorpusSpec {
+        utterances: 64,
+        ..CorpusSpec::tiny(77)
+    });
+    let (train_ids, held_ids) = corpus.split_heldout(0.2);
+    let mut rng = Prng::new(4);
+    let net = Network::new(
+        &[corpus.spec().feature_dim, 16, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let mut problem = DnnProblem::new(
+        net,
+        GemmContext::sequential(),
+        corpus.shard(&train_ids),
+        corpus.shard(&held_ids),
+        Objective::CrossEntropy,
+    );
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 8;
+    cfg.preconditioner = Preconditioner::EmpiricalFisher { exponent: 0.75 };
+    let stats = HfOptimizer::new(cfg).train(&mut problem);
+    let last = stats.iter().rev().find(|s| s.accepted).expect("no step");
+    assert!(
+        last.heldout_accuracy > 0.8,
+        "preconditioned run stalled at accuracy {}",
+        last.heldout_accuracy
+    );
+}
+
+#[test]
+fn serial_and_distributed_fisher_diagonals_agree() {
+    use pdnn_core::distributed::{train_distributed, DistributedConfig};
+    // Indirect but end-to-end: a preconditioned distributed run must
+    // reach the same quality as the preconditioned serial run.
+    let corpus = Corpus::generate(CorpusSpec {
+        utterances: 64,
+        ..CorpusSpec::tiny(88)
+    });
+    let mut rng = Prng::new(5);
+    let net = Network::new(
+        &[corpus.spec().feature_dim, 12, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let mut hf = HfConfig::small_task();
+    hf.max_iters = 5;
+    hf.preconditioner = Preconditioner::EmpiricalFisher { exponent: 0.75 };
+
+    let (train_ids, held_ids) = corpus.split_heldout(0.2);
+    let mut serial = DnnProblem::new(
+        net.clone(),
+        GemmContext::sequential(),
+        corpus.shard(&train_ids),
+        corpus.shard(&held_ids),
+        Objective::CrossEntropy,
+    );
+    let serial_stats = HfOptimizer::new(hf).train(&mut serial);
+    let serial_last = serial_stats.iter().rev().find(|s| s.accepted).unwrap();
+
+    let config = DistributedConfig {
+        workers: 3,
+        hf,
+        heldout_frac: 0.2,
+        ..Default::default()
+    };
+    let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config);
+    let dist_last = out.stats.iter().rev().find(|s| s.accepted).unwrap();
+
+    assert!(
+        (dist_last.heldout_after - serial_last.heldout_after).abs()
+            < 0.05 * (1.0 + serial_last.heldout_after),
+        "distributed {} vs serial {}",
+        dist_last.heldout_after,
+        serial_last.heldout_after
+    );
+}
+
+#[test]
+#[should_panic(expected = "exponent must be in")]
+fn invalid_exponent_rejected() {
+    let mut cfg = HfConfig::small_task();
+    cfg.preconditioner = Preconditioner::EmpiricalFisher { exponent: 0.0 };
+    cfg.validate();
+}

@@ -1,0 +1,158 @@
+//! L2 weight decay in the Hessian-free optimizer.
+
+use pdnn_core::{DnnProblem, HeldoutEval, HfConfig, HfOptimizer, HfProblem, Objective};
+use pdnn_dnn::{Activation, Network};
+use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_tensor::blas1;
+use pdnn_tensor::gemm::GemmContext;
+use pdnn_util::Prng;
+
+/// Quadratic with identity curvature: with penalty l2 the training
+/// optimum moves from `t` to `t / (1 + l2)`.
+struct Quadratic {
+    theta: Vec<f32>,
+    target: Vec<f32>,
+}
+
+impl Quadratic {
+    fn loss_of(&self, theta: &[f32]) -> f64 {
+        theta
+            .iter()
+            .zip(self.target.iter())
+            .map(|(&a, &b)| 0.5 * ((a - b) as f64).powi(2))
+            .sum()
+    }
+}
+
+impl HfProblem for Quadratic {
+    fn num_params(&self) -> usize {
+        self.theta.len()
+    }
+    fn theta(&self) -> Vec<f32> {
+        self.theta.clone()
+    }
+    fn set_theta(&mut self, theta: &[f32]) {
+        self.theta = theta.to_vec();
+    }
+    fn gradient(&mut self) -> (f64, Vec<f32>) {
+        let g = self
+            .theta
+            .iter()
+            .zip(self.target.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        (self.loss_of(&self.theta.clone()), g)
+    }
+    fn sample_curvature(&mut self, _s: u64, _f: f64) {}
+    fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
+        v.to_vec()
+    }
+    fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
+        HeldoutEval {
+            loss: self.loss_of(theta),
+            accuracy: 0.0,
+            frames: 1,
+        }
+    }
+    fn train_frames(&self) -> u64 {
+        1
+    }
+}
+
+#[test]
+fn l2_shifts_the_optimum_to_the_shrunken_target() {
+    let l2 = 0.5f64;
+    let target: Vec<f32> = (0..8).map(|i| 1.0 + i as f32 * 0.2).collect();
+    let mut problem = Quadratic {
+        theta: vec![0.0; 8],
+        target: target.clone(),
+    };
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 15;
+    cfg.l2 = l2;
+    cfg.lambda0 = 0.01;
+    cfg.momentum = 0.0;
+    HfOptimizer::new(cfg).train(&mut problem);
+    // Penalized optimum: t / (1 + l2). Backtracking uses the
+    // unpenalized held-out loss, which still improves monotonically on
+    // the way from 0 to t/(1+l2), so HF can reach it.
+    for (got, &t) in problem.theta.iter().zip(target.iter()) {
+        let want = t / (1.0 + l2 as f32);
+        assert!(
+            (got - want).abs() < 0.05,
+            "coordinate {got} vs shrunken target {want}"
+        );
+    }
+}
+
+#[test]
+fn weight_decay_shrinks_dnn_parameters() {
+    let corpus = Corpus::generate(CorpusSpec {
+        utterances: 64,
+        ..CorpusSpec::tiny(55)
+    });
+    let (train_ids, held_ids) = corpus.split_heldout(0.2);
+    let mut rng = Prng::new(8);
+    let net0: Network<f32> = Network::new(
+        &[corpus.spec().feature_dim, 16, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+
+    let norm_after = |l2: f64| -> (f64, f64) {
+        let mut problem = DnnProblem::new(
+            net0.clone(),
+            GemmContext::sequential(),
+            corpus.shard(&train_ids),
+            corpus.shard(&held_ids),
+            Objective::CrossEntropy,
+        );
+        let mut cfg = HfConfig::small_task();
+        cfg.max_iters = 8;
+        cfg.l2 = l2;
+        let stats = HfOptimizer::new(cfg).train(&mut problem);
+        let acc = stats
+            .iter()
+            .rev()
+            .find(|s| s.accepted)
+            .map(|s| s.heldout_accuracy)
+            .unwrap_or(0.0);
+        (blas1::nrm2(&problem.theta()), acc)
+    };
+
+    let (norm_plain, acc_plain) = norm_after(0.0);
+    let (norm_decayed, acc_decayed) = norm_after(0.02);
+    assert!(
+        norm_decayed < norm_plain,
+        "decay did not shrink weights: {norm_decayed} vs {norm_plain}"
+    );
+    // Mild decay must not destroy the model.
+    assert!(acc_plain > 0.8 && acc_decayed > 0.7, "{acc_plain} {acc_decayed}");
+}
+
+#[test]
+fn zero_l2_is_the_identity_configuration() {
+    let mut p1 = Quadratic {
+        theta: vec![0.5; 4],
+        target: vec![1.0; 4],
+    };
+    let mut p2 = Quadratic {
+        theta: vec![0.5; 4],
+        target: vec![1.0; 4],
+    };
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 3;
+    let base = HfOptimizer::new(cfg).train(&mut p1);
+    cfg.l2 = 0.0;
+    let explicit = HfOptimizer::new(cfg).train(&mut p2);
+    assert_eq!(p1.theta, p2.theta);
+    assert_eq!(base.len(), explicit.len());
+}
+
+#[test]
+#[should_panic(expected = "l2 must be non-negative")]
+fn negative_l2_rejected() {
+    let mut cfg = HfConfig::small_task();
+    cfg.l2 = -0.1;
+    cfg.validate();
+}

@@ -1,0 +1,94 @@
+//! End-to-end behavior of the convergence rules inside the optimizer.
+
+use pdnn_core::stopping::{StopReason, StopRule};
+use pdnn_core::{HeldoutEval, HfConfig, HfOptimizer, HfProblem};
+
+/// Quadratic that converges in a couple of iterations, then stalls.
+struct Quad {
+    theta: Vec<f32>,
+}
+
+impl HfProblem for Quad {
+    fn num_params(&self) -> usize {
+        self.theta.len()
+    }
+    fn theta(&self) -> Vec<f32> {
+        self.theta.clone()
+    }
+    fn set_theta(&mut self, theta: &[f32]) {
+        self.theta = theta.to_vec();
+    }
+    fn gradient(&mut self) -> (f64, Vec<f32>) {
+        let g: Vec<f32> = self.theta.iter().map(|&t| t - 1.0).collect();
+        let loss = g.iter().map(|&v| 0.5 * (v as f64).powi(2)).sum();
+        (loss, g)
+    }
+    fn sample_curvature(&mut self, _s: u64, _f: f64) {}
+    fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
+        v.to_vec()
+    }
+    fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
+        HeldoutEval {
+            loss: theta.iter().map(|&t| 0.5 * ((t - 1.0) as f64).powi(2)).sum(),
+            accuracy: 0.0,
+            frames: 1,
+        }
+    }
+    fn train_frames(&self) -> u64 {
+        1
+    }
+}
+
+#[test]
+fn patience_stops_a_converged_run_early() {
+    let mut problem = Quad { theta: vec![0.0; 6] };
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 50;
+    cfg.stop = StopRule {
+        patience: Some(2),
+        min_rel_improvement: 1e-4,
+        target_loss: None,
+    };
+    let (stats, reason) = HfOptimizer::new(cfg).train_with_reason(&mut problem);
+    assert_eq!(reason, StopReason::Stalled);
+    assert!(
+        stats.len() < 50,
+        "patience never fired: ran {} iterations",
+        stats.len()
+    );
+    // It converged before stalling.
+    assert!(stats.last().unwrap().heldout_after < 1e-6);
+}
+
+#[test]
+fn target_loss_reports_the_right_reason() {
+    let mut problem = Quad { theta: vec![0.0; 4] };
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 50;
+    cfg.stop = StopRule {
+        target_loss: Some(1e-3),
+        ..Default::default()
+    };
+    let (_, reason) = HfOptimizer::new(cfg).train_with_reason(&mut problem);
+    assert_eq!(reason, StopReason::TargetReached);
+}
+
+#[test]
+fn default_rule_runs_to_the_cap() {
+    let mut problem = Quad { theta: vec![0.0; 4] };
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 4;
+    let (stats, reason) = HfOptimizer::new(cfg).train_with_reason(&mut problem);
+    assert_eq!(reason, StopReason::MaxIters);
+    assert_eq!(stats.len(), 4);
+}
+
+#[test]
+fn legacy_target_heldout_loss_still_works() {
+    let mut problem = Quad { theta: vec![0.0; 4] };
+    let mut cfg = HfConfig::small_task();
+    cfg.max_iters = 50;
+    cfg.target_heldout_loss = Some(1e-3);
+    let (_, reason) = HfOptimizer::new(cfg).train_with_reason(&mut problem);
+    assert_eq!(reason, StopReason::TargetReached);
+}

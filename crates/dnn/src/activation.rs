@@ -1,0 +1,152 @@
+//! Hidden-layer activation functions.
+//!
+//! The era's acoustic models (and Martens' Hessian-free experiments)
+//! used saturating nonlinearities; we provide those plus ReLU. Each
+//! activation exposes its derivative *as a function of the activation
+//! value* — the backward passes then never need the pre-activations,
+//! halving the memory kept alive during backprop and the R-pass.
+
+use pdnn_tensor::{Matrix, Scalar};
+
+/// Elementwise nonlinearity applied to a layer's pre-activations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + exp(-z))` — the paper-era default.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit `max(0, z)`.
+    ReLU,
+    /// Identity (used for the output layer; the loss handles softmax).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation in place.
+    pub fn apply<T: Scalar>(self, z: &mut Matrix<T>) {
+        match self {
+            Activation::Sigmoid => z.map_inplace(|v| {
+                // Numerically stable in both tails.
+                if v.to_f64() >= 0.0 {
+                    let e = (-v).exp();
+                    T::ONE / (T::ONE + e)
+                } else {
+                    let e = v.exp();
+                    e / (T::ONE + e)
+                }
+            }),
+            Activation::Tanh => z.map_inplace(|v| {
+                let e2 = (v + v).exp();
+                (e2 - T::ONE) / (e2 + T::ONE)
+            }),
+            Activation::ReLU => z.map_inplace(|v| v.max(T::ZERO)),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Derivative `f'(z)` expressed in terms of the activation `a = f(z)`.
+    #[inline]
+    pub fn derivative_from_output<T: Scalar>(self, a: T) -> T {
+        match self {
+            Activation::Sigmoid => a * (T::ONE - a),
+            Activation::Tanh => T::ONE - a * a,
+            Activation::ReLU => {
+                if a > T::ZERO {
+                    T::ONE
+                } else {
+                    T::ZERO
+                }
+            }
+            Activation::Identity => T::ONE,
+        }
+    }
+
+    /// Multiply `m` elementwise by `f'` evaluated from the stored
+    /// activations `a` (the `delta ∘ f'(z)` step of backprop).
+    pub fn mask_derivative<T: Scalar>(self, m: &mut Matrix<T>, a: &Matrix<T>) {
+        assert_eq!(m.shape(), a.shape(), "mask_derivative shape mismatch");
+        if self == Activation::Identity {
+            return;
+        }
+        for (mv, &av) in m.as_mut_slice().iter_mut().zip(a.as_slice().iter()) {
+            *mv *= self.derivative_from_output(av);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply_scalar(act: Activation, z: f64) -> f64 {
+        let mut m: Matrix<f64> = Matrix::from_vec(1, 1, vec![z]);
+        act.apply(&mut m);
+        m[(0, 0)]
+    }
+
+    #[test]
+    fn sigmoid_values() {
+        assert!((apply_scalar(Activation::Sigmoid, 0.0) - 0.5).abs() < 1e-12);
+        assert!(apply_scalar(Activation::Sigmoid, 10.0) > 0.9999);
+        assert!(apply_scalar(Activation::Sigmoid, -10.0) < 0.0001);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_in_tails() {
+        assert!(apply_scalar(Activation::Sigmoid, -1000.0).is_finite());
+        assert!(apply_scalar(Activation::Sigmoid, 1000.0).is_finite());
+        assert_eq!(apply_scalar(Activation::Sigmoid, -1000.0), 0.0);
+        assert_eq!(apply_scalar(Activation::Sigmoid, 1000.0), 1.0);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        for z in [-2.0, -0.5, 0.0, 0.3, 1.7] {
+            assert!((apply_scalar(Activation::Tanh, z) - z.tanh()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(apply_scalar(Activation::ReLU, -3.0), 0.0);
+        assert_eq!(apply_scalar(Activation::ReLU, 4.0), 4.0);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        assert_eq!(apply_scalar(Activation::Identity, 2.5), 2.5);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::ReLU] {
+            for z in [-1.5, -0.2, 0.4, 2.0] {
+                let a = apply_scalar(act, z);
+                let fd = (apply_scalar(act, z + h) - apply_scalar(act, z - h)) / (2.0 * h);
+                let an = act.derivative_from_output(a);
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "{act:?} at z={z}: fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_derivative_scales_elementwise() {
+        let a: Matrix<f64> = Matrix::from_vec(1, 2, vec![0.5, 1.0]);
+        let mut m: Matrix<f64> = Matrix::from_vec(1, 2, vec![2.0, 2.0]);
+        Activation::Sigmoid.mask_derivative(&mut m, &a);
+        assert!((m[(0, 0)] - 2.0 * 0.25).abs() < 1e-12);
+        assert!((m[(0, 1)] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_derivative_identity_leaves_input() {
+        let a: Matrix<f32> = Matrix::filled(2, 2, 0.3);
+        let mut m: Matrix<f32> = Matrix::filled(2, 2, 7.0);
+        Activation::Identity.mask_derivative(&mut m, &a);
+        assert!(m.as_slice().iter().all(|&v| v == 7.0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Error backpropagation: exact gradients of the frame losses.
+//!
+//! Every heavy operation is a GEMM (`delta^T a` for weight gradients,
+//! `delta W` for error propagation), which is what makes DNN training
+//! SGEMM-bound — the premise of the paper's Section V.A tuning work.
+
+use crate::loss::{cross_entropy, squared_error, FrameLoss};
+use crate::network::{ForwardCache, Network};
+use pdnn_tensor::gemm::{gemm, GemmContext, Trans};
+use pdnn_tensor::{Matrix, Scalar};
+
+/// Backpropagate `dlogits` through the network, returning the flat
+/// gradient (same layout as [`Network::to_flat`]).
+///
+/// `cache` must come from a forward pass of `net` on the same batch.
+pub fn backprop<T: Scalar>(
+    net: &Network<T>,
+    ctx: &GemmContext,
+    cache: &ForwardCache<T>,
+    dlogits: &Matrix<T>,
+) -> Vec<T> {
+    let layers = net.layers();
+    assert_eq!(
+        cache.acts.len(),
+        layers.len() + 1,
+        "cache does not match network depth"
+    );
+    assert_eq!(
+        dlogits.shape(),
+        cache.logits().shape(),
+        "dlogits shape mismatch"
+    );
+
+    let mut grad = vec![T::ZERO; net.num_params()];
+    // Compute per-layer flat offsets once.
+    let mut offsets = Vec::with_capacity(layers.len());
+    let mut off = 0;
+    for layer in layers {
+        offsets.push(off);
+        off += layer.num_params();
+    }
+
+    let mut delta = dlogits.clone();
+    for l in (0..layers.len()).rev() {
+        let layer = &layers[l];
+        let a_prev = &cache.acts[l];
+        let frames = delta.rows();
+        debug_assert_eq!(a_prev.rows(), frames);
+
+        // dW = delta^T * a_prev  (out x in)
+        let mut dw = Matrix::zeros(layer.outputs(), layer.inputs());
+        gemm(ctx, Trans::T, Trans::N, T::ONE, &delta, a_prev, T::ZERO, &mut dw);
+        let db = delta.column_sums();
+
+        let base = offsets[l];
+        grad[base..base + dw.len()].copy_from_slice(dw.as_slice());
+        grad[base + dw.len()..base + dw.len() + db.len()].copy_from_slice(&db);
+
+        if l > 0 {
+            // delta_prev = (delta * W) ∘ f'(a_prev)
+            let mut dprev = Matrix::zeros(frames, layer.inputs());
+            gemm(ctx, Trans::N, Trans::N, T::ONE, &delta, &layer.w, T::ZERO, &mut dprev);
+            layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
+            delta = dprev;
+        }
+    }
+    grad
+}
+
+/// Evaluate `loss_kind` on a batch and return `(summed loss, flat
+/// gradient, correct frames)`.
+///
+/// For [`FrameLoss::CrossEntropy`] `labels` indexes classes per frame;
+/// for [`FrameLoss::SquaredError`] `targets` must be the dense target
+/// matrix (and `labels` is ignored).
+pub fn loss_and_gradient<T: Scalar>(
+    net: &Network<T>,
+    ctx: &GemmContext,
+    x: &Matrix<T>,
+    labels: &[u32],
+    targets: Option<&Matrix<T>>,
+    loss_kind: FrameLoss,
+) -> (f64, Vec<T>, usize) {
+    let cache = net.forward(ctx, x);
+    let out = match loss_kind {
+        FrameLoss::CrossEntropy => cross_entropy(cache.logits(), labels),
+        FrameLoss::SquaredError => {
+            let t = targets.expect("SquaredError needs a target matrix");
+            squared_error(cache.logits(), t)
+        }
+    };
+    let grad = backprop(net, ctx, &cache, &out.dlogits);
+    (out.loss, grad, out.correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::gradcheck;
+    use pdnn_util::Prng;
+
+    fn setup(
+        dims: &[usize],
+        act: Activation,
+        frames: usize,
+        seed: u64,
+    ) -> (Network<f64>, Matrix<f64>, Vec<u32>) {
+        let mut rng = Prng::new(seed);
+        let net = Network::new(dims, act, &mut rng);
+        let x = Matrix::random_normal(frames, dims[0], 1.0, &mut rng);
+        let labels: Vec<u32> = (0..frames)
+            .map(|_| rng.below(*dims.last().unwrap() as u64) as u32)
+            .collect();
+        (net, x, labels)
+    }
+
+    fn check_ce_gradient(dims: &[usize], act: Activation, frames: usize, seed: u64) {
+        let ctx = GemmContext::sequential();
+        let (net, x, labels) = setup(dims, act, frames, seed);
+        let (_, grad, _) =
+            loss_and_gradient(&net, &ctx, &x, &labels, None, FrameLoss::CrossEntropy);
+
+        let theta0 = net.to_flat();
+        let f = |theta: &[f64]| {
+            let mut n = net.clone();
+            n.set_flat(theta);
+            let logits = n.logits(&ctx, &x);
+            crate::loss::cross_entropy_loss_only(&logits, &labels).0
+        };
+        let err = gradcheck::max_rel_error(&grad, &gradcheck::fd_gradient(f, &theta0, 1e-5));
+        assert!(err < 1e-5, "{dims:?} {act:?}: rel err {err}");
+    }
+
+    #[test]
+    fn ce_gradient_matches_fd_sigmoid() {
+        check_ce_gradient(&[5, 7, 4], Activation::Sigmoid, 6, 1);
+    }
+
+    #[test]
+    fn ce_gradient_matches_fd_tanh_deep() {
+        check_ce_gradient(&[4, 6, 5, 3], Activation::Tanh, 5, 2);
+    }
+
+    #[test]
+    fn ce_gradient_matches_fd_relu() {
+        // ReLU is piecewise linear; FD is exact away from kinks and
+        // the random net rarely sits on one.
+        check_ce_gradient(&[3, 8, 3], Activation::ReLU, 4, 3);
+    }
+
+    #[test]
+    fn ce_gradient_matches_fd_single_layer() {
+        check_ce_gradient(&[6, 4], Activation::Sigmoid, 8, 4);
+    }
+
+    #[test]
+    fn mse_gradient_matches_fd() {
+        let ctx = GemmContext::sequential();
+        let mut rng = Prng::new(9);
+        let net: Network<f64> = Network::new(&[4, 5, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::random_normal(7, 4, 1.0, &mut rng);
+        let targets = Matrix::random_normal(7, 2, 1.0, &mut rng);
+        let (_, grad, _) = loss_and_gradient(
+            &net,
+            &ctx,
+            &x,
+            &[],
+            Some(&targets),
+            FrameLoss::SquaredError,
+        );
+        let theta0 = net.to_flat();
+        let f = |theta: &[f64]| {
+            let mut n = net.clone();
+            n.set_flat(theta);
+            let logits = n.logits(&ctx, &x);
+            crate::loss::squared_error(&logits, &targets).loss
+        };
+        let err = gradcheck::max_rel_error(&grad, &gradcheck::fd_gradient(f, &theta0, 1e-5));
+        assert!(err < 1e-6, "rel err {err}");
+    }
+
+    #[test]
+    fn gradient_is_additive_over_frames() {
+        // grad(batch) == grad(frame0) + grad(frame1): the property
+        // data-parallel reduction relies on.
+        let ctx = GemmContext::sequential();
+        let (net, x, labels) = setup(&[3, 4, 2], Activation::Sigmoid, 2, 7);
+        let (_, g_all, _) =
+            loss_and_gradient(&net, &ctx, &x, &labels, None, FrameLoss::CrossEntropy);
+        let x0 = x.rows_copy(0, 1);
+        let x1 = x.rows_copy(1, 2);
+        let (_, g0, _) =
+            loss_and_gradient(&net, &ctx, &x0, &labels[..1], None, FrameLoss::CrossEntropy);
+        let (_, g1, _) =
+            loss_and_gradient(&net, &ctx, &x1, &labels[1..], None, FrameLoss::CrossEntropy);
+        for i in 0..g_all.len() {
+            assert!((g_all[i] - (g0[i] + g1[i])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_dlogits_gives_zero_gradient() {
+        let ctx = GemmContext::sequential();
+        let (net, x, _) = setup(&[3, 4, 2], Activation::Sigmoid, 5, 8);
+        let cache = net.forward(&ctx, &x);
+        let dlogits = Matrix::zeros(5, 2);
+        let grad = backprop(&net, &ctx, &cache, &dlogits);
+        assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dlogits shape mismatch")]
+    fn backprop_checks_shapes() {
+        let ctx = GemmContext::sequential();
+        let (net, x, _) = setup(&[3, 4, 2], Activation::Sigmoid, 5, 8);
+        let cache = net.forward(&ctx, &x);
+        let bad = Matrix::zeros(4, 2);
+        backprop(&net, &ctx, &cache, &bad);
+    }
+}

@@ -1,0 +1,231 @@
+//! Network checkpointing.
+//!
+//! A production training run of "a few hours" on thousands of nodes
+//! needs restartable state. The format is a small, versioned binary
+//! layout — no external serialization dependency:
+//!
+//! ```text
+//! magic    b"PDNN"            4 bytes
+//! version  u32 LE             currently 1
+//! n_dims   u32 LE
+//! dims     n_dims x u32 LE    layer widths, input first
+//! act      u8                 hidden activation tag
+//! params   num_params x f32 LE  (Network::to_flat layout)
+//! ```
+
+use crate::activation::Activation;
+use crate::network::Network;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PDNN";
+const VERSION: u32 = 1;
+
+/// Checkpoint load/store failure.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid checkpoint (with a human-readable
+    /// reason).
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "bad checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn act_tag(act: Activation) -> u8 {
+    match act {
+        Activation::Sigmoid => 0,
+        Activation::Tanh => 1,
+        Activation::ReLU => 2,
+        Activation::Identity => 3,
+    }
+}
+
+fn act_from_tag(tag: u8) -> Result<Activation, CheckpointError> {
+    Ok(match tag {
+        0 => Activation::Sigmoid,
+        1 => Activation::Tanh,
+        2 => Activation::ReLU,
+        3 => Activation::Identity,
+        other => {
+            return Err(CheckpointError::Format(format!(
+                "unknown activation tag {other}"
+            )))
+        }
+    })
+}
+
+/// Write a checkpoint of `net` to `path` (atomically enough for a
+/// single writer: write then flush).
+pub fn save_network(net: &Network<f32>, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let dims = net.dims();
+    w.write_all(&(dims.len() as u32).to_le_bytes())?;
+    for &d in &dims {
+        w.write_all(&(d as u32).to_le_bytes())?;
+    }
+    // All hidden layers share one activation by construction.
+    let hidden_act = net.layers().first().map(|l| l.act).unwrap_or(Activation::Identity);
+    w.write_all(&[act_tag(hidden_act)])?;
+    for &p in &net.to_flat() {
+        w.write_all(&p.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Load a checkpoint written by [`save_network`].
+pub fn load_network(path: impl AsRef<Path>) -> Result<Network<f32>, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let n_dims = read_u32(&mut r)? as usize;
+    if !(2..=64).contains(&n_dims) {
+        return Err(CheckpointError::Format(format!(
+            "implausible layer count {n_dims}"
+        )));
+    }
+    let mut dims = Vec::with_capacity(n_dims);
+    for _ in 0..n_dims {
+        let d = read_u32(&mut r)? as usize;
+        if d == 0 || d > 1 << 24 {
+            return Err(CheckpointError::Format(format!("implausible width {d}")));
+        }
+        dims.push(d);
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let act = act_from_tag(tag[0])?;
+
+    let mut rng = pdnn_util::Prng::new(0);
+    let mut net: Network<f32> = Network::new(&dims, act, &mut rng);
+    let n = net.num_params();
+    let mut theta = vec![0.0f32; n];
+    let mut buf = [0u8; 4];
+    for t in theta.iter_mut() {
+        r.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                CheckpointError::Format("truncated parameter section".into())
+            } else {
+                CheckpointError::Io(e)
+            }
+        })?;
+        *t = f32::from_le_bytes(buf);
+    }
+    // Trailing garbage is a format error too.
+    let mut extra = [0u8; 1];
+    match r.read(&mut extra)? {
+        0 => {}
+        _ => return Err(CheckpointError::Format("trailing bytes".into())),
+    }
+    net.set_flat(&theta);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdnn_util::Prng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pdnn-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut rng = Prng::new(5);
+        let net: Network<f32> = Network::new(&[7, 11, 4], Activation::Tanh, &mut rng);
+        let path = tmp("roundtrip");
+        save_network(&net, &path).unwrap();
+        let loaded = load_network(&path).unwrap();
+        assert_eq!(loaded.dims(), net.dims());
+        assert_eq!(loaded.to_flat(), net.to_flat());
+        assert_eq!(loaded.layers()[0].act, Activation::Tanh);
+        assert_eq!(loaded.layers().last().unwrap().act, Activation::Identity);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        match load_network(&path) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("magic"), "{m}"),
+            other => panic!("accepted garbage: {other:?}"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut rng = Prng::new(6);
+        let net: Network<f32> = Network::new(&[4, 3], Activation::Sigmoid, &mut rng);
+        let path = tmp("trunc");
+        save_network(&net, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        match load_network(&path) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("accepted truncated file: {other:?}"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut rng = Prng::new(7);
+        let net: Network<f32> = Network::new(&[4, 3], Activation::Sigmoid, &mut rng);
+        let path = tmp("trailing");
+        save_network(&net, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xFF);
+        std::fs::write(&path, &bytes).unwrap();
+        match load_network(&path) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("trailing"), "{m}"),
+            other => panic!("accepted trailing bytes: {other:?}"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load_network(tmp("never-created")) {
+            Err(CheckpointError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

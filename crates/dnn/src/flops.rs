@@ -1,0 +1,114 @@
+//! Analytic FLOP counts for the training phases.
+//!
+//! The performance model (`pdnn-perfmodel`) converts frame counts into
+//! compute time using these formulas, calibrated once against the real
+//! kernels. Counts are per frame; multiply by batch size.
+//!
+//! Conventions: a multiply-add counts as 2 FLOPs; elementwise
+//! activation work is ignored (it is O(units), dominated by the
+//! O(units²) GEMMs for the layer widths the paper uses).
+
+/// Sum over consecutive layer pairs of `2 * n_l * n_{l+1}`.
+fn affine_flops(dims: &[usize]) -> u64 {
+    dims.windows(2).map(|w| 2 * (w[0] * w[1]) as u64).sum()
+}
+
+/// Total trainable parameters for the given layer widths.
+pub fn num_params(dims: &[usize]) -> u64 {
+    dims.windows(2).map(|w| (w[0] * w[1] + w[1]) as u64).sum()
+}
+
+/// Forward pass: one GEMM per layer.
+pub fn forward_flops_per_frame(dims: &[usize]) -> u64 {
+    affine_flops(dims)
+}
+
+/// Loss + gradient pass: forward, then per layer one `delta^T a`
+/// weight-gradient GEMM and one `delta W` propagation GEMM (the last
+/// propagation is skipped, a small correction we keep for fidelity).
+pub fn gradient_flops_per_frame(dims: &[usize]) -> u64 {
+    let fwd = affine_flops(dims);
+    let wgrad = affine_flops(dims);
+    let prop = affine_flops(&dims[1..]); // no delta propagated to the input
+    fwd + wgrad + prop
+}
+
+/// Gauss–Newton product: R-forward (two GEMMs per layer) plus the
+/// linearized backward (two GEMMs per layer, minus the skipped input
+/// propagation). The forward activations are assumed cached by the
+/// surrounding CG loop for the first product and recomputed otherwise;
+/// `with_forward` selects whether to bill the forward pass too.
+pub fn gn_product_flops_per_frame(dims: &[usize], with_forward: bool) -> u64 {
+    let aff = affine_flops(dims);
+    let r_forward = 2 * aff;
+    let backward = aff + affine_flops(&dims[1..]);
+    let fwd = if with_forward { aff } else { 0 };
+    r_forward + backward + fwd
+}
+
+/// Held-out loss evaluation: forward only.
+pub fn loss_eval_flops_per_frame(dims: &[usize]) -> u64 {
+    affine_flops(dims)
+}
+
+/// Sequence (MMI) criterion adds a forward–backward over the
+/// denominator graph: O(2 * states^2) multiply-adds per frame for
+/// alpha and beta plus the occupancy pass.
+pub fn mmi_extra_flops_per_frame(states: usize) -> u64 {
+    (4 * states * states + 2 * states) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIMS: &[usize] = &[360, 1024, 1024, 512];
+
+    #[test]
+    fn forward_counts_layer_gemms() {
+        assert_eq!(
+            forward_flops_per_frame(DIMS),
+            2 * (360 * 1024 + 1024 * 1024 + 1024 * 512) as u64
+        );
+    }
+
+    #[test]
+    fn num_params_matches_manual() {
+        assert_eq!(
+            num_params(&[4, 5, 3]),
+            (4 * 5 + 5 + 5 * 3 + 3) as u64
+        );
+    }
+
+    #[test]
+    fn gradient_costs_about_3x_forward() {
+        let f = forward_flops_per_frame(DIMS) as f64;
+        let g = gradient_flops_per_frame(DIMS) as f64;
+        assert!(g / f > 2.5 && g / f <= 3.0, "ratio {}", g / f);
+    }
+
+    #[test]
+    fn gn_costs_about_4x_forward() {
+        let f = forward_flops_per_frame(DIMS) as f64;
+        let g = gn_product_flops_per_frame(DIMS, false) as f64;
+        assert!(g / f > 3.5 && g / f <= 4.0, "ratio {}", g / f);
+        let gwf = gn_product_flops_per_frame(DIMS, true) as f64;
+        assert!((gwf - g - f).abs() < 1.0);
+    }
+
+    #[test]
+    fn mmi_extra_scales_quadratically() {
+        assert_eq!(mmi_extra_flops_per_frame(10), 420);
+        let a = mmi_extra_flops_per_frame(100) as f64;
+        let b = mmi_extra_flops_per_frame(200) as f64;
+        assert!(b / a > 3.9 && b / a < 4.1);
+    }
+
+    #[test]
+    fn single_layer_edge_case() {
+        let dims = &[10, 4];
+        assert_eq!(forward_flops_per_frame(dims), 80);
+        // No hidden propagation term.
+        assert_eq!(gradient_flops_per_frame(dims), 160);
+    }
+}

@@ -1,0 +1,334 @@
+//! Gauss–Newton matrix–vector products via the Pearlmutter R-operator.
+//!
+//! Hessian-free optimization never forms the curvature matrix; CG only
+//! needs products `G(θ) v` [Martens 2010, Schraudolph 2002]. The
+//! Gauss–Newton matrix is `G = J^T H_L J` where `J` is the Jacobian of
+//! the logits with respect to θ and `H_L` the (PSD) Hessian of the
+//! loss with respect to the logits. The product is computed in three
+//! sweeps, each a batch of GEMMs:
+//!
+//! 1. **R-forward**: propagate the directional derivative
+//!    `Rz_l = R{a_{l-1}} W_l^T + a_{l-1} RW_l^T + Rb_l`,
+//!    `Ra_l = f'(z_l) ∘ Rz_l`, with `Ra_0 = 0`. This yields `J v` at
+//!    the logits.
+//! 2. **Loss Hessian**: `u = H_L (J v)`. For softmax-based losses
+//!    `H_L` per frame is `diag(q) - q q^T` with `q` the model
+//!    distribution (softmax for CE; denominator posteriors for the
+//!    sequence criterion — see `crate::sequence`). For squared error
+//!    `H_L = I`.
+//! 3. **Linearized backward**: ordinary backprop of `u`, *without* the
+//!    second-order activation terms — dropping them is exactly what
+//!    makes the result the Gauss–Newton product instead of the
+//!    (indefinite) Hessian product.
+
+use crate::network::{ForwardCache, Network};
+use pdnn_tensor::gemm::{gemm, GemmContext, Trans};
+use pdnn_tensor::{Matrix, Scalar};
+
+/// Which loss-Hessian `H_L` closes the Gauss–Newton sandwich.
+#[derive(Clone, Copy, Debug)]
+pub enum Curvature<'a, T: Scalar> {
+    /// `H_L = diag(q) - q q^T` per frame, rows of the given matrix.
+    ///
+    /// Pass the softmax of the logits for cross-entropy, or the
+    /// denominator occupancies for the MMI sequence criterion.
+    Fisher(&'a Matrix<T>),
+    /// `H_L = I` (squared-error loss).
+    Identity,
+}
+
+/// Compute `G(θ) v` for a flat direction `v` over the batch that
+/// produced `cache`.
+///
+/// Returns the flat product vector (summed over frames, matching the
+/// summed-loss convention of `backprop`).
+pub fn gn_product<T: Scalar>(
+    net: &Network<T>,
+    ctx: &GemmContext,
+    cache: &ForwardCache<T>,
+    curvature: Curvature<'_, T>,
+    v: &[T],
+) -> Vec<T> {
+    let layers = net.layers();
+    assert_eq!(
+        cache.acts.len(),
+        layers.len() + 1,
+        "cache does not match network depth"
+    );
+    let parts = net.split_flat(v);
+    let frames = cache.acts[0].rows();
+
+    // ---- 1. R-forward ---------------------------------------------
+    // r = R{a_l}; starts at zero for the input (inputs don't depend
+    // on θ).
+    let mut r: Matrix<T> = Matrix::zeros(frames, net.input_dim());
+    let mut rz_out: Option<Matrix<T>> = None;
+    for (l, layer) in layers.iter().enumerate() {
+        let (vw_flat, vb) = parts[l];
+        let vw = Matrix::from_vec(layer.outputs(), layer.inputs(), vw_flat.to_vec());
+        let a_prev = &cache.acts[l];
+
+        // Rz = r * W^T + a_prev * Vw^T + Vb
+        let mut rz = Matrix::zeros(frames, layer.outputs());
+        gemm(ctx, Trans::N, Trans::T, T::ONE, &r, &layer.w, T::ZERO, &mut rz);
+        gemm(ctx, Trans::N, Trans::T, T::ONE, a_prev, &vw, T::ONE, &mut rz);
+        rz.add_row_broadcast(vb);
+
+        if l + 1 == layers.len() {
+            // Output layer is Identity: R{a_L} = Rz_L = J v.
+            rz_out = Some(rz);
+        } else {
+            // Ra = f'(z) ∘ Rz, with f' read from the stored activation.
+            let a_l = &cache.acts[l + 1];
+            layer.act.mask_derivative(&mut rz, a_l);
+            r = rz;
+        }
+    }
+    let jv = rz_out.expect("network has at least one layer");
+
+    // ---- 2. u = H_L (J v) ------------------------------------------
+    let mut u = jv;
+    match curvature {
+        Curvature::Identity => {}
+        Curvature::Fisher(q) => {
+            assert_eq!(q.shape(), u.shape(), "Fisher distribution shape mismatch");
+            for rix in 0..frames {
+                let qr = q.row(rix);
+                let ur = u.row_mut(rix);
+                // dot in f64: q·Rz over up to ~10k classes.
+                let mut dot = 0.0f64;
+                for (qv, uv) in qr.iter().zip(ur.iter()) {
+                    dot += qv.to_f64() * uv.to_f64();
+                }
+                let dot_t = T::from_f64(dot);
+                for (uv, &qv) in ur.iter_mut().zip(qr.iter()) {
+                    *uv = qv * (*uv - dot_t);
+                }
+            }
+        }
+    }
+
+    // ---- 3. linearized backward -----------------------------------
+    let mut out = vec![T::ZERO; net.num_params()];
+    let mut offsets = Vec::with_capacity(layers.len());
+    let mut off = 0;
+    for layer in layers {
+        offsets.push(off);
+        off += layer.num_params();
+    }
+
+    let mut delta = u;
+    for l in (0..layers.len()).rev() {
+        let layer = &layers[l];
+        let a_prev = &cache.acts[l];
+        let mut gw = Matrix::zeros(layer.outputs(), layer.inputs());
+        gemm(ctx, Trans::T, Trans::N, T::ONE, &delta, a_prev, T::ZERO, &mut gw);
+        let gb = delta.column_sums();
+        let base = offsets[l];
+        out[base..base + gw.len()].copy_from_slice(gw.as_slice());
+        out[base + gw.len()..base + gw.len() + gb.len()].copy_from_slice(&gb);
+
+        if l > 0 {
+            let mut dprev = Matrix::zeros(frames, layer.inputs());
+            gemm(ctx, Trans::N, Trans::N, T::ONE, &delta, &layer.w, T::ZERO, &mut dprev);
+            layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
+            delta = dprev;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::loss::softmax_rows;
+    use pdnn_tensor::blas1;
+    use pdnn_util::Prng;
+
+    fn setup(dims: &[usize], frames: usize, seed: u64) -> (Network<f64>, Matrix<f64>) {
+        let mut rng = Prng::new(seed);
+        let net = Network::new(dims, Activation::Sigmoid, &mut rng);
+        let x = Matrix::random_normal(frames, dims[0], 1.0, &mut rng);
+        (net, x)
+    }
+
+    fn random_dir(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Prng::new(seed);
+        (0..n).map(|_| rng.normal()).collect()
+    }
+
+    #[test]
+    fn gn_is_symmetric() {
+        let ctx = GemmContext::sequential();
+        let (net, x) = setup(&[4, 6, 3], 5, 1);
+        let cache = net.forward(&ctx, &x);
+        let q = softmax_rows(cache.logits());
+        let v1 = random_dir(net.num_params(), 2);
+        let v2 = random_dir(net.num_params(), 3);
+        let gv1 = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v1);
+        let gv2 = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v2);
+        let a = blas1::dot(&v2, &gv1);
+        let b = blas1::dot(&v1, &gv2);
+        assert!(
+            (a - b).abs() < 1e-8 * (1.0 + a.abs()),
+            "v2'Gv1={a} v1'Gv2={b}"
+        );
+    }
+
+    #[test]
+    fn gn_is_positive_semidefinite() {
+        let ctx = GemmContext::sequential();
+        let (net, x) = setup(&[5, 7, 4], 6, 4);
+        let cache = net.forward(&ctx, &x);
+        let q = softmax_rows(cache.logits());
+        for seed in 10..30 {
+            let v = random_dir(net.num_params(), seed);
+            let gv = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v);
+            let quad = blas1::dot(&v, &gv);
+            assert!(quad >= -1e-10, "v'Gv = {quad} for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gn_is_linear_in_v() {
+        let ctx = GemmContext::sequential();
+        let (net, x) = setup(&[3, 5, 2], 4, 6);
+        let cache = net.forward(&ctx, &x);
+        let q = softmax_rows(cache.logits());
+        let v1 = random_dir(net.num_params(), 7);
+        let v2 = random_dir(net.num_params(), 8);
+        let combo: Vec<f64> = v1
+            .iter()
+            .zip(v2.iter())
+            .map(|(&a, &b)| 2.0 * a - 0.5 * b)
+            .collect();
+        let g1 = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v1);
+        let g2 = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v2);
+        let gc = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &combo);
+        for i in 0..gc.len() {
+            let want = 2.0 * g1[i] - 0.5 * g2[i];
+            assert!((gc[i] - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    /// For a single affine layer the model is linear in θ, so the
+    /// Gauss–Newton matrix IS the exact Hessian of the loss. Verify
+    /// `G v` against a central finite difference of the gradient.
+    #[test]
+    fn gn_equals_hessian_for_linear_model_ce() {
+        let ctx = GemmContext::sequential();
+        let mut rng = Prng::new(11);
+        let net: Network<f64> = Network::new(&[4, 3], Activation::Sigmoid, &mut rng);
+        let x = Matrix::random_normal(6, 4, 1.0, &mut rng);
+        let labels: Vec<u32> = (0..6).map(|_| rng.below(3) as u32).collect();
+        let cache = net.forward(&ctx, &x);
+        let q = softmax_rows(cache.logits());
+        let v = random_dir(net.num_params(), 12);
+        let gv = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v);
+
+        let grad_at = |theta: &[f64]| {
+            let mut n = net.clone();
+            n.set_flat(theta);
+            crate::backprop::loss_and_gradient(
+                &n,
+                &ctx,
+                &x,
+                &labels,
+                None,
+                crate::loss::FrameLoss::CrossEntropy,
+            )
+            .1
+        };
+        let theta0 = net.to_flat();
+        let h = 1e-5;
+        let plus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t + h * d).collect();
+        let minus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t - h * d).collect();
+        let gp = grad_at(&plus);
+        let gm = grad_at(&minus);
+        for i in 0..gv.len() {
+            let fd = (gp[i] - gm[i]) / (2.0 * h);
+            assert!(
+                (fd - gv[i]).abs() < 1e-5 * (1.0 + fd.abs()),
+                "coord {i}: fd={fd} gn={}",
+                gv[i]
+            );
+        }
+    }
+
+    /// Same idea with squared error and identity curvature.
+    #[test]
+    fn gn_equals_hessian_for_linear_model_mse() {
+        let ctx = GemmContext::sequential();
+        let mut rng = Prng::new(13);
+        let net: Network<f64> = Network::new(&[3, 2], Activation::Sigmoid, &mut rng);
+        let x = Matrix::random_normal(5, 3, 1.0, &mut rng);
+        let targets = Matrix::random_normal(5, 2, 1.0, &mut rng);
+        let cache = net.forward(&ctx, &x);
+        let v = random_dir(net.num_params(), 14);
+        let gv = gn_product(&net, &ctx, &cache, Curvature::Identity, &v);
+
+        let grad_at = |theta: &[f64]| {
+            let mut n = net.clone();
+            n.set_flat(theta);
+            crate::backprop::loss_and_gradient(
+                &n,
+                &ctx,
+                &x,
+                &[],
+                Some(&targets),
+                crate::loss::FrameLoss::SquaredError,
+            )
+            .1
+        };
+        let theta0 = net.to_flat();
+        let h = 1e-5;
+        let plus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t + h * d).collect();
+        let minus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t - h * d).collect();
+        let gp = grad_at(&plus);
+        let gm = grad_at(&minus);
+        for i in 0..gv.len() {
+            let fd = (gp[i] - gm[i]) / (2.0 * h);
+            assert!(
+                (fd - gv[i]).abs() < 1e-6 * (1.0 + fd.abs()),
+                "coord {i}: fd={fd} gn={}",
+                gv[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gn_zero_direction_is_zero() {
+        let ctx = GemmContext::sequential();
+        let (net, x) = setup(&[3, 4, 2], 4, 20);
+        let cache = net.forward(&ctx, &x);
+        let q = softmax_rows(cache.logits());
+        let v = vec![0.0f64; net.num_params()];
+        let gv = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v);
+        assert!(gv.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn gn_additive_over_frames() {
+        let ctx = GemmContext::sequential();
+        let (net, x) = setup(&[3, 4, 2], 2, 21);
+        let v = random_dir(net.num_params(), 22);
+        let cache = net.forward(&ctx, &x);
+        let q = softmax_rows(cache.logits());
+        let g_all = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v);
+
+        let mut sum = vec![0.0f64; net.num_params()];
+        for f in 0..2 {
+            let xf = x.rows_copy(f, f + 1);
+            let cf = net.forward(&ctx, &xf);
+            let qf = softmax_rows(cf.logits());
+            let gf = gn_product(&net, &ctx, &cf, Curvature::Fisher(&qf), &v);
+            for i in 0..sum.len() {
+                sum[i] += gf[i];
+            }
+        }
+        for i in 0..sum.len() {
+            assert!((g_all[i] - sum[i]).abs() < 1e-9 * (1.0 + sum[i].abs()));
+        }
+    }
+}

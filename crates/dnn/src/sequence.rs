@@ -1,0 +1,415 @@
+//! Sequence-discriminative training criterion (lattice-free MMI).
+//!
+//! The paper's second objective (Table I, "Sequence") is a
+//! discriminative criterion over whole utterances, trained with
+//! distributed Hessian-free optimization [Kingsbury et al. 2012]. The
+//! production system used word lattices from an LVCSR decoder; those
+//! are proprietary, so — per the substitution rule in DESIGN.md — we
+//! implement the *lattice-free* form of maximum mutual information:
+//! the denominator is a full bigram graph over HMM states, evaluated
+//! exactly with the forward–backward algorithm. This preserves what
+//! the evaluation depends on: a genuine utterance-level
+//! discriminative objective whose pass costs roughly twice a
+//! cross-entropy pass (numerator + denominator accumulation) and
+//! whose curvature uses denominator occupancies.
+//!
+//! For an utterance with frames `t = 0..T`, alignment `a_t`, acoustic
+//! scores `lp_t(s) = log softmax(logits_t)(s)`, and a state bigram
+//! `(π, A)`:
+//!
+//! ```text
+//! log num = log π(a_0) + Σ_t lp_t(a_t) + Σ_{t>0} log A(a_{t-1}, a_t)
+//! log den = logsumexp over all state paths of the same form
+//! L = log den − log num ≥ 0
+//! ∂L/∂logit_t(s) = γ_t(s) − 1[s = a_t]
+//! ```
+//!
+//! where `γ` are the denominator occupancies from forward–backward.
+//! `γ` also plugs into [`crate::gauss_newton::Curvature::Fisher`] as
+//! the model distribution for Gauss–Newton products.
+
+use pdnn_tensor::{Matrix, Scalar};
+
+/// Log-sum-exp of a slice (stable; `-inf` for empty).
+fn lse(xs: &[f64]) -> f64 {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    max + xs.iter().map(|&x| (x - max).exp()).sum::<f64>().ln()
+}
+
+/// The denominator graph: a bigram (first-order Markov) model over
+/// HMM states.
+#[derive(Clone, Debug)]
+pub struct DenominatorGraph {
+    states: usize,
+    /// Initial log-probabilities, length `states`.
+    log_prior: Vec<f64>,
+    /// Transition log-probabilities, `states x states` row-major
+    /// (`log_trans[i * states + j] = log P(j | i)`).
+    log_trans: Vec<f64>,
+}
+
+impl DenominatorGraph {
+    /// Build from probability-space prior and transition matrix.
+    ///
+    /// # Panics
+    /// If dimensions are inconsistent or rows are not (approximately)
+    /// normalized.
+    pub fn new(prior: &[f64], trans: &[f64]) -> Self {
+        let states = prior.len();
+        assert!(states > 0, "DenominatorGraph needs at least one state");
+        assert_eq!(
+            trans.len(),
+            states * states,
+            "transition matrix must be {states}x{states}"
+        );
+        let psum: f64 = prior.iter().sum();
+        assert!((psum - 1.0).abs() < 1e-6, "prior sums to {psum}");
+        for i in 0..states {
+            let rsum: f64 = trans[i * states..(i + 1) * states].iter().sum();
+            assert!((rsum - 1.0).abs() < 1e-6, "transition row {i} sums to {rsum}");
+        }
+        let eps = 1e-300f64; // avoid log(0); forbidden arcs get ~ -690
+        DenominatorGraph {
+            states,
+            log_prior: prior.iter().map(|&p| (p + eps).ln()).collect(),
+            log_trans: trans.iter().map(|&p| (p + eps).ln()).collect(),
+        }
+    }
+
+    /// Fully-connected uniform graph over `states` states.
+    pub fn uniform(states: usize) -> Self {
+        let p = 1.0 / states as f64;
+        DenominatorGraph::new(&vec![p; states], &vec![p; states * states])
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Initial log-probability of state `j`.
+    #[inline]
+    pub fn log_prior(&self, j: usize) -> f64 {
+        self.log_prior[j]
+    }
+
+    /// Transition log-probability `log P(j | i)`.
+    #[inline]
+    pub fn log_transition(&self, i: usize, j: usize) -> f64 {
+        self.log_trans[i * self.states + j]
+    }
+
+    #[inline]
+    fn lt(&self, i: usize, j: usize) -> f64 {
+        self.log_transition(i, j)
+    }
+}
+
+/// Result of evaluating the MMI criterion on one utterance (or a
+/// batch of concatenated utterances).
+#[derive(Clone, Debug)]
+pub struct SequenceLossOutput<T: Scalar = f32> {
+    /// Summed loss `Σ_utt (log den − log num)`; non-negative.
+    pub loss: f64,
+    /// Gradient with respect to the logits, `frames x states`.
+    pub dlogits: Matrix<T>,
+    /// Denominator occupancies `γ`, `frames x states` — the model
+    /// distribution for Gauss–Newton curvature.
+    pub den_posteriors: Matrix<T>,
+}
+
+/// Evaluate MMI on a single utterance.
+///
+/// `logits` is `frames x states`; `alignment` gives the numerator
+/// (forced) state per frame.
+pub fn mmi_utterance<T: Scalar>(
+    logits: &Matrix<T>,
+    alignment: &[u32],
+    graph: &DenominatorGraph,
+) -> SequenceLossOutput<T> {
+    let frames = logits.rows();
+    let s = graph.states();
+    assert_eq!(logits.cols(), s, "logits width != graph states");
+    assert_eq!(alignment.len(), frames, "alignment length != frames");
+    assert!(frames > 0, "empty utterance");
+    assert!(
+        alignment.iter().all(|&a| (a as usize) < s),
+        "alignment state out of range"
+    );
+
+    // Acoustic log-probs lp[t][s] = log softmax(logits[t]).
+    let mut lp = vec![0.0f64; frames * s];
+    for t in 0..frames {
+        let row = logits.row(t);
+        let mut max = row[0].to_f64();
+        for &v in row.iter() {
+            max = max.max(v.to_f64());
+        }
+        let lsev =
+            max + row.iter().map(|&v| (v.to_f64() - max).exp()).sum::<f64>().ln();
+        for j in 0..s {
+            lp[t * s + j] = row[j].to_f64() - lsev;
+        }
+    }
+
+    // Numerator score along the forced path.
+    let mut log_num = graph.log_prior[alignment[0] as usize] + lp[alignment[0] as usize];
+    for t in 1..frames {
+        let (i, j) = (alignment[t - 1] as usize, alignment[t] as usize);
+        log_num += graph.lt(i, j) + lp[t * s + j];
+    }
+
+    // Denominator forward pass.
+    let mut alpha = vec![f64::NEG_INFINITY; frames * s];
+    for j in 0..s {
+        alpha[j] = graph.log_prior[j] + lp[j];
+    }
+    let mut scratch = vec![0.0f64; s];
+    for t in 1..frames {
+        for j in 0..s {
+            for (i, slot) in scratch.iter_mut().enumerate() {
+                *slot = alpha[(t - 1) * s + i] + graph.lt(i, j);
+            }
+            alpha[t * s + j] = lse(&scratch) + lp[t * s + j];
+        }
+    }
+    let log_den = lse(&alpha[(frames - 1) * s..frames * s]);
+
+    // Backward pass.
+    let mut beta = vec![0.0f64; frames * s];
+    for t in (0..frames - 1).rev() {
+        for i in 0..s {
+            for (j, slot) in scratch.iter_mut().enumerate() {
+                *slot = graph.lt(i, j) + lp[(t + 1) * s + j] + beta[(t + 1) * s + j];
+            }
+            beta[t * s + i] = lse(&scratch);
+        }
+    }
+
+    // Occupancies and gradient.
+    let mut gamma = Matrix::zeros(frames, s);
+    let mut dlogits = Matrix::zeros(frames, s);
+    for t in 0..frames {
+        for j in 0..s {
+            let g = (alpha[t * s + j] + beta[t * s + j] - log_den).exp();
+            gamma[(t, j)] = T::from_f64(g);
+            dlogits[(t, j)] = T::from_f64(g);
+        }
+        dlogits[(t, alignment[t] as usize)] -= T::ONE;
+    }
+
+    SequenceLossOutput {
+        loss: log_den - log_num,
+        dlogits,
+        den_posteriors: gamma,
+    }
+}
+
+/// Evaluate MMI over several utterances stacked in one logits matrix.
+///
+/// `utt_lens` partitions the rows of `logits`; `alignment` is the
+/// concatenated per-frame state sequence.
+pub fn mmi_batch<T: Scalar>(
+    logits: &Matrix<T>,
+    alignment: &[u32],
+    utt_lens: &[usize],
+    graph: &DenominatorGraph,
+) -> SequenceLossOutput<T> {
+    let total: usize = utt_lens.iter().sum();
+    assert_eq!(total, logits.rows(), "utterance lengths do not cover batch");
+    assert_eq!(alignment.len(), total, "alignment length mismatch");
+    let mut loss = 0.0f64;
+    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    let mut gamma = Matrix::zeros(logits.rows(), logits.cols());
+    let mut start = 0usize;
+    for &len in utt_lens {
+        assert!(len > 0, "zero-length utterance");
+        let sub = logits.rows_copy(start, start + len);
+        let out = mmi_utterance(&sub, &alignment[start..start + len], graph);
+        loss += out.loss;
+        for t in 0..len {
+            dlogits
+                .row_mut(start + t)
+                .copy_from_slice(out.dlogits.row(t));
+            gamma
+                .row_mut(start + t)
+                .copy_from_slice(out.den_posteriors.row(t));
+        }
+        start += len;
+    }
+    SequenceLossOutput {
+        loss,
+        dlogits,
+        den_posteriors: gamma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdnn_util::Prng;
+
+    fn random_logits(frames: usize, states: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = Prng::new(seed);
+        Matrix::random_normal(frames, states, 1.0, &mut rng)
+    }
+
+    fn chain_graph(states: usize, self_loop: f64) -> DenominatorGraph {
+        // Left-to-right-ish: strong self-loop, rest uniform.
+        let other = (1.0 - self_loop) / (states - 1) as f64;
+        let mut trans = vec![other; states * states];
+        for i in 0..states {
+            trans[i * states + i] = self_loop;
+        }
+        DenominatorGraph::new(&vec![1.0 / states as f64; states], &trans)
+    }
+
+    #[test]
+    fn loss_is_nonnegative() {
+        let g = chain_graph(5, 0.6);
+        for seed in 0..10 {
+            let logits = random_logits(12, 5, seed);
+            let mut rng = Prng::new(seed + 100);
+            let align: Vec<u32> = (0..12).map(|_| rng.below(5) as u32).collect();
+            let out = mmi_utterance(&logits, &align, &g);
+            assert!(out.loss >= -1e-9, "loss={} seed={seed}", out.loss);
+        }
+    }
+
+    #[test]
+    fn single_state_graph_has_zero_loss() {
+        let g = DenominatorGraph::uniform(1);
+        let logits: Matrix<f64> = Matrix::zeros(6, 1);
+        let out = mmi_utterance(&logits, &[0; 6], &g);
+        assert!(out.loss.abs() < 1e-9);
+        assert!(out.dlogits.as_slice().iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn single_frame_uniform_graph_equals_cross_entropy() {
+        // With T=1 and uniform prior, log den = log(1/S) + lse(lp) =
+        // log(1/S) (lp is a log-softmax), log num = log(1/S) + lp[a],
+        // so L = -lp[a] — exactly the CE of that frame.
+        let g = DenominatorGraph::uniform(4);
+        let logits = random_logits(1, 4, 3);
+        let out = mmi_utterance(&logits, &[2], &g);
+        let logits32 = logits.clone();
+        let (ce, _) = crate::loss::cross_entropy_loss_only(&logits32, &[2]);
+        assert!((out.loss - ce).abs() < 1e-9, "mmi={} ce={ce}", out.loss);
+    }
+
+    #[test]
+    fn occupancies_are_distributions() {
+        let g = chain_graph(6, 0.5);
+        let logits = random_logits(9, 6, 7);
+        let align: Vec<u32> = vec![0, 1, 1, 2, 3, 3, 4, 5, 5];
+        let out = mmi_utterance(&logits, &align, &g);
+        for t in 0..9 {
+            let s: f64 = out.den_posteriors.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-8, "frame {t}: γ sums to {s}");
+            assert!(out.den_posteriors.row(t).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let g = chain_graph(4, 0.7);
+        let logits = random_logits(8, 4, 11);
+        let align = vec![0u32, 0, 1, 1, 2, 2, 3, 3];
+        let out = mmi_utterance(&logits, &align, &g);
+        for t in 0..8 {
+            let s: f64 = out.dlogits.row(t).iter().sum();
+            assert!(s.abs() < 1e-8, "frame {t}: grad sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let g = chain_graph(3, 0.5);
+        let base = random_logits(4, 3, 13);
+        let align = vec![0u32, 1, 2, 1];
+        let out = mmi_utterance(&base, &align, &g);
+        let h = 1e-6;
+        for t in 0..4 {
+            for j in 0..3 {
+                let mut plus = base.clone();
+                plus[(t, j)] += h;
+                let mut minus = base.clone();
+                minus[(t, j)] -= h;
+                let fd = (mmi_utterance(&plus, &align, &g).loss
+                    - mmi_utterance(&minus, &align, &g).loss)
+                    / (2.0 * h);
+                let an = out.dlogits[(t, j)];
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "({t},{j}): fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_acoustics_drive_loss_down() {
+        // Logits strongly favoring the alignment should yield a lower
+        // loss than uniform logits.
+        let g = chain_graph(4, 0.6);
+        let align = vec![0u32, 1, 2, 3, 3, 2];
+        let uniform: Matrix<f64> = Matrix::zeros(6, 4);
+        let mut strong: Matrix<f64> = Matrix::zeros(6, 4);
+        for (t, &a) in align.iter().enumerate() {
+            strong[(t, a as usize)] = 10.0;
+        }
+        let lu = mmi_utterance(&uniform, &align, &g).loss;
+        let ls = mmi_utterance(&strong, &align, &g).loss;
+        assert!(ls < lu, "strong={ls} uniform={lu}");
+    }
+
+    #[test]
+    fn batch_sums_utterances() {
+        let g = chain_graph(3, 0.5);
+        let logits = random_logits(7, 3, 17);
+        let align = vec![0u32, 1, 2, 0, 1, 1, 2];
+        let lens = [3usize, 4];
+        let batch = mmi_batch(&logits, &align, &lens, &g);
+        let u1 = mmi_utterance(&logits.rows_copy(0, 3), &align[..3], &g);
+        let u2 = mmi_utterance(&logits.rows_copy(3, 7), &align[3..], &g);
+        assert!((batch.loss - (u1.loss + u2.loss)).abs() < 1e-10);
+        assert_eq!(batch.dlogits.row(0), u1.dlogits.row(0));
+        assert_eq!(batch.dlogits.row(5), u2.dlogits.row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not cover batch")]
+    fn batch_checks_partition() {
+        let g = DenominatorGraph::uniform(2);
+        let logits = random_logits(5, 2, 1);
+        mmi_batch(&logits, &[0; 5], &[2, 2], &g);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition row")]
+    fn graph_validates_rows() {
+        DenominatorGraph::new(&[0.5, 0.5], &[0.9, 0.3, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn forbidden_transitions_zero_out_paths() {
+        // A strict left-to-right chain: state 1 unreachable as start,
+        // transitions only forward. Alignment violating the chain
+        // still evaluates (numerator just gets a huge penalty), and
+        // the denominator only counts legal paths.
+        let trans = vec![
+            0.5, 0.5, // 0 -> {0, 1}
+            0.0, 1.0, // 1 -> {1}
+        ];
+        let g = DenominatorGraph::new(&[1.0, 0.0], &trans);
+        let logits: Matrix<f64> = Matrix::zeros(3, 2);
+        let legal = mmi_utterance(&logits, &[0, 0, 1], &g);
+        assert!(legal.loss.is_finite());
+        // γ at t=0 must be entirely on state 0 (prior forbids 1).
+        assert!((legal.den_posteriors[(0, 0)] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,368 @@
+//! The communicator: point-to-point messaging with MPI-style tag and
+//! source matching.
+//!
+//! Ranks are OS threads inside one process; each rank owns a `Comm`
+//! holding an unbounded receive channel and sender handles to every
+//! peer. Messages that arrive before they are wanted are parked in a
+//! pending list, so receive order is governed by `(src, tag)` matching
+//! exactly like MPI, not by arrival order.
+
+use crate::message::{Packet, Payload, Src};
+use crate::trace::{CommClass, CommTrace};
+use crate::vtime::LinkModel;
+use std::sync::Arc;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Communication failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's receive endpoint is gone (rank exited or died).
+    Disconnected {
+        /// Rank whose endpoint is closed.
+        peer: usize,
+    },
+    /// A timed receive expired with no matching message.
+    Timeout,
+    /// All senders to this rank dropped while waiting.
+    WorldShutDown,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Disconnected { peer } => write!(f, "rank {peer} disconnected"),
+            CommError::Timeout => write!(f, "receive timed out"),
+            CommError::WorldShutDown => write!(f, "all peers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Per-rank communicator.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    inbox: Receiver<Packet>,
+    peers: Vec<Sender<Packet>>,
+    pending: Vec<Packet>,
+    pub(crate) trace: CommTrace,
+    /// Set while inside a collective so inner p2p traffic is
+    /// attributed to the collective class.
+    pub(crate) in_collective: bool,
+    /// Sequence number giving each collective invocation a unique tag
+    /// window (all ranks call collectives in the same order).
+    pub(crate) coll_seq: u64,
+    /// Virtual clock (seconds) advanced by the link model and by
+    /// explicit compute charges; see `crate::vtime`.
+    vtime: f64,
+    /// Optional cost model driving the virtual clock.
+    link_model: Option<Arc<dyn LinkModel>>,
+}
+
+/// Tag bit reserved for collective-internal messages; user tags must
+/// stay below this.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        inbox: Receiver<Packet>,
+        peers: Vec<Sender<Packet>>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            inbox,
+            peers,
+            pending: Vec::new(),
+            trace: CommTrace::default(),
+            in_collective: false,
+            coll_seq: 0,
+            vtime: 0.0,
+            link_model: None,
+        }
+    }
+
+    /// Attach a link cost model: every subsequent send advances this
+    /// rank's virtual clock by the modeled transfer time, and receives
+    /// synchronize the clock with the sender's completion time. The
+    /// collectives are built on point-to-point messages, so their
+    /// virtual cost emerges as the tree critical path — no separate
+    /// collective model is needed.
+    pub fn set_link_model(&mut self, model: Arc<dyn LinkModel>) {
+        self.link_model = Some(model);
+    }
+
+    /// Current virtual time (0 until a link model is attached or
+    /// compute is charged).
+    pub fn vtime(&self) -> f64 {
+        self.vtime
+    }
+
+    /// Charge modeled compute time to this rank's virtual clock.
+    pub fn advance_vtime(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot advance time backwards");
+        self.vtime += seconds;
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Communication trace accumulated so far.
+    pub fn trace(&self) -> &CommTrace {
+        &self.trace
+    }
+
+    /// Take the trace, leaving an empty one (used by the runner at
+    /// rank exit).
+    pub fn take_trace(&mut self) -> CommTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn class(&self) -> CommClass {
+        if self.in_collective {
+            CommClass::Collective
+        } else {
+            CommClass::PointToPoint
+        }
+    }
+
+    /// Send `payload` to `dst` with `tag`.
+    ///
+    /// User tags must be below `2^48` (the collective tag window).
+    pub fn send(&mut self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        assert!(dst < self.size, "send: rank {dst} out of range");
+        debug_assert!(
+            self.in_collective || tag < COLLECTIVE_TAG_BASE,
+            "user tag {tag} collides with collective tag space"
+        );
+        let start = Instant::now();
+        let bytes = payload.size_bytes();
+        let class = self.class();
+        // Virtual timing: injection serializes on the sender (the
+        // mechanism behind the master's fan-out bottleneck).
+        if let Some(model) = &self.link_model {
+            self.vtime += model.p2p_seconds(bytes);
+        }
+        let result = self.peers[dst]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                sent_vtime: self.vtime,
+                payload,
+            })
+            .map_err(|_| CommError::Disconnected { peer: dst });
+        let t = self.trace.class_mut(class);
+        t.seconds += start.elapsed().as_secs_f64();
+        if result.is_ok() {
+            t.bytes_sent += bytes;
+            t.sends += 1;
+        }
+        result
+    }
+
+    /// Send to self is allowed (the message lands in the pending list
+    /// on the next receive).
+    fn match_pending(&mut self, src: Src, tag: u64) -> Option<Packet> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|p| p.tag == tag && src.matches(p.src))?;
+        Some(self.pending.remove(idx))
+    }
+
+    /// Blocking receive of the next message matching `(src, tag)`.
+    pub fn recv(&mut self, src: Src, tag: u64) -> Result<Packet, CommError> {
+        self.recv_deadline(src, tag, None)
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(
+        &mut self,
+        src: Src,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Packet, CommError> {
+        self.recv_deadline(src, tag, Some(Instant::now() + timeout))
+    }
+
+    fn recv_deadline(
+        &mut self,
+        src: Src,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Packet, CommError> {
+        let start = Instant::now();
+        let class = self.class();
+        let result = loop {
+            if let Some(pkt) = self.match_pending(src, tag) {
+                break Ok(pkt);
+            }
+            let received = match deadline {
+                None => self.inbox.recv().map_err(|_| CommError::WorldShutDown),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break Err(CommError::Timeout);
+                    }
+                    self.inbox.recv_timeout(d - now).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => CommError::Timeout,
+                        RecvTimeoutError::Disconnected => CommError::WorldShutDown,
+                    })
+                }
+            };
+            match received {
+                Ok(pkt) => {
+                    if pkt.tag == tag && src.matches(pkt.src) {
+                        break Ok(pkt);
+                    }
+                    self.pending.push(pkt);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        let t = self.trace.class_mut(class);
+        t.seconds += start.elapsed().as_secs_f64();
+        if let Ok(pkt) = &result {
+            t.bytes_received += pkt.payload.size_bytes();
+            t.recvs += 1;
+            // Virtual timing: the message is available no earlier than
+            // the sender's completion time.
+            if pkt.sent_vtime > self.vtime {
+                self.vtime = pkt.sent_vtime;
+            }
+        }
+        result
+    }
+
+    /// Number of parked (received but unmatched) messages.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_world;
+
+    #[test]
+    fn ping_pong() {
+        let results = run_world(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, Payload::F32(vec![1.0, 2.0])).unwrap();
+                let back = comm.recv(Src::Of(1), 8).unwrap();
+                back.payload.into_f32()
+            } else {
+                let pkt = comm.recv(Src::Of(0), 7).unwrap();
+                let mut v = pkt.payload.into_f32();
+                for x in &mut v {
+                    *x *= 10.0;
+                }
+                comm.send(0, 8, Payload::F32(v.clone())).unwrap();
+                v
+            }
+        });
+        assert_eq!(results[0].result, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let results = run_world(2, |comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                comm.send(1, 2, Payload::U64(vec![222])).unwrap();
+                comm.send(1, 1, Payload::U64(vec![111])).unwrap();
+                vec![]
+            } else {
+                // Receive tag 1 first — must skip the tag-2 packet.
+                let first = comm.recv(Src::Of(0), 1).unwrap().payload.into_u64();
+                assert_eq!(comm.pending_len(), 1);
+                let second = comm.recv(Src::Of(0), 2).unwrap().payload.into_u64();
+                vec![first[0], second[0]]
+            }
+        });
+        assert_eq!(results[1].result, vec![111, 222]);
+    }
+
+    #[test]
+    fn any_source_matches_whoever_arrives() {
+        let results = run_world(3, |comm| {
+            if comm.rank() == 0 {
+                let a = comm.recv(Src::Any, 5).unwrap();
+                let b = comm.recv(Src::Any, 5).unwrap();
+                let mut srcs = vec![a.src, b.src];
+                srcs.sort_unstable();
+                srcs
+            } else {
+                comm.send(0, 5, Payload::Empty).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(results[0].result, vec![1, 2]);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let results = run_world(2, |comm| {
+            if comm.rank() == 0 {
+                let r = comm.recv_timeout(Src::Of(1), 99, Duration::from_millis(30));
+                matches!(r, Err(CommError::Timeout))
+            } else {
+                true // rank 1 sends nothing
+            }
+        });
+        assert!(results[0].result);
+    }
+
+    #[test]
+    fn trace_counts_bytes_and_ops() {
+        let results = run_world(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Payload::F32(vec![0.0; 100])).unwrap();
+            } else {
+                comm.recv(Src::Of(0), 1).unwrap();
+            }
+        });
+        assert_eq!(results[0].trace.p2p.bytes_sent, 400);
+        assert_eq!(results[0].trace.p2p.sends, 1);
+        assert_eq!(results[1].trace.p2p.bytes_received, 400);
+        assert_eq!(results[1].trace.p2p.recvs, 1);
+    }
+
+    #[test]
+    fn self_send_is_received() {
+        let results = run_world(1, |comm| {
+            comm.send(0, 3, Payload::U64(vec![42])).unwrap();
+            comm.recv(Src::Of(0), 3).unwrap().payload.into_u64()[0]
+        });
+        assert_eq!(results[0].result, 42);
+    }
+
+    #[test]
+    fn message_order_per_pair_is_fifo() {
+        let results = run_world(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..50u64 {
+                    comm.send(1, 4, Payload::U64(vec![i])).unwrap();
+                }
+                vec![]
+            } else {
+                (0..50u64)
+                    .map(|_| comm.recv(Src::Of(0), 4).unwrap().payload.into_u64()[0])
+                    .collect()
+            }
+        });
+        assert_eq!(results[1].result, (0..50).collect::<Vec<u64>>());
+    }
+}

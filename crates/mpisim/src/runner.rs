@@ -1,0 +1,139 @@
+//! World construction: spawn `n` ranks as threads, wire up their
+//! channels, run a closure per rank, and collect results plus
+//! communication traces in rank order.
+
+use crate::comm::Comm;
+use crate::message::Packet;
+use crate::trace::CommTrace;
+use crossbeam::channel::unbounded;
+
+/// Result of one rank's execution.
+#[derive(Clone, Debug)]
+pub struct RankOutcome<R> {
+    /// Rank id.
+    pub rank: usize,
+    /// The closure's return value.
+    pub result: R,
+    /// Communication trace accumulated by the rank.
+    pub trace: CommTrace,
+}
+
+/// Build the communicators for an `n`-rank world without spawning
+/// threads (for single-threaded tests or custom schedulers).
+pub fn build_world(n: usize) -> Vec<Comm> {
+    assert!(n > 0, "world needs at least one rank");
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Packet>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Comm::new(rank, n, rx, senders.clone()))
+        .collect()
+}
+
+/// Run `f` on every rank of an `n`-rank world (one OS thread per
+/// rank) and return outcomes in rank order.
+///
+/// A panic in any rank propagates out of `run_world` after the other
+/// ranks finish or deadlock-free ranks exit; tests rely on this.
+pub fn run_world<R, F>(n: usize, f: F) -> Vec<RankOutcome<R>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    let comms = build_world(n);
+    let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (rank, mut comm) in comms.into_iter().enumerate() {
+            let f = &f;
+            handles.push((
+                rank,
+                scope.spawn(move || {
+                    let result = f(&mut comm);
+                    let trace = comm.take_trace();
+                    RankOutcome { rank, result, trace }
+                }),
+            ));
+        }
+        for (rank, handle) in handles {
+            match handle.join() {
+                Ok(outcome) => outcomes[rank] = Some(outcome),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every rank joined"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ReduceOp;
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let results = run_world(5, |comm| comm.rank() * 2);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.rank, i);
+            assert_eq!(r.result, i * 2);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let results = run_world(1, |comm| {
+            let mut v = vec![5.0f64];
+            comm.allreduce(&mut v, ReduceOp::Sum).unwrap();
+            comm.barrier().unwrap();
+            v[0]
+        });
+        assert_eq!(results[0].result, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate rank failure")]
+    fn rank_panic_propagates() {
+        run_world(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate rank failure");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_world_rejected() {
+        build_world(0);
+    }
+
+    #[test]
+    fn build_world_wires_every_pair() {
+        use crate::message::{Payload, Src};
+        let mut comms = build_world(3);
+        // Drive manually without threads: 0 -> 2, then 2 reads.
+        comms[0].send(2, 1, Payload::U64(vec![9])).unwrap();
+        let pkt = comms[2].recv(Src::Of(0), 1).unwrap();
+        assert_eq!(pkt.payload.into_u64(), vec![9]);
+    }
+
+    #[test]
+    fn traces_survive_into_outcomes() {
+        let results = run_world(2, |comm| {
+            let mut v = vec![1.0f32; 10];
+            comm.allreduce(&mut v, ReduceOp::Sum).unwrap();
+        });
+        for r in &results {
+            assert!(r.trace.collective.seconds >= 0.0);
+            assert!(r.trace.collective.bytes_sent > 0);
+        }
+    }
+}

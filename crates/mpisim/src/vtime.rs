@@ -1,0 +1,191 @@
+//! Virtual time: protocol-accurate timing simulation.
+//!
+//! The functional runtime executes the *real* communication protocol;
+//! attaching a [`LinkModel`] makes each rank additionally carry a
+//! virtual clock:
+//!
+//! * a send advances the **sender's** clock by the modeled transfer
+//!   time (injection serializes — the mechanism that makes a
+//!   sequential master fan-out linear in ranks, paper Section V.B);
+//! * a receive advances the **receiver's** clock to at least the
+//!   sender's completion time (a message cannot be consumed before it
+//!   was produced);
+//! * [`crate::Comm::advance_vtime`] charges modeled compute.
+//!
+//! Because the collectives are implemented on point-to-point
+//! messages, their virtual cost *emerges* as the critical path of the
+//! actual algorithm — a binomial broadcast costs ~⌈log₂ P⌉ message
+//! times without any collective-specific model. This bridges the
+//! functional layer and the analytic model in `pdnn-perfmodel`: the
+//! same protocol that is tested for correctness also produces
+//! modeled timings whose *shape* can be cross-checked against the
+//! closed-form expressions (see `tests/model_validation.rs`).
+
+/// Cost model for a single point-to-point transfer.
+pub trait LinkModel: Send + Sync {
+    /// Seconds to move `bytes` from one rank to another (software
+    /// latency + wire time).
+    fn p2p_seconds(&self, bytes: u64) -> f64;
+}
+
+/// Constant-parameter α–β model: `α + bytes / bandwidth`.
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaBeta {
+    /// Per-message latency, seconds.
+    pub alpha: f64,
+    /// Bandwidth, bytes/second.
+    pub beta_bytes_per_s: f64,
+}
+
+impl LinkModel for AlphaBeta {
+    fn p2p_seconds(&self, bytes: u64) -> f64 {
+        self.alpha + bytes as f64 / self.beta_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use crate::runner::run_world;
+    use crate::{ReduceOp, Src};
+    use std::sync::Arc;
+
+    const COST: f64 = 1.0; // 1 second per message, bytes ignored
+    fn unit_model() -> Arc<dyn LinkModel> {
+        Arc::new(AlphaBeta {
+            alpha: COST,
+            beta_bytes_per_s: f64::INFINITY,
+        })
+    }
+
+    #[test]
+    fn alpha_beta_formula() {
+        let m = AlphaBeta {
+            alpha: 2e-6,
+            beta_bytes_per_s: 1e9,
+        };
+        assert!((m.p2p_seconds(0) - 2e-6).abs() < 1e-15);
+        assert!((m.p2p_seconds(1_000_000_000) - 1.000002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_serializes_on_the_sender() {
+        // A 1 -> many fan-out costs the sender one unit per message.
+        let results = run_world(5, |comm| {
+            comm.set_link_model(unit_model());
+            if comm.rank() == 0 {
+                for dst in 1..comm.size() {
+                    comm.send(dst, 1, Payload::Empty).unwrap();
+                }
+            } else {
+                comm.recv(Src::Of(0), 1).unwrap();
+            }
+            comm.vtime()
+        });
+        assert!((results[0].result - 4.0 * COST).abs() < 1e-12);
+        // The last receiver sees the fan-out tail: its message was
+        // completed at t = 4.
+        assert!((results[4].result - 4.0 * COST).abs() < 1e-12);
+        // The first receiver only waits one message time.
+        assert!((results[1].result - COST).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_bcast_costs_log_rounds() {
+        // The emergent-collective-cost property: with unit message
+        // cost, a binomial broadcast over P ranks completes at
+        // ceil(log2 P) on the deepest leaf, vs P-1 for the fan-out.
+        for size in [4usize, 8, 16, 32] {
+            let results = run_world(size, move |comm| {
+                comm.set_link_model(unit_model());
+                let mut buf = if comm.rank() == 0 { vec![1.0f32] } else { vec![] };
+                comm.bcast(&mut buf, 0).unwrap();
+                comm.vtime()
+            });
+            let max_vtime = results.iter().map(|r| r.result).fold(0.0, f64::max);
+            let depth = (size as f64).log2().ceil();
+            // Root sends up to log2(P) messages serially; leaves at
+            // depth d receive at sum of ancestors' send positions —
+            // bounded by 2*log2(P) units, far below P-1.
+            assert!(
+                max_vtime <= 2.0 * depth * COST + 1e-9,
+                "size={size}: bcast critical path {max_vtime}"
+            );
+            assert!(max_vtime >= depth * COST - 1e-9, "size={size}: {max_vtime}");
+        }
+    }
+
+    #[test]
+    fn bcast_beats_sequential_fanout_at_scale() {
+        // Section V.B, functionally: same payload, same link model,
+        // collective vs master fan-out.
+        let size = 32;
+        let fanout = run_world(size, move |comm| {
+            comm.set_link_model(unit_model());
+            if comm.rank() == 0 {
+                for dst in 1..comm.size() {
+                    comm.send(dst, 1, Payload::F32(vec![0.0; 64])).unwrap();
+                }
+            } else {
+                comm.recv(Src::Of(0), 1).unwrap();
+            }
+            comm.vtime()
+        })
+        .iter()
+        .map(|r| r.result)
+        .fold(0.0, f64::max);
+
+        let bcast = run_world(size, move |comm| {
+            comm.set_link_model(unit_model());
+            let mut buf = if comm.rank() == 0 { vec![0.0f32; 64] } else { vec![] };
+            comm.bcast(&mut buf, 0).unwrap();
+            comm.vtime()
+        })
+        .iter()
+        .map(|r| r.result)
+        .fold(0.0, f64::max);
+
+        assert!(
+            bcast * 3.0 < fanout,
+            "bcast {bcast} not clearly faster than fan-out {fanout}"
+        );
+    }
+
+    #[test]
+    fn compute_charges_propagate_through_reductions() {
+        // Synchronous reduce: the root's virtual time is bounded below
+        // by the slowest worker's compute charge — the load-imbalance
+        // mechanism of paper Section V.C, emerging functionally.
+        let results = run_world(4, |comm| {
+            comm.set_link_model(unit_model());
+            // Worker 3 is the straggler.
+            let compute = if comm.rank() == 3 { 10.0 } else { 2.0 };
+            comm.advance_vtime(compute);
+            let mut v = vec![comm.rank() as f64];
+            comm.reduce(&mut v, ReduceOp::Sum, 0).unwrap();
+            comm.vtime()
+        });
+        assert!(
+            results[0].result >= 10.0 + COST - 1e-12,
+            "root finished at {} before the straggler",
+            results[0].result
+        );
+    }
+
+    #[test]
+    fn no_model_means_zero_vtime() {
+        let results = run_world(3, |comm| {
+            let mut v = vec![1.0f64];
+            comm.allreduce(&mut v, ReduceOp::Sum).unwrap();
+            comm.vtime()
+        });
+        assert!(results.iter().all(|r| r.result == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn negative_compute_charge_rejected() {
+        run_world(1, |comm| comm.advance_vtime(-1.0));
+    }
+}

@@ -1,0 +1,488 @@
+//! Generators for the paper's tables and figures.
+//!
+//! Each function returns a [`Table`] holding exactly the series the
+//! paper plots; the bench binaries print it and write the CSV. Tests
+//! in this module assert the *shape* claims (orderings, ratios,
+//! crossovers) rather than absolute numbers — see EXPERIMENTS.md.
+
+use crate::model::{bgq_time, xeon_time, BgqRun};
+use crate::workload::JobSpec;
+use pdnn_bgq::counters::{classify_cycles, PhaseKind};
+use pdnn_bgq::node::CLOCK_HZ;
+use pdnn_util::report::Table;
+
+/// The rank/threads configurations of Figure 1(a) (one rack).
+pub fn fig1a_configs() -> Vec<BgqRun> {
+    vec![
+        BgqRun::new(1024, 1, 16),
+        BgqRun::new(1024, 1, 32),
+        BgqRun::new(1024, 1, 64),
+        BgqRun::new(2048, 2, 16),
+        BgqRun::new(2048, 2, 32),
+        BgqRun::new(4096, 4, 8),
+        BgqRun::new(4096, 4, 16),
+    ]
+}
+
+/// Figure 1(b) adds the two-rack configuration.
+pub fn fig1b_configs() -> Vec<BgqRun> {
+    let mut c = fig1a_configs();
+    c.push(BgqRun::new(8192, 4, 16));
+    c
+}
+
+/// The three full-SMT configurations used for Figures 2–5.
+pub fn breakdown_configs() -> Vec<BgqRun> {
+    vec![
+        BgqRun::new(1024, 1, 64),
+        BgqRun::new(2048, 2, 32),
+        BgqRun::new(4096, 4, 16),
+    ]
+}
+
+/// Figure 1: execution time per configuration.
+pub fn fig1(job: &JobSpec, configs: &[BgqRun]) -> Table {
+    let mut t = Table::new(
+        format!("Fig 1 — execution time, {:.0}-hour training data", job.hours),
+        &["config", "seconds", "hours"],
+    );
+    for run in configs {
+        let total = bgq_time(job, run).total_seconds();
+        t.row(&[
+            run.label(),
+            format!("{total:.0}"),
+            format!("{:.2}", total / 3600.0),
+        ]);
+    }
+    t
+}
+
+/// Cycle-breakdown rows for one side (master/worker) of Figures 2–3.
+fn cycles_table(job: &JobSpec, master_side: bool, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "config",
+            "function",
+            "committed (Gcyc)",
+            "iu_empty (Gcyc)",
+            "axu_dep (Gcyc)",
+            "fxu_dep (Gcyc)",
+            "other (Gcyc)",
+        ],
+    );
+    for run in breakdown_configs() {
+        let breakdown = bgq_time(job, &run);
+        let cfg = run.node_config();
+        for phase in &breakdown.phases {
+            // Busy cycles use the phase's own profile; waiting cycles
+            // (blocked in MPI while the other side computes) use the
+            // CommWait profile.
+            let (busy_s, wait_s) = if master_side {
+                (
+                    phase.master_compute_s,
+                    phase.wire_coll_s + phase.wire_p2p_s + phase.worker_compute_s,
+                )
+            } else {
+                (
+                    phase.worker_compute_s,
+                    phase.wire_coll_s + phase.wire_p2p_s + phase.master_compute_s,
+                )
+            };
+            let mut cycles = classify_cycles(phase.kind, cfg, busy_s * CLOCK_HZ);
+            cycles.merge(&classify_cycles(PhaseKind::CommWait, cfg, wait_s * CLOCK_HZ));
+            let name = display_name(phase.name, master_side);
+            t.row(&[
+                run.label(),
+                name.to_string(),
+                format!("{:.1}", cycles.committed / 1e9),
+                format!("{:.1}", cycles.iu_empty / 1e9),
+                format!("{:.1}", cycles.axu_dep_stalls / 1e9),
+                format!("{:.1}", cycles.fxu_dep_stalls / 1e9),
+                format!("{:.1}", cycles.other / 1e9),
+            ]);
+        }
+    }
+    t
+}
+
+/// Map the shared phase name to the side-specific function name the
+/// paper uses.
+fn display_name(phase: &str, master_side: bool) -> &'static str {
+    match (phase, master_side) {
+        ("load_data", _) => "load_data",
+        ("sync_weights", true) => "sync_weights_master",
+        ("sync_weights", false) => "sync_weights_worker",
+        ("gradient_loss", _) => "gradient_loss",
+        ("worker_curvature_product", true) => "cg_minimize",
+        ("worker_curvature_product", false) => "worker_curvature_product",
+        ("eval_heldout", _) => "eval_heldout",
+        _ => "other",
+    }
+}
+
+/// Figure 2: master process cycle breakdown.
+pub fn fig2(job: &JobSpec) -> Table {
+    cycles_table(job, true, "Fig 2 — master process cycles breakdown")
+}
+
+/// Figure 3: worker process cycle breakdown.
+pub fn fig3(job: &JobSpec) -> Table {
+    cycles_table(job, false, "Fig 3 — worker process cycles breakdown")
+}
+
+/// MPI-time rows for one side of Figures 4–5.
+fn mpi_table(job: &JobSpec, master_side: bool, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &["config", "function", "collective (s)", "point-to-point (s)"],
+    );
+    for run in breakdown_configs() {
+        let breakdown = bgq_time(job, &run);
+        for phase in &breakdown.phases {
+            let (coll, p2p) = if master_side {
+                (phase.master_mpi_coll_s(), phase.master_mpi_p2p_s())
+            } else {
+                (phase.worker_mpi_coll_s(), phase.worker_mpi_p2p_s())
+            };
+            t.row(&[
+                run.label(),
+                display_name(phase.name, master_side).to_string(),
+                format!("{coll:.1}"),
+                format!("{p2p:.1}"),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 4: master MPI communication time.
+pub fn fig4(job: &JobSpec) -> Table {
+    mpi_table(job, true, "Fig 4 — master MPI communication time")
+}
+
+/// Figure 5: worker MPI communication time.
+pub fn fig5(job: &JobSpec) -> Table {
+    mpi_table(job, false, "Fig 5 — worker MPI communication time")
+}
+
+/// Table I: scaling-up performance, Xeon-96 vs BG/Q-4096.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I — scaling up performance",
+        &[
+            "training data",
+            "Xeon 96 procs (hrs)",
+            "BG/Q 4096 MPI (hrs)",
+            "speed up",
+            "freq adj.",
+        ],
+    );
+    let run = BgqRun::new(4096, 4, 16);
+    for (name, job) in [
+        ("50-hour Cross-Entropy", JobSpec::ce_50h()),
+        ("50-hour Sequence", JobSpec::seq_50h()),
+    ] {
+        let xeon = xeon_time(&job, 96).total_hours();
+        let bgq = bgq_time(&job, &run).total_hours();
+        let speedup = xeon / bgq;
+        let freq_adj = speedup * 2.9 / 1.6;
+        t.row(&[
+            name.to_string(),
+            format!("{xeon:.1}"),
+            format!("{bgq:.2}"),
+            format!("{speedup:.1}x"),
+            format!("{freq_adj:.1}x"),
+        ]);
+    }
+    t
+}
+
+/// Convenience: the Table I numbers as raw values
+/// `(xeon_h, bgq_h, speedup)` per objective, for tests.
+pub fn table1_values() -> [(f64, f64, f64); 2] {
+    let run = BgqRun::new(4096, 4, 16);
+    let mut out = [(0.0, 0.0, 0.0); 2];
+    for (i, job) in [JobSpec::ce_50h(), JobSpec::seq_50h()].iter().enumerate() {
+        let xeon = xeon_time(job, 96).total_hours();
+        let bgq = bgq_time(job, &run).total_hours();
+        out[i] = (xeon, bgq, xeon / bgq);
+    }
+    out
+}
+
+/// Total seconds of each Figure-1 configuration, for tests.
+pub fn fig1_values(job: &JobSpec, configs: &[BgqRun]) -> Vec<(String, f64)> {
+    configs
+        .iter()
+        .map(|run| (run.label(), bgq_time(job, run).total_seconds()))
+        .collect()
+}
+
+/// Strong-scaling curve: time, speedup, and parallel efficiency
+/// across rank counts at 4 ranks/node, 16 threads/rank — the paper's
+/// "scales linearly up to 4096 processes … beyond that sub-linear"
+/// claim as a table.
+pub fn scaling_curve(job: &JobSpec, rank_counts: &[usize]) -> Table {
+    let mut t = Table::new(
+        format!("Strong scaling, {:.0}-hour training data", job.hours),
+        &["ranks", "hours", "speedup", "efficiency"],
+    );
+    let base_ranks = rank_counts[0];
+    let base = bgq_time(job, &BgqRun::new(base_ranks, 4, 16)).total_seconds();
+    for &ranks in rank_counts {
+        let secs = bgq_time(job, &BgqRun::new(ranks, 4, 16)).total_seconds();
+        let speedup = base / secs;
+        let ideal = ranks as f64 / base_ranks as f64;
+        t.row(&[
+            format!("{ranks}"),
+            format!("{:.2}", secs / 3600.0),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * speedup / ideal),
+        ]);
+    }
+    t
+}
+
+/// Raw `(ranks, seconds)` series for the scaling curve, for tests.
+pub fn scaling_values(job: &JobSpec, rank_counts: &[usize]) -> Vec<(usize, f64)> {
+    rank_counts
+        .iter()
+        .map(|&r| (r, bgq_time(job, &BgqRun::new(r, 4, 16)).total_seconds()))
+        .collect()
+}
+
+/// The "billions of training examples in a few hours" claim: corpus
+/// size vs modeled training time on two racks (8192-4-16), with the
+/// absolute-size gradient batch and curvature sample of the 400-hour
+/// job.
+pub fn billions_table() -> Table {
+    let mut t = Table::new(
+        "Training time vs corpus size, 8192-4-16 (two racks)",
+        &["hours of audio", "frames", "modeled hours"],
+    );
+    let run = BgqRun::new(8192, 4, 16);
+    for &hours in &[50.0f64, 100.0, 400.0, 1000.0, 2800.0] {
+        let job = JobSpec::ce_hours(hours);
+        let modeled = bgq_time(&job, &run).total_hours();
+        t.row(&[
+            format!("{hours:.0}"),
+            pdnn_util::fmt_count(job.frames()),
+            format!("{modeled:.1}"),
+        ]);
+    }
+    t
+}
+
+/// Raw `(hours, modeled_hours)` pairs for tests.
+pub fn billions_values() -> Vec<(f64, f64)> {
+    let run = BgqRun::new(8192, 4, 16);
+    [50.0f64, 100.0, 400.0, 1000.0, 2800.0]
+        .iter()
+        .map(|&h| (h, bgq_time(&JobSpec::ce_hours(h), &run).total_hours()))
+        .collect()
+}
+
+/// Helper for the comm ablation: total weight-sync time per network.
+pub fn comm_ablation(param_bytes: u64, ranks: usize) -> Table {
+    use pdnn_bgq::comm_model::{ethernet_1g, socket_1g, Network};
+    let mut t = Table::new(
+        format!("Weight synchronization cost, {} MB model, {ranks} ranks", param_bytes >> 20),
+        &["transport", "bcast time (s)"],
+    );
+    let nodes = (ranks / 4).max(1);
+    for (name, net) in [
+        ("BG/Q MPI collectives", Network::bgq(nodes)),
+        ("Ethernet cluster MPI", ethernet_1g()),
+        ("socket (sequential fan-out)", socket_1g()),
+    ] {
+        t.row(&[
+            name.to_string(),
+            format!("{:.4}", net.bcast_time(param_bytes, ranks)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seconds_of(values: &[(String, f64)], label: &str) -> f64 {
+        values
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("missing config {label}"))
+            .1
+    }
+
+    #[test]
+    fn fig1a_thread_scaling_improves_performance() {
+        // Paper: "scaling up by increasing the number of OpenMP
+        // threads to fully utilize the cores improves the performance"
+        let job = JobSpec::ce_50h();
+        let v = fig1_values(&job, &fig1a_configs());
+        let t16 = seconds_of(&v, "1024-1-16");
+        let t32 = seconds_of(&v, "1024-1-32");
+        let t64 = seconds_of(&v, "1024-1-64");
+        assert!(t16 > t32 && t32 > t64, "{t16} {t32} {t64}");
+    }
+
+    #[test]
+    fn fig1a_64_thread_config_ordering_matches_paper() {
+        // "the performance of 2048-2-32 is slightly better than
+        // 4096-4-16 which is better than 1024-1-64"
+        let job = JobSpec::ce_50h();
+        let v = fig1_values(&job, &fig1a_configs());
+        let t2048 = seconds_of(&v, "2048-2-32");
+        let t4096 = seconds_of(&v, "4096-4-16");
+        let t1024 = seconds_of(&v, "1024-1-64");
+        assert!(t2048 < t4096, "2048-2-32 {t2048} should beat 4096-4-16 {t4096}");
+        assert!(t4096 < t1024, "4096-4-16 {t4096} should beat 1024-1-64 {t1024}");
+        // "slightly better": within ~15%.
+        assert!(t4096 / t2048 < 1.15, "gap too large: {}", t4096 / t2048);
+    }
+
+    #[test]
+    fn fig1b_two_racks_give_the_papers_extra_speedup() {
+        // "An additional 22% speedup is obtained when the
+        // configuration is scaled to 8192-4-16 (two Blue Gene racks)."
+        let job = JobSpec::ce_400h();
+        let v = fig1_values(&job, &fig1b_configs());
+        let t4096 = seconds_of(&v, "4096-4-16");
+        let t8192 = seconds_of(&v, "8192-4-16");
+        let speedup = t4096 / t8192;
+        assert!(
+            speedup > 1.10 && speedup < 1.45,
+            "two-rack speedup {speedup} out of band"
+        );
+    }
+
+    #[test]
+    fn fig1b_400h_trains_in_about_six_hours() {
+        // "A DNN on 400 hours can be trained using this configuration
+        // in 6.3 hours." (8192-4-16)
+        let job = JobSpec::ce_400h();
+        let v = fig1_values(&job, &fig1b_configs());
+        let hours = seconds_of(&v, "8192-4-16") / 3600.0;
+        assert!(
+            hours > 4.5 && hours < 8.5,
+            "400 h job modeled at {hours} hours"
+        );
+    }
+
+    #[test]
+    fn table1_matches_paper_bands() {
+        let [(xeon_ce, bgq_ce, speed_ce), (xeon_seq, bgq_seq, speed_seq)] = table1_values();
+        // Paper: 9 h / 1.3 h / 6.9x and 18.7 h / 4.19 h / 4.5x.
+        assert!(xeon_ce > 6.5 && xeon_ce < 12.0, "xeon CE {xeon_ce} h");
+        assert!(bgq_ce > 0.9 && bgq_ce < 1.8, "bgq CE {bgq_ce} h");
+        assert!(speed_ce > 4.5 && speed_ce < 9.5, "CE speedup {speed_ce}");
+        assert!(xeon_seq > 14.0 && xeon_seq < 25.0, "xeon seq {xeon_seq} h");
+        assert!(bgq_seq > 2.8 && bgq_seq < 5.6, "bgq seq {bgq_seq} h");
+        assert!(speed_seq > 3.0 && speed_seq < 7.0, "seq speedup {speed_seq}");
+        // Sequence is costlier than CE on both machines, and the BG/Q
+        // advantage is smaller for sequence (paper: 6.9x vs 4.5x).
+        assert!(xeon_seq > xeon_ce && bgq_seq > bgq_ce);
+        assert!(speed_seq < speed_ce);
+    }
+
+    #[test]
+    fn fig2_master_mpi_grows_with_ranks() {
+        // Paper: "As the number of MPI ranks increases … the master
+        // process needs to spend more time distributing the data
+        // (load_data) … and synchronizing the weights."
+        let job = JobSpec::ce_50h();
+        let b1024 = bgq_time(&job, &BgqRun::new(1024, 1, 64));
+        let b4096 = bgq_time(&job, &BgqRun::new(4096, 4, 16));
+        let load_1024 = b1024.phase("load_data").unwrap().master_mpi_p2p_s();
+        let load_4096 = b4096.phase("load_data").unwrap().master_mpi_p2p_s();
+        assert!(load_4096 > load_1024, "{load_4096} !> {load_1024}");
+        let sync_1024 = b1024.phase("sync_weights").unwrap().master_compute_s;
+        let sync_4096 = b4096.phase("sync_weights").unwrap().master_compute_s;
+        assert!(sync_4096 > sync_1024);
+    }
+
+    #[test]
+    fn fig3_worker_compute_shrinks_with_ranks() {
+        // "for almost all function calls, as the MPI ranks increase,
+        // the computation time decreases (such as gradient_loss)"
+        let job = JobSpec::ce_50h();
+        let b1024 = bgq_time(&job, &BgqRun::new(1024, 1, 64));
+        let b4096 = bgq_time(&job, &BgqRun::new(4096, 4, 16));
+        let g1024 = b1024.phase("gradient_loss").unwrap().worker_compute_s;
+        let g4096 = b4096.phase("gradient_loss").unwrap().worker_compute_s;
+        assert!(g4096 < g1024, "{g4096} !< {g1024}");
+    }
+
+    #[test]
+    fn tables_render_and_have_rows() {
+        let job = JobSpec::ce_50h();
+        assert_eq!(fig1(&job, &fig1a_configs()).len(), 7);
+        assert_eq!(fig2(&job).len(), 15); // 3 configs x 5 functions
+        assert_eq!(fig3(&job).len(), 15);
+        assert_eq!(fig4(&job).len(), 15);
+        assert_eq!(fig5(&job).len(), 15);
+        assert_eq!(table1().len(), 2);
+        assert!(!fig1(&job, &fig1a_configs()).render().is_empty());
+    }
+
+    #[test]
+    fn scaling_is_monotone_then_sublinear() {
+        // "performance on BG/Q scales linearly up to 4096 processes
+        // … Beyond that, although we see a significant speed up, the
+        // speed improvements are sub-linear."
+        let job = JobSpec::ce_400h();
+        let v = scaling_values(&job, &[512, 1024, 2048, 4096, 8192]);
+        // Time decreases monotonically with ranks.
+        for w in v.windows(2) {
+            assert!(w[1].1 < w[0].1, "{:?} not faster than {:?}", w[1], w[0]);
+        }
+        let eff = |a: (usize, f64), b: (usize, f64)| (a.1 / b.1) / (b.0 as f64 / a.0 as f64);
+        // Marginal doubling efficiency falls as the serial master
+        // share grows: the first doubling (512→1024) beats the last
+        // (4096→8192).
+        let eff_head = eff(v[0], v[1]);
+        let eff_tail = eff(v[3], v[4]);
+        assert!(
+            eff_tail < eff_head,
+            "tail efficiency {eff_tail} not below head {eff_head}"
+        );
+        assert_eq!(scaling_curve(&job, &[512, 1024]).len(), 2);
+    }
+
+    #[test]
+    fn billions_of_samples_train_in_hours_not_weeks() {
+        // "we can train neural networks using billions of training
+        // examples in a few hours" — with the absolute-size gradient
+        // batch/curvature sample, cost grows only through load_data
+        // and the (fixed-count) held-out set, so a 2800-hour corpus
+        // (≈1.0e9 frames) stays within the same order as the 400-hour
+        // run.
+        let v = billions_values();
+        let t400 = v.iter().find(|(h, _)| *h == 400.0).unwrap().1;
+        let t2800 = v.iter().find(|(h, _)| *h == 2800.0).unwrap().1;
+        assert!(t2800 < 3.0 * t400, "{t2800} vs {t400}");
+        assert!(t2800 < 24.0, "a billion frames modeled at {t2800} hours");
+        // Time is monotone in data volume (load_data + heldout grow).
+        for w in v.windows(2) {
+            assert!(w[1].1 >= w[0].1 * 0.99, "{w:?}");
+        }
+        // And the frame count at 2800 h really is ~1e9.
+        assert!(JobSpec::ce_hours(2800.0).frames() > 1_000_000_000);
+    }
+
+    #[test]
+    fn comm_ablation_orders_transports() {
+        let t = comm_ablation(64 << 20, 1024);
+        assert_eq!(t.len(), 3);
+        let csv = t.to_csv();
+        // Extract times in row order: bgq, ethernet, socket.
+        let times: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+            .collect();
+        assert!(times[0] < times[1] && times[1] < times[2], "{times:?}");
+    }
+}

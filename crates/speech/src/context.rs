@@ -1,0 +1,128 @@
+//! Context-window feature stacking.
+//!
+//! Hybrid acoustic models of the paper's era feed the DNN a window of
+//! ±k neighboring frames (e.g. 40-dim features × 11 frames = the
+//! 440-dim inputs typical of the cited systems): temporal context is
+//! what lets a frame classifier disambiguate coarticulated phones.
+//! Stacking respects utterance boundaries — the first/last frames of
+//! an utterance replicate the edge frame rather than leaking the
+//! neighboring utterance.
+
+use crate::corpus::Shard;
+use pdnn_tensor::Matrix;
+
+/// Expand a shard's features with ±`context` neighboring frames.
+///
+/// Output feature dimension is `(2*context + 1) * dim`, with the
+/// window ordered `[t-k, …, t-1, t, t+1, …, t+k]`. Labels and
+/// utterance structure are unchanged. `context == 0` returns a clone.
+pub fn stack_context(shard: &Shard, context: usize) -> Shard {
+    if context == 0 {
+        return shard.clone();
+    }
+    let dim = shard.x.cols();
+    let window = 2 * context + 1;
+    let mut x = Matrix::zeros(shard.frames(), window * dim);
+
+    let mut start = 0usize;
+    for &len in &shard.utt_lens {
+        for t in 0..len {
+            let out_row = x.row_mut(start + t);
+            for (w, offset) in (-(context as isize)..=context as isize).enumerate() {
+                // Clamp to the utterance's own range (edge replication).
+                let src_t = (t as isize + offset).clamp(0, len as isize - 1) as usize;
+                let src = shard.x.row(start + src_t);
+                out_row[w * dim..(w + 1) * dim].copy_from_slice(src);
+            }
+        }
+        start += len;
+    }
+
+    Shard {
+        x,
+        labels: shard.labels.clone(),
+        utt_lens: shard.utt_lens.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusSpec};
+
+    fn shard() -> Shard {
+        let corpus = Corpus::generate(CorpusSpec::tiny(44));
+        let ids: Vec<usize> = (0..corpus.utterances().len()).collect();
+        corpus.shard(&ids)
+    }
+
+    #[test]
+    fn zero_context_is_identity() {
+        let s = shard();
+        let out = stack_context(&s, 0);
+        assert_eq!(out.x, s.x);
+        assert_eq!(out.labels, s.labels);
+    }
+
+    #[test]
+    fn dimensions_expand_by_window() {
+        let s = shard();
+        for k in [1usize, 2, 5] {
+            let out = stack_context(&s, k);
+            assert_eq!(out.x.cols(), (2 * k + 1) * s.x.cols());
+            assert_eq!(out.x.rows(), s.x.rows());
+            assert_eq!(out.utt_lens, s.utt_lens);
+        }
+    }
+
+    #[test]
+    fn center_slot_is_the_original_frame() {
+        let s = shard();
+        let k = 2;
+        let dim = s.x.cols();
+        let out = stack_context(&s, k);
+        for t in 0..s.frames() {
+            assert_eq!(&out.row_window(t, k, dim), s.x.row(t));
+        }
+    }
+
+    #[test]
+    fn interior_frames_see_true_neighbors() {
+        let s = shard();
+        let dim = s.x.cols();
+        let out = stack_context(&s, 1);
+        // Find an interior frame of the first utterance.
+        let len0 = s.utt_lens[0];
+        assert!(len0 >= 3, "need a 3-frame utterance for this test");
+        let t = 1;
+        let row = out.x.row(t);
+        assert_eq!(&row[0..dim], s.x.row(t - 1));
+        assert_eq!(&row[dim..2 * dim], s.x.row(t));
+        assert_eq!(&row[2 * dim..3 * dim], s.x.row(t + 1));
+    }
+
+    #[test]
+    fn utterance_edges_replicate_not_leak() {
+        let s = shard();
+        let dim = s.x.cols();
+        let out = stack_context(&s, 1);
+        // First frame of utterance 1 (row index = len of utt 0): its
+        // left-context slot must be itself, not the last frame of
+        // utterance 0.
+        let boundary = s.utt_lens[0];
+        let row = out.x.row(boundary);
+        assert_eq!(&row[0..dim], s.x.row(boundary), "left context leaked");
+        assert_ne!(&row[0..dim], s.x.row(boundary - 1));
+        // Last frame of utterance 0: right context replicates itself.
+        let last = boundary - 1;
+        let row = out.x.row(last);
+        assert_eq!(&row[2 * dim..3 * dim], s.x.row(last), "right context leaked");
+    }
+
+    impl Shard {
+        /// Test helper: the center slot of a stacked row.
+        fn row_window(&self, t: usize, k: usize, dim: usize) -> Vec<f32> {
+            self.x.row(t)[k * dim..(k + 1) * dim].to_vec()
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Corpus statistics.
+//!
+//! The paper's load-balancing analysis starts from the utterance-
+//! length distribution ("utterances in the training set are not all of
+//! the same length"); this module summarizes a generated corpus the
+//! way a data-prep pipeline would before deciding how to shard it.
+
+use crate::corpus::Corpus;
+use pdnn_util::report::Table;
+use pdnn_util::stats::percentile;
+
+/// Summary statistics of a corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusStats {
+    /// Number of utterances.
+    pub utterances: usize,
+    /// Total frames.
+    pub total_frames: usize,
+    /// Shortest utterance (frames).
+    pub min_frames: usize,
+    /// Median utterance length.
+    pub median_frames: f64,
+    /// Mean utterance length.
+    pub mean_frames: f64,
+    /// Longest utterance (frames).
+    pub max_frames: usize,
+    /// 95th-percentile length (the load-balancing tail).
+    pub p95_frames: f64,
+    /// Frames per HMM state (class balance).
+    pub frames_per_state: Vec<u64>,
+    /// Frames per speaker.
+    pub frames_per_speaker: Vec<u64>,
+}
+
+impl Corpus {
+    /// Compute summary statistics.
+    pub fn stats(&self) -> CorpusStats {
+        let lens: Vec<f64> = self.utt_lens().iter().map(|&l| l as f64).collect();
+        let total: usize = self.total_frames();
+        let mut frames_per_state = vec![0u64; self.spec().states];
+        let mut frames_per_speaker = vec![0u64; self.spec().speakers];
+        for utt in self.utterances() {
+            frames_per_speaker[utt.speaker] += utt.frames() as u64;
+            for &s in &utt.alignment {
+                frames_per_state[s as usize] += 1;
+            }
+        }
+        CorpusStats {
+            utterances: lens.len(),
+            total_frames: total,
+            min_frames: lens.iter().cloned().fold(f64::INFINITY, f64::min) as usize,
+            median_frames: percentile(&lens, 0.5).unwrap_or(0.0),
+            mean_frames: total as f64 / lens.len().max(1) as f64,
+            max_frames: lens.iter().cloned().fold(0.0, f64::max) as usize,
+            p95_frames: percentile(&lens, 0.95).unwrap_or(0.0),
+            frames_per_state,
+            frames_per_speaker,
+        }
+    }
+}
+
+impl CorpusStats {
+    /// Render as a report table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new("Corpus statistics", &["metric", "value"]);
+        t.row(&["utterances".into(), format!("{}", self.utterances)]);
+        t.row(&["total frames".into(), pdnn_util::fmt_count(self.total_frames as u64)]);
+        t.row(&["min / median / mean / p95 / max frames".into(),
+            format!(
+                "{} / {:.0} / {:.1} / {:.0} / {}",
+                self.min_frames, self.median_frames, self.mean_frames,
+                self.p95_frames, self.max_frames
+            )]);
+        let state_imb = imbalance(&self.frames_per_state);
+        let speaker_imb = imbalance(&self.frames_per_speaker);
+        t.row(&["state imbalance (max/mean)".into(), format!("{state_imb:.2}")]);
+        t.row(&["speaker imbalance (max/mean)".into(), format!("{speaker_imb:.2}")]);
+        t
+    }
+}
+
+fn imbalance(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+    if mean == 0.0 {
+        return 1.0;
+    }
+    *counts.iter().max().unwrap() as f64 / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+
+    #[test]
+    fn totals_are_consistent() {
+        let c = Corpus::generate(CorpusSpec::tiny(77));
+        let s = c.stats();
+        assert_eq!(s.utterances, c.utterances().len());
+        assert_eq!(s.total_frames, c.total_frames());
+        assert_eq!(
+            s.frames_per_state.iter().sum::<u64>(),
+            c.total_frames() as u64
+        );
+        assert_eq!(
+            s.frames_per_speaker.iter().sum::<u64>(),
+            c.total_frames() as u64
+        );
+        assert!(s.min_frames <= s.median_frames as usize + 1);
+        assert!(s.median_frames <= s.p95_frames);
+        assert!(s.p95_frames <= s.max_frames as f64);
+    }
+
+    #[test]
+    fn mean_matches_total_over_count() {
+        let c = Corpus::generate(CorpusSpec::tiny(9));
+        let s = c.stats();
+        let mean = s.total_frames as f64 / s.utterances as f64;
+        assert!((s.mean_frames - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_state_gets_frames_on_a_real_corpus() {
+        let c = Corpus::generate(CorpusSpec {
+            utterances: 200,
+            ..CorpusSpec::tiny(3)
+        });
+        let s = c.stats();
+        assert!(s.frames_per_state.iter().all(|&f| f > 0));
+        assert!(s.frames_per_speaker.iter().all(|&f| f > 0));
+    }
+
+    #[test]
+    fn table_renders_all_metrics() {
+        let c = Corpus::generate(CorpusSpec::tiny(5));
+        let table = c.stats().table();
+        let text = table.render();
+        assert!(text.contains("utterances"));
+        assert!(text.contains("state imbalance"));
+        assert_eq!(table.len(), 5);
+    }
+}

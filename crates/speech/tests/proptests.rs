@@ -1,0 +1,103 @@
+//! Property-based tests for the corpus and the partitioners.
+
+use pdnn_speech::{partition, stack_context, Corpus, CorpusSpec, Strategy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_strategy_is_a_partition(
+        lens in proptest::collection::vec(1usize..500, 0..120),
+        workers in 1usize..40,
+    ) {
+        for strat in [Strategy::Contiguous, Strategy::RoundRobin, Strategy::SortedBalanced] {
+            let bins = partition(&lens, workers, strat);
+            prop_assert_eq!(bins.len(), workers);
+            let mut seen = vec![false; lens.len()];
+            for bin in &bins {
+                for &i in bin {
+                    prop_assert!(!seen[i], "{i} assigned twice under {strat:?}");
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "unassigned utterance under {strat:?}");
+        }
+    }
+
+    #[test]
+    fn lpt_never_loses_to_contiguous(
+        lens in proptest::collection::vec(1usize..300, 1..100),
+        workers in 1usize..20,
+    ) {
+        let load = |bins: &[Vec<usize>]| -> u64 {
+            bins.iter()
+                .map(|b| b.iter().map(|&i| lens[i] as u64).sum::<u64>())
+                .max()
+                .unwrap_or(0)
+        };
+        let lpt = load(&partition(&lens, workers, Strategy::SortedBalanced));
+        let naive = load(&partition(&lens, workers, Strategy::Contiguous));
+        prop_assert!(lpt <= naive, "LPT makespan {lpt} > contiguous {naive}");
+    }
+
+    #[test]
+    fn corpus_shards_conserve_frames(
+        seed in 0u64..200,
+        utts in 4usize..24,
+    ) {
+        let corpus = Corpus::generate(CorpusSpec {
+            utterances: utts,
+            ..CorpusSpec::tiny(seed)
+        });
+        let ids: Vec<usize> = (0..utts).collect();
+        let shard = corpus.shard(&ids);
+        prop_assert_eq!(shard.frames(), corpus.total_frames());
+        prop_assert_eq!(shard.utt_lens.iter().sum::<usize>(), shard.frames());
+        prop_assert_eq!(shard.labels.len(), shard.frames());
+        prop_assert_eq!(shard.x.rows(), shard.frames());
+    }
+
+    #[test]
+    fn heldout_split_is_a_partition_for_any_fraction(
+        seed in 0u64..200,
+        frac in 0.0f64..0.9,
+    ) {
+        let corpus = Corpus::generate(CorpusSpec::tiny(seed));
+        let (train, held) = corpus.split_heldout(frac);
+        let mut all: Vec<usize> = train.iter().chain(held.iter()).cloned().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..corpus.utterances().len()).collect::<Vec<_>>());
+        prop_assert!(!train.is_empty(), "training set emptied at frac {frac}");
+    }
+
+    #[test]
+    fn context_stacking_preserves_structure(
+        seed in 0u64..100,
+        context in 0usize..4,
+    ) {
+        let corpus = Corpus::generate(CorpusSpec::tiny(seed));
+        let ids: Vec<usize> = (0..corpus.utterances().len()).collect();
+        let shard = corpus.shard(&ids);
+        let stacked = stack_context(&shard, context);
+        let dim = shard.x.cols();
+        prop_assert_eq!(stacked.x.cols(), (2 * context + 1) * dim);
+        prop_assert_eq!(stacked.x.rows(), shard.x.rows());
+        prop_assert_eq!(&stacked.labels, &shard.labels);
+        prop_assert_eq!(&stacked.utt_lens, &shard.utt_lens);
+        // Center slot is always the original frame.
+        for t in 0..shard.frames() {
+            let row = stacked.x.row(t);
+            prop_assert_eq!(&row[context * dim..(context + 1) * dim], shard.x.row(t));
+        }
+    }
+
+    #[test]
+    fn alignments_are_valid_states(seed in 0u64..100) {
+        let corpus = Corpus::generate(CorpusSpec::tiny(seed));
+        let s = corpus.spec().states as u32;
+        for utt in corpus.utterances() {
+            prop_assert!(utt.alignment.iter().all(|&a| a < s));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Level-1 BLAS-style vector kernels.
+//!
+//! These run on plain slices; the conjugate-gradient inner loop of the
+//! Hessian-free optimizer is built entirely out of them. Reductions
+//! (`dot`, `nrm2`) accumulate in `f64` even for `f32` inputs — with
+//! 10–100 M parameter vectors, naive `f32` accumulation loses enough
+//! precision to destabilize CG.
+
+use crate::scalar::Scalar;
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// If the slices differ in length.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+pub fn axpby<T: Scalar>(alpha: T, x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(xi, beta * *yi);
+    }
+}
+
+/// Scale `x` by `alpha` in place.
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product with `f64` accumulation.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    // Four independent partial sums: breaks the serial dependence
+    // chain so the loop pipelines/vectorizes.
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += x[j].to_f64() * y[j].to_f64();
+        s1 += x[j + 1].to_f64() * y[j + 1].to_f64();
+        s2 += x[j + 2].to_f64() * y[j + 2].to_f64();
+        s3 += x[j + 3].to_f64() * y[j + 3].to_f64();
+    }
+    for j in chunks * 4..x.len() {
+        s0 += x[j].to_f64() * y[j].to_f64();
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Euclidean norm with `f64` accumulation.
+pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Sum of absolute values with `f64` accumulation.
+pub fn asum<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.to_f64().abs()).sum()
+}
+
+/// Copy `x` into `y`.
+pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "copy length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Set every element to zero.
+pub fn zero<T: Scalar>(x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi = T::ZERO;
+    }
+}
+
+/// Elementwise `y[i] += x[i]` (alpha = 1 fast path).
+pub fn add<T: Scalar>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "add length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += xi;
+    }
+}
+
+/// Largest absolute element (0 for an empty slice).
+pub fn amax<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.to_f64().abs()).fold(0.0, f64::max)
+}
+
+/// Linear combination `out = a*x + b*y`, writing a fresh vector.
+pub fn lincomb<T: Scalar>(a: T, x: &[T], b: T, y: &[T]) -> Vec<T> {
+    assert_eq!(x.len(), y.len(), "lincomb length mismatch");
+    x.iter()
+        .zip(y.iter())
+        .map(|(&xi, &yi)| a.mul_add(xi, b * yi))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_combines() {
+        let x = [1.0f64, 1.0];
+        let mut y = [2.0f64, 4.0];
+        axpby(3.0, &x, 0.5, &mut y);
+        assert_eq!(y, [4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_checks_lengths() {
+        let x = [1.0f32];
+        let mut y = [1.0f32, 2.0];
+        axpy(1.0, &x, &mut y);
+    }
+
+    #[test]
+    fn dot_matches_naive_and_handles_tail() {
+        // Length 7 exercises the remainder loop.
+        let x: Vec<f32> = (1..=7).map(|i| i as f32).collect();
+        let y: Vec<f32> = (1..=7).map(|i| (i * i) as f32).collect();
+        let expect: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((dot(&x, &y) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        let x: [f32; 0] = [];
+        assert_eq!(dot(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn dot_accumulates_in_f64() {
+        // 1e8 + many tiny values: f32 accumulation would lose them all.
+        let n = 10_000;
+        let mut x = vec![1.0f32; n + 1];
+        x[0] = 1.0e8;
+        let y = vec![1.0f32; n + 1];
+        let d = dot(&x, &y);
+        assert!((d - (1.0e8 + n as f64)).abs() < 1.0, "d={d}");
+    }
+
+    #[test]
+    fn nrm2_pythagorean() {
+        let x = [3.0f32, 4.0];
+        assert!((nrm2(&x) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asum_and_amax() {
+        let x = [-1.0f32, 2.0, -3.0];
+        assert!((asum(&x) - 6.0).abs() < 1e-12);
+        assert!((amax(&x) - 3.0).abs() < 1e-12);
+        assert_eq!(amax::<f32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn scal_zero_copy_add() {
+        let mut x = [1.0f32, -2.0];
+        scal(-2.0, &mut x);
+        assert_eq!(x, [-2.0, 4.0]);
+        let mut y = [0.0f32; 2];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+        add(&x, &mut y);
+        assert_eq!(y, [-4.0, 8.0]);
+        zero(&mut y);
+        assert_eq!(y, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn lincomb_produces_fresh_vector() {
+        let x = [1.0f32, 0.0];
+        let y = [0.0f32, 1.0];
+        let z = lincomb(2.0, &x, 3.0, &y);
+        assert_eq!(z, vec![2.0, 3.0]);
+        assert_eq!(x, [1.0, 0.0]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Prepacked-operand GEMM.
+//!
+//! DNN training multiplies every batch against the *same* weight
+//! matrices, so repacking B on every call wastes both time and — the
+//! paper's Section V.A.4 point — allocation churn: "We manage memory
+//! by essentially keeping track of what we have allocated so that we
+//! can reallocate out of that memory instead of repeatedly freeing
+//! and allocating … it greatly reduces timing jitter."
+//!
+//! [`PackedB`] packs `op(B)` once into the micro-panel layout the
+//! kernel consumes; [`gemm_prepacked`] then runs the blocked driver
+//! reading panels straight out of it. Results are bitwise identical
+//! to [`super::gemm`] with the same blocking.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+use super::{kernel, pack, Blocking, GemmContext, Trans, MR, NR};
+
+/// One `(pc, jc)` block of the packed B operand.
+#[derive(Clone, Copy, Debug)]
+struct BlockInfo {
+    /// k-offset of the block.
+    pc: usize,
+    /// k-extent.
+    kc_eff: usize,
+    /// column offset.
+    jc: usize,
+    /// column extent.
+    nc_eff: usize,
+    /// start offset in the packed buffer.
+    offset: usize,
+}
+
+/// `op(B)` packed once for repeated multiplication.
+#[derive(Clone, Debug)]
+pub struct PackedB<T: Scalar> {
+    data: Vec<T>,
+    blocks: Vec<BlockInfo>,
+    blocking: Blocking,
+    k: usize,
+    n: usize,
+}
+
+impl<T: Scalar> PackedB<T> {
+    /// Pack `op(B)` (shape `k x n`) under `blocking`.
+    pub fn new(b: &Matrix<T>, tb: Trans, blocking: Blocking) -> Self {
+        let blocking = blocking.sanitized();
+        let (k, n) = match tb {
+            Trans::N => b.shape(),
+            Trans::T => {
+                let (r, c) = b.shape();
+                (c, r)
+            }
+        };
+        let kc = blocking.kc.min(k.max(1));
+        let nc = blocking.nc.min(n.max(1));
+
+        let mut blocks = Vec::new();
+        let mut total = 0usize;
+        let mut pc = 0;
+        while pc < k {
+            let kc_eff = kc.min(k - pc);
+            let mut jc = 0;
+            while jc < n {
+                let nc_eff = nc.min(n - jc);
+                let size = nc_eff.div_ceil(NR) * NR * kc_eff;
+                blocks.push(BlockInfo {
+                    pc,
+                    kc_eff,
+                    jc,
+                    nc_eff,
+                    offset: total,
+                });
+                total += size;
+                jc += nc_eff;
+            }
+            pc += kc_eff;
+        }
+
+        let mut data = vec![T::ZERO; total];
+        for info in &blocks {
+            let size = info.nc_eff.div_ceil(NR) * NR * info.kc_eff;
+            pack::pack_b(
+                b,
+                tb,
+                info.pc,
+                info.kc_eff,
+                info.jc,
+                info.nc_eff,
+                &mut data[info.offset..info.offset + size],
+            );
+        }
+        PackedB {
+            data,
+            blocks,
+            blocking,
+            k,
+            n,
+        }
+    }
+
+    /// Logical `op(B)` row count (the GEMM inner dimension).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical `op(B)` column count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Blocking the panels were packed under (the multiply must use
+    /// the same).
+    pub fn blocking(&self) -> Blocking {
+        self.blocking
+    }
+
+    /// Packed bytes held.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    fn block(&self, pc: usize, jc: usize) -> (&[T], usize, usize) {
+        // Blocks are laid out pc-major, jc-minor on a regular grid,
+        // so the index is computable without scanning.
+        let kc = self.blocking.kc.min(self.k.max(1));
+        let nc = self.blocking.nc.min(self.n.max(1));
+        let jc_blocks = self.n.div_ceil(nc).max(1);
+        let idx = (pc / kc) * jc_blocks + jc / nc;
+        let info = &self.blocks[idx];
+        debug_assert_eq!(
+            (info.pc, info.jc),
+            (pc, jc),
+            "block lookup: driver and packer disagree on blocking"
+        );
+        let size = info.nc_eff.div_ceil(NR) * NR * info.kc_eff;
+        (
+            &self.data[info.offset..info.offset + size],
+            info.kc_eff,
+            info.nc_eff,
+        )
+    }
+}
+
+/// `C = alpha * op(A) * B_packed + beta * C` with a prepacked B.
+///
+/// # Panics
+/// On shape mismatch between `op(A)`, the packed operand, and `C`.
+pub fn gemm_prepacked<T: Scalar>(
+    ctx: &GemmContext,
+    ta: Trans,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &PackedB<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, k) = match ta {
+        Trans::N => a.shape(),
+        Trans::T => {
+            let (r, cc) = a.shape();
+            (cc, r)
+        }
+    };
+    assert_eq!(k, b.k(), "gemm_prepacked: inner dimensions {k} != {}", b.k());
+    let n = b.n();
+    assert_eq!(c.shape(), (m, n), "gemm_prepacked: C shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if beta == T::ZERO {
+            c.as_mut_slice().fill(T::ZERO);
+        } else if beta != T::ONE {
+            c.scale(beta);
+        }
+        return;
+    }
+
+    let blocking = b.blocking();
+    let target_tasks = ctx.threads() * 3;
+    let sh = m
+        .div_ceil(target_tasks)
+        .next_multiple_of(MR)
+        .clamp(MR, blocking.mc.max(MR));
+
+    let c_slice = c.as_mut_slice();
+    ctx.run_pool(|| {
+        if ctx.threads() == 1 {
+            for (si, stripe) in c_slice.chunks_mut(sh * n).enumerate() {
+                stripe_prepacked(ta, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+            }
+        } else {
+            c_slice
+                .par_chunks_mut(sh * n)
+                .enumerate()
+                .for_each(|(si, stripe)| {
+                    stripe_prepacked(ta, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+                });
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stripe_prepacked<T: Scalar>(
+    ta: Trans,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &PackedB<T>,
+    beta: T,
+    stripe: &mut [T],
+    ic0: usize,
+    k: usize,
+    n: usize,
+    blocking: Blocking,
+) {
+    let mc_eff = stripe.len() / n;
+    let kc = blocking.kc.min(k);
+    let nc = blocking.nc.min(n);
+    let a_panels = mc_eff.div_ceil(MR);
+    let mut ap = vec![T::ZERO; a_panels * MR * kc];
+
+    let mut pc = 0;
+    let mut first_block = true;
+    while pc < k {
+        let kc_eff = kc.min(k - pc);
+        pack::pack_a(a, ta, ic0, mc_eff, pc, kc_eff, &mut ap);
+        let merge = if first_block { Some(beta) } else { None };
+
+        let mut jc = 0;
+        while jc < n {
+            let nc_eff = nc.min(n - jc);
+            let (bp, bk, bn) = b.block(pc, jc);
+            debug_assert_eq!(bk, kc_eff);
+            debug_assert_eq!(bn, nc_eff);
+
+            let jr_panels = nc_eff.div_ceil(NR);
+            let ir_panels = mc_eff.div_ceil(MR);
+            for jr in 0..jr_panels {
+                let nr_eff = NR.min(nc_eff - jr * NR);
+                let bp_panel = &bp[jr * kc_eff * NR..(jr + 1) * kc_eff * NR];
+                for ir in 0..ir_panels {
+                    let mr_eff = MR.min(mc_eff - ir * MR);
+                    let ap_panel = &ap[ir * kc_eff * MR..(ir + 1) * kc_eff * MR];
+                    let c_off = (ir * MR) * n + jc + jr * NR;
+                    kernel::microkernel(
+                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff,
+                        merge,
+                    );
+                }
+            }
+            jc += nc_eff;
+        }
+        pc += kc_eff;
+        first_block = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use pdnn_util::Prng;
+
+    fn rand(r: usize, c: usize, seed: u64) -> Matrix<f32> {
+        let mut rng = Prng::new(seed);
+        Matrix::random_normal(r, c, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn matches_plain_gemm_bitwise() {
+        let ctx = GemmContext::sequential();
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (17, 23, 9), (64, 64, 64), (130, 77, 33)] {
+            let a = rand(m, k, 1);
+            let b = rand(k, n, 2);
+            let packed = PackedB::new(&b, Trans::N, ctx.blocking());
+            let mut c1 = Matrix::zeros(m, n);
+            let mut c2 = Matrix::zeros(m, n);
+            gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
+            gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
+            assert_eq!(c1, c2, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn transposed_b_packs_correctly() {
+        // The layer-forward shape: X [frames x in] times W^T with
+        // W [out x in].
+        let ctx = GemmContext::sequential();
+        let x = rand(50, 30, 3);
+        let w = rand(20, 30, 4); // out x in
+        let packed = PackedB::new(&w, Trans::T, ctx.blocking());
+        assert_eq!(packed.k(), 30);
+        assert_eq!(packed.n(), 20);
+        let mut c1 = Matrix::zeros(50, 20);
+        let mut c2 = Matrix::zeros(50, 20);
+        gemm(&ctx, Trans::N, Trans::T, 1.0f32, &x, &w, 0.0, &mut c1);
+        gemm_prepacked(&ctx, Trans::N, 1.0f32, &x, &packed, 0.0, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn reuse_across_many_batches() {
+        let ctx = GemmContext::sequential();
+        let w = rand(16, 24, 5);
+        let packed = PackedB::new(&w, Trans::T, ctx.blocking());
+        for seed in 10..15 {
+            let x = rand(31, 24, seed);
+            let mut c1 = Matrix::zeros(31, 16);
+            let mut c2 = Matrix::zeros(31, 16);
+            gemm(&ctx, Trans::N, Trans::T, 1.0f32, &x, &w, 0.0, &mut c1);
+            gemm_prepacked(&ctx, Trans::N, 1.0f32, &x, &packed, 0.0, &mut c2);
+            assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_and_ta_combinations() {
+        let ctx = GemmContext::sequential();
+        let a = rand(12, 40, 6); // will be used transposed: op(A) 40x12
+        let b = rand(12, 25, 7);
+        let packed = PackedB::new(&b, Trans::N, ctx.blocking());
+        let c0 = rand(40, 25, 8);
+        let mut c1 = c0.clone();
+        let mut c2 = c0;
+        gemm(&ctx, Trans::T, Trans::N, 1.5f32, &a, &b, -0.5, &mut c1);
+        gemm_prepacked(&ctx, Trans::T, 1.5f32, &a, &packed, -0.5, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn custom_blocking_respected() {
+        let blocking = Blocking { mc: 16, kc: 8, nc: 24 };
+        let ctx = GemmContext::sequential().with_blocking(blocking);
+        let a = rand(37, 53, 9);
+        let b = rand(53, 29, 10);
+        let packed = PackedB::new(&b, Trans::N, blocking);
+        let mut c1 = Matrix::zeros(37, 29);
+        let mut c2 = Matrix::zeros(37, 29);
+        gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
+        gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn packed_size_is_padded_panels() {
+        let b: Matrix<f32> = Matrix::zeros(10, 10);
+        let packed = PackedB::new(&b, Trans::N, Blocking::default());
+        // 10 cols pad to 2 panels of NR=8: 16 cols x 10 k x 4 bytes.
+        assert_eq!(packed.bytes(), 16 * 10 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let ctx = GemmContext::sequential();
+        let a = rand(4, 5, 11);
+        let b = rand(6, 3, 12);
+        let packed = PackedB::new(&b, Trans::N, ctx.blocking());
+        let mut c = Matrix::zeros(4, 3);
+        gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pdnn-tensor — dense kernels for DNN training
+//!
+//! The compute substrate of the workspace: a row-major [`Matrix`],
+//! level-1 vector kernels ([`blas1`]), and a blocked, packed,
+//! multi-threaded [`gemm`] whose structure mirrors the tuned SGEMM the
+//! paper built for Blue Gene/Q (Section V.A): register-blocked 8x8
+//! microkernel, stride-one packed panels, MC/KC/NC cache blocking, and
+//! thread-level parallelism over disjoint C stripes.
+//!
+//! Single precision (`f32`) is the workhorse type — the paper notes
+//! the BG/Q kernel was specifically extended for single-precision
+//! arithmetic because DNN training is SGEMM-bound — but every kernel
+//! is generic over [`Scalar`] so f64 comparisons are one type
+//! parameter away.
+//!
+//! ```
+//! use pdnn_tensor::{Matrix, gemm::{GemmContext, Trans, gemm}};
+//!
+//! let a: Matrix<f32> = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+//! let b: Matrix<f32> = Matrix::from_fn(3, 2, |r, c| (r * c) as f32);
+//! let mut c: Matrix<f32> = Matrix::zeros(2, 2);
+//! gemm(&GemmContext::sequential(), Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
+//! assert_eq!(c[(1, 1)], 1.0 * 0.0 + 2.0 * 1.0 + 3.0 * 2.0);
+//! ```
+
+pub mod blas1;
+pub mod gemm;
+pub mod matrix;
+pub mod scalar;
+
+pub use gemm::{gemm as gemm_into, gemm_prepacked, matmul, GemmContext, PackedB, Trans};
+pub use matrix::Matrix;
+pub use scalar::Scalar;

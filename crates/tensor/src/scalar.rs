@@ -1,0 +1,150 @@
+//! Scalar abstraction over `f32`/`f64`.
+//!
+//! The paper's tuned matrix library supports both single precision
+//! (SGEMM — the workhorse of DNN training, Section V.A.5 notes the
+//! inner kernel was retuned for it) and double precision (DGEMM). Our
+//! kernels are generic over this trait so benches can compare both.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type usable by the kernels.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Maximum of two values (NaN-propagating like `f32::max` is not
+    /// required; ties resolved as the std float max).
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// True when the value is finite.
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // Plain `a*b+c`: letting LLVM contract keeps the kernel
+                // auto-vectorizable on targets without fast FMA.
+                self * a + b
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        assert_eq!(T::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(), 7.0);
+        assert!(T::from_f64(4.0).sqrt().to_f64() == 2.0);
+        assert!(T::from_f64(-1.5).abs().to_f64() == 1.5);
+        assert!(T::from_f64(1.0).is_finite());
+        assert!(!T::from_f64(f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn f32_scalar_ops() {
+        roundtrip::<f32>();
+    }
+
+    #[test]
+    fn f64_scalar_ops() {
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn max_min_behave() {
+        assert_eq!(Scalar::max(1.0f32, 2.0), 2.0);
+        assert_eq!(Scalar::min(1.0f64, 2.0), 1.0);
+    }
+}

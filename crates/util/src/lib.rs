@@ -1,0 +1,89 @@
+//! Shared utilities for the `pdnn` workspace.
+//!
+//! This crate deliberately has no heavyweight dependencies. It provides:
+//!
+//! * [`rng`] — a small, fully deterministic xoshiro256++ PRNG with
+//!   Gaussian sampling (Box–Muller), stream splitting, and shuffling.
+//!   Every stochastic component in the workspace takes an explicit
+//!   `u64` seed so experiments are reproducible bit-for-bit.
+//! * [`stats`] — descriptive statistics (Welford online moments,
+//!   percentiles, histograms) used by the benchmark harness.
+//! * [`report`] — plain-text table and CSV emitters used by the
+//!   figure/table generators.
+//! * [`timing`] — named phase timers used to attribute wall-clock time
+//!   to algorithm phases (`gradient_loss`, `sync_weights`, …) the same
+//!   way the paper's Figures 2–5 attribute cycles.
+
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod timing;
+
+pub use rng::Prng;
+pub use stats::OnlineStats;
+pub use timing::PhaseTimer;
+
+/// Format a duration given in seconds as a human-readable string.
+///
+/// Chooses among `µs`, `ms`, `s`, `min`, and `h` so that figure output
+/// stays readable across nine orders of magnitude.
+pub fn fmt_seconds(secs: f64) -> String {
+    if !secs.is_finite() {
+        return format!("{secs}");
+    }
+    let abs = secs.abs();
+    if abs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if abs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else if abs < 120.0 {
+        format!("{secs:.2}s")
+    } else if abs < 7200.0 {
+        format!("{:.1}min", secs / 60.0)
+    } else {
+        format!("{:.2}h", secs / 3600.0)
+    }
+}
+
+/// Format a count with thousands separators (`18432000` → `18,432,000`).
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let offset = digits.len() % 3;
+    for (i, ch) in digits.chars().enumerate() {
+        if i != 0 && (i + 3 - offset).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_seconds_picks_sensible_units() {
+        assert!(fmt_seconds(0.0000005).ends_with("µs"));
+        assert!(fmt_seconds(0.005).ends_with("ms"));
+        assert!(fmt_seconds(3.0).ends_with('s'));
+        assert!(fmt_seconds(600.0).ends_with("min"));
+        assert!(fmt_seconds(22_680.0).ends_with('h'));
+    }
+
+    #[test]
+    fn fmt_seconds_survives_non_finite() {
+        assert_eq!(fmt_seconds(f64::NAN), "NaN");
+        assert_eq!(fmt_seconds(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn fmt_count_inserts_separators() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(18_432_000), "18,432,000");
+        assert_eq!(fmt_count(1_234_567_890), "1,234,567,890");
+    }
+}

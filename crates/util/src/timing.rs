@@ -1,0 +1,169 @@
+//! Named phase timers.
+//!
+//! The paper attributes cycles and MPI time to named functions
+//! (`load_data`, `sync_weights_master`, `gradient_loss`,
+//! `worker_curvature_product`, …). [`PhaseTimer`] does the same for
+//! our functional runs: each phase accumulates wall-clock time and an
+//! invocation count, and the result can be rendered or fed to the
+//! performance model for calibration.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Accumulated wall time and call count for one named phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTotal {
+    /// Total seconds spent in the phase.
+    pub seconds: f64,
+    /// Number of timed invocations.
+    pub calls: u64,
+}
+
+/// Accumulates wall-clock time per named phase.
+///
+/// Phases are identified by `&'static str` so hot paths do not
+/// allocate. Iteration order is alphabetical (BTreeMap), which keeps
+/// reports deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimer {
+    phases: BTreeMap<&'static str, PhaseTotal>,
+}
+
+impl PhaseTimer {
+    /// Empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure and attribute its duration to `phase`.
+    pub fn time<R>(&mut self, phase: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Add `seconds` to `phase` directly (used when the caller already
+    /// measured, e.g. simulated time).
+    pub fn add(&mut self, phase: &'static str, seconds: f64) {
+        let entry = self.phases.entry(phase).or_default();
+        entry.seconds += seconds;
+        entry.calls += 1;
+    }
+
+    /// Total for one phase, zero if never recorded.
+    pub fn get(&self, phase: &str) -> PhaseTotal {
+        self.phases.get(phase).copied().unwrap_or_default()
+    }
+
+    /// All phases in alphabetical order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, PhaseTotal)> + '_ {
+        self.phases.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sum of all phase times.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.values().map(|p| p.seconds).sum()
+    }
+
+    /// Merge another timer into this one (e.g. across worker threads).
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (&name, tot) in other.phases.iter() {
+            let entry = self.phases.entry(name).or_default();
+            entry.seconds += tot.seconds;
+            entry.calls += tot.calls;
+        }
+    }
+
+    /// Render a fixed-width report, longest phase first.
+    pub fn report(&self) -> String {
+        let mut rows: Vec<(&str, PhaseTotal)> =
+            self.phases.iter().map(|(&k, &v)| (k, v)).collect();
+        rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+        let total = self.total_seconds().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>8} {:>7}\n",
+            "phase", "seconds", "calls", "share"
+        ));
+        for (name, t) in rows {
+            out.push_str(&format!(
+                "{:<28} {:>12.6} {:>8} {:>6.1}%\n",
+                name,
+                t.seconds,
+                t.calls,
+                100.0 * t.seconds / total
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_and_counts() {
+        let mut t = PhaseTimer::new();
+        let x = t.time("work", || 21 * 2);
+        assert_eq!(x, 42);
+        t.time("work", || ());
+        let tot = t.get("work");
+        assert_eq!(tot.calls, 2);
+        assert!(tot.seconds >= 0.0);
+    }
+
+    #[test]
+    fn add_records_simulated_time() {
+        let mut t = PhaseTimer::new();
+        t.add("comm", 1.5);
+        t.add("comm", 0.5);
+        let tot = t.get("comm");
+        assert_eq!(tot.calls, 2);
+        assert!((tot.seconds - 2.0).abs() < 1e-12);
+        assert!((t.total_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_phase_is_zero() {
+        let t = PhaseTimer::new();
+        assert_eq!(t.get("nope"), PhaseTotal::default());
+    }
+
+    #[test]
+    fn merge_sums_phase_totals() {
+        let mut a = PhaseTimer::new();
+        a.add("x", 1.0);
+        a.add("y", 2.0);
+        let mut b = PhaseTimer::new();
+        b.add("y", 3.0);
+        b.add("z", 4.0);
+        a.merge(&b);
+        assert!((a.get("x").seconds - 1.0).abs() < 1e-12);
+        assert!((a.get("y").seconds - 5.0).abs() < 1e-12);
+        assert_eq!(a.get("y").calls, 2);
+        assert!((a.get("z").seconds - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_lists_phases_by_share() {
+        let mut t = PhaseTimer::new();
+        t.add("small", 1.0);
+        t.add("big", 9.0);
+        let rep = t.report();
+        let big_pos = rep.find("big").unwrap();
+        let small_pos = rep.find("small").unwrap();
+        assert!(big_pos < small_pos, "{rep}");
+        assert!(rep.contains("90.0%"), "{rep}");
+    }
+
+    #[test]
+    fn phases_iterates_alphabetically() {
+        let mut t = PhaseTimer::new();
+        t.add("b", 1.0);
+        t.add("a", 1.0);
+        let names: Vec<&str> = t.phases().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: train a small DNN acoustic model with Hessian-free
+//! optimization on a synthetic speech task.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pdnn::core::{DnnProblem, HfConfig, HfOptimizer, Objective};
+use pdnn::dnn::{Activation, Network};
+use pdnn::speech::{Corpus, CorpusSpec};
+use pdnn::tensor::GemmContext;
+use pdnn::util::Prng;
+
+fn main() {
+    // 1. Generate a synthetic speech-like corpus: an HMM over phone
+    //    states emitting Gaussian acoustic features, with variable-
+    //    length utterances (see pdnn-speech for the generative model).
+    let corpus = Corpus::generate(CorpusSpec {
+        utterances: 120,
+        ..CorpusSpec::tiny(2024)
+    });
+    let (train_ids, held_ids) = corpus.split_heldout(0.2);
+    println!(
+        "corpus: {} utterances, {} frames, {} states, {}-dim features",
+        corpus.utterances().len(),
+        corpus.total_frames(),
+        corpus.spec().states,
+        corpus.spec().feature_dim,
+    );
+
+    // 2. Build a sigmoid MLP (input -> hidden -> states).
+    let mut rng = Prng::new(1);
+    let net = Network::new(
+        &[corpus.spec().feature_dim, 32, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    println!("network: dims {:?}, {} parameters", net.dims(), net.num_params());
+
+    // 3. Wrap data + model into an HF problem and train.
+    let mut problem = DnnProblem::new(
+        net,
+        GemmContext::sequential(),
+        corpus.shard(&train_ids),
+        corpus.shard(&held_ids),
+        Objective::CrossEntropy,
+    );
+    let mut config = HfConfig::small_task();
+    config.max_iters = 10;
+    let mut optimizer = HfOptimizer::new(config);
+    let stats = optimizer.train(&mut problem);
+
+    // 4. Watch the held-out loss fall and accuracy rise.
+    println!("\niter  train loss  heldout loss  accuracy  CG iters  alpha  accepted");
+    for s in &stats {
+        println!(
+            "{:>4}  {:>10.4}  {:>12.4}  {:>8.3}  {:>8}  {:>5.2}  {}",
+            s.iter,
+            s.train_loss,
+            s.heldout_after,
+            if s.heldout_accuracy.is_nan() { 0.0 } else { s.heldout_accuracy },
+            s.cg_iters,
+            s.alpha,
+            if s.accepted { "yes" } else { "no (λ boosted)" },
+        );
+    }
+
+    let last = stats.iter().rev().find(|s| s.accepted).expect("no accepted step");
+    println!(
+        "\nfinal heldout: loss {:.4}, frame accuracy {:.1}%",
+        last.heldout_after,
+        100.0 * last.heldout_accuracy
+    );
+    assert!(last.heldout_accuracy > 0.5, "training failed to learn");
+}
