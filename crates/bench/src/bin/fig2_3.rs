@@ -1,14 +1,27 @@
 //! Figures 2 and 3 — master and worker cycle breakdowns per function
 //! and counter category, for the three full-SMT configurations.
+//!
+//! The pipeline runs through the `pdnn-obs` telemetry export: the
+//! model's phase attribution is written to `fig2_3_telemetry.jsonl`
+//! under the results directory, read back, and the tables are built
+//! from the parsed stream.
 
 use pdnn_bench::emit;
-use pdnn_perfmodel::figures::{fig2, fig3};
+use pdnn_obs::jsonl::{read_jsonl, write_jsonl};
+use pdnn_perfmodel::figures::{fig2_from, fig3_from, phase_attribution};
 use pdnn_perfmodel::JobSpec;
+use pdnn_util::report::results_dir;
 
 fn main() {
     let job = JobSpec::ce_50h();
-    emit(&fig2(&job), "fig2_master_cycles");
-    emit(&fig3(&job), "fig3_worker_cycles");
+    let telemetry = phase_attribution(&job);
+    let path = results_dir().join("fig2_3_telemetry.jsonl");
+    write_jsonl(&path, std::slice::from_ref(&telemetry)).expect("telemetry export failed");
+    println!("[jsonl] {}\n", path.display());
+    let ranks = read_jsonl(&path).expect("telemetry import failed");
+    let parsed = &ranks[0].1;
+    emit(&fig2_from(parsed), "fig2_master_cycles");
+    emit(&fig3_from(parsed), "fig3_worker_cycles");
     println!(
         "Shapes to compare with the paper:\n\
          - master cycles concentrate in coordination/wait as ranks grow;\n\

@@ -1,14 +1,26 @@
 //! Figures 4 and 5 — master and worker MPI communication time, split
 //! into collective and point-to-point classes.
+//!
+//! Like `fig2_3`, the tables are rebuilt from the `pdnn-obs` JSONL
+//! export (`fig4_5_telemetry.jsonl`) rather than straight from the
+//! model, exercising the full telemetry round trip.
 
 use pdnn_bench::emit;
-use pdnn_perfmodel::figures::{fig4, fig5};
+use pdnn_obs::jsonl::{read_jsonl, write_jsonl};
+use pdnn_perfmodel::figures::{fig4_from, fig5_from, phase_attribution};
 use pdnn_perfmodel::JobSpec;
+use pdnn_util::report::results_dir;
 
 fn main() {
     let job = JobSpec::ce_50h();
-    emit(&fig4(&job), "fig4_master_mpi");
-    emit(&fig5(&job), "fig5_worker_mpi");
+    let telemetry = phase_attribution(&job);
+    let path = results_dir().join("fig4_5_telemetry.jsonl");
+    write_jsonl(&path, std::slice::from_ref(&telemetry)).expect("telemetry export failed");
+    println!("[jsonl] {}\n", path.display());
+    let ranks = read_jsonl(&path).expect("telemetry import failed");
+    let parsed = &ranks[0].1;
+    emit(&fig4_from(parsed), "fig4_master_mpi");
+    emit(&fig5_from(parsed), "fig5_worker_mpi");
     println!(
         "Shapes to compare with the paper:\n\
          - the master spends most MPI time inside collectives (blocked\n\

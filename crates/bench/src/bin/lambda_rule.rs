@@ -49,9 +49,12 @@ fn main() {
             corpus.shard(&held_ids),
             Objective::CrossEntropy,
         );
-        let mut cfg = HfConfig::small_task();
-        cfg.max_iters = iters;
-        cfg.lambda_rule = rule;
+        let cfg = HfConfig::small_task()
+            .into_builder()
+            .max_iters(iters)
+            .lambda_rule(rule)
+            .build()
+            .expect("invalid HF configuration");
         let mut opt = HfOptimizer::new(cfg);
         let stats = opt.train(&mut problem);
         let last = stats.iter().rev().find(|s| s.accepted);

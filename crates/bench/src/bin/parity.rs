@@ -31,12 +31,20 @@ fn main() {
         Activation::Sigmoid,
         &mut rng,
     );
-    let mut hf = HfConfig::small_task();
-    hf.max_iters = iters;
+    let hf = HfConfig::small_task()
+        .into_builder()
+        .max_iters(iters)
+        .build()
+        .expect("invalid HF configuration");
 
     let mut table = Table::new(
         "Accuracy parity: serial vs distributed Hessian-free training",
-        &["workers", "heldout loss", "frame accuracy", "accepted steps"],
+        &[
+            "workers",
+            "heldout loss",
+            "frame accuracy",
+            "accepted steps",
+        ],
     );
 
     // Serial reference.

@@ -36,9 +36,18 @@ fn main() {
 
     let variants = [
         ("none (paper)", Preconditioner::None),
-        ("fisher ξ=0.5", Preconditioner::EmpiricalFisher { exponent: 0.5 }),
-        ("fisher ξ=0.75", Preconditioner::EmpiricalFisher { exponent: 0.75 }),
-        ("fisher ξ=1.0", Preconditioner::EmpiricalFisher { exponent: 1.0 }),
+        (
+            "fisher ξ=0.5",
+            Preconditioner::EmpiricalFisher { exponent: 0.5 },
+        ),
+        (
+            "fisher ξ=0.75",
+            Preconditioner::EmpiricalFisher { exponent: 0.75 },
+        ),
+        (
+            "fisher ξ=1.0",
+            Preconditioner::EmpiricalFisher { exponent: 1.0 },
+        ),
     ];
     for (name, precond) in variants {
         let mut rng = Prng::new(6);
@@ -54,9 +63,12 @@ fn main() {
             corpus.shard(&held_ids),
             Objective::CrossEntropy,
         );
-        let mut cfg = HfConfig::small_task();
-        cfg.max_iters = iters;
-        cfg.preconditioner = precond;
+        let cfg = HfConfig::small_task()
+            .into_builder()
+            .max_iters(iters)
+            .preconditioner(precond)
+            .build()
+            .expect("invalid HF configuration");
         let stats = HfOptimizer::new(cfg).train(&mut problem);
         let total_cg: usize = stats.iter().map(|s| s.cg_iters).sum();
         let last = stats.iter().rev().find(|s| s.accepted);

@@ -82,16 +82,12 @@ impl Network {
     pub fn p2p_time(&self, bytes: u64) -> f64 {
         match self {
             Network::BgqTorus { torus } => {
-                BGQ_MPI_LATENCY
-                    + torus.mean_hops() * HOP_LATENCY
-                    + bytes as f64 / LINK_BANDWIDTH
+                BGQ_MPI_LATENCY + torus.mean_hops() * HOP_LATENCY + bytes as f64 / LINK_BANDWIDTH
             }
             Network::EthernetCluster {
                 latency, bandwidth, ..
             } => latency + bytes as f64 / bandwidth,
-            Network::SocketBaseline { latency, bandwidth } => {
-                latency + bytes as f64 / bandwidth
-            }
+            Network::SocketBaseline { latency, bandwidth } => latency + bytes as f64 / bandwidth,
         }
     }
 

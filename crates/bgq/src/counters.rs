@@ -10,6 +10,7 @@
 //! vs pointer-chasing coordination vs waiting in MPI).
 
 use crate::node::{smt_throughput, NodeConfig};
+use pdnn_obs::SpanKind;
 
 /// What kind of work a phase does — determines its stall profile.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +58,21 @@ impl CycleBreakdown {
     }
 }
 
+impl From<SpanKind> for PhaseKind {
+    /// Map a telemetry span kind onto its A2 stall profile. All
+    /// communication kinds (point-to-point, collective, explicit
+    /// waits) land in [`PhaseKind::CommWait`]: the core spins in the
+    /// messaging library either way.
+    fn from(kind: SpanKind) -> Self {
+        match kind {
+            SpanKind::DenseCompute => PhaseKind::DenseCompute,
+            SpanKind::MemoryBound | SpanKind::Io => PhaseKind::MemoryBound,
+            SpanKind::Scalar => PhaseKind::Scalar,
+            SpanKind::CommP2p | SpanKind::CommCollective | SpanKind::Wait => PhaseKind::CommWait,
+        }
+    }
+}
+
 /// Base fractions `[committed, iu_empty, axu, fxu, other]` for a phase
 /// kind at full SMT (4 threads/core).
 fn base_fractions(kind: PhaseKind) -> [f64; 5] {
@@ -74,11 +90,7 @@ fn base_fractions(kind: PhaseKind) -> [f64; 5] {
 /// Fewer threads per core expose more dependency stalls: the committed
 /// fraction is scaled by the SMT throughput curve and the shortfall is
 /// redistributed to the stall categories proportionally.
-pub fn classify_cycles(
-    kind: PhaseKind,
-    config: NodeConfig,
-    total_cycles: f64,
-) -> CycleBreakdown {
+pub fn classify_cycles(kind: PhaseKind, config: NodeConfig, total_cycles: f64) -> CycleBreakdown {
     assert!(total_cycles >= 0.0, "negative cycle count");
     let base = base_fractions(kind);
     let smt = smt_throughput(config.threads_per_core());
@@ -96,6 +108,15 @@ pub fn classify_cycles(
         fxu_dep_stalls: grow(base[3]) * total_cycles,
         other: grow(base[4]) * total_cycles,
     }
+}
+
+/// [`classify_cycles`] keyed by a telemetry [`SpanKind`].
+///
+/// The bridge from `pdnn_obs` spans to the Figure 2–3 counter
+/// categories: a span's kind picks the stall profile, the machine
+/// model supplies the cycles.
+pub fn classify_span(kind: SpanKind, config: NodeConfig, total_cycles: f64) -> CycleBreakdown {
+    classify_cycles(PhaseKind::from(kind), config, total_cycles)
 }
 
 #[cfg(test)]
@@ -152,6 +173,26 @@ mod tests {
         let total_before = a.total();
         a.merge(&b);
         assert!((a.total() - total_before - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_kinds_map_onto_phase_profiles() {
+        assert_eq!(
+            PhaseKind::from(SpanKind::DenseCompute),
+            PhaseKind::DenseCompute
+        );
+        assert_eq!(
+            PhaseKind::from(SpanKind::MemoryBound),
+            PhaseKind::MemoryBound
+        );
+        assert_eq!(PhaseKind::from(SpanKind::Io), PhaseKind::MemoryBound);
+        assert_eq!(PhaseKind::from(SpanKind::Scalar), PhaseKind::Scalar);
+        for comm in [SpanKind::CommP2p, SpanKind::CommCollective, SpanKind::Wait] {
+            assert_eq!(PhaseKind::from(comm), PhaseKind::CommWait);
+        }
+        let via_span = classify_span(SpanKind::CommCollective, FULL, 1e6);
+        let via_kind = classify_cycles(PhaseKind::CommWait, FULL, 1e6);
+        assert_eq!(via_span, via_kind);
     }
 
     #[test]

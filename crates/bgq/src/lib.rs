@@ -26,9 +26,7 @@ pub mod routing;
 pub mod torus;
 
 pub use comm_model::{ethernet_1g, socket_1g, Network};
-pub use counters::{classify_cycles, CycleBreakdown, PhaseKind};
-pub use node::{
-    node_effective_flops, rank_effective_flops, NodeConfig, CLOCK_HZ, NODE_PEAK_FLOPS,
-};
+pub use counters::{classify_cycles, classify_span, CycleBreakdown, PhaseKind};
+pub use node::{node_effective_flops, rank_effective_flops, NodeConfig, CLOCK_HZ, NODE_PEAK_FLOPS};
 pub use routing::{all_to_one, neighbor_shift, Link};
 pub use torus::Torus;

@@ -163,9 +163,18 @@ mod tests {
     #[test]
     fn more_threads_per_node_is_faster() {
         // Figure 1(a): 1024-1-16 < 1024-1-32 < 1024-1-64 in speed.
-        let f16 = node_effective_flops(NodeConfig { ranks_per_node: 1, threads_per_rank: 16 });
-        let f32_ = node_effective_flops(NodeConfig { ranks_per_node: 1, threads_per_rank: 32 });
-        let f64_ = node_effective_flops(NodeConfig { ranks_per_node: 1, threads_per_rank: 64 });
+        let f16 = node_effective_flops(NodeConfig {
+            ranks_per_node: 1,
+            threads_per_rank: 16,
+        });
+        let f32_ = node_effective_flops(NodeConfig {
+            ranks_per_node: 1,
+            threads_per_rank: 32,
+        });
+        let f64_ = node_effective_flops(NodeConfig {
+            ranks_per_node: 1,
+            threads_per_rank: 64,
+        });
         assert!(f16 < f32_ && f32_ < f64_, "{f16} {f32_} {f64_}");
     }
 
@@ -174,9 +183,18 @@ mod tests {
         // Among full-SMT configs, per-node compute: 2x32 and 4x16
         // beat 1x64 (thread-scaling overhead dominates), and are
         // within a few percent of each other.
-        let c1 = node_effective_flops(NodeConfig { ranks_per_node: 1, threads_per_rank: 64 });
-        let c2 = node_effective_flops(NodeConfig { ranks_per_node: 2, threads_per_rank: 32 });
-        let c4 = node_effective_flops(NodeConfig { ranks_per_node: 4, threads_per_rank: 16 });
+        let c1 = node_effective_flops(NodeConfig {
+            ranks_per_node: 1,
+            threads_per_rank: 64,
+        });
+        let c2 = node_effective_flops(NodeConfig {
+            ranks_per_node: 2,
+            threads_per_rank: 32,
+        });
+        let c4 = node_effective_flops(NodeConfig {
+            ranks_per_node: 4,
+            threads_per_rank: 16,
+        });
         assert!(c2 > c1, "2x32 {c2} should beat 1x64 {c1}");
         assert!(c4 > c1, "4x16 {c4} should beat 1x64 {c1}");
         assert!((c2 - c4).abs() / c2 < 0.06, "2x32 {c2} vs 4x16 {c4}");
@@ -184,14 +202,20 @@ mod tests {
 
     #[test]
     fn effective_rate_is_well_below_peak() {
-        let f = node_effective_flops(NodeConfig { ranks_per_node: 2, threads_per_rank: 32 });
+        let f = node_effective_flops(NodeConfig {
+            ranks_per_node: 2,
+            threads_per_rank: 32,
+        });
         assert!(f < NODE_PEAK_FLOPS * 0.75);
         assert!(f > NODE_PEAK_FLOPS * 0.35);
     }
 
     #[test]
     fn rank_rate_divides_node_rate() {
-        let cfg = NodeConfig { ranks_per_node: 4, threads_per_rank: 16 };
+        let cfg = NodeConfig {
+            ranks_per_node: 4,
+            threads_per_rank: 16,
+        };
         let node = node_effective_flops(cfg);
         let rank = rank_effective_flops(cfg);
         assert!((node / rank - 4.0).abs() < 1e-9);
@@ -200,7 +224,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed the node")]
     fn oversubscription_rejected() {
-        NodeConfig { ranks_per_node: 4, threads_per_rank: 32 }.validated();
+        NodeConfig {
+            ranks_per_node: 4,
+            threads_per_rank: 32,
+        }
+        .validated();
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl Torus {
 /// All-to-one pattern (every node sends to `root`) — the master/worker
 /// reduction hotspot.
 pub fn all_to_one(torus: &Torus, root: usize) -> Vec<(usize, usize)> {
-    (0..torus.nodes()).filter(|&n| n != root).map(|n| (n, root)).collect()
+    (0..torus.nodes())
+        .filter(|&n| n != root)
+        .map(|n| (n, root))
+        .collect()
 }
 
 /// Nearest-neighbor shift pattern (every node sends one hop along
@@ -142,7 +145,9 @@ mod tests {
     #[test]
     fn route_takes_the_short_way_around() {
         // Ring of 8 in dim 0: 0 -> 7 goes backwards (1 hop).
-        let t = Torus { dims: [8, 1, 1, 1, 1] };
+        let t = Torus {
+            dims: [8, 1, 1, 1, 1],
+        };
         let route = t.route(0, 7);
         assert_eq!(route.len(), 1);
         assert!(!route[0].positive);

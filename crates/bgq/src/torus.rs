@@ -31,7 +31,7 @@ impl Torus {
             64 => [4, 2, 2, 2, 2],
             128 => [4, 4, 2, 2, 2],
             256 => [4, 4, 4, 2, 2],
-            512 => [4, 4, 4, 4, 2], // midplane
+            512 => [4, 4, 4, 4, 2],  // midplane
             1024 => [8, 4, 4, 4, 2], // one rack
             2048 => [8, 8, 4, 4, 2], // two racks
             4096 => [8, 8, 8, 4, 2],
@@ -179,7 +179,9 @@ mod tests {
     #[test]
     fn wraparound_shortens_paths() {
         // 1-D view: in a ring of 8, distance 0 -> 7 is 1, not 7.
-        let t = Torus { dims: [8, 1, 1, 1, 1] };
+        let t = Torus {
+            dims: [8, 1, 1, 1, 1],
+        };
         assert_eq!(t.hops(0, 7), 1);
         assert_eq!(t.hops(0, 4), 4);
         assert_eq!(t.diameter(), 4);

@@ -23,6 +23,7 @@
 //! The quadratic value is tracked with the cheap identity
 //! `q(d) = ½ d·(r + g)` where `r = (G+λI)d + g` is the residual.
 
+use pdnn_obs::{Recorder, RecorderExt, SpanKind};
 use pdnn_tensor::blas1;
 
 /// Configuration for one CG solve.
@@ -113,6 +114,27 @@ pub fn cg_minimize(
     config: &CgConfig,
 ) -> CgResult {
     cg_minimize_precond(g, d0, apply_a, None, config)
+}
+
+/// [`cg_minimize_precond`] instrumented with a `pdnn_obs` recorder.
+///
+/// Wraps the solve in a `"cg_minimize"` span, bumps the `"cg_iters"`
+/// counter by the iterations executed, and publishes the final
+/// quadratic value as the `"cg_q_final"` gauge. Numerically identical
+/// to the uninstrumented solve.
+pub fn cg_minimize_recorded(
+    g: &[f32],
+    d0: &[f32],
+    apply_a: impl FnMut(&[f32]) -> Vec<f32>,
+    precond: Option<&[f32]>,
+    config: &CgConfig,
+    recorder: &dyn Recorder,
+) -> CgResult {
+    let _span = recorder.span("cg_minimize", SpanKind::DenseCompute);
+    let result = cg_minimize_precond(g, d0, apply_a, precond, config);
+    recorder.counter_add("cg_iters", result.iters as u64);
+    recorder.gauge_set("cg_q_final", result.final_q());
+    result
 }
 
 /// Preconditioned variant of [`cg_minimize`].
@@ -337,7 +359,10 @@ mod tests {
         for (got, want) in result.final_d().iter().zip(d_star.iter()) {
             assert!((*got as f64 - want).abs() < 1e-4, "{got} vs {want}");
         }
-        assert!(matches!(result.stop, CgStop::Converged | CgStop::RelativeProgress | CgStop::MaxIters));
+        assert!(matches!(
+            result.stop,
+            CgStop::Converged | CgStop::RelativeProgress | CgStop::MaxIters
+        ));
     }
 
     #[test]
@@ -378,12 +403,7 @@ mod tests {
         // progress (or convergence) test must stop it long before 200.
         let n = 50;
         let g: Vec<f32> = (0..n).map(|i| (i as f32 + 1.0) * 0.01).collect();
-        let result = cg_minimize(
-            &g,
-            &vec![0.0; n],
-            |v| v.to_vec(),
-            &CgConfig::default(),
-        );
+        let result = cg_minimize(&g, &vec![0.0; n], |v| v.to_vec(), &CgConfig::default());
         assert!(result.iters <= 3, "iters = {}", result.iters);
         assert!(matches!(
             result.stop,
@@ -445,7 +465,9 @@ mod tests {
     #[test]
     fn preconditioning_cuts_iterations_on_ill_conditioned_systems() {
         let n = 64;
-        let diag: Vec<f64> = (0..n).map(|i| 10f64.powf(4.0 * i as f64 / n as f64)).collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(4.0 * i as f64 / n as f64))
+            .collect();
         let apply = |v: &[f32]| -> Vec<f32> {
             v.iter()
                 .zip(diag.iter())
@@ -470,7 +492,10 @@ mod tests {
         );
         // Both reach (essentially) the same minimizer.
         let q_gap = (pre.final_q() - plain.final_q()).abs();
-        assert!(q_gap < 1e-4 * (1.0 + plain.final_q().abs()), "q gap {q_gap}");
+        assert!(
+            q_gap < 1e-4 * (1.0 + plain.final_q().abs()),
+            "q gap {q_gap}"
+        );
     }
 
     #[test]
@@ -491,6 +516,31 @@ mod tests {
     fn nonpositive_preconditioner_rejected() {
         let g = vec![1.0f32; 4];
         let m = vec![1.0f32, 0.0, 1.0, 1.0];
-        cg_minimize_precond(&g, &[0.0; 4], |v| v.to_vec(), Some(&m), &CgConfig::default());
+        cg_minimize_precond(
+            &g,
+            &[0.0; 4],
+            |v| v.to_vec(),
+            Some(&m),
+            &CgConfig::default(),
+        );
+    }
+
+    #[test]
+    fn recorded_solve_matches_plain_and_emits_telemetry() {
+        let n = 16;
+        let a = spd_matrix(n, 6);
+        let g: Vec<f32> = (0..n).map(|i| (i as f32 * 0.9).cos()).collect();
+        let cfg = CgConfig::default();
+        let plain = cg_minimize(&g, &vec![0.0; n], dense_apply(&a), &cfg);
+        let rec = pdnn_obs::InMemoryRecorder::new();
+        let recorded = cg_minimize_recorded(&g, &vec![0.0; n], dense_apply(&a), None, &cfg, &rec);
+        assert_eq!(plain.iters, recorded.iters);
+        assert_eq!(plain.final_d(), recorded.final_d());
+        let data = rec.take();
+        assert_eq!(data.counter("cg_iters"), recorded.iters as u64);
+        assert_eq!(data.gauge("cg_q_final"), Some(recorded.final_q()));
+        assert_eq!(data.spans.len(), 1);
+        assert_eq!(data.spans[0].name(), "cg_minimize");
+        assert_eq!(data.spans[0].kind, SpanKind::DenseCompute);
     }
 }

@@ -4,6 +4,7 @@ use crate::cg::CgConfig;
 use crate::damping::LambdaRule;
 use crate::line_search::ArmijoConfig;
 use crate::stopping::StopRule;
+use pdnn_util::Error;
 
 /// CG preconditioning policy.
 ///
@@ -98,25 +99,162 @@ impl HfConfig {
         }
     }
 
-    /// Validate invariants; called by the optimizer at start.
-    pub fn validate(&self) {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> HfConfigBuilder {
+        HfConfigBuilder::new(HfConfig::default())
+    }
+
+    /// Turn an existing configuration (e.g. [`HfConfig::small_task`])
+    /// into a builder for further adjustment.
+    pub fn into_builder(self) -> HfConfigBuilder {
+        HfConfigBuilder::new(self)
+    }
+
+    /// Validate invariants, returning a composable error.
+    pub fn try_validate(&self) -> Result<(), Error> {
+        let fail = |m: &str| Err(Error::Config(m.to_string()));
         if let Preconditioner::EmpiricalFisher { exponent } = self.preconditioner {
-            assert!(
-                exponent > 0.0 && exponent <= 1.0,
-                "preconditioner exponent must be in (0, 1]"
-            );
+            if !(exponent > 0.0 && exponent <= 1.0) {
+                return fail("preconditioner exponent must be in (0, 1]");
+            }
         }
-        assert!(self.max_iters >= 1, "max_iters must be >= 1");
-        assert!(
-            self.curvature_fraction > 0.0 && self.curvature_fraction <= 1.0,
-            "curvature_fraction must be in (0, 1]"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.momentum),
-            "momentum must be in [0, 1)"
-        );
-        assert!(self.lambda0 > 0.0, "lambda0 must be positive");
-        assert!(self.l2 >= 0.0, "l2 must be non-negative");
+        if self.max_iters < 1 {
+            return fail("max_iters must be >= 1");
+        }
+        if !(self.curvature_fraction > 0.0 && self.curvature_fraction <= 1.0) {
+            return fail("curvature_fraction must be in (0, 1]");
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return fail("momentum must be in [0, 1)");
+        }
+        if self.lambda0 <= 0.0 {
+            return fail("lambda0 must be positive");
+        }
+        if self.l2 < 0.0 {
+            return fail("l2 must be non-negative");
+        }
+        Ok(())
+    }
+
+    /// Validate invariants; called by the optimizer at start.
+    ///
+    /// # Panics
+    /// Panics with the violated invariant's message; use
+    /// [`HfConfig::try_validate`] (or the builder) for a `Result`.
+    pub fn validate(&self) {
+        if let Err(Error::Config(m)) = self.try_validate() {
+            panic!("{m}");
+        }
+    }
+}
+
+/// Builder for [`HfConfig`] with validation at [`build`](Self::build).
+///
+/// ```
+/// use pdnn_core::config::HfConfig;
+///
+/// let config = HfConfig::builder()
+///     .cg_iters(40)
+///     .sample_fraction(0.1)
+///     .max_iters(10)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.cg.max_iters, 40);
+/// assert!(HfConfig::builder().momentum(1.5).build().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct HfConfigBuilder {
+    config: HfConfig,
+}
+
+impl HfConfigBuilder {
+    fn new(config: HfConfig) -> Self {
+        HfConfigBuilder { config }
+    }
+
+    /// Cap on inner CG iterations (`cg.max_iters`).
+    pub fn cg_iters(mut self, iters: usize) -> Self {
+        self.config.cg.max_iters = iters;
+        self
+    }
+
+    /// Full inner CG configuration.
+    pub fn cg(mut self, cg: CgConfig) -> Self {
+        self.config.cg = cg;
+        self
+    }
+
+    /// Fraction of training data resampled for curvature products
+    /// (`curvature_fraction`).
+    pub fn sample_fraction(mut self, fraction: f64) -> Self {
+        self.config.curvature_fraction = fraction;
+        self
+    }
+
+    /// Outer HF iteration cap.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.config.max_iters = iters;
+        self
+    }
+
+    /// Initial damping λ0.
+    pub fn lambda0(mut self, lambda0: f64) -> Self {
+        self.config.lambda0 = lambda0;
+        self
+    }
+
+    /// λ adaptation rule.
+    pub fn lambda_rule(mut self, rule: LambdaRule) -> Self {
+        self.config.lambda_rule = rule;
+        self
+    }
+
+    /// Momentum β on the CG warm start.
+    pub fn momentum(mut self, momentum: f64) -> Self {
+        self.config.momentum = momentum;
+        self
+    }
+
+    /// Armijo line-search parameters.
+    pub fn armijo(mut self, armijo: ArmijoConfig) -> Self {
+        self.config.armijo = armijo;
+        self
+    }
+
+    /// Base seed for curvature resampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Early-stop target on held-out loss.
+    pub fn target_heldout_loss(mut self, target: Option<f64>) -> Self {
+        self.config.target_heldout_loss = target;
+        self
+    }
+
+    /// CG preconditioning policy.
+    pub fn preconditioner(mut self, preconditioner: Preconditioner) -> Self {
+        self.config.preconditioner = preconditioner;
+        self
+    }
+
+    /// Convergence criteria beyond the iteration cap.
+    pub fn stop(mut self, stop: StopRule) -> Self {
+        self.config.stop = stop;
+        self
+    }
+
+    /// L2 weight decay coefficient.
+    pub fn l2(mut self, l2: f64) -> Self {
+        self.config.l2 = l2;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<HfConfig, Error> {
+        self.config.try_validate()?;
+        Ok(self.config)
     }
 }
 
@@ -145,5 +283,43 @@ mod tests {
         let mut c = HfConfig::default();
         c.momentum = 1.0;
         c.validate();
+    }
+
+    #[test]
+    fn builder_sets_fields_and_validates() {
+        let c = HfConfig::builder()
+            .cg_iters(40)
+            .sample_fraction(0.1)
+            .max_iters(7)
+            .lambda0(0.5)
+            .momentum(0.9)
+            .seed(42)
+            .l2(1e-4)
+            .build()
+            .unwrap();
+        assert_eq!(c.cg.max_iters, 40);
+        assert!((c.curvature_fraction - 0.1).abs() < 1e-12);
+        assert_eq!(c.max_iters, 7);
+        assert_eq!(c.seed, 42);
+        let err = HfConfig::builder()
+            .sample_fraction(0.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("curvature_fraction"), "{err}");
+        let err = HfConfig::builder().momentum(1.0).build().unwrap_err();
+        assert!(err.to_string().contains("momentum"), "{err}");
+    }
+
+    #[test]
+    fn into_builder_starts_from_existing_config() {
+        let c = HfConfig::small_task()
+            .into_builder()
+            .max_iters(5)
+            .build()
+            .unwrap();
+        assert_eq!(c.max_iters, 5);
+        // small_task's other knobs survive the round trip.
+        assert_eq!(c.cg.max_iters, 60);
+        assert!((c.curvature_fraction - 0.5).abs() < 1e-12);
     }
 }

@@ -38,11 +38,12 @@ use pdnn_dnn::loss::{cross_entropy, cross_entropy_loss_only, softmax_rows};
 use pdnn_dnn::network::{ForwardCache, Network};
 use pdnn_dnn::sequence::mmi_batch;
 use pdnn_mpisim::{Comm, CommTrace, Payload, RankOutcome, ReduceOp, Src};
+use pdnn_obs::{InMemoryRecorder, RecorderExt, SpanKind, Telemetry};
 use pdnn_speech::{partition, Corpus, Shard, Strategy};
 use pdnn_tensor::gemm::GemmContext;
 use pdnn_tensor::Matrix;
 use pdnn_util::PhaseTimer;
-use std::time::Instant;
+use std::sync::Arc;
 
 const CMD_SHUTDOWN: u64 = 0;
 const CMD_SET_THETA: u64 = 1;
@@ -84,6 +85,10 @@ impl Default for DistributedConfig {
 }
 
 /// Result of a distributed training run.
+///
+/// All accounting flows through each rank's `pdnn_obs` recorder (the
+/// [`Telemetry`] fields); the [`PhaseTimer`] and [`CommTrace`] fields
+/// are derived views kept for convenience and compatibility.
 pub struct TrainOutput {
     /// The trained network (reconstructed on the master).
     pub network: Network<f32>,
@@ -93,24 +98,32 @@ pub struct TrainOutput {
     pub master_trace: CommTrace,
     /// Worker communication traces, worker order.
     pub worker_traces: Vec<CommTrace>,
-    /// Master compute/coordination phase times.
+    /// Master compute/coordination phase times (derived from
+    /// `master_telemetry` spans).
     pub master_phases: PhaseTimer,
-    /// Worker phase times (gradient_loss, worker_curvature_product…).
+    /// Worker phase times (gradient_loss, worker_curvature_product…),
+    /// derived from `worker_telemetries` spans.
     pub worker_phases: Vec<PhaseTimer>,
+    /// Full master-rank telemetry: spans, counters, events, comm.
+    pub master_telemetry: Telemetry,
+    /// Full per-worker telemetry, worker order.
+    pub worker_telemetries: Vec<Telemetry>,
 }
 
 /// Master-side implementation of [`HfProblem`] over the communicator.
 struct MasterProblem<'a> {
     comm: &'a mut Comm,
+    rec: Arc<InMemoryRecorder>,
     theta: Vec<f32>,
     train_frames: u64,
-    phases: PhaseTimer,
 }
 
 impl MasterProblem<'_> {
     fn command(&mut self, header: Vec<u64>) {
         let mut buf = header;
-        self.comm.bcast(&mut buf, 0).expect("command broadcast failed");
+        self.comm
+            .bcast(&mut buf, 0)
+            .expect("command broadcast failed");
     }
 }
 
@@ -124,17 +137,19 @@ impl HfProblem for MasterProblem<'_> {
     }
 
     fn set_theta(&mut self, theta: &[f32]) {
-        let start = Instant::now();
+        let rec = self.rec.clone();
+        let _span = rec.span("sync_weights_master", SpanKind::CommCollective);
         self.theta = theta.to_vec();
         self.command(vec![CMD_SET_THETA]);
         let mut buf = self.theta.clone();
-        self.comm.bcast(&mut buf, 0).expect("theta broadcast failed");
-        self.phases
-            .add("sync_weights_master", start.elapsed().as_secs_f64());
+        self.comm
+            .bcast(&mut buf, 0)
+            .expect("theta broadcast failed");
     }
 
     fn gradient(&mut self) -> (f64, Vec<f32>) {
-        let start = Instant::now();
+        let rec = self.rec.clone();
+        let _span = rec.span("gradient_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_GRADIENT]);
         let mut grad = vec![0.0f32; self.theta.len()];
         self.comm
@@ -147,20 +162,18 @@ impl HfProblem for MasterProblem<'_> {
         let frames = meta[1].max(1.0);
         let inv = (1.0 / frames) as f32;
         pdnn_tensor::blas1::scal(inv, &mut grad);
-        self.phases
-            .add("gradient_reduce", start.elapsed().as_secs_f64());
         (meta[0] / frames, grad)
     }
 
     fn sample_curvature(&mut self, seed: u64, fraction: f64) {
-        let start = Instant::now();
+        let rec = self.rec.clone();
+        let _span = rec.span("sample_curvature", SpanKind::CommCollective);
         self.command(vec![CMD_SAMPLE, seed, fraction.to_bits()]);
-        self.phases
-            .add("sample_curvature", start.elapsed().as_secs_f64());
     }
 
     fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
-        let start = Instant::now();
+        let rec = self.rec.clone();
+        let _span = rec.span("curvature_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_GN]);
         let mut buf = v.to_vec();
         self.comm
@@ -177,13 +190,12 @@ impl HfProblem for MasterProblem<'_> {
         let frames = meta[0].max(1.0);
         let inv = (1.0 / frames) as f32;
         pdnn_tensor::blas1::scal(inv, &mut gv);
-        self.phases
-            .add("curvature_reduce", start.elapsed().as_secs_f64());
         gv
     }
 
     fn fisher_diagonal(&mut self) -> Option<Vec<f32>> {
-        let start = Instant::now();
+        let rec = self.rec.clone();
+        let _span = rec.span("curvature_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_FISHER]);
         let mut diag = vec![0.0f32; self.theta.len()];
         self.comm
@@ -195,23 +207,22 @@ impl HfProblem for MasterProblem<'_> {
             .expect("fisher meta reduce failed");
         let frames = meta[0].max(1.0);
         pdnn_tensor::blas1::scal((1.0 / frames) as f32, &mut diag);
-        self.phases
-            .add("curvature_reduce", start.elapsed().as_secs_f64());
         Some(diag)
     }
 
     fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
-        let start = Instant::now();
+        let rec = self.rec.clone();
+        let _span = rec.span("heldout_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_HELDOUT]);
         let mut buf = theta.to_vec();
-        self.comm.bcast(&mut buf, 0).expect("trial broadcast failed");
+        self.comm
+            .bcast(&mut buf, 0)
+            .expect("trial broadcast failed");
         let mut meta = vec![0.0f64; 3];
         self.comm
             .reduce(&mut meta, ReduceOp::Sum, 0)
             .expect("heldout reduce failed");
         let frames = meta[2].max(1.0);
-        self.phases
-            .add("heldout_reduce", start.elapsed().as_secs_f64());
         HeldoutEval {
             loss: meta[0] / frames,
             accuracy: meta[1] / frames,
@@ -321,15 +332,18 @@ fn draw_sample(
     })
 }
 
-/// Run the worker command loop until `SHUTDOWN`; returns phase times.
+/// Run the worker command loop until `SHUTDOWN`.
+///
+/// All phase accounting goes through the communicator's `pdnn_obs`
+/// recorder; the caller collects it from [`RankOutcome::telemetry`].
 fn worker_loop(
     comm: &mut Comm,
     corpus: &Corpus,
     objective: &Objective,
     dims: &[usize],
     threads: usize,
-) -> PhaseTimer {
-    let mut phases = PhaseTimer::new();
+) {
+    let rec = comm.recorder().clone();
     let ctx = if threads > 1 {
         GemmContext::threaded(threads)
     } else {
@@ -337,7 +351,7 @@ fn worker_loop(
     };
 
     // load_data: receive this worker's utterance assignments.
-    let start = Instant::now();
+    let load_span = rec.span("load_data", SpanKind::CommP2p);
     let train_ids: Vec<usize> = comm
         .recv(Src::Of(0), TAG_LOAD_DATA)
         .expect("no assignment from master")
@@ -356,7 +370,7 @@ fn worker_loop(
         .collect();
     let train = corpus.shard(&train_ids);
     let heldout = corpus.shard(&held_ids);
-    phases.add("load_data", start.elapsed().as_secs_f64());
+    drop(load_span);
 
     let mut net: Network<f32> = {
         // Architecture comes from dims; weights arrive via SET_THETA
@@ -375,57 +389,61 @@ fn worker_loop(
             CMD_SET_THETA => {
                 let mut theta: Vec<f32> = Vec::new();
                 comm.bcast(&mut theta, 0).expect("theta receive failed");
-                phases.time("sync_weights_worker", || net.set_flat(&theta));
+                {
+                    let _s = rec.span("sync_weights_worker", SpanKind::MemoryBound);
+                    net.set_flat(&theta);
+                }
                 sample = None;
             }
             CMD_GRADIENT => {
-                let (loss_sum, mut grad) = phases.time("gradient_loss", || {
+                let (loss_sum, mut grad) = {
+                    let _s = rec.span("gradient_loss", SpanKind::DenseCompute);
                     if train.frames() == 0 {
                         (0.0, vec![0.0f32; net.num_params()])
                     } else {
                         let cache = net.forward(&ctx, &train.x);
                         let (loss, dlogits) =
                             eval_objective(objective, &cache, &train.labels, &train.utt_lens);
-                        let grad =
-                            pdnn_dnn::backprop::backprop(&net, &ctx, &cache, &dlogits);
+                        let grad = pdnn_dnn::backprop::backprop(&net, &ctx, &cache, &dlogits);
                         (loss, grad)
                     }
-                });
-                comm.reduce(&mut grad, ReduceOp::Sum, 0).expect("grad reduce");
+                };
+                comm.reduce(&mut grad, ReduceOp::Sum, 0)
+                    .expect("grad reduce");
                 let mut meta = vec![loss_sum, train.frames() as f64];
-                comm.reduce(&mut meta, ReduceOp::Sum, 0).expect("meta reduce");
+                comm.reduce(&mut meta, ReduceOp::Sum, 0)
+                    .expect("meta reduce");
             }
             CMD_SAMPLE => {
                 assert_eq!(header.len(), 3, "SAMPLE header must carry seed+fraction");
                 let seed = header[1];
                 let fraction = f64::from_bits(header[2]);
-                sample = phases.time("worker_curvature_sample", || {
+                sample = {
+                    let _s = rec.span("worker_curvature_sample", SpanKind::DenseCompute);
                     draw_sample(&train, &net, &ctx, objective, seed, fraction, comm.rank())
-                });
+                };
             }
             CMD_GN => {
                 let mut v: Vec<f32> = Vec::new();
                 comm.bcast(&mut v, 0).expect("direction receive failed");
-                let (mut gv, frames) =
-                    phases.time("worker_curvature_product", || match &sample {
+                let (mut gv, frames) = {
+                    let _s = rec.span("worker_curvature_product", SpanKind::DenseCompute);
+                    match &sample {
                         Some(s) => {
-                            let gv = gn_product(
-                                &net,
-                                &ctx,
-                                &s.cache,
-                                Curvature::Fisher(&s.dist),
-                                &v,
-                            );
+                            let gv =
+                                gn_product(&net, &ctx, &s.cache, Curvature::Fisher(&s.dist), &v);
                             (gv, s.x.rows() as f64)
                         }
                         None => (vec![0.0f32; net.num_params()], 0.0),
-                    });
+                    }
+                };
                 comm.reduce(&mut gv, ReduceOp::Sum, 0).expect("gn reduce");
                 let mut meta = vec![frames];
                 comm.reduce(&mut meta, ReduceOp::Sum, 0).expect("gn meta");
             }
             CMD_FISHER => {
-                let (mut diag, frames) = phases.time("worker_curvature_product", || {
+                let (mut diag, frames) = {
+                    let _s = rec.span("worker_curvature_product", SpanKind::DenseCompute);
                     match &sample {
                         Some(s) => {
                             let (_, dlogits) =
@@ -437,15 +455,18 @@ fn worker_loop(
                         }
                         None => (vec![0.0f32; net.num_params()], 0.0),
                     }
-                });
-                comm.reduce(&mut diag, ReduceOp::Sum, 0).expect("fisher reduce");
+                };
+                comm.reduce(&mut diag, ReduceOp::Sum, 0)
+                    .expect("fisher reduce");
                 let mut meta = vec![frames];
-                comm.reduce(&mut meta, ReduceOp::Sum, 0).expect("fisher meta");
+                comm.reduce(&mut meta, ReduceOp::Sum, 0)
+                    .expect("fisher meta");
             }
             CMD_HELDOUT => {
                 let mut trial: Vec<f32> = Vec::new();
                 comm.bcast(&mut trial, 0).expect("trial receive failed");
-                let mut meta = phases.time("eval_heldout", || {
+                let mut meta = {
+                    let _s = rec.span("eval_heldout", SpanKind::DenseCompute);
                     if heldout.frames() == 0 {
                         vec![0.0f64, 0.0, 0.0]
                     } else {
@@ -459,13 +480,13 @@ fn worker_loop(
                         );
                         vec![loss_sum, correct as f64, heldout.frames() as f64]
                     }
-                });
-                comm.reduce(&mut meta, ReduceOp::Sum, 0).expect("heldout reduce");
+                };
+                comm.reduce(&mut meta, ReduceOp::Sum, 0)
+                    .expect("heldout reduce");
             }
             other => panic!("unknown command {other}"),
         }
     }
-    phases
 }
 
 /// Train a network with distributed Hessian-free optimization.
@@ -499,17 +520,17 @@ pub fn train_distributed(
     let total_train_frames: u64 = train_lens.iter().map(|&l| l as u64).sum();
 
     enum RoleOutput {
-        Master(Box<(Vec<IterStats>, Vec<f32>, PhaseTimer)>),
-        Worker(Box<PhaseTimer>),
+        Master(Box<(Vec<IterStats>, Vec<f32>)>),
+        Worker,
     }
 
     let world = config.workers + 1;
     let outcomes: Vec<RankOutcome<RoleOutput>> = pdnn_mpisim::run_world(world, |comm| {
         if comm.rank() == 0 {
             // ---- master ----
-            let mut phases = PhaseTimer::new();
+            let rec = comm.recorder().clone();
             // load_data: ship each worker its utterance id lists.
-            let start = Instant::now();
+            let load_span = rec.span("load_data", SpanKind::CommP2p);
             for w in 0..config.workers {
                 let t_ids: Vec<u64> = train_assign[w]
                     .iter()
@@ -524,54 +545,59 @@ pub fn train_distributed(
                 comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(h_ids))
                     .expect("assignment send failed");
             }
-            phases.add("load_data", start.elapsed().as_secs_f64());
+            drop(load_span);
 
             let mut problem = MasterProblem {
                 comm,
+                rec: rec.clone(),
                 theta: theta0.clone(),
                 train_frames: total_train_frames,
-                phases,
             };
             // Distribute the initial weights.
             let t0 = problem.theta();
             problem.set_theta(&t0);
 
-            let mut opt = HfOptimizer::new(config.hf);
+            // The optimizer shares the master rank's recorder, so its
+            // spans/events land in the same per-rank telemetry stream.
+            let mut opt = HfOptimizer::with_recorder(config.hf, rec);
             let stats = opt.train(&mut problem);
             let theta_final = problem.theta();
             problem.command(vec![CMD_SHUTDOWN]);
-            let phases = problem.phases;
-            RoleOutput::Master(Box::new((stats, theta_final, phases)))
+            RoleOutput::Master(Box::new((stats, theta_final)))
         } else {
             // ---- worker ----
-            let phases =
-                worker_loop(comm, corpus, objective, &dims, config.threads_per_rank);
-            RoleOutput::Worker(Box::new(phases))
+            worker_loop(comm, corpus, objective, &dims, config.threads_per_rank);
+            RoleOutput::Worker
         }
     });
 
     let mut network = net0.clone();
     let mut stats = Vec::new();
-    let mut master_phases = PhaseTimer::new();
     let mut master_trace = CommTrace::default();
+    let mut master_telemetry = Telemetry::default();
     let mut worker_traces = Vec::new();
-    let mut worker_phases = Vec::new();
+    let mut worker_telemetries = Vec::new();
     for outcome in outcomes {
         match outcome.result {
             RoleOutput::Master(boxed) => {
-                let (s, theta, phases) = *boxed;
+                let (s, theta) = *boxed;
                 stats = s;
                 network.set_flat(&theta);
-                master_phases = phases;
                 master_trace = outcome.trace;
+                master_telemetry = outcome.telemetry;
             }
-            RoleOutput::Worker(phases) => {
-                worker_phases.push(*phases);
+            RoleOutput::Worker => {
                 worker_traces.push(outcome.trace);
+                worker_telemetries.push(outcome.telemetry);
             }
         }
     }
 
+    let master_phases = master_telemetry.phase_totals();
+    let worker_phases = worker_telemetries
+        .iter()
+        .map(Telemetry::phase_totals)
+        .collect();
     TrainOutput {
         network,
         stats,
@@ -579,6 +605,8 @@ pub fn train_distributed(
         worker_traces,
         master_phases,
         worker_phases,
+        master_telemetry,
+        worker_telemetries,
     }
 }
 
@@ -724,6 +752,26 @@ mod tests {
         }
         assert!(out.master_phases.get("sync_weights_master").calls > 0);
         assert!(out.master_phases.get("load_data").calls > 0);
+        // Telemetry is the source of truth: the derived views agree
+        // with it, and the optimizer's stream landed on the master.
+        assert_eq!(out.master_telemetry.comm, out.master_trace);
+        assert_eq!(
+            out.master_telemetry.counter("hf_iterations"),
+            out.stats.len() as u64
+        );
+        let events: Vec<_> = out
+            .master_telemetry
+            .events
+            .iter()
+            .filter(|e| e.name == "hf_iteration")
+            .collect();
+        assert_eq!(events.len(), out.stats.len());
+        assert_eq!(out.worker_telemetries.len(), 3);
+        for (w, t) in out.worker_telemetries.iter().enumerate() {
+            assert_eq!(&t.comm, &out.worker_traces[w]);
+            assert!(t.spans.iter().any(|s| s.name() == "gradient_loss"));
+            assert!(t.spans.iter().any(|s| s.name() == "bcast"));
+        }
     }
 
     #[test]

@@ -19,13 +19,15 @@
 //! 6. Armijo backtracking line search on the chosen iterate, then
 //!    `θ ← θ + α d_i`, momentum `d_0 ← β d_N`.
 
-use crate::cg::{cg_minimize_precond, CgStop};
+use crate::cg::{cg_minimize_recorded, CgStop};
 use crate::config::{HfConfig, Preconditioner};
 use crate::damping::Damping;
 use crate::line_search::armijo_search;
 use crate::problem::HfProblem;
 use crate::stopping::{StopReason, StopState};
+use pdnn_obs::{NullRecorder, Recorder, RecorderExt, SpanKind};
 use pdnn_tensor::blas1;
+use std::sync::Arc;
 
 /// Statistics from one outer HF iteration.
 #[derive(Clone, Debug)]
@@ -68,17 +70,28 @@ pub struct HfOptimizer {
     damping: Damping,
     d_prev: Option<Vec<f32>>,
     loss_prev: Option<f64>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl HfOptimizer {
-    /// Create an optimizer with the given configuration.
+    /// Create an optimizer with the given configuration (telemetry
+    /// discarded; see [`HfOptimizer::with_recorder`]).
     pub fn new(config: HfConfig) -> Self {
+        Self::with_recorder(config, Arc::new(NullRecorder))
+    }
+
+    /// Create an optimizer that records per-iteration telemetry —
+    /// `hf_iteration`/`gradient`/`backtracking`/`line_search` spans, a
+    /// `cg_iters` counter, a `lambda` gauge, and one `hf_iteration`
+    /// event per step — to the given recorder.
+    pub fn with_recorder(config: HfConfig, recorder: Arc<dyn Recorder>) -> Self {
         config.validate();
         HfOptimizer {
             damping: Damping::new(config.lambda0, config.lambda_rule),
             config,
             d_prev: None,
             loss_prev: None,
+            recorder,
         }
     }
 
@@ -119,6 +132,9 @@ impl HfOptimizer {
 
     /// Execute one outer iteration.
     pub fn step<P: HfProblem>(&mut self, problem: &mut P, iter: usize) -> IterStats {
+        let rec = self.recorder.clone();
+        let _iter_span = rec.span("hf_iteration", SpanKind::Scalar);
+        rec.counter_add("hf_iterations", 1);
         let n = problem.num_params();
         let theta0 = problem.theta();
         assert_eq!(theta0.len(), n);
@@ -135,6 +151,7 @@ impl HfOptimizer {
         };
 
         // 1. Gradient over all training data (+ L2 penalty terms).
+        let grad_span = rec.span("gradient", SpanKind::DenseCompute);
         let (mut train_loss, mut g) = problem.gradient();
         let l2 = self.config.l2;
         if l2 > 0.0 {
@@ -144,6 +161,7 @@ impl HfOptimizer {
         let g = g;
         let train_loss = train_loss;
         let grad_norm = blas1::nrm2(&g);
+        drop(grad_span);
 
         // 2. Curvature minibatch + truncated CG.
         let sample_seed = self
@@ -154,6 +172,7 @@ impl HfOptimizer {
         problem.sample_curvature(sample_seed, self.config.curvature_fraction);
 
         let lambda = self.damping.lambda();
+        rec.gauge_set("lambda", lambda);
         let d0: Vec<f32> = match &self.d_prev {
             Some(d) => d.clone(),
             None => vec![0.0; n],
@@ -161,15 +180,13 @@ impl HfOptimizer {
         // Optional Martens preconditioner: M = (diag(Fisher) + λ)^ξ.
         let precond: Option<Vec<f32>> = match self.config.preconditioner {
             Preconditioner::None => None,
-            Preconditioner::EmpiricalFisher { exponent } => {
-                problem.fisher_diagonal().map(|diag| {
-                    diag.into_iter()
-                        .map(|d| ((d.max(0.0) as f64 + lambda).powf(exponent)) as f32)
-                        .collect()
-                })
-            }
+            Preconditioner::EmpiricalFisher { exponent } => problem.fisher_diagonal().map(|diag| {
+                diag.into_iter()
+                    .map(|d| ((d.max(0.0) as f64 + lambda).powf(exponent)) as f32)
+                    .collect()
+            }),
         };
-        let cg = cg_minimize_precond(
+        let cg = cg_minimize_recorded(
             &g,
             &d0,
             |v| {
@@ -180,6 +197,7 @@ impl HfOptimizer {
             },
             precond.as_deref(),
             &self.config.cg,
+            rec.as_ref(),
         );
 
         // Momentum for the *next* iteration uses the final direction
@@ -194,6 +212,7 @@ impl HfOptimizer {
             *evals += 1;
             problem.heldout_eval(&trial).loss
         };
+        let bt_span = rec.span("backtracking", SpanKind::DenseCompute);
         let n_stored = cg.iterates.len();
         let mut best_pos = n_stored - 1;
         let mut l_best = eval_at(&cg.iterates[best_pos].d, &mut heldout_evals);
@@ -205,11 +224,23 @@ impl HfOptimizer {
             l_best = l_curr;
             best_pos = pos;
         }
+        drop(bt_span);
 
         // 4. Rejection: no iterate improves held-out loss.
         if loss_prev < l_best || !l_best.is_finite() {
             self.damping.on_reject();
             self.d_prev = None; // d_0 ← 0
+            rec.event(
+                "hf_iteration",
+                vec![
+                    ("iter".into(), (iter as u64).into()),
+                    ("train_loss".into(), train_loss.into()),
+                    ("lambda".into(), lambda.into()),
+                    ("cg_iters".into(), (cg.iters as u64).into()),
+                    ("rho".into(), f64::NAN.into()),
+                    ("accepted".into(), 0u64.into()),
+                ],
+            );
             return IterStats {
                 iter,
                 train_loss,
@@ -239,6 +270,7 @@ impl HfOptimizer {
         }
 
         // 6. Armijo line search along the chosen iterate.
+        let ls_span = rec.span("line_search", SpanKind::DenseCompute);
         let chosen = &cg.iterates[best_pos];
         let slope = blas1::dot(&g, &chosen.d);
         let search = armijo_search(
@@ -256,6 +288,7 @@ impl HfOptimizer {
         // loss at α = 1, so a failed search falls back to the full
         // step rather than rejecting.
         let alpha = search.map(|r| r.alpha).unwrap_or(1.0);
+        drop(ls_span);
 
         let mut theta_new = theta0;
         blas1::axpy(alpha as f32, &chosen.d, &mut theta_new);
@@ -274,6 +307,18 @@ impl HfOptimizer {
         heldout_evals += 1;
         let after = problem.heldout_eval(&theta_new);
         self.loss_prev = Some(after.loss);
+
+        rec.event(
+            "hf_iteration",
+            vec![
+                ("iter".into(), (iter as u64).into()),
+                ("train_loss".into(), train_loss.into()),
+                ("lambda".into(), lambda.into()),
+                ("cg_iters".into(), (cg.iters as u64).into()),
+                ("rho".into(), rho.into()),
+                ("accepted".into(), 1u64.into()),
+            ],
+        );
 
         IterStats {
             iter,
@@ -366,7 +411,11 @@ mod tests {
         let mut opt = HfOptimizer::new(cfg);
         let stats = opt.train(&mut problem);
         let last = stats.last().unwrap();
-        assert!(last.heldout_after < 1e-6, "final loss {}", last.heldout_after);
+        assert!(
+            last.heldout_after < 1e-6,
+            "final loss {}",
+            last.heldout_after
+        );
         for (got, want) in problem.theta.iter().zip(problem.target.iter()) {
             assert!((got - want).abs() < 1e-3);
         }
@@ -435,7 +484,9 @@ mod tests {
 
     #[test]
     fn rejection_boosts_lambda_and_keeps_theta() {
-        let mut problem = NoImprovement { theta: vec![0.0; 5] };
+        let mut problem = NoImprovement {
+            theta: vec![0.0; 5],
+        };
         let mut cfg = HfConfig::small_task();
         cfg.max_iters = 4;
         let mut opt = HfOptimizer::new(cfg);
@@ -464,6 +515,39 @@ mod tests {
         let stats = opt.train(&mut problem);
         assert!(stats.len() < 50, "ran {} iterations", stats.len());
         assert!(stats.last().unwrap().heldout_after <= 1e-4);
+    }
+
+    #[test]
+    fn recorder_captures_iteration_telemetry() {
+        use pdnn_obs::InMemoryRecorder;
+        let mut problem = Quadratic {
+            theta: vec![0.5; 6],
+            target: vec![0.0; 6],
+        };
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let mut cfg = HfConfig::small_task();
+        cfg.max_iters = 2;
+        let mut opt = HfOptimizer::with_recorder(cfg, recorder.clone());
+        let stats = opt.train(&mut problem);
+        let t = recorder.take();
+        assert_eq!(t.counter("hf_iterations"), stats.len() as u64);
+        let total_cg: usize = stats.iter().map(|s| s.cg_iters).sum();
+        assert_eq!(t.counter("cg_iters"), total_cg as u64);
+        assert!(t.gauge("lambda").is_some());
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name()).collect();
+        for expected in ["hf_iteration", "gradient", "cg_minimize", "backtracking"] {
+            assert!(names.contains(&expected), "{names:?}");
+        }
+        let events: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| e.name == "hf_iteration")
+            .collect();
+        assert_eq!(events.len(), stats.len());
+        assert_eq!(
+            events[0].get("iter").and_then(pdnn_obs::Value::as_f64),
+            Some(0.0)
+        );
     }
 
     #[test]

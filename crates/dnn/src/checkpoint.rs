@@ -23,31 +23,13 @@ const MAGIC: &[u8; 4] = b"PDNN";
 const VERSION: u32 = 1;
 
 /// Checkpoint load/store failure.
-#[derive(Debug)]
-pub enum CheckpointError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// The file is not a valid checkpoint (with a human-readable
-    /// reason).
-    Format(String),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
-            CheckpointError::Format(m) => write!(f, "bad checkpoint: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-impl From<io::Error> for CheckpointError {
-    fn from(e: io::Error) -> Self {
-        CheckpointError::Io(e)
-    }
-}
+///
+/// An alias for the shared [`pdnn_util::Error`]: I/O failures surface
+/// as [`pdnn_util::Error::Io`], malformed files as
+/// [`pdnn_util::Error::Format`]. Existing `CheckpointError::Io(..)` /
+/// `CheckpointError::Format(..)` patterns keep working through the
+/// alias.
+pub type CheckpointError = pdnn_util::Error;
 
 fn act_tag(act: Activation) -> u8 {
     match act {
@@ -84,7 +66,11 @@ pub fn save_network(net: &Network<f32>, path: impl AsRef<Path>) -> Result<(), Ch
         w.write_all(&(d as u32).to_le_bytes())?;
     }
     // All hidden layers share one activation by construction.
-    let hidden_act = net.layers().first().map(|l| l.act).unwrap_or(Activation::Identity);
+    let hidden_act = net
+        .layers()
+        .first()
+        .map(|l| l.act)
+        .unwrap_or(Activation::Identity);
     w.write_all(&[act_tag(hidden_act)])?;
     for &p in &net.to_flat() {
         w.write_all(&p.to_le_bytes())?;

@@ -19,6 +19,7 @@
 
 use crate::comm::{Comm, CommError, COLLECTIVE_TAG_BASE};
 use crate::message::{Payload, Src};
+use pdnn_obs::{RecorderExt, SpanKind};
 
 /// Element type usable in typed collectives.
 pub trait CollElem: Copy + Send + 'static {
@@ -90,8 +91,16 @@ impl_coll_elem!(f64, F64);
 impl_coll_elem!(u64, U64);
 
 /// RAII-ish helper: run `f` with the communicator in collective
-/// tracing mode and a fresh tag window.
-fn with_collective<R>(comm: &mut Comm, f: impl FnOnce(&mut Comm, u64) -> R) -> R {
+/// tracing mode and a fresh tag window, recording the whole
+/// invocation as a named `CommCollective` span on the rank's
+/// telemetry recorder.
+fn with_collective<R>(
+    comm: &mut Comm,
+    name: &'static str,
+    f: impl FnOnce(&mut Comm, u64) -> R,
+) -> R {
+    let recorder = comm.recorder().clone();
+    let _span = recorder.span(name, SpanKind::CommCollective);
     let tag = COLLECTIVE_TAG_BASE + comm.coll_seq * 8;
     comm.coll_seq += 1;
     let was = comm.in_collective;
@@ -112,7 +121,7 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, |comm, tag| {
+        with_collective(self, "bcast", |comm, tag| {
             let rank = comm.rank();
             let vrank = (rank + size - root) % size;
             let mut mask = 1usize;
@@ -155,7 +164,7 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, |comm, tag| {
+        with_collective(self, "reduce", |comm, tag| {
             let rank = comm.rank();
             let vrank = (rank + size - root) % size;
             let mut mask = 1usize;
@@ -186,13 +195,17 @@ impl Comm {
     /// Uses recursive doubling for power-of-two world sizes (the BG/Q
     /// partition sizes 1024/2048/4096/8192 all are), otherwise
     /// reduce-to-0 followed by broadcast.
-    pub fn allreduce<T: CollElem>(&mut self, buf: &mut Vec<T>, op: ReduceOp) -> Result<(), CommError> {
+    pub fn allreduce<T: CollElem>(
+        &mut self,
+        buf: &mut Vec<T>,
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
         let size = self.size();
         if size == 1 {
             return Ok(());
         }
         if size.is_power_of_two() {
-            with_collective(self, |comm, tag| {
+            with_collective(self, "allreduce", |comm, tag| {
                 let rank = comm.rank();
                 let mut mask = 1usize;
                 while mask < size {
@@ -246,7 +259,7 @@ impl Comm {
             // complicate the halving. Use the standard path.
             return self.allreduce(buf, op);
         }
-        with_collective(self, |comm, tag| {
+        with_collective(self, "allreduce_rabenseifner", |comm, tag| {
             let rank = comm.rank();
             let n = buf.len();
             // Block b owns range [bounds[b], bounds[b+1]).
@@ -326,7 +339,7 @@ impl Comm {
     ) -> Result<Option<Vec<Vec<T>>>, CommError> {
         assert!(root < self.size(), "gather: root out of range");
         let size = self.size();
-        with_collective(self, |comm, tag| {
+        with_collective(self, "gather", |comm, tag| {
             if comm.rank() == root {
                 let mut out: Vec<Vec<T>> = Vec::with_capacity(size);
                 for r in 0..size {
@@ -356,7 +369,7 @@ impl Comm {
     ) -> Result<Vec<T>, CommError> {
         assert!(root < self.size(), "scatter: root out of range");
         let size = self.size();
-        with_collective(self, |comm, tag| {
+        with_collective(self, "scatter", |comm, tag| {
             if comm.rank() == root {
                 let chunks = chunks.expect("scatter root must provide chunks");
                 assert_eq!(chunks.len(), size, "scatter needs one chunk per rank");
@@ -381,7 +394,7 @@ impl Comm {
     /// Allgather via ring: returns all ranks' vectors in rank order.
     pub fn allgather<T: CollElem>(&mut self, data: Vec<T>) -> Result<Vec<Vec<T>>, CommError> {
         let size = self.size();
-        with_collective(self, |comm, tag| {
+        with_collective(self, "allgather", |comm, tag| {
             let rank = comm.rank();
             let mut slots: Vec<Option<Vec<T>>> = (0..size).map(|_| None).collect();
             let mut current = data;
@@ -408,7 +421,7 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, |comm, tag| {
+        with_collective(self, "barrier", |comm, tag| {
             let rank = comm.rank();
             let mut step = 1usize;
             while step < size {
@@ -424,7 +437,7 @@ impl Comm {
     }
 
     fn trace_collective_done(&mut self) {
-        self.trace.collectives_completed += 1;
+        self.trace.on_collective_done();
     }
 }
 

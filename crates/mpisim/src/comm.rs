@@ -10,8 +10,9 @@
 use crate::message::{Packet, Payload, Src};
 use crate::trace::{CommClass, CommTrace};
 use crate::vtime::LinkModel;
-use std::sync::Arc;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use pdnn_obs::{InMemoryRecorder, Telemetry};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Communication failure.
@@ -40,6 +41,12 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+impl From<CommError> for pdnn_util::Error {
+    fn from(e: CommError) -> Self {
+        pdnn_util::Error::Comm(e.to_string())
+    }
+}
+
 /// Per-rank communicator.
 pub struct Comm {
     rank: usize,
@@ -48,6 +55,9 @@ pub struct Comm {
     peers: Vec<Sender<Packet>>,
     pending: Vec<Packet>,
     pub(crate) trace: CommTrace,
+    /// Shared telemetry sink: spans opened by collectives and by user
+    /// code running on this rank all land here.
+    recorder: Arc<InMemoryRecorder>,
     /// Set while inside a collective so inner p2p traffic is
     /// attributed to the collective class.
     pub(crate) in_collective: bool,
@@ -79,6 +89,7 @@ impl Comm {
             peers,
             pending: Vec::new(),
             trace: CommTrace::default(),
+            recorder: Arc::new(InMemoryRecorder::new()),
             in_collective: false,
             coll_seq: 0,
             vtime: 0.0,
@@ -129,6 +140,21 @@ impl Comm {
         std::mem::take(&mut self.trace)
     }
 
+    /// This rank's telemetry sink. Clone the `Arc` into components
+    /// that should record spans, counters, or events for this rank.
+    pub fn recorder(&self) -> &Arc<InMemoryRecorder> {
+        &self.recorder
+    }
+
+    /// Take everything recorded on this rank — spans, counters,
+    /// gauges, events, *and* the communication trace — as one
+    /// [`Telemetry`] snapshot, leaving the rank's sinks empty.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        let mut telemetry = self.recorder.take();
+        telemetry.comm = self.take_trace();
+        telemetry
+    }
+
     fn class(&self) -> CommClass {
         if self.in_collective {
             CommClass::Collective
@@ -162,11 +188,9 @@ impl Comm {
                 payload,
             })
             .map_err(|_| CommError::Disconnected { peer: dst });
-        let t = self.trace.class_mut(class);
-        t.seconds += start.elapsed().as_secs_f64();
+        self.trace.add_seconds(class, start.elapsed().as_secs_f64());
         if result.is_ok() {
-            t.bytes_sent += bytes;
-            t.sends += 1;
+            self.trace.on_send(class, bytes);
         }
         result
     }
@@ -231,11 +255,9 @@ impl Comm {
                 Err(e) => break Err(e),
             }
         };
-        let t = self.trace.class_mut(class);
-        t.seconds += start.elapsed().as_secs_f64();
+        self.trace.add_seconds(class, start.elapsed().as_secs_f64());
         if let Ok(pkt) = &result {
-            t.bytes_received += pkt.payload.size_bytes();
-            t.recvs += 1;
+            self.trace.on_recv(class, pkt.payload.size_bytes());
             // Virtual timing: the message is available no earlier than
             // the sender's completion time.
             if pkt.sent_vtime > self.vtime {

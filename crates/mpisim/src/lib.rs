@@ -14,6 +14,11 @@
 //! communication into point-to-point and collective classes, mirroring
 //! the paper's Figures 4–5 breakdown.
 //!
+//! Telemetry types ([`CommTrace`], [`ClassTotals`], [`Span`]) are
+//! defined in `pdnn-obs` and re-exported here under their historical
+//! names; every rank additionally carries a `pdnn_obs` recorder
+//! ([`Comm::recorder`]) whose snapshot rides [`RankOutcome::telemetry`].
+//!
 //! ```
 //! use pdnn_mpisim::{run_world, ReduceOp};
 //!
@@ -37,6 +42,6 @@ pub use collectives::{CollElem, ReduceOp};
 pub use comm::{Comm, CommError};
 pub use message::{Packet, Payload, Src};
 pub use runner::{build_world, run_world, RankOutcome};
+pub use timeline::{render_gantt, Span, SpanKind, SpanRecorder};
 pub use trace::{ClassTotals, CommClass, CommTrace};
-pub use timeline::{render_gantt, Span, SpanRecorder};
 pub use vtime::{AlphaBeta, LinkModel};

@@ -6,6 +6,7 @@ use crate::comm::Comm;
 use crate::message::Packet;
 use crate::trace::CommTrace;
 use crossbeam::channel::unbounded;
+use pdnn_obs::Telemetry;
 
 /// Result of one rank's execution.
 #[derive(Clone, Debug)]
@@ -14,8 +15,13 @@ pub struct RankOutcome<R> {
     pub rank: usize,
     /// The closure's return value.
     pub result: R,
-    /// Communication trace accumulated by the rank.
+    /// Communication trace accumulated by the rank (also available as
+    /// `telemetry.comm`; kept as a field for convenience).
     pub trace: CommTrace,
+    /// Full telemetry snapshot for the rank: spans opened by
+    /// collectives and user code, counters, gauges, events, and the
+    /// communication trace.
+    pub telemetry: Telemetry,
 }
 
 /// Build the communicators for an `n`-rank world without spawning
@@ -56,8 +62,14 @@ where
                 rank,
                 scope.spawn(move || {
                     let result = f(&mut comm);
-                    let trace = comm.take_trace();
-                    RankOutcome { rank, result, trace }
+                    let telemetry = comm.take_telemetry();
+                    let trace = telemetry.comm.clone();
+                    RankOutcome {
+                        rank,
+                        result,
+                        trace,
+                        telemetry,
+                    }
                 }),
             ));
         }
@@ -134,6 +146,27 @@ mod tests {
         for r in &results {
             assert!(r.trace.collective.seconds >= 0.0);
             assert!(r.trace.collective.bytes_sent > 0);
+            // The same numbers ride the telemetry snapshot.
+            assert_eq!(r.telemetry.comm, r.trace);
+        }
+    }
+
+    #[test]
+    fn collectives_emit_named_spans() {
+        let results = run_world(2, |comm| {
+            let mut v = vec![1.0f32; 10];
+            comm.allreduce(&mut v, ReduceOp::Sum).unwrap();
+            comm.barrier().unwrap();
+        });
+        for r in &results {
+            let names: Vec<&str> = r.telemetry.spans.iter().map(|s| s.name()).collect();
+            assert!(names.contains(&"allreduce"), "{names:?}");
+            assert!(names.contains(&"barrier"), "{names:?}");
+            assert!(r
+                .telemetry
+                .spans
+                .iter()
+                .all(|s| s.kind == pdnn_obs::SpanKind::CommCollective));
         }
     }
 }

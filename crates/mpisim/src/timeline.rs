@@ -1,24 +1,19 @@
-//! ASCII timelines of virtual-time runs.
+//! ASCII timelines of virtual-time runs — adapter over [`pdnn_obs`].
 //!
-//! The paper's Figures 2–5 are per-process time attributions; this
-//! module renders the same story for virtual-time runs: each rank
-//! records named spans against its virtual clock and the collected
-//! timeline prints as a Gantt-style chart, making the master
-//! bottleneck and worker idle time visible at a glance.
+//! The span type, validation, and Gantt renderer live in `pdnn_obs`
+//! ([`pdnn_obs::SpanRecord`], [`pdnn_obs::render_gantt`]); this module
+//! re-exports them under their historical mpisim names and keeps the
+//! small [`SpanRecorder`] builder used by virtual-time examples. No
+//! accounting logic is defined here.
 
-/// One named span on a rank's virtual clock.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Span {
-    /// Phase label (single char is used in the chart; the legend maps
-    /// labels).
-    pub name: &'static str,
-    /// Start virtual time (seconds).
-    pub start: f64,
-    /// End virtual time.
-    pub end: f64,
-}
+pub use pdnn_obs::render_gantt;
+pub use pdnn_obs::SpanKind;
+/// Historical name for [`pdnn_obs::SpanRecord`].
+pub use pdnn_obs::SpanRecord as Span;
 
-/// Per-rank span recorder.
+use std::borrow::Cow;
+
+/// Per-rank span recorder: a builder for `Vec<Span>` timelines.
 #[derive(Clone, Debug, Default)]
 pub struct SpanRecorder {
     spans: Vec<Span>,
@@ -30,10 +25,21 @@ impl SpanRecorder {
         Self::default()
     }
 
-    /// Record a span; `end` must not precede `start`.
-    pub fn record(&mut self, name: &'static str, start: f64, end: f64) {
-        assert!(end >= start, "span '{name}' ends before it starts");
-        self.spans.push(Span { name, start, end });
+    /// Record a span; `end` must not precede `start`. Spans recorded
+    /// this way default to [`SpanKind::Scalar`].
+    pub fn record(&mut self, name: impl Into<Cow<'static, str>>, start: f64, end: f64) {
+        self.record_kind(name, SpanKind::Scalar, start, end);
+    }
+
+    /// Record a span with an explicit kind.
+    pub fn record_kind(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        kind: SpanKind,
+        start: f64,
+        end: f64,
+    ) {
+        self.spans.push(Span::new(name, kind, start, end));
     }
 
     /// Recorded spans in insertion order.
@@ -47,54 +53,6 @@ impl SpanRecorder {
     }
 }
 
-/// Render per-rank span lists as an ASCII Gantt chart of `width`
-/// columns. Rank rows are in input order; spans are drawn with the
-/// first character of their name, idle time as `.`, and overlaps
-/// resolved last-writer-wins.
-pub fn render_gantt(ranks: &[Vec<Span>], width: usize) -> String {
-    assert!(width >= 10, "chart needs at least 10 columns");
-    let t_max = ranks
-        .iter()
-        .flat_map(|spans| spans.iter().map(|s| s.end))
-        .fold(0.0f64, f64::max);
-    if t_max <= 0.0 {
-        return String::from("(empty timeline)\n");
-    }
-    let scale = width as f64 / t_max;
-    let mut out = String::new();
-    let mut legend: Vec<&'static str> = Vec::new();
-    for (rank, spans) in ranks.iter().enumerate() {
-        let mut row = vec!['.'; width];
-        for span in spans {
-            if !legend.contains(&span.name) {
-                legend.push(span.name);
-            }
-            let c = span.name.chars().next().unwrap_or('?');
-            let lo = (span.start * scale).floor() as usize;
-            let hi = ((span.end * scale).ceil() as usize).clamp(lo + 1, width);
-            for slot in row.iter_mut().take(hi.min(width)).skip(lo.min(width - 1)) {
-                *slot = c;
-            }
-        }
-        out.push_str(&format!("rank {rank:>3} |{}|\n", row.iter().collect::<String>()));
-    }
-    out.push_str(&format!(
-        "          0{}{:.4}s\n",
-        " ".repeat(width.saturating_sub(8)),
-        t_max
-    ));
-    out.push_str("legend: ");
-    for name in legend {
-        out.push_str(&format!(
-            "{}={} ",
-            name.chars().next().unwrap_or('?'),
-            name
-        ));
-    }
-    out.push('\n');
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,9 +61,10 @@ mod tests {
     fn recorder_accumulates_in_order() {
         let mut r = SpanRecorder::new();
         r.record("compute", 0.0, 1.0);
-        r.record("reduce", 1.0, 1.5);
+        r.record_kind("reduce", SpanKind::CommCollective, 1.0, 1.5);
         assert_eq!(r.spans().len(), 2);
-        assert_eq!(r.spans()[1].name, "reduce");
+        assert_eq!(r.spans()[1].name(), "reduce");
+        assert_eq!(r.spans()[1].kind, SpanKind::CommCollective);
         let spans = r.into_spans();
         assert_eq!(spans[0].end, 1.0);
     }
@@ -117,47 +76,11 @@ mod tests {
     }
 
     #[test]
-    fn gantt_shows_proportional_blocks() {
-        let ranks = vec![
-            vec![
-                Span { name: "compute", start: 0.0, end: 8.0 },
-                Span { name: "reduce", start: 8.0, end: 10.0 },
-            ],
-            vec![Span { name: "compute", start: 0.0, end: 10.0 }],
-        ];
-        let chart = render_gantt(&ranks, 20);
-        let lines: Vec<&str> = chart.lines().collect();
-        // Rank 0: ~16 'c' then ~4 'r'; rank 1: all 'c'.
-        assert!(lines[0].contains("rank   0"));
-        let row0: String = lines[0].chars().filter(|&c| c == 'c' || c == 'r').collect();
-        assert!(row0.matches('c').count() >= 14, "{chart}");
-        assert!(row0.matches('r').count() >= 3, "{chart}");
-        let row1: String = lines[1].chars().filter(|&c| c == 'c').collect();
-        assert_eq!(row1.len(), 20, "{chart}");
-        assert!(chart.contains("legend: c=compute r=reduce"));
-    }
-
-    #[test]
-    fn idle_time_renders_as_dots() {
-        let ranks = vec![vec![Span { name: "w", start: 5.0, end: 10.0 }]];
-        let chart = render_gantt(&ranks, 20);
-        let row = chart.lines().next().unwrap();
-        assert!(row.contains('.'), "{chart}");
-        assert!(row.contains('w'), "{chart}");
-        // Leading half idle.
-        let bar: String = row.chars().skip_while(|&c| c != '|').skip(1).take(20).collect();
-        assert!(bar.starts_with(".........."), "{chart}");
-    }
-
-    #[test]
-    fn empty_timeline_is_handled() {
-        assert_eq!(render_gantt(&[], 20), "(empty timeline)\n");
-        assert_eq!(render_gantt(&[vec![]], 20), "(empty timeline)\n");
-    }
-
-    #[test]
-    #[should_panic(expected = "at least 10 columns")]
-    fn narrow_chart_rejected() {
-        render_gantt(&[], 2);
+    fn reexported_gantt_renders_recorded_spans() {
+        let mut r = SpanRecorder::new();
+        r.record("compute", 0.0, 8.0);
+        r.record("reduce", 8.0, 10.0);
+        let chart = render_gantt(&[r.into_spans()], 20);
+        assert!(chart.contains("legend: c=compute r=reduce"), "{chart}");
     }
 }

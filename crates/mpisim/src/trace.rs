@@ -1,121 +1,36 @@
-//! Per-rank communication accounting.
+//! Per-rank communication accounting — adapter over [`pdnn_obs`].
 //!
 //! The paper's Figures 4 and 5 break each process's MPI time into
 //! *collective* and *point-to-point* categories per function. The
-//! tracer records, for every rank, time blocked in and bytes moved by
-//! each category, so functional runs produce the same breakdown at
-//! laptop scale (and validate the shape of the large-scale model).
+//! accounting structures and their logic live in
+//! [`pdnn_obs::metrics`]; this module re-exports them under their
+//! historical names so existing mpisim consumers keep compiling.
+//! There is exactly one definition of [`ClassTotals`] in the
+//! workspace, and it is not here.
 
-/// Communication category, matching the paper's figure split.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CommClass {
-    /// Direct send/recv traffic (e.g. the master's `load_data`).
-    PointToPoint,
-    /// Traffic inside a collective (e.g. `sync_weights` broadcast).
-    Collective,
-}
+pub use pdnn_obs::{ClassTotals, CommClass};
 
-/// Totals for one category.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct ClassTotals {
-    /// Seconds spent in blocking send/recv calls.
-    pub seconds: f64,
-    /// Payload bytes sent.
-    pub bytes_sent: u64,
-    /// Payload bytes received.
-    pub bytes_received: u64,
-    /// Number of send operations.
-    pub sends: u64,
-    /// Number of receive operations.
-    pub recvs: u64,
-}
-
-/// Per-rank communication trace.
-#[derive(Clone, Debug, Default)]
-pub struct CommTrace {
-    /// Point-to-point totals.
-    pub p2p: ClassTotals,
-    /// Collective totals.
-    pub collective: ClassTotals,
-    /// Completed collective operations (barrier counts as one).
-    pub collectives_completed: u64,
-}
-
-impl CommTrace {
-    /// Mutable totals for a class.
-    pub fn class_mut(&mut self, class: CommClass) -> &mut ClassTotals {
-        match class {
-            CommClass::PointToPoint => &mut self.p2p,
-            CommClass::Collective => &mut self.collective,
-        }
-    }
-
-    /// Totals for a class.
-    pub fn class(&self, class: CommClass) -> &ClassTotals {
-        match class {
-            CommClass::PointToPoint => &self.p2p,
-            CommClass::Collective => &self.collective,
-        }
-    }
-
-    /// Total seconds across both classes.
-    pub fn total_seconds(&self) -> f64 {
-        self.p2p.seconds + self.collective.seconds
-    }
-
-    /// Total bytes moved (sent + received, both classes).
-    pub fn total_bytes(&self) -> u64 {
-        self.p2p.bytes_sent
-            + self.p2p.bytes_received
-            + self.collective.bytes_sent
-            + self.collective.bytes_received
-    }
-
-    /// Merge another trace (e.g. summing across ranks).
-    pub fn merge(&mut self, other: &CommTrace) {
-        for class in [CommClass::PointToPoint, CommClass::Collective] {
-            let o = *other.class(class);
-            let t = self.class_mut(class);
-            t.seconds += o.seconds;
-            t.bytes_sent += o.bytes_sent;
-            t.bytes_received += o.bytes_received;
-            t.sends += o.sends;
-            t.recvs += o.recvs;
-        }
-        self.collectives_completed += other.collectives_completed;
-    }
-}
+/// Historical name for [`pdnn_obs::CommStats`].
+pub type CommTrace = pdnn_obs::CommStats;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn class_accessors_route_correctly() {
+    fn legacy_names_reach_the_obs_definitions() {
         let mut t = CommTrace::default();
         t.class_mut(CommClass::PointToPoint).bytes_sent = 10;
         t.class_mut(CommClass::Collective).bytes_sent = 20;
         assert_eq!(t.p2p.bytes_sent, 10);
-        assert_eq!(t.collective.bytes_sent, 20);
         assert_eq!(t.class(CommClass::Collective).bytes_sent, 20);
         assert_eq!(t.total_bytes(), 30);
-    }
-
-    #[test]
-    fn merge_sums_everything() {
-        let mut a = CommTrace::default();
-        a.p2p.seconds = 1.0;
-        a.p2p.sends = 2;
-        a.collectives_completed = 1;
-        let mut b = CommTrace::default();
-        b.p2p.seconds = 0.5;
-        b.collective.recvs = 3;
-        b.collectives_completed = 4;
-        a.merge(&b);
-        assert!((a.p2p.seconds - 1.5).abs() < 1e-12);
-        assert_eq!(a.p2p.sends, 2);
-        assert_eq!(a.collective.recvs, 3);
-        assert_eq!(a.collectives_completed, 5);
-        assert!((a.total_seconds() - 1.5).abs() < 1e-12);
+        let mut sum = CommTrace::default();
+        sum.merge(&t);
+        sum.merge(&t);
+        assert_eq!(sum.total_bytes(), 60);
+        // Same type, not a parallel definition.
+        let _: &pdnn_obs::CommStats = &t;
+        let _: ClassTotals = pdnn_obs::ClassTotals::default();
     }
 }

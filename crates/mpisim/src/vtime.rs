@@ -99,7 +99,11 @@ mod tests {
         for size in [4usize, 8, 16, 32] {
             let results = run_world(size, move |comm| {
                 comm.set_link_model(unit_model());
-                let mut buf = if comm.rank() == 0 { vec![1.0f32] } else { vec![] };
+                let mut buf = if comm.rank() == 0 {
+                    vec![1.0f32]
+                } else {
+                    vec![]
+                };
                 comm.bcast(&mut buf, 0).unwrap();
                 comm.vtime()
             });
@@ -138,7 +142,11 @@ mod tests {
 
         let bcast = run_world(size, move |comm| {
             comm.set_link_model(unit_model());
-            let mut buf = if comm.rank() == 0 { vec![0.0f32; 64] } else { vec![] };
+            let mut buf = if comm.rank() == 0 {
+                vec![0.0f32; 64]
+            } else {
+                vec![]
+            };
             comm.bcast(&mut buf, 0).unwrap();
             comm.vtime()
         })

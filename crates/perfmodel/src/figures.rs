@@ -9,6 +9,7 @@ use crate::model::{bgq_time, xeon_time, BgqRun};
 use crate::workload::JobSpec;
 use pdnn_bgq::counters::{classify_cycles, PhaseKind};
 use pdnn_bgq::node::CLOCK_HZ;
+use pdnn_obs::{Event, InMemoryRecorder, Recorder, Telemetry, Value};
 use pdnn_util::report::Table;
 
 /// The rank/threads configurations of Figure 1(a) (one rack).
@@ -43,7 +44,10 @@ pub fn breakdown_configs() -> Vec<BgqRun> {
 /// Figure 1: execution time per configuration.
 pub fn fig1(job: &JobSpec, configs: &[BgqRun]) -> Table {
     let mut t = Table::new(
-        format!("Fig 1 — execution time, {:.0}-hour training data", job.hours),
+        format!(
+            "Fig 1 — execution time, {:.0}-hour training data",
+            job.hours
+        ),
         &["config", "seconds", "hours"],
     );
     for run in configs {
@@ -53,55 +57,6 @@ pub fn fig1(job: &JobSpec, configs: &[BgqRun]) -> Table {
             format!("{total:.0}"),
             format!("{:.2}", total / 3600.0),
         ]);
-    }
-    t
-}
-
-/// Cycle-breakdown rows for one side (master/worker) of Figures 2–3.
-fn cycles_table(job: &JobSpec, master_side: bool, title: &str) -> Table {
-    let mut t = Table::new(
-        title,
-        &[
-            "config",
-            "function",
-            "committed (Gcyc)",
-            "iu_empty (Gcyc)",
-            "axu_dep (Gcyc)",
-            "fxu_dep (Gcyc)",
-            "other (Gcyc)",
-        ],
-    );
-    for run in breakdown_configs() {
-        let breakdown = bgq_time(job, &run);
-        let cfg = run.node_config();
-        for phase in &breakdown.phases {
-            // Busy cycles use the phase's own profile; waiting cycles
-            // (blocked in MPI while the other side computes) use the
-            // CommWait profile.
-            let (busy_s, wait_s) = if master_side {
-                (
-                    phase.master_compute_s,
-                    phase.wire_coll_s + phase.wire_p2p_s + phase.worker_compute_s,
-                )
-            } else {
-                (
-                    phase.worker_compute_s,
-                    phase.wire_coll_s + phase.wire_p2p_s + phase.master_compute_s,
-                )
-            };
-            let mut cycles = classify_cycles(phase.kind, cfg, busy_s * CLOCK_HZ);
-            cycles.merge(&classify_cycles(PhaseKind::CommWait, cfg, wait_s * CLOCK_HZ));
-            let name = display_name(phase.name, master_side);
-            t.row(&[
-                run.label(),
-                name.to_string(),
-                format!("{:.1}", cycles.committed / 1e9),
-                format!("{:.1}", cycles.iu_empty / 1e9),
-                format!("{:.1}", cycles.axu_dep_stalls / 1e9),
-                format!("{:.1}", cycles.fxu_dep_stalls / 1e9),
-                format!("{:.1}", cycles.other / 1e9),
-            ]);
-        }
     }
     t
 }
@@ -121,49 +76,175 @@ fn display_name(phase: &str, master_side: bool) -> &'static str {
     }
 }
 
-/// Figure 2: master process cycle breakdown.
-pub fn fig2(job: &JobSpec) -> Table {
-    cycles_table(job, true, "Fig 2 — master process cycles breakdown")
-}
-
-/// Figure 3: worker process cycle breakdown.
-pub fn fig3(job: &JobSpec) -> Table {
-    cycles_table(job, false, "Fig 3 — worker process cycles breakdown")
-}
-
-/// MPI-time rows for one side of Figures 4–5.
-fn mpi_table(job: &JobSpec, master_side: bool, title: &str) -> Table {
-    let mut t = Table::new(
-        title,
-        &["config", "function", "collective (s)", "point-to-point (s)"],
-    );
+/// Model-driven attribution for Figures 2–5 as `pdnn_obs` telemetry.
+///
+/// Emits one `"phase_attribution"` event per (configuration, function,
+/// side) over the [`breakdown_configs`]: the A2 cycle categories in
+/// Gcyc plus the per-class MPI seconds. The figure builders
+/// ([`fig2_from`] … [`fig5_from`]) consume exactly this stream — the
+/// bench binaries write it to JSONL first and rebuild the tables from
+/// the parsed file.
+pub fn phase_attribution(job: &JobSpec) -> Telemetry {
+    let rec = InMemoryRecorder::with_manual_clock();
     for run in breakdown_configs() {
         let breakdown = bgq_time(job, &run);
+        let cfg = run.node_config();
         for phase in &breakdown.phases {
-            let (coll, p2p) = if master_side {
-                (phase.master_mpi_coll_s(), phase.master_mpi_p2p_s())
-            } else {
-                (phase.worker_mpi_coll_s(), phase.worker_mpi_p2p_s())
-            };
-            t.row(&[
-                run.label(),
-                display_name(phase.name, master_side).to_string(),
-                format!("{coll:.1}"),
-                format!("{p2p:.1}"),
-            ]);
+            for master_side in [true, false] {
+                // Busy cycles use the phase's own profile; waiting
+                // cycles (blocked in MPI while the other side
+                // computes) use the CommWait profile.
+                let (busy_s, wait_s) = if master_side {
+                    (
+                        phase.master_compute_s,
+                        phase.wire_coll_s + phase.wire_p2p_s + phase.worker_compute_s,
+                    )
+                } else {
+                    (
+                        phase.worker_compute_s,
+                        phase.wire_coll_s + phase.wire_p2p_s + phase.master_compute_s,
+                    )
+                };
+                let mut cycles = classify_cycles(phase.kind, cfg, busy_s * CLOCK_HZ);
+                cycles.merge(&classify_cycles(
+                    PhaseKind::CommWait,
+                    cfg,
+                    wait_s * CLOCK_HZ,
+                ));
+                let (coll, p2p) = if master_side {
+                    (phase.master_mpi_coll_s(), phase.master_mpi_p2p_s())
+                } else {
+                    (phase.worker_mpi_coll_s(), phase.worker_mpi_p2p_s())
+                };
+                let side = if master_side { "master" } else { "worker" };
+                rec.event(
+                    "phase_attribution",
+                    vec![
+                        ("config".into(), Value::Str(run.label())),
+                        (
+                            "function".into(),
+                            Value::from(display_name(phase.name, master_side)),
+                        ),
+                        ("side".into(), Value::from(side)),
+                        ("committed_gcyc".into(), Value::F64(cycles.committed / 1e9)),
+                        ("iu_empty_gcyc".into(), Value::F64(cycles.iu_empty / 1e9)),
+                        ("axu_gcyc".into(), Value::F64(cycles.axu_dep_stalls / 1e9)),
+                        ("fxu_gcyc".into(), Value::F64(cycles.fxu_dep_stalls / 1e9)),
+                        ("other_gcyc".into(), Value::F64(cycles.other / 1e9)),
+                        ("mpi_coll_s".into(), Value::F64(coll)),
+                        ("mpi_p2p_s".into(), Value::F64(p2p)),
+                    ],
+                );
+            }
         }
+    }
+    rec.take()
+}
+
+/// The `"phase_attribution"` events for one side, in emission order.
+fn side_events<'a>(telemetry: &'a Telemetry, side: &'a str) -> impl Iterator<Item = &'a Event> {
+    telemetry.events.iter().filter(move |e| {
+        e.name == "phase_attribution" && e.get("side").and_then(Value::as_str) == Some(side)
+    })
+}
+
+fn event_str(e: &Event, key: &str) -> String {
+    e.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn event_f64(e: &Event, key: &str) -> f64 {
+    e.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+/// Cycle-breakdown rows for one side (master/worker) of Figures 2–3,
+/// from a telemetry stream.
+fn cycles_table_from(telemetry: &Telemetry, master_side: bool, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "config",
+            "function",
+            "committed (Gcyc)",
+            "iu_empty (Gcyc)",
+            "axu_dep (Gcyc)",
+            "fxu_dep (Gcyc)",
+            "other (Gcyc)",
+        ],
+    );
+    let side = if master_side { "master" } else { "worker" };
+    for e in side_events(telemetry, side) {
+        t.row(&[
+            event_str(e, "config"),
+            event_str(e, "function"),
+            format!("{:.1}", event_f64(e, "committed_gcyc")),
+            format!("{:.1}", event_f64(e, "iu_empty_gcyc")),
+            format!("{:.1}", event_f64(e, "axu_gcyc")),
+            format!("{:.1}", event_f64(e, "fxu_gcyc")),
+            format!("{:.1}", event_f64(e, "other_gcyc")),
+        ]);
     }
     t
 }
 
+/// MPI-time rows for one side of Figures 4–5, from a telemetry stream.
+fn mpi_table_from(telemetry: &Telemetry, master_side: bool, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &["config", "function", "collective (s)", "point-to-point (s)"],
+    );
+    let side = if master_side { "master" } else { "worker" };
+    for e in side_events(telemetry, side) {
+        t.row(&[
+            event_str(e, "config"),
+            event_str(e, "function"),
+            format!("{:.1}", event_f64(e, "mpi_coll_s")),
+            format!("{:.1}", event_f64(e, "mpi_p2p_s")),
+        ]);
+    }
+    t
+}
+
+/// Figure 2 from a recorded attribution stream.
+pub fn fig2_from(telemetry: &Telemetry) -> Table {
+    cycles_table_from(telemetry, true, "Fig 2 — master process cycles breakdown")
+}
+
+/// Figure 3 from a recorded attribution stream.
+pub fn fig3_from(telemetry: &Telemetry) -> Table {
+    cycles_table_from(telemetry, false, "Fig 3 — worker process cycles breakdown")
+}
+
+/// Figure 4 from a recorded attribution stream.
+pub fn fig4_from(telemetry: &Telemetry) -> Table {
+    mpi_table_from(telemetry, true, "Fig 4 — master MPI communication time")
+}
+
+/// Figure 5 from a recorded attribution stream.
+pub fn fig5_from(telemetry: &Telemetry) -> Table {
+    mpi_table_from(telemetry, false, "Fig 5 — worker MPI communication time")
+}
+
+/// Figure 2: master process cycle breakdown.
+pub fn fig2(job: &JobSpec) -> Table {
+    fig2_from(&phase_attribution(job))
+}
+
+/// Figure 3: worker process cycle breakdown.
+pub fn fig3(job: &JobSpec) -> Table {
+    fig3_from(&phase_attribution(job))
+}
+
 /// Figure 4: master MPI communication time.
 pub fn fig4(job: &JobSpec) -> Table {
-    mpi_table(job, true, "Fig 4 — master MPI communication time")
+    fig4_from(&phase_attribution(job))
 }
 
 /// Figure 5: worker MPI communication time.
 pub fn fig5(job: &JobSpec) -> Table {
-    mpi_table(job, false, "Fig 5 — worker MPI communication time")
+    fig5_from(&phase_attribution(job))
 }
 
 /// Table I: scaling-up performance, Xeon-96 vs BG/Q-4096.
@@ -287,7 +368,10 @@ pub fn billions_values() -> Vec<(f64, f64)> {
 pub fn comm_ablation(param_bytes: u64, ranks: usize) -> Table {
     use pdnn_bgq::comm_model::{ethernet_1g, socket_1g, Network};
     let mut t = Table::new(
-        format!("Weight synchronization cost, {} MB model, {ranks} ranks", param_bytes >> 20),
+        format!(
+            "Weight synchronization cost, {} MB model, {ranks} ranks",
+            param_bytes >> 20
+        ),
         &["transport", "bcast time (s)"],
     );
     let nodes = (ranks / 4).max(1);
@@ -337,8 +421,14 @@ mod tests {
         let t2048 = seconds_of(&v, "2048-2-32");
         let t4096 = seconds_of(&v, "4096-4-16");
         let t1024 = seconds_of(&v, "1024-1-64");
-        assert!(t2048 < t4096, "2048-2-32 {t2048} should beat 4096-4-16 {t4096}");
-        assert!(t4096 < t1024, "4096-4-16 {t4096} should beat 1024-1-64 {t1024}");
+        assert!(
+            t2048 < t4096,
+            "2048-2-32 {t2048} should beat 4096-4-16 {t4096}"
+        );
+        assert!(
+            t4096 < t1024,
+            "4096-4-16 {t4096} should beat 1024-1-64 {t1024}"
+        );
         // "slightly better": within ~15%.
         assert!(t4096 / t2048 < 1.15, "gap too large: {}", t4096 / t2048);
     }
@@ -380,7 +470,10 @@ mod tests {
         assert!(speed_ce > 4.5 && speed_ce < 9.5, "CE speedup {speed_ce}");
         assert!(xeon_seq > 14.0 && xeon_seq < 25.0, "xeon seq {xeon_seq} h");
         assert!(bgq_seq > 2.8 && bgq_seq < 5.6, "bgq seq {bgq_seq} h");
-        assert!(speed_seq > 3.0 && speed_seq < 7.0, "seq speedup {speed_seq}");
+        assert!(
+            speed_seq > 3.0 && speed_seq < 7.0,
+            "seq speedup {speed_seq}"
+        );
         // Sequence is costlier than CE on both machines, and the BG/Q
         // advantage is smaller for sequence (paper: 6.9x vs 4.5x).
         assert!(xeon_seq > xeon_ce && bgq_seq > bgq_ce);
@@ -425,6 +518,24 @@ mod tests {
         assert_eq!(fig5(&job).len(), 15);
         assert_eq!(table1().len(), 2);
         assert!(!fig1(&job, &fig1a_configs()).render().is_empty());
+    }
+
+    #[test]
+    fn attribution_round_trips_through_jsonl() {
+        let job = JobSpec::ce_50h();
+        let telemetry = phase_attribution(&job);
+        // 3 configs x 5 functions x 2 sides.
+        assert_eq!(telemetry.events.len(), 30);
+        let text = pdnn_obs::jsonl::to_jsonl_string(0, &telemetry);
+        let parsed = pdnn_obs::jsonl::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let back = &parsed[0].1;
+        // The tables built from the parsed file match the direct path
+        // exactly (f64 values survive the JSONL round trip losslessly).
+        assert_eq!(fig2_from(back).render(), fig2(&job).render());
+        assert_eq!(fig3_from(back).render(), fig3(&job).render());
+        assert_eq!(fig4_from(back).render(), fig4(&job).render());
+        assert_eq!(fig5_from(back).render(), fig5(&job).render());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! The workspace-wide error type.
+//!
+//! Fallible operations across crate boundaries (CSV emission,
+//! checkpoint I/O, config validation, telemetry export, communication
+//! failures surfaced to callers) all convert into [`Error`], so a
+//! training driver can use one `Result` type end to end instead of
+//! per-crate ad-hoc `String` / `io::Error` returns.
+
+use std::io;
+
+/// Shared result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Workspace-wide error.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A file or byte stream is not in the expected format (with a
+    /// human-readable reason).
+    Format(String),
+    /// A configuration value violates an invariant.
+    Config(String),
+    /// A communication-layer failure (see `pdnn_mpisim::CommError`).
+    Comm(String),
+    /// Text that should parse (JSONL telemetry, CLI values) did not.
+    Parse(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Format(m) => write!(f, "format error: {m}"),
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::Comm(m) => write!(f, "communication failed: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let e: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn variants_display_their_payload() {
+        assert!(Error::Config("momentum must be in [0, 1)".into())
+            .to_string()
+            .contains("momentum"));
+        assert!(Error::Format("bad magic".into())
+            .to_string()
+            .contains("magic"));
+        assert!(Error::Parse("line 3".into()).to_string().contains("line 3"));
+        assert!(Error::Comm("rank 2 disconnected".into())
+            .to_string()
+            .contains("disconnected"));
+        assert!(std::error::Error::source(&Error::Comm("x".into())).is_none());
+    }
+}

@@ -13,12 +13,16 @@
 //! * [`timing`] — named phase timers used to attribute wall-clock time
 //!   to algorithm phases (`gradient_loss`, `sync_weights`, …) the same
 //!   way the paper's Figures 2–5 attribute cycles.
+//! * [`error`] — the workspace-wide [`Error`] type that fallible
+//!   operations across crates convert into.
 
+pub mod error;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod timing;
 
+pub use error::{Error, Result};
 pub use rng::Prng;
 pub use stats::OnlineStats;
 pub use timing::PhaseTimer;

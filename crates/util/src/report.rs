@@ -4,9 +4,9 @@
 //! figures as (a) an aligned text table on stdout and (b) a CSV file
 //! under `results/`, so the series can be re-plotted.
 
+use crate::error::Error;
 use std::fmt::Write as _;
 use std::fs;
-use std::io;
 use std::path::{Path, PathBuf};
 
 /// A simple column-aligned table builder.
@@ -114,7 +114,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -127,7 +131,7 @@ impl Table {
     }
 
     /// Write the CSV rendering under `dir/name.csv`, creating `dir`.
-    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
+    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> Result<PathBuf, Error> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.csv"));

@@ -59,7 +59,8 @@ impl Prng {
     /// decorrelated and stable regardless of how much the parent has
     /// been used before splitting.
     pub fn split(&self, stream: u64) -> Prng {
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),

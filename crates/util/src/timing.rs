@@ -7,6 +7,7 @@
 //! invocation count, and the result can be rendered or fed to the
 //! performance model for calibration.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -21,12 +22,13 @@ pub struct PhaseTotal {
 
 /// Accumulates wall-clock time per named phase.
 ///
-/// Phases are identified by `&'static str` so hot paths do not
-/// allocate. Iteration order is alphabetical (BTreeMap), which keeps
-/// reports deterministic.
+/// Phases are usually identified by `&'static str` so hot paths do
+/// not allocate, but owned names (e.g. phase labels parsed back from
+/// a telemetry export) are accepted too. Iteration order is
+/// alphabetical (BTreeMap), which keeps reports deterministic.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseTimer {
-    phases: BTreeMap<&'static str, PhaseTotal>,
+    phases: BTreeMap<Cow<'static, str>, PhaseTotal>,
 }
 
 impl PhaseTimer {
@@ -36,7 +38,7 @@ impl PhaseTimer {
     }
 
     /// Time a closure and attribute its duration to `phase`.
-    pub fn time<R>(&mut self, phase: &'static str, f: impl FnOnce() -> R) -> R {
+    pub fn time<R>(&mut self, phase: impl Into<Cow<'static, str>>, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let out = f();
         self.add(phase, start.elapsed().as_secs_f64());
@@ -45,8 +47,8 @@ impl PhaseTimer {
 
     /// Add `seconds` to `phase` directly (used when the caller already
     /// measured, e.g. simulated time).
-    pub fn add(&mut self, phase: &'static str, seconds: f64) {
-        let entry = self.phases.entry(phase).or_default();
+    pub fn add(&mut self, phase: impl Into<Cow<'static, str>>, seconds: f64) {
+        let entry = self.phases.entry(phase.into()).or_default();
         entry.seconds += seconds;
         entry.calls += 1;
     }
@@ -57,8 +59,8 @@ impl PhaseTimer {
     }
 
     /// All phases in alphabetical order.
-    pub fn phases(&self) -> impl Iterator<Item = (&'static str, PhaseTotal)> + '_ {
-        self.phases.iter().map(|(&k, &v)| (k, v))
+    pub fn phases(&self) -> impl Iterator<Item = (&str, PhaseTotal)> + '_ {
+        self.phases.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 
     /// Sum of all phase times.
@@ -68,8 +70,8 @@ impl PhaseTimer {
 
     /// Merge another timer into this one (e.g. across worker threads).
     pub fn merge(&mut self, other: &PhaseTimer) {
-        for (&name, tot) in other.phases.iter() {
-            let entry = self.phases.entry(name).or_default();
+        for (name, tot) in other.phases.iter() {
+            let entry = self.phases.entry(name.clone()).or_default();
             entry.seconds += tot.seconds;
             entry.calls += tot.calls;
         }
@@ -78,7 +80,7 @@ impl PhaseTimer {
     /// Render a fixed-width report, longest phase first.
     pub fn report(&self) -> String {
         let mut rows: Vec<(&str, PhaseTotal)> =
-            self.phases.iter().map(|(&k, &v)| (k, v)).collect();
+            self.phases.iter().map(|(k, &v)| (k.as_ref(), v)).collect();
         rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
         let total = self.total_seconds().max(f64::MIN_POSITIVE);
         let mut out = String::new();

@@ -57,8 +57,11 @@ fn main() {
         held.clone(),
         Objective::CrossEntropy,
     );
-    let mut cfg = HfConfig::small_task();
-    cfg.max_iters = 6;
+    let cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(6)
+        .build()
+        .expect("invalid HF configuration");
     HfOptimizer::new(cfg).train(&mut ce);
     let ce_net = ce.into_network();
     let ser_ce = ser(&ce_net, &held, &corpus);
@@ -72,8 +75,11 @@ fn main() {
         held.clone(),
         Objective::Sequence(corpus.denominator_graph()),
     );
-    let mut cfg = HfConfig::small_task();
-    cfg.max_iters = 5;
+    let cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(5)
+        .build()
+        .expect("invalid HF configuration");
     HfOptimizer::new(cfg).train(&mut seq);
     let final_net = seq.into_network();
     let ser_seq = ser(&final_net, &held, &corpus);

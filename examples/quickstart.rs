@@ -35,7 +35,11 @@ fn main() {
         Activation::Sigmoid,
         &mut rng,
     );
-    println!("network: dims {:?}, {} parameters", net.dims(), net.num_params());
+    println!(
+        "network: dims {:?}, {} parameters",
+        net.dims(),
+        net.num_params()
+    );
 
     // 3. Wrap data + model into an HF problem and train.
     let mut problem = DnnProblem::new(
@@ -45,8 +49,11 @@ fn main() {
         corpus.shard(&held_ids),
         Objective::CrossEntropy,
     );
-    let mut config = HfConfig::small_task();
-    config.max_iters = 10;
+    let config = HfConfig::small_task()
+        .into_builder()
+        .max_iters(10)
+        .build()
+        .expect("invalid HF configuration");
     let mut optimizer = HfOptimizer::new(config);
     let stats = optimizer.train(&mut problem);
 
@@ -58,14 +65,22 @@ fn main() {
             s.iter,
             s.train_loss,
             s.heldout_after,
-            if s.heldout_accuracy.is_nan() { 0.0 } else { s.heldout_accuracy },
+            if s.heldout_accuracy.is_nan() {
+                0.0
+            } else {
+                s.heldout_accuracy
+            },
             s.cg_iters,
             s.alpha,
             if s.accepted { "yes" } else { "no (λ boosted)" },
         );
     }
 
-    let last = stats.iter().rev().find(|s| s.accepted).expect("no accepted step");
+    let last = stats
+        .iter()
+        .rev()
+        .find(|s| s.accepted)
+        .expect("no accepted step");
     println!(
         "\nfinal heldout: loss {:.4}, frame accuracy {:.1}%",
         last.heldout_after,

@@ -13,7 +13,7 @@
 //! ```
 
 use pdnn::bgq::Network;
-use pdnn::mpisim::{render_gantt, run_world, LinkModel, ReduceOp, Span};
+use pdnn::mpisim::{render_gantt, run_world, LinkModel, ReduceOp, Span, SpanKind};
 use std::sync::Arc;
 
 struct BgqLink(Network);
@@ -34,7 +34,11 @@ fn hf_iteration_vtime(workers: usize, params: usize, frames: f64, cg_rounds: usi
         let is_master = comm.rank() == 0;
 
         // sync_weights
-        let mut theta = if is_master { vec![0.0f32; params] } else { vec![] };
+        let mut theta = if is_master {
+            vec![0.0f32; params]
+        } else {
+            vec![]
+        };
         comm.bcast(&mut theta, 0).unwrap();
 
         // gradient_loss
@@ -46,7 +50,11 @@ fn hf_iteration_vtime(workers: usize, params: usize, frames: f64, cg_rounds: usi
 
         // CG: bcast direction, curvature product, reduce
         for _ in 0..cg_rounds {
-            let mut d = if is_master { vec![0.0f32; params] } else { vec![] };
+            let mut d = if is_master {
+                vec![0.0f32; params]
+            } else {
+                vec![]
+            };
             comm.bcast(&mut d, 0).unwrap();
             if !is_master {
                 comm.advance_vtime(per_worker_secs * 0.02);
@@ -66,23 +74,28 @@ fn gantt_of_iteration(workers: usize, params: usize, frames: f64) -> String {
         comm.set_link_model(Arc::new(BgqLink(Network::bgq(64))));
         let is_master = comm.rank() == 0;
         let mut spans: Vec<Span> = Vec::new();
-        let mut mark = |name, start, end| spans.push(Span { name, start, end });
+        let mut mark =
+            |name: &'static str, kind, start, end| spans.push(Span::new(name, kind, start, end));
 
         let t0 = comm.vtime();
-        let mut theta = if is_master { vec![0.0f32; params] } else { vec![] };
+        let mut theta = if is_master {
+            vec![0.0f32; params]
+        } else {
+            vec![]
+        };
         comm.bcast(&mut theta, 0).unwrap();
-        mark("sync", t0, comm.vtime());
+        mark("sync", SpanKind::CommCollective, t0, comm.vtime());
 
         let t0 = comm.vtime();
         if !is_master {
             comm.advance_vtime(per_worker_secs);
         }
-        mark("grad", t0, comm.vtime());
+        mark("grad", SpanKind::DenseCompute, t0, comm.vtime());
 
         let t0 = comm.vtime();
         let mut grad = vec![0.0f32; params];
         comm.reduce(&mut grad, ReduceOp::Sum, 0).unwrap();
-        mark("reduce", t0, comm.vtime());
+        mark("reduce", SpanKind::CommCollective, t0, comm.vtime());
         spans
     });
     let ranks: Vec<Vec<Span>> = results.into_iter().map(|r| r.result).collect();

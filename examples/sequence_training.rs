@@ -21,7 +21,12 @@ fn mmi_loss_of(net: &Network<f32>, corpus: &Corpus, ids: &[usize]) -> f64 {
     let shard = corpus.shard(ids);
     let ctx = GemmContext::sequential();
     let logits = net.logits(&ctx, &shard.x);
-    let out = mmi_batch(&logits, &shard.labels, &shard.utt_lens, &corpus.denominator_graph());
+    let out = mmi_batch(
+        &logits,
+        &shard.labels,
+        &shard.utt_lens,
+        &corpus.denominator_graph(),
+    );
     out.loss / shard.frames() as f64
 }
 
@@ -60,8 +65,11 @@ fn main() {
         corpus.shard(&held_ids),
         Objective::CrossEntropy,
     );
-    let mut ce_cfg = HfConfig::small_task();
-    ce_cfg.max_iters = 8;
+    let ce_cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(8)
+        .build()
+        .expect("invalid HF configuration");
     let ce_stats = HfOptimizer::new(ce_cfg).train(&mut ce_problem);
     let ce_net = ce_problem.into_network();
     let ce_last = ce_stats.iter().rev().find(|s| s.accepted).unwrap();
@@ -80,9 +88,12 @@ fn main() {
         corpus.shard(&held_ids),
         Objective::Sequence(corpus.denominator_graph()),
     );
-    let mut seq_cfg = HfConfig::small_task();
-    seq_cfg.max_iters = 6;
-    seq_cfg.lambda0 = 1.0; // fresh damping for the new objective
+    let seq_cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(6)
+        .lambda0(1.0) // fresh damping for the new objective
+        .build()
+        .expect("invalid HF configuration");
     let seq_stats = HfOptimizer::new(seq_cfg).train(&mut seq_problem);
     let seq_net = seq_problem.into_network();
     let mmi_after_seq = mmi_loss_of(&seq_net, &corpus, &held_ids);

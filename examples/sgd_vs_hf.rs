@@ -56,8 +56,11 @@ fn main() {
         heldout.clone(),
         Objective::CrossEntropy,
     );
-    let mut hf_cfg = HfConfig::small_task();
-    hf_cfg.max_iters = 10;
+    let hf_cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(10)
+        .build()
+        .expect("invalid HF configuration");
     let hf_stats = HfOptimizer::new(hf_cfg).train(&mut problem);
     let hf_last = hf_stats.iter().rev().find(|s| s.accepted).unwrap();
     println!(
@@ -74,11 +77,7 @@ fn main() {
         ..Default::default()
     };
     let out = train_parallel_sgd(&net0, &train, &heldout, &psgd_cfg, 4);
-    let bytes: u64 = out
-        .traces
-        .iter()
-        .map(|t| t.collective.bytes_sent)
-        .sum();
+    let bytes: u64 = out.traces.iter().map(|t| t.collective.bytes_sent).sum();
     let frames = train.frames() as u64;
     println!(
         "\nparallel SGD over 4 ranks, 1 epoch: {} updates, {} bytes moved \

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, then style gates scoped to
+# the crates touched by the telemetry-subsystem work.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== style: rustfmt =="
+cargo fmt --check
+
+echo "== style: clippy (changed crates) =="
+cargo clippy -p pdnn-obs -p pdnn-util -p pdnn-mpisim -p pdnn-core \
+    -p pdnn-bgq -p pdnn-perfmodel -p pdnn-bench -p pdnn \
+    --all-targets -- -D warnings
+
+echo "verify: OK"

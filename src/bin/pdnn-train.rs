@@ -29,8 +29,7 @@
 
 use pdnn::core::config::Preconditioner;
 use pdnn::core::{
-    train_distributed, DistributedConfig, DnnProblem, HfConfig, HfOptimizer, IterStats,
-    Objective,
+    train_distributed, DistributedConfig, DnnProblem, HfConfig, HfOptimizer, IterStats, Objective,
 };
 use pdnn::dnn::{load_network, save_network, Activation, Network};
 use pdnn::speech::{stack_context, Corpus, CorpusSpec, Strategy};
@@ -49,7 +48,9 @@ fn arg_value(key: &str) -> Option<String> {
 }
 
 fn arg_num<T: std::str::FromStr>(key: &str, default: T) -> T {
-    arg_value(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn arg_flag(key: &str) -> bool {
@@ -64,7 +65,11 @@ fn print_stats(stats: &[IterStats]) {
             s.iter,
             s.train_loss,
             s.heldout_after,
-            if s.heldout_accuracy.is_nan() { 0.0 } else { s.heldout_accuracy },
+            if s.heldout_accuracy.is_nan() {
+                0.0
+            } else {
+                s.heldout_accuracy
+            },
             s.cg_iters,
             s.alpha,
             s.accepted
@@ -153,17 +158,21 @@ fn main() -> ExitCode {
             dims.push(states);
             let mut rng = Prng::new(seed ^ 0xABCD);
             let net = Network::new(&dims, Activation::Sigmoid, &mut rng);
-            println!("fresh network: dims {:?}, {} parameters", net.dims(), net.num_params());
+            println!(
+                "fresh network: dims {:?}, {} parameters",
+                net.dims(),
+                net.num_params()
+            );
             net
         }
     };
 
-    let mut hf = HfConfig::small_task();
-    hf.max_iters = iters;
+    let mut hf_builder = HfConfig::small_task().into_builder().max_iters(iters);
     if arg_flag("--precondition") {
-        hf.preconditioner = Preconditioner::EmpiricalFisher { exponent: 0.75 };
+        hf_builder = hf_builder.preconditioner(Preconditioner::EmpiricalFisher { exponent: 0.75 });
         println!("CG preconditioner: empirical Fisher, ξ = 0.75");
     }
+    let hf = hf_builder.build().expect("invalid HF configuration");
 
     let trained = if workers == 0 {
         println!("mode: serial\n");
@@ -175,13 +184,7 @@ fn main() -> ExitCode {
         };
         let train_shard = stack_context(&corpus.shard(&train_ids), context);
         let held_shard = stack_context(&corpus.shard(&held_ids), context);
-        let mut problem = DnnProblem::new(
-            net0,
-            ctx,
-            train_shard,
-            held_shard,
-            objective,
-        );
+        let mut problem = DnnProblem::new(net0, ctx, train_shard, held_shard, objective);
         let stats = HfOptimizer::new(hf).train(&mut problem);
         print_stats(&stats);
         problem.into_network()

@@ -14,6 +14,8 @@
 //! * [`perfmodel`] — calibrated scaling model regenerating the paper's
 //!   figures and tables.
 //! * [`baselines`] — serial and synchronous-parallel SGD.
+//! * [`obs`] (`pdnn-obs`) — unified telemetry: recorder API, span
+//!   timelines, comm statistics, JSONL export, terminal rendering.
 //! * [`util`] — deterministic RNG, stats, reporting.
 
 pub use pdnn_baselines as baselines;
@@ -21,6 +23,7 @@ pub use pdnn_bgq as bgq;
 pub use pdnn_core as core;
 pub use pdnn_dnn as dnn;
 pub use pdnn_mpisim as mpisim;
+pub use pdnn_obs as obs;
 pub use pdnn_perfmodel as perfmodel;
 pub use pdnn_speech as speech;
 pub use pdnn_tensor as tensor;

@@ -22,8 +22,11 @@ fn setup() -> (Corpus, Network<f32>, HfConfig) {
         Activation::Sigmoid,
         &mut rng,
     );
-    let mut hf = HfConfig::small_task();
-    hf.max_iters = 5;
+    let hf = HfConfig::small_task()
+        .into_builder()
+        .max_iters(5)
+        .build()
+        .unwrap();
     (corpus, net, hf)
 }
 
@@ -105,8 +108,8 @@ fn partition_strategy_does_not_change_quality() {
 
 #[test]
 fn distributed_run_produces_paper_instrumentation() {
-    let (corpus, net, mut hf) = setup();
-    hf.max_iters = 2;
+    let (corpus, net, hf) = setup();
+    let hf = hf.into_builder().max_iters(2).build().unwrap();
     let config = DistributedConfig {
         workers: 3,
         hf,
@@ -150,8 +153,8 @@ fn distributed_run_produces_paper_instrumentation() {
 fn threads_per_rank_does_not_change_results() {
     // The paper's ranks x threads grid: math must be invariant to the
     // within-rank threading (GEMM decomposition is deterministic).
-    let (corpus, net, mut hf) = setup();
-    hf.max_iters = 3;
+    let (corpus, net, hf) = setup();
+    let hf = hf.into_builder().max_iters(3).build().unwrap();
     let run = |threads: usize| {
         let config = DistributedConfig {
             workers: 2,

@@ -36,8 +36,11 @@ fn hessian_free_learns_the_synthetic_task() {
         Objective::CrossEntropy,
     );
     let start = problem.heldout_eval(&problem.theta());
-    let mut cfg = HfConfig::small_task();
-    cfg.max_iters = 10;
+    let cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(10)
+        .build()
+        .unwrap();
     let stats = HfOptimizer::new(cfg).train(&mut problem);
     let last = stats.iter().rev().find(|s| s.accepted).expect("no step");
     assert!(
@@ -91,8 +94,11 @@ fn hf_matches_sgd_quality_on_the_same_task() {
         heldout,
         Objective::CrossEntropy,
     );
-    let mut cfg = HfConfig::small_task();
-    cfg.max_iters = 12;
+    let cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(12)
+        .build()
+        .unwrap();
     let stats = HfOptimizer::new(cfg).train(&mut problem);
     let hf_acc = stats
         .iter()
@@ -127,8 +133,7 @@ fn sequence_training_improves_the_sequence_criterion() {
     let mmi_of = |net: &Network<f32>| {
         let shard = corpus.shard(&held_ids);
         let logits = net.logits(&ctx, &shard.x);
-        mmi_batch(&logits, &shard.labels, &shard.utt_lens, &graph).loss
-            / shard.frames() as f64
+        mmi_batch(&logits, &shard.labels, &shard.utt_lens, &graph).loss / shard.frames() as f64
     };
 
     // Stage 1: CE.
@@ -139,8 +144,11 @@ fn sequence_training_improves_the_sequence_criterion() {
         corpus.shard(&held_ids),
         Objective::CrossEntropy,
     );
-    let mut cfg = HfConfig::small_task();
-    cfg.max_iters = 2;
+    let cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(2)
+        .build()
+        .unwrap();
     HfOptimizer::new(cfg).train(&mut ce);
     let ce_net = ce.into_network();
     let before = mmi_of(&ce_net);
@@ -153,12 +161,18 @@ fn sequence_training_improves_the_sequence_criterion() {
         corpus.shard(&held_ids),
         Objective::Sequence(graph.clone()),
     );
-    let mut cfg = HfConfig::small_task();
-    cfg.max_iters = 6;
+    let cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(6)
+        .build()
+        .unwrap();
     let stats = HfOptimizer::new(cfg).train(&mut seq);
     let after = mmi_of(&seq.into_network());
 
-    assert!(stats.iter().any(|s| s.accepted), "no sequence step accepted");
+    assert!(
+        stats.iter().any(|s| s.accepted),
+        "no sequence step accepted"
+    );
     assert!(
         after < before * 0.9,
         "sequence criterion did not meaningfully improve: {before} -> {after}"
@@ -184,8 +198,11 @@ fn viterbi_decoding_beats_frame_argmax_on_heldout() {
         corpus.shard(&held_ids),
         Objective::CrossEntropy,
     );
-    let mut cfg = HfConfig::small_task();
-    cfg.max_iters = 6;
+    let cfg = HfConfig::small_task()
+        .into_builder()
+        .max_iters(6)
+        .build()
+        .unwrap();
     HfOptimizer::new(cfg).train(&mut problem);
     let net = problem.into_network();
 
@@ -214,8 +231,11 @@ fn deterministic_given_seeds() {
             corpus.shard(&held_ids),
             Objective::CrossEntropy,
         );
-        let mut cfg = HfConfig::small_task();
-        cfg.max_iters = 3;
+        let cfg = HfConfig::small_task()
+            .into_builder()
+            .max_iters(3)
+            .build()
+            .unwrap();
         let stats = HfOptimizer::new(cfg).train(&mut problem);
         (stats.last().unwrap().heldout_after, problem.theta())
     };

@@ -1,0 +1,109 @@
+//! Integration coverage for the unified telemetry subsystem: a real
+//! 4-rank distributed training run must leave almost no wall time
+//! unaccounted for on any rank, and the per-rank telemetry must
+//! survive a JSONL export/import round trip bit-for-bit.
+
+use pdnn::core::{train_distributed, DistributedConfig, HfConfig, Objective, TrainOutput};
+use pdnn::dnn::{Activation, Network};
+use pdnn::obs::jsonl::{read_jsonl, write_jsonl};
+use pdnn::obs::{SpanRecord, Telemetry};
+use pdnn::speech::{Corpus, CorpusSpec};
+use pdnn::util::Prng;
+
+fn train_four_ranks() -> TrainOutput {
+    let corpus = Corpus::generate(CorpusSpec {
+        utterances: 48,
+        ..CorpusSpec::tiny(4242)
+    });
+    let mut rng = Prng::new(7);
+    let net = Network::new(
+        &[corpus.spec().feature_dim, 12, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let config = DistributedConfig {
+        workers: 3,
+        hf: HfConfig::small_task()
+            .into_builder()
+            .max_iters(3)
+            .build()
+            .unwrap(),
+        heldout_frac: 0.2,
+        ..Default::default()
+    };
+    train_distributed(&net, &corpus, &Objective::CrossEntropy, &config)
+}
+
+/// Fraction of `[first start, last end]` covered by the union of the
+/// span intervals (overlap counted once).
+fn span_coverage(spans: &[SpanRecord]) -> f64 {
+    assert!(!spans.is_empty(), "rank recorded no spans");
+    let mut intervals: Vec<(f64, f64)> = spans.iter().map(|s| (s.start, s.end)).collect();
+    intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let first = intervals[0].0;
+    let last = intervals.iter().fold(f64::MIN, |m, &(_, e)| m.max(e));
+    let mut union = 0.0;
+    let mut cursor = first;
+    for (start, end) in intervals {
+        if end > cursor {
+            union += end - start.max(cursor);
+            cursor = end;
+        }
+    }
+    let wall = last - first;
+    if wall <= 0.0 {
+        1.0
+    } else {
+        union / wall
+    }
+}
+
+#[test]
+fn four_rank_training_spans_cover_each_ranks_time() {
+    let out = train_four_ranks();
+    assert!(!out.stats.is_empty(), "training produced no iterations");
+    assert_eq!(out.worker_telemetries.len(), 3);
+
+    let coverage = span_coverage(&out.master_telemetry.spans);
+    assert!(
+        coverage >= 0.95,
+        "master spans cover only {:.1}% of its wall time",
+        100.0 * coverage
+    );
+    for (w, telemetry) in out.worker_telemetries.iter().enumerate() {
+        let coverage = span_coverage(&telemetry.spans);
+        assert!(
+            coverage >= 0.95,
+            "worker {w} spans cover only {:.1}% of its wall time",
+            100.0 * coverage
+        );
+    }
+
+    // The recorder's counters agree with the optimizer's own account.
+    assert_eq!(
+        out.master_telemetry.counter("hf_iterations"),
+        out.stats.len() as u64
+    );
+}
+
+#[test]
+fn per_rank_telemetry_round_trips_through_jsonl() {
+    let out = train_four_ranks();
+    let mut per_rank: Vec<Telemetry> = vec![out.master_telemetry];
+    per_rank.extend(out.worker_telemetries);
+
+    let path =
+        std::env::temp_dir().join(format!("pdnn_observability_{}.jsonl", std::process::id()));
+    write_jsonl(&path, &per_rank).expect("jsonl export failed");
+    let back = read_jsonl(&path).expect("jsonl import failed");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(back.len(), per_rank.len());
+    for (rank, (parsed_rank, parsed)) in back.into_iter().enumerate() {
+        assert_eq!(parsed_rank, rank as u64);
+        assert_eq!(
+            parsed, per_rank[rank],
+            "rank {rank} telemetry changed across the JSONL round trip"
+        );
+    }
+}
