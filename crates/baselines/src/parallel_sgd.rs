@@ -19,7 +19,7 @@
 use crate::sgd::{evaluate, EpochStats, SgdConfig};
 use pdnn_dnn::loss::cross_entropy;
 use pdnn_dnn::network::Network;
-use pdnn_mpisim::{run_world, CommTrace, ReduceOp};
+use pdnn_mpisim::{comm_ok, run_world, CommTrace, ReduceOp};
 use pdnn_speech::Shard;
 use pdnn_tensor::gemm::GemmContext;
 use pdnn_tensor::{blas1, Matrix};
@@ -97,9 +97,12 @@ pub fn train_parallel_sgd(
                 }
 
                 // The expensive part: a Θ(P) allreduce per minibatch.
-                comm.allreduce(&mut grad, ReduceOp::Sum).expect("allreduce");
+                comm_ok(
+                    comm.allreduce(&mut grad, ReduceOp::Sum),
+                    "gradient allreduce",
+                );
                 let mut meta = vec![local_loss];
-                comm.allreduce(&mut meta, ReduceOp::Sum).expect("allreduce");
+                comm_ok(comm.allreduce(&mut meta, ReduceOp::Sum), "loss allreduce");
                 loss_sum += meta[0];
                 seen += batch.len();
 
@@ -230,7 +233,10 @@ mod tests {
         );
         // The ratio bytes-per-frame is enormous — the paper's point.
         let frames_total = (train.frames() * cfg.epochs) as u64;
-        assert!(sent / frames_total > p / 100, "comm/compute ratio too good to be true");
+        assert!(
+            sent / frames_total > p / 100,
+            "comm/compute ratio too good to be true"
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub fn discriminative_pretrain(
         "pretraining needs at least one hidden layer: {dims:?}"
     );
     let input = dims[0];
+    // pdnn-lint: allow(l3-no-unwrap): dims arity is asserted at function entry
     let output = *dims.last().unwrap();
     let hidden = &dims[1..dims.len() - 1];
     let mut rng = Prng::new(config.seed);
@@ -74,11 +75,17 @@ pub fn discriminative_pretrain(
     // Stages 2..: insert a fresh hidden layer below the output.
     for (stage, &width) in hidden.iter().enumerate().skip(1) {
         let mut layers: Vec<Layer<f32>> = net.layers().to_vec();
+        // pdnn-lint: allow(l3-no-unwrap): Network::new asserts at least one layer
         let out_layer = layers.pop().expect("network has an output layer");
         let prev_width = out_layer.inputs();
         // New hidden layer keeps the trained stack below it; the
         // output layer is re-initialized at the new width.
-        layers.push(Layer::glorot(prev_width, width, config.activation, &mut rng));
+        layers.push(Layer::glorot(
+            prev_width,
+            width,
+            config.activation,
+            &mut rng,
+        ));
         layers.push(Layer::glorot(width, output, Activation::Identity, &mut rng));
         net = Network::from_layers(layers);
         let _ = stage;
@@ -137,7 +144,10 @@ mod tests {
         );
         let (_, acc) = evaluate(&net, &GemmContext::sequential(), &held);
         let chance = 1.0 / corpus.spec().states as f64;
-        assert!(acc > 2.0 * chance, "pretrained accuracy {acc} ~ chance {chance}");
+        assert!(
+            acc > 2.0 * chance,
+            "pretrained accuracy {acc} ~ chance {chance}"
+        );
     }
 
     #[test]
@@ -152,13 +162,8 @@ mod tests {
             ..Default::default()
         };
 
-        let mut pretrained = discriminative_pretrain(
-            &dims,
-            &train,
-            &held,
-            &ctx,
-            &PretrainConfig::default(),
-        );
+        let mut pretrained =
+            discriminative_pretrain(&dims, &train, &held, &ctx, &PretrainConfig::default());
         train_sgd(&mut pretrained, &ctx, &train, &held, &finetune);
         let (_, acc_pre) = evaluate(&pretrained, &ctx, &held);
 

@@ -168,7 +168,11 @@ mod tests {
         };
         let stats = train_sgd(&mut net, &ctx, &train, &held, &cfg);
         let last = stats.last().unwrap();
-        assert!(last.heldout_loss < loss0, "{} !< {loss0}", last.heldout_loss);
+        assert!(
+            last.heldout_loss < loss0,
+            "{} !< {loss0}",
+            last.heldout_loss
+        );
         assert!(
             last.heldout_accuracy > acc0 && last.heldout_accuracy > 0.5,
             "accuracy {acc0} -> {}",

@@ -47,7 +47,8 @@ fn bench_collectives(c: &mut Criterion) {
                 b.iter(|| {
                     run_world(r, |comm| {
                         let mut buf = vec![comm.rank() as f32; elems];
-                        comm.allreduce_rabenseifner(&mut buf, ReduceOp::Sum).unwrap();
+                        comm.allreduce_rabenseifner(&mut buf, ReduceOp::Sum)
+                            .unwrap();
                     })
                 })
             },

@@ -5,7 +5,9 @@
 //! thread ladder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pdnn_tensor::gemm::{gemm, gemm_flops, gemm_naive, gemm_prepacked, Blocking, GemmContext, PackedB, Trans};
+use pdnn_tensor::gemm::{
+    gemm, gemm_flops, gemm_naive, gemm_prepacked, Blocking, GemmContext, PackedB, Trans,
+};
 use pdnn_tensor::Matrix;
 use pdnn_util::Prng;
 
@@ -51,8 +53,22 @@ fn bench_blocking_ablation(c: &mut Criterion) {
     group.throughput(Throughput::Elements(gemm_flops(n, n, n)));
     let variants = [
         ("default", Blocking::default()),
-        ("tiny_blocks", Blocking { mc: 16, kc: 16, nc: 32 }),
-        ("tall_kc", Blocking { mc: 64, kc: 1024, nc: 256 }),
+        (
+            "tiny_blocks",
+            Blocking {
+                mc: 16,
+                kc: 16,
+                nc: 32,
+            },
+        ),
+        (
+            "tall_kc",
+            Blocking {
+                mc: 64,
+                kc: 1024,
+                nc: 256,
+            },
+        ),
     ];
     for (name, blocking) in variants {
         let ctx = GemmContext::sequential().with_blocking(blocking);
@@ -80,5 +96,10 @@ fn bench_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_blocking_ablation, bench_threads);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_blocking_ablation,
+    bench_threads
+);
 criterion_main!(benches);

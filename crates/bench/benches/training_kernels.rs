@@ -81,7 +81,9 @@ fn bench_sequence(c: &mut Criterion) {
     let frames = 256;
     let mut rng = Prng::new(7);
     let logits: Matrix<f32> = Matrix::random_normal(frames, states, 1.0, &mut rng);
-    let align: Vec<u32> = (0..frames).map(|_| rng.below(states as u64) as u32).collect();
+    let align: Vec<u32> = (0..frames)
+        .map(|_| rng.below(states as u64) as u32)
+        .collect();
     let utt_lens = vec![64usize; 4];
     let graph = DenominatorGraph::uniform(states);
     let mut group = c.benchmark_group("sequence");

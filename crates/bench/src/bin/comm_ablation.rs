@@ -10,7 +10,13 @@ use pdnn_util::report::Table;
 fn main() {
     let mut t = Table::new(
         "Weight-broadcast time by transport (seconds)",
-        &["params", "ranks", "BG/Q torus", "Ethernet MPI", "socket fan-out"],
+        &[
+            "params",
+            "ranks",
+            "BG/Q torus",
+            "Ethernet MPI",
+            "socket fan-out",
+        ],
     );
     for &params in &[10_000_000u64, 50_000_000, 100_000_000] {
         let bytes = params * 4;

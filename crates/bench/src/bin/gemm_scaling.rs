@@ -96,7 +96,12 @@ fn main() {
         "SGEMM on awkward shapes (1 thread)",
         &["shape (m x k x n)", "GFLOP/s"],
     );
-    for &(m, k, nn) in &[(1000usize, 440usize, 1024usize), (999, 441, 1023), (64, 10000, 64), (4096, 32, 4096)] {
+    for &(m, k, nn) in &[
+        (1000usize, 440usize, 1024usize),
+        (999, 441, 1023),
+        (64, 10000, 64),
+        (4096, 32, 4096),
+    ] {
         let a: Matrix<f32> = Matrix::random_normal(m, k, 1.0, &mut rng);
         let b: Matrix<f32> = Matrix::random_normal(k, nn, 1.0, &mut rng);
         let secs = time_gemm(&seq, &a, &b, 2);

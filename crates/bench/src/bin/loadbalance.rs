@@ -19,12 +19,22 @@ fn main() {
     // Part 1: measured imbalance of each strategy as data scales.
     let mut t = Table::new(
         "Utterance partitioning: imbalance factor (max/mean frames per worker)",
-        &["utterances", "workers", "contiguous", "round-robin", "sorted-LPT"],
+        &[
+            "utterances",
+            "workers",
+            "contiguous",
+            "round-robin",
+            "sorted-LPT",
+        ],
     );
     for &(utts, workers) in &[(256usize, 16usize), (1024, 64), (8192, 256), (32768, 1024)] {
         let lens = synthetic_lengths(utts, 0.7, 99);
         let mut cells = vec![format!("{utts}"), format!("{workers}")];
-        for strat in [Strategy::Contiguous, Strategy::RoundRobin, Strategy::SortedBalanced] {
+        for strat in [
+            Strategy::Contiguous,
+            Strategy::RoundRobin,
+            Strategy::SortedBalanced,
+        ] {
             let imb = assignment_imbalance(&lens, &partition(&lens, workers, strat));
             cells.push(format!("{imb:.3}"));
         }

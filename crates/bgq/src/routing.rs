@@ -12,11 +12,15 @@
 //! a much weaker network.
 
 use crate::torus::Torus;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A directed physical link: from a node, along a dimension, in a
 /// direction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// Ordered (`Ord`) so traffic maps iterate in a stable node-major
+/// order — route enumeration and the reports built on it must be
+/// deterministic (pdnn-lint rule `l2-iteration-order`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Link {
     /// Source node id.
     pub from: usize,
@@ -68,8 +72,8 @@ impl Torus {
     /// Per-link traffic (in message units) of a communication pattern
     /// given as `(src, dst)` pairs; each pair contributes one unit to
     /// every link on its route.
-    pub fn link_traffic(&self, pattern: &[(usize, usize)]) -> HashMap<Link, u64> {
-        let mut traffic: HashMap<Link, u64> = HashMap::new();
+    pub fn link_traffic(&self, pattern: &[(usize, usize)]) -> BTreeMap<Link, u64> {
+        let mut traffic: BTreeMap<Link, u64> = BTreeMap::new();
         for &(src, dst) in pattern {
             for link in self.route(src, dst) {
                 *traffic.entry(link).or_insert(0) += 1;
@@ -82,12 +86,11 @@ impl Torus {
     /// divided by the mean over used links. 1.0 = perfectly spread.
     pub fn contention_factor(&self, pattern: &[(usize, usize)]) -> f64 {
         let traffic = self.link_traffic(pattern);
-        if traffic.is_empty() {
+        let Some(max) = traffic.values().max().copied() else {
             return 1.0;
-        }
-        let max = *traffic.values().max().unwrap() as f64;
+        };
         let mean = traffic.values().sum::<u64>() as f64 / traffic.len() as f64;
-        max / mean
+        max as f64 / mean
     }
 }
 

@@ -25,6 +25,7 @@
 
 use pdnn_obs::{Recorder, RecorderExt, SpanKind};
 use pdnn_tensor::blas1;
+use pdnn_util::float::exactly_zero;
 
 /// Configuration for one CG solve.
 #[derive(Clone, Copy, Debug)]
@@ -79,12 +80,14 @@ impl CgResult {
         &self
             .iterates
             .last()
+            // pdnn-lint: allow(l3-no-unwrap): cg_minimize_precond always pushes a final iterate before returning
             .expect("CG always stores the final iterate")
             .d
     }
 
     /// The final quadratic value `q(d_N)`.
     pub fn final_q(&self) -> f64 {
+        // pdnn-lint: allow(l3-no-unwrap): same invariant as final_d — iterates is never empty
         self.iterates.last().expect("non-empty").q
     }
 }
@@ -150,6 +153,7 @@ pub fn cg_minimize_recorded(
 /// # Panics
 /// If lengths mismatch or any preconditioner entry is not strictly
 /// positive (M must be SPD).
+// pdnn-lint: allow(l5-phase-span): pure math kernel; the phase entry point is cg_minimize_recorded, which wraps this in a "cg_minimize" span
 pub fn cg_minimize_precond(
     g: &[f32],
     d0: &[f32],
@@ -204,7 +208,7 @@ pub fn cg_minimize_precond(
         let ap = apply_a(&p);
         let pap = blas1::dot(&p, &ap);
         if pap <= 0.0 {
-            stop = if rr == 0.0 {
+            stop = if exactly_zero(rr) {
                 CgStop::Converged
             } else {
                 CgStop::NegativeCurvature
@@ -256,6 +260,7 @@ pub fn cg_minimize_precond(
     }
 
     // Always include the final iterate.
+    // pdnn-lint: allow(l3-no-unwrap): q_hist is seeded with q(0) before the loop
     let last_q = *q_hist.last().unwrap();
     let need_final = iterates.last().map(|it| it.iter != iters).unwrap_or(true);
     if need_final {

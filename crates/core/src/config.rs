@@ -143,6 +143,7 @@ impl HfConfig {
     /// [`HfConfig::try_validate`] (or the builder) for a `Result`.
     pub fn validate(&self) {
         if let Err(Error::Config(m)) = self.try_validate() {
+            // pdnn-lint: allow(l3-no-unwrap): validate() is the documented panicking variant of try_validate()
             panic!("{m}");
         }
     }

@@ -37,7 +37,7 @@ use pdnn_dnn::gauss_newton::{gn_product, Curvature};
 use pdnn_dnn::loss::{cross_entropy, cross_entropy_loss_only, softmax_rows};
 use pdnn_dnn::network::{ForwardCache, Network};
 use pdnn_dnn::sequence::mmi_batch;
-use pdnn_mpisim::{Comm, CommTrace, Payload, RankOutcome, ReduceOp, Src};
+use pdnn_mpisim::{comm_ok, Comm, CommTrace, Payload, RankOutcome, ReduceOp, Src};
 use pdnn_obs::{InMemoryRecorder, RecorderExt, SpanKind, Telemetry};
 use pdnn_speech::{partition, Corpus, Shard, Strategy};
 use pdnn_tensor::gemm::GemmContext;
@@ -121,9 +121,7 @@ struct MasterProblem<'a> {
 impl MasterProblem<'_> {
     fn command(&mut self, header: Vec<u64>) {
         let mut buf = header;
-        self.comm
-            .bcast(&mut buf, 0)
-            .expect("command broadcast failed");
+        comm_ok(self.comm.bcast(&mut buf, 0), "command broadcast");
     }
 }
 
@@ -142,9 +140,7 @@ impl HfProblem for MasterProblem<'_> {
         self.theta = theta.to_vec();
         self.command(vec![CMD_SET_THETA]);
         let mut buf = self.theta.clone();
-        self.comm
-            .bcast(&mut buf, 0)
-            .expect("theta broadcast failed");
+        comm_ok(self.comm.bcast(&mut buf, 0), "theta broadcast");
     }
 
     fn gradient(&mut self) -> (f64, Vec<f32>) {
@@ -152,13 +148,15 @@ impl HfProblem for MasterProblem<'_> {
         let _span = rec.span("gradient_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_GRADIENT]);
         let mut grad = vec![0.0f32; self.theta.len()];
-        self.comm
-            .reduce(&mut grad, ReduceOp::Sum, 0)
-            .expect("gradient reduce failed");
+        comm_ok(
+            self.comm.reduce(&mut grad, ReduceOp::Sum, 0),
+            "gradient reduce",
+        );
         let mut meta = vec![0.0f64; 2];
-        self.comm
-            .reduce(&mut meta, ReduceOp::Sum, 0)
-            .expect("gradient meta reduce failed");
+        comm_ok(
+            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
+            "gradient meta reduce",
+        );
         let frames = meta[1].max(1.0);
         let inv = (1.0 / frames) as f32;
         pdnn_tensor::blas1::scal(inv, &mut grad);
@@ -176,17 +174,14 @@ impl HfProblem for MasterProblem<'_> {
         let _span = rec.span("curvature_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_GN]);
         let mut buf = v.to_vec();
-        self.comm
-            .bcast(&mut buf, 0)
-            .expect("direction broadcast failed");
+        comm_ok(self.comm.bcast(&mut buf, 0), "direction broadcast");
         let mut gv = vec![0.0f32; v.len()];
-        self.comm
-            .reduce(&mut gv, ReduceOp::Sum, 0)
-            .expect("GN reduce failed");
+        comm_ok(self.comm.reduce(&mut gv, ReduceOp::Sum, 0), "GN reduce");
         let mut meta = vec![0.0f64; 1];
-        self.comm
-            .reduce(&mut meta, ReduceOp::Sum, 0)
-            .expect("GN meta reduce failed");
+        comm_ok(
+            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
+            "GN meta reduce",
+        );
         let frames = meta[0].max(1.0);
         let inv = (1.0 / frames) as f32;
         pdnn_tensor::blas1::scal(inv, &mut gv);
@@ -198,13 +193,15 @@ impl HfProblem for MasterProblem<'_> {
         let _span = rec.span("curvature_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_FISHER]);
         let mut diag = vec![0.0f32; self.theta.len()];
-        self.comm
-            .reduce(&mut diag, ReduceOp::Sum, 0)
-            .expect("fisher reduce failed");
+        comm_ok(
+            self.comm.reduce(&mut diag, ReduceOp::Sum, 0),
+            "fisher reduce",
+        );
         let mut meta = vec![0.0f64; 1];
-        self.comm
-            .reduce(&mut meta, ReduceOp::Sum, 0)
-            .expect("fisher meta reduce failed");
+        comm_ok(
+            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
+            "fisher meta reduce",
+        );
         let frames = meta[0].max(1.0);
         pdnn_tensor::blas1::scal((1.0 / frames) as f32, &mut diag);
         Some(diag)
@@ -215,13 +212,12 @@ impl HfProblem for MasterProblem<'_> {
         let _span = rec.span("heldout_reduce", SpanKind::CommCollective);
         self.command(vec![CMD_HELDOUT]);
         let mut buf = theta.to_vec();
-        self.comm
-            .bcast(&mut buf, 0)
-            .expect("trial broadcast failed");
+        comm_ok(self.comm.bcast(&mut buf, 0), "trial broadcast");
         let mut meta = vec![0.0f64; 3];
-        self.comm
-            .reduce(&mut meta, ReduceOp::Sum, 0)
-            .expect("heldout reduce failed");
+        comm_ok(
+            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
+            "heldout reduce",
+        );
         let frames = meta[2].max(1.0);
         HeldoutEval {
             loss: meta[0] / frames,
@@ -352,22 +348,24 @@ fn worker_loop(
 
     // load_data: receive this worker's utterance assignments.
     let load_span = rec.span("load_data", SpanKind::CommP2p);
-    let train_ids: Vec<usize> = comm
-        .recv(Src::Of(0), TAG_LOAD_DATA)
-        .expect("no assignment from master")
-        .payload
-        .into_u64()
-        .into_iter()
-        .map(|v| v as usize)
-        .collect();
-    let held_ids: Vec<usize> = comm
-        .recv(Src::Of(0), TAG_LOAD_DATA)
-        .expect("no heldout assignment from master")
-        .payload
-        .into_u64()
-        .into_iter()
-        .map(|v| v as usize)
-        .collect();
+    let train_ids: Vec<usize> = comm_ok(
+        comm.recv(Src::Of(0), TAG_LOAD_DATA),
+        "train assignment recv",
+    )
+    .payload
+    .into_u64()
+    .into_iter()
+    .map(|v| v as usize)
+    .collect();
+    let held_ids: Vec<usize> = comm_ok(
+        comm.recv(Src::Of(0), TAG_LOAD_DATA),
+        "heldout assignment recv",
+    )
+    .payload
+    .into_u64()
+    .into_iter()
+    .map(|v| v as usize)
+    .collect();
     let train = corpus.shard(&train_ids);
     let heldout = corpus.shard(&held_ids);
     drop(load_span);
@@ -383,12 +381,12 @@ fn worker_loop(
 
     loop {
         let mut header = vec![0u64; 1];
-        comm.bcast(&mut header, 0).expect("command receive failed");
+        comm_ok(comm.bcast(&mut header, 0), "command receive");
         match header[0] {
             CMD_SHUTDOWN => break,
             CMD_SET_THETA => {
                 let mut theta: Vec<f32> = Vec::new();
-                comm.bcast(&mut theta, 0).expect("theta receive failed");
+                comm_ok(comm.bcast(&mut theta, 0), "theta receive");
                 {
                     let _s = rec.span("sync_weights_worker", SpanKind::MemoryBound);
                     net.set_flat(&theta);
@@ -408,11 +406,9 @@ fn worker_loop(
                         (loss, grad)
                     }
                 };
-                comm.reduce(&mut grad, ReduceOp::Sum, 0)
-                    .expect("grad reduce");
+                comm_ok(comm.reduce(&mut grad, ReduceOp::Sum, 0), "grad reduce");
                 let mut meta = vec![loss_sum, train.frames() as f64];
-                comm.reduce(&mut meta, ReduceOp::Sum, 0)
-                    .expect("meta reduce");
+                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "meta reduce");
             }
             CMD_SAMPLE => {
                 assert_eq!(header.len(), 3, "SAMPLE header must carry seed+fraction");
@@ -425,7 +421,7 @@ fn worker_loop(
             }
             CMD_GN => {
                 let mut v: Vec<f32> = Vec::new();
-                comm.bcast(&mut v, 0).expect("direction receive failed");
+                comm_ok(comm.bcast(&mut v, 0), "direction receive");
                 let (mut gv, frames) = {
                     let _s = rec.span("worker_curvature_product", SpanKind::DenseCompute);
                     match &sample {
@@ -437,9 +433,9 @@ fn worker_loop(
                         None => (vec![0.0f32; net.num_params()], 0.0),
                     }
                 };
-                comm.reduce(&mut gv, ReduceOp::Sum, 0).expect("gn reduce");
+                comm_ok(comm.reduce(&mut gv, ReduceOp::Sum, 0), "gn reduce");
                 let mut meta = vec![frames];
-                comm.reduce(&mut meta, ReduceOp::Sum, 0).expect("gn meta");
+                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "gn meta");
             }
             CMD_FISHER => {
                 let (mut diag, frames) = {
@@ -456,15 +452,13 @@ fn worker_loop(
                         None => (vec![0.0f32; net.num_params()], 0.0),
                     }
                 };
-                comm.reduce(&mut diag, ReduceOp::Sum, 0)
-                    .expect("fisher reduce");
+                comm_ok(comm.reduce(&mut diag, ReduceOp::Sum, 0), "fisher reduce");
                 let mut meta = vec![frames];
-                comm.reduce(&mut meta, ReduceOp::Sum, 0)
-                    .expect("fisher meta");
+                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "fisher meta");
             }
             CMD_HELDOUT => {
                 let mut trial: Vec<f32> = Vec::new();
-                comm.bcast(&mut trial, 0).expect("trial receive failed");
+                comm_ok(comm.bcast(&mut trial, 0), "trial receive");
                 let mut meta = {
                     let _s = rec.span("eval_heldout", SpanKind::DenseCompute);
                     if heldout.frames() == 0 {
@@ -481,9 +475,9 @@ fn worker_loop(
                         vec![loss_sum, correct as f64, heldout.frames() as f64]
                     }
                 };
-                comm.reduce(&mut meta, ReduceOp::Sum, 0)
-                    .expect("heldout reduce");
+                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "heldout reduce");
             }
+            // pdnn-lint: allow(l3-no-unwrap): an unknown opcode is a protocol bug between master and worker builds, not a runtime condition to recover from
             other => panic!("unknown command {other}"),
         }
     }
@@ -498,6 +492,32 @@ pub fn train_distributed(
     corpus: &Corpus,
     objective: &Objective,
     config: &DistributedConfig,
+) -> TrainOutput {
+    train_impl(net0, corpus, objective, config, false)
+}
+
+/// [`train_distributed`] with every rank's telemetry clock frozen at a
+/// shared simulated instant (see
+/// [`pdnn_mpisim::run_world_deterministic`]): numerically identical
+/// training, but two identical runs produce byte-identical telemetry
+/// (spans, counters, events, comm traces). Used by the determinism
+/// integration test and by figure pipelines that diff telemetry across
+/// commits.
+pub fn train_distributed_deterministic(
+    net0: &Network<f32>,
+    corpus: &Corpus,
+    objective: &Objective,
+    config: &DistributedConfig,
+) -> TrainOutput {
+    train_impl(net0, corpus, objective, config, true)
+}
+
+fn train_impl(
+    net0: &Network<f32>,
+    corpus: &Corpus,
+    objective: &Objective,
+    config: &DistributedConfig,
+    deterministic: bool,
 ) -> TrainOutput {
     assert!(config.workers >= 1, "need at least one worker");
     config.hf.validate();
@@ -525,7 +545,7 @@ pub fn train_distributed(
     }
 
     let world = config.workers + 1;
-    let outcomes: Vec<RankOutcome<RoleOutput>> = pdnn_mpisim::run_world(world, |comm| {
+    let body = |comm: &mut Comm| {
         if comm.rank() == 0 {
             // ---- master ----
             let rec = comm.recorder().clone();
@@ -540,10 +560,14 @@ pub fn train_distributed(
                     .iter()
                     .map(|&pos| held_ids[pos] as u64)
                     .collect();
-                comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(t_ids))
-                    .expect("assignment send failed");
-                comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(h_ids))
-                    .expect("assignment send failed");
+                comm_ok(
+                    comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(t_ids)),
+                    "train assignment send",
+                );
+                comm_ok(
+                    comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(h_ids)),
+                    "heldout assignment send",
+                );
             }
             drop(load_span);
 
@@ -569,7 +593,12 @@ pub fn train_distributed(
             worker_loop(comm, corpus, objective, &dims, config.threads_per_rank);
             RoleOutput::Worker
         }
-    });
+    };
+    let outcomes: Vec<RankOutcome<RoleOutput>> = if deterministic {
+        pdnn_mpisim::run_world_deterministic(world, body)
+    } else {
+        pdnn_mpisim::run_world(world, body)
+    };
 
     let mut network = net0.clone();
     let mut stats = Vec::new();

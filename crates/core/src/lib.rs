@@ -58,7 +58,9 @@ pub mod stopping;
 pub use cg::{cg_minimize, CgConfig, CgResult, CgStop};
 pub use config::HfConfig;
 pub use damping::{Damping, LambdaRule};
-pub use distributed::{train_distributed, DistributedConfig, TrainOutput};
+pub use distributed::{
+    train_distributed, train_distributed_deterministic, DistributedConfig, TrainOutput,
+};
 pub use line_search::{armijo_search, ArmijoConfig};
 pub use optimizer::{HfOptimizer, IterStats};
 pub use problem::{DnnProblem, HeldoutEval, HfProblem, Objective};

@@ -56,7 +56,10 @@ pub fn armijo_search(
     mut eval: impl FnMut(f64) -> f64,
     config: &ArmijoConfig,
 ) -> Option<ArmijoResult> {
-    assert!(config.shrink > 0.0 && config.shrink < 1.0, "shrink in (0,1)");
+    assert!(
+        config.shrink > 0.0 && config.shrink < 1.0,
+        "shrink in (0,1)"
+    );
     assert!(config.max_steps >= 1, "need at least one trial");
     if slope >= 0.0 {
         return None;
@@ -83,8 +86,13 @@ mod tests {
     #[test]
     fn full_step_accepted_on_quadratic() {
         // f(α) = (1 - α)²; loss0 = f(0) = 1, slope = -2.
-        let res = armijo_search(1.0, -2.0, |a| (1.0 - a) * (1.0 - a), &ArmijoConfig::default())
-            .expect("should succeed");
+        let res = armijo_search(
+            1.0,
+            -2.0,
+            |a| (1.0 - a) * (1.0 - a),
+            &ArmijoConfig::default(),
+        )
+        .expect("should succeed");
         assert_eq!(res.alpha, 1.0);
         assert_eq!(res.evals, 1);
         assert!(res.loss < 1.0);

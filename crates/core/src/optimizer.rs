@@ -27,6 +27,7 @@ use crate::problem::HfProblem;
 use crate::stopping::{StopReason, StopState};
 use pdnn_obs::{NullRecorder, Recorder, RecorderExt, SpanKind};
 use pdnn_tensor::blas1;
+use pdnn_util::float::exactly_zero;
 use std::sync::Arc;
 
 /// Statistics from one outer HF iteration.
@@ -84,6 +85,7 @@ impl HfOptimizer {
     /// `hf_iteration`/`gradient`/`backtracking`/`line_search` spans, a
     /// `cg_iters` counter, a `lambda` gauge, and one `hf_iteration`
     /// event per step — to the given recorder.
+    // pdnn-lint: allow(l5-phase-span): constructor, not a phase — spans open in step()/run(), which this merely wires up
     pub fn with_recorder(config: HfConfig, recorder: Arc<dyn Recorder>) -> Self {
         config.validate();
         HfOptimizer {
@@ -260,7 +262,7 @@ impl HfOptimizer {
         }
 
         // 5. λ adaptation from the reduction ratio.
-        let rho = if q_final != 0.0 {
+        let rho = if !exactly_zero(q_final) {
             (l_best - loss_prev) / q_final
         } else {
             f64::NAN

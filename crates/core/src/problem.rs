@@ -14,10 +14,10 @@ use pdnn_dnn::gauss_newton::{gn_product, Curvature};
 use pdnn_dnn::loss::{cross_entropy, cross_entropy_loss_only, softmax_rows};
 use pdnn_dnn::network::{ForwardCache, Network};
 use pdnn_dnn::sequence::{mmi_batch, DenominatorGraph};
+use pdnn_speech::Shard;
 use pdnn_tensor::gemm::GemmContext;
 use pdnn_tensor::Matrix;
 use pdnn_util::Prng;
-use pdnn_speech::Shard;
 
 /// Training objective (the two criteria of the paper's Table I).
 #[derive(Clone, Debug)]
@@ -202,9 +202,7 @@ impl HfProblem for DnnProblem {
         let frames = self.train.frames().max(1) as f64;
         let mut loss_sum = 0.0f64;
         let mut grad = vec![0.0f32; self.net.num_params()];
-        for (utt_range, frame_range) in
-            chunk_ranges(&self.train.utt_lens, self.max_batch_frames)
-        {
+        for (utt_range, frame_range) in chunk_ranges(&self.train.utt_lens, self.max_batch_frames) {
             let x = self.train.x.rows_copy(frame_range.start, frame_range.end);
             let labels = &self.train.labels[frame_range.clone()];
             let utt_lens = &self.train.utt_lens[utt_range];
@@ -218,8 +216,7 @@ impl HfProblem for DnnProblem {
                 utt_lens,
             );
             loss_sum += chunk_loss;
-            let chunk_grad =
-                pdnn_dnn::backprop::backprop(&self.net, &self.ctx, &cache, &dlogits);
+            let chunk_grad = pdnn_dnn::backprop::backprop(&self.net, &self.ctx, &cache, &dlogits);
             pdnn_tensor::blas1::add(&chunk_grad, &mut grad);
         }
         let inv = (1.0 / frames) as f32;
@@ -252,6 +249,7 @@ impl HfProblem for DnnProblem {
         let sample = self
             .sample
             .as_ref()
+            // pdnn-lint: allow(l3-no-unwrap): HfProblem contract — the optimizer always samples curvature first
             .expect("gn_product called before sample_curvature");
         let frames = sample.x.rows().max(1) as f64;
         let _ = &sample.utt_lens;
@@ -271,6 +269,7 @@ impl HfProblem for DnnProblem {
         let sample = self
             .sample
             .as_ref()
+            // pdnn-lint: allow(l3-no-unwrap): HfProblem contract — the optimizer always samples curvature first
             .expect("fisher_diagonal called before sample_curvature");
         let frames = sample.x.rows().max(1) as f64;
         let (_, dlogits, _) = Self::eval_batch(
@@ -296,8 +295,7 @@ impl HfProblem for DnnProblem {
         let frames = self.heldout.frames().max(1) as f64;
         let mut loss_sum = 0.0f64;
         let mut correct = 0usize;
-        for (utt_range, frame_range) in
-            chunk_ranges(&self.heldout.utt_lens, self.max_batch_frames)
+        for (utt_range, frame_range) in chunk_ranges(&self.heldout.utt_lens, self.max_batch_frames)
         {
             let x = self.heldout.x.rows_copy(frame_range.start, frame_range.end);
             let labels = &self.heldout.labels[frame_range.clone()];
@@ -357,10 +355,9 @@ pub fn chunk_ranges(
         }
         f_cursor += len;
     }
-    if (f_cursor > f_start || utt_lens.is_empty())
-        && !utt_lens.is_empty() {
-            out.push((u_start..utt_lens.len(), f_start..f_cursor));
-        }
+    if (f_cursor > f_start || utt_lens.is_empty()) && !utt_lens.is_empty() {
+        out.push((u_start..utt_lens.len(), f_start..f_cursor));
+    }
     out
 }
 
@@ -400,8 +397,7 @@ pub fn extract_utterances(shard: &Shard, ids: &[usize]) -> (Matrix<f32>, Vec<u32
         assert!(i < shard.utt_lens.len(), "utterance id {i} out of range");
         let (lo, hi) = (offsets[i], offsets[i + 1]);
         let len = hi - lo;
-        x.as_mut_slice()[row * dim..(row + len) * dim]
-            .copy_from_slice(shard.x.rows_slice(lo, hi));
+        x.as_mut_slice()[row * dim..(row + len) * dim].copy_from_slice(shard.x.rows_slice(lo, hi));
         labels.extend_from_slice(&shard.labels[lo..hi]);
         utt_lens.push(len);
         row += len;

@@ -55,7 +55,10 @@ fn chunked_gradient_matches_single_batch() {
                 .zip(grad_c.iter())
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f32, f32::max);
-            assert!(max_diff < 1e-5, "seq={seq} chunk={chunk}: grad diff {max_diff}");
+            assert!(
+                max_diff < 1e-5,
+                "seq={seq} chunk={chunk}: grad diff {max_diff}"
+            );
         }
     }
 }

@@ -1,0 +1,94 @@
+//! Telemetry determinism: the same 4-rank distributed training run,
+//! executed twice, must emit byte-identical `*_telemetry.jsonl`.
+//!
+//! This is the end-to-end guarantee the `pdnn-lint` rules exist to
+//! protect: `l1-sim-wall-clock` keeps nondeterministic wall-clock
+//! reads out of the simulation crates (the deterministic runner
+//! freezes one shared `ManualClock` across all ranks), and
+//! `l2-iteration-order` keeps hash-order iteration out of the
+//! emission paths. If either regresses, the byte comparison below is
+//! the test that goes red.
+
+use pdnn_core::{train_distributed_deterministic, DistributedConfig, Objective, TrainOutput};
+use pdnn_dnn::{Activation, Network};
+use pdnn_obs::jsonl::to_jsonl_string;
+use pdnn_obs::Telemetry;
+use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_util::Prng;
+
+fn run_once(corpus: &Corpus) -> TrainOutput {
+    let mut rng = Prng::new(11);
+    let net0 = Network::new(
+        &[corpus.spec().feature_dim, 10, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let mut config = DistributedConfig {
+        workers: 3, // 4 ranks: master + 3 workers
+        ..DistributedConfig::default()
+    };
+    config.hf.max_iters = 3;
+    train_distributed_deterministic(&net0, corpus, &Objective::CrossEntropy, &config)
+}
+
+/// Serialize a run's per-rank telemetry exactly as the figure
+/// pipelines write `*_telemetry.jsonl` (rank 0 = master).
+fn telemetry_jsonl(out: &TrainOutput) -> String {
+    let mut ranks: Vec<&Telemetry> = vec![&out.master_telemetry];
+    ranks.extend(out.worker_telemetries.iter());
+    let mut jsonl = String::new();
+    for (rank, telemetry) in ranks.into_iter().enumerate() {
+        jsonl.push_str(&to_jsonl_string(rank as u64, telemetry));
+    }
+    jsonl
+}
+
+#[test]
+fn identical_runs_emit_byte_identical_telemetry() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(23));
+    let first = run_once(&corpus);
+    let second = run_once(&corpus);
+
+    // Training itself must agree before telemetry can.
+    assert_eq!(first.stats.len(), second.stats.len());
+    for (a, b) in first.stats.iter().zip(&second.stats) {
+        assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        assert_eq!(a.grad_norm.to_bits(), b.grad_norm.to_bits());
+    }
+
+    let jsonl_a = telemetry_jsonl(&first);
+    let jsonl_b = telemetry_jsonl(&second);
+    assert!(
+        !jsonl_a.is_empty(),
+        "deterministic run produced no telemetry"
+    );
+    if jsonl_a != jsonl_b {
+        // Point at the first differing line rather than dumping both
+        // multi-thousand-line files.
+        for (i, (la, lb)) in jsonl_a.lines().zip(jsonl_b.lines()).enumerate() {
+            assert_eq!(la, lb, "telemetry diverges at line {}", i + 1);
+        }
+        panic!(
+            "telemetry line counts diverge: {} vs {}",
+            jsonl_a.lines().count(),
+            jsonl_b.lines().count()
+        );
+    }
+}
+
+#[test]
+fn deterministic_telemetry_has_frozen_timestamps() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(29));
+    let out = run_once(&corpus);
+    // All wall-clock span endpoints read the one frozen ManualClock,
+    // so every span is zero-length at t = 0. (Virtual-time spans from
+    // the link model are exempt; this run records none.)
+    for span in &out.master_telemetry.spans {
+        assert_eq!(span.start.to_bits(), 0.0f64.to_bits(), "{}", span.name());
+        assert_eq!(span.end.to_bits(), 0.0f64.to_bits(), "{}", span.name());
+    }
+    assert!(
+        !out.master_telemetry.spans.is_empty(),
+        "master recorded no spans"
+    );
+}

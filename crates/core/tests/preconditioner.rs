@@ -94,8 +94,7 @@ fn total_cg_iters(precond: Preconditioner) -> (usize, f64) {
 #[test]
 fn preconditioning_reduces_cg_work_on_ill_conditioned_curvature() {
     let (plain_iters, plain_loss) = total_cg_iters(Preconditioner::None);
-    let (pre_iters, pre_loss) =
-        total_cg_iters(Preconditioner::EmpiricalFisher { exponent: 1.0 });
+    let (pre_iters, pre_loss) = total_cg_iters(Preconditioner::EmpiricalFisher { exponent: 1.0 });
     assert!(
         pre_iters * 2 < plain_iters,
         "precond {pre_iters} vs plain {plain_iters} CG iterations"

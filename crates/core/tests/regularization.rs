@@ -127,7 +127,10 @@ fn weight_decay_shrinks_dnn_parameters() {
         "decay did not shrink weights: {norm_decayed} vs {norm_plain}"
     );
     // Mild decay must not destroy the model.
-    assert!(acc_plain > 0.8 && acc_decayed > 0.7, "{acc_plain} {acc_decayed}");
+    assert!(
+        acc_plain > 0.8 && acc_decayed > 0.7,
+        "{acc_plain} {acc_decayed}"
+    );
 }
 
 #[test]

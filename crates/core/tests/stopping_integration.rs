@@ -29,7 +29,10 @@ impl HfProblem for Quad {
     }
     fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
         HeldoutEval {
-            loss: theta.iter().map(|&t| 0.5 * ((t - 1.0) as f64).powi(2)).sum(),
+            loss: theta
+                .iter()
+                .map(|&t| 0.5 * ((t - 1.0) as f64).powi(2))
+                .sum(),
             accuracy: 0.0,
             frames: 1,
         }
@@ -41,7 +44,9 @@ impl HfProblem for Quad {
 
 #[test]
 fn patience_stops_a_converged_run_early() {
-    let mut problem = Quad { theta: vec![0.0; 6] };
+    let mut problem = Quad {
+        theta: vec![0.0; 6],
+    };
     let mut cfg = HfConfig::small_task();
     cfg.max_iters = 50;
     cfg.stop = StopRule {
@@ -62,7 +67,9 @@ fn patience_stops_a_converged_run_early() {
 
 #[test]
 fn target_loss_reports_the_right_reason() {
-    let mut problem = Quad { theta: vec![0.0; 4] };
+    let mut problem = Quad {
+        theta: vec![0.0; 4],
+    };
     let mut cfg = HfConfig::small_task();
     cfg.max_iters = 50;
     cfg.stop = StopRule {
@@ -75,7 +82,9 @@ fn target_loss_reports_the_right_reason() {
 
 #[test]
 fn default_rule_runs_to_the_cap() {
-    let mut problem = Quad { theta: vec![0.0; 4] };
+    let mut problem = Quad {
+        theta: vec![0.0; 4],
+    };
     let mut cfg = HfConfig::small_task();
     cfg.max_iters = 4;
     let (stats, reason) = HfOptimizer::new(cfg).train_with_reason(&mut problem);
@@ -85,7 +94,9 @@ fn default_rule_runs_to_the_cap() {
 
 #[test]
 fn legacy_target_heldout_loss_still_works() {
-    let mut problem = Quad { theta: vec![0.0; 4] };
+    let mut problem = Quad {
+        theta: vec![0.0; 4],
+    };
     let mut cfg = HfConfig::small_task();
     cfg.max_iters = 50;
     cfg.target_heldout_loss = Some(1e-3);

@@ -49,7 +49,16 @@ pub fn backprop<T: Scalar>(
 
         // dW = delta^T * a_prev  (out x in)
         let mut dw = Matrix::zeros(layer.outputs(), layer.inputs());
-        gemm(ctx, Trans::T, Trans::N, T::ONE, &delta, a_prev, T::ZERO, &mut dw);
+        gemm(
+            ctx,
+            Trans::T,
+            Trans::N,
+            T::ONE,
+            &delta,
+            a_prev,
+            T::ZERO,
+            &mut dw,
+        );
         let db = delta.column_sums();
 
         let base = offsets[l];
@@ -59,7 +68,16 @@ pub fn backprop<T: Scalar>(
         if l > 0 {
             // delta_prev = (delta * W) ∘ f'(a_prev)
             let mut dprev = Matrix::zeros(frames, layer.inputs());
-            gemm(ctx, Trans::N, Trans::N, T::ONE, &delta, &layer.w, T::ZERO, &mut dprev);
+            gemm(
+                ctx,
+                Trans::N,
+                Trans::N,
+                T::ONE,
+                &delta,
+                &layer.w,
+                T::ZERO,
+                &mut dprev,
+            );
             layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
             delta = dprev;
         }
@@ -85,6 +103,7 @@ pub fn loss_and_gradient<T: Scalar>(
     let out = match loss_kind {
         FrameLoss::CrossEntropy => cross_entropy(cache.logits(), labels),
         FrameLoss::SquaredError => {
+            // pdnn-lint: allow(l3-no-unwrap): API contract — the SquaredError loss is only reachable with targets supplied
             let t = targets.expect("SquaredError needs a target matrix");
             squared_error(cache.logits(), t)
         }
@@ -161,14 +180,8 @@ mod tests {
         let net: Network<f64> = Network::new(&[4, 5, 2], Activation::Tanh, &mut rng);
         let x = Matrix::random_normal(7, 4, 1.0, &mut rng);
         let targets = Matrix::random_normal(7, 2, 1.0, &mut rng);
-        let (_, grad, _) = loss_and_gradient(
-            &net,
-            &ctx,
-            &x,
-            &[],
-            Some(&targets),
-            FrameLoss::SquaredError,
-        );
+        let (_, grad, _) =
+            loss_and_gradient(&net, &ctx, &x, &[], Some(&targets), FrameLoss::SquaredError);
         let theta0 = net.to_flat();
         let f = |theta: &[f64]| {
             let mut n = net.clone();

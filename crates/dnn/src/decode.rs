@@ -32,7 +32,12 @@ pub fn viterbi_decode<T: Scalar>(logits: &Matrix<T>, graph: &DenominatorGraph) -
         for &v in row.iter() {
             max = max.max(v.to_f64());
         }
-        let lse: f64 = row.iter().map(|&v| (v.to_f64() - max).exp()).sum::<f64>().ln() + max;
+        let lse: f64 = row
+            .iter()
+            .map(|&v| (v.to_f64() - max).exp())
+            .sum::<f64>()
+            .ln()
+            + max;
         row[j].to_f64() - lse
     };
 
@@ -60,7 +65,7 @@ pub fn viterbi_decode<T: Scalar>(logits: &Matrix<T>, graph: &DenominatorGraph) -
     let mut state = delta
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let mut path = vec![0u32; frames];

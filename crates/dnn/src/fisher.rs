@@ -63,7 +63,16 @@ pub fn empirical_fisher_diagonal<T: Scalar>(
         let a2 = a_prev.map(|v| v * v);
 
         let mut dw = Matrix::zeros(layer.outputs(), layer.inputs());
-        gemm(ctx, Trans::T, Trans::N, T::ONE, &delta2, &a2, T::ZERO, &mut dw);
+        gemm(
+            ctx,
+            Trans::T,
+            Trans::N,
+            T::ONE,
+            &delta2,
+            &a2,
+            T::ZERO,
+            &mut dw,
+        );
         let db = delta2.column_sums();
         let base = offsets[l];
         out[base..base + dw.len()].copy_from_slice(dw.as_slice());
@@ -72,7 +81,16 @@ pub fn empirical_fisher_diagonal<T: Scalar>(
         if l > 0 {
             let w2 = layer.w.map(|v| v * v);
             let mut dprev = Matrix::zeros(delta2.rows(), layer.inputs());
-            gemm(ctx, Trans::N, Trans::N, T::ONE, &delta2, &w2, T::ZERO, &mut dprev);
+            gemm(
+                ctx,
+                Trans::N,
+                Trans::N,
+                T::ONE,
+                &delta2,
+                &w2,
+                T::ZERO,
+                &mut dprev,
+            );
             // ∘ f'(a_prev)²
             for (dv, &av) in dprev
                 .as_mut_slice()

@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn num_params_matches_manual() {
-        assert_eq!(
-            num_params(&[4, 5, 3]),
-            (4 * 5 + 5 + 5 * 3 + 3) as u64
-        );
+        assert_eq!(num_params(&[4, 5, 3]), (4 * 5 + 5 + 5 * 3 + 3) as u64);
     }
 
     #[test]

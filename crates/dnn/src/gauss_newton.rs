@@ -70,8 +70,26 @@ pub fn gn_product<T: Scalar>(
 
         // Rz = r * W^T + a_prev * Vw^T + Vb
         let mut rz = Matrix::zeros(frames, layer.outputs());
-        gemm(ctx, Trans::N, Trans::T, T::ONE, &r, &layer.w, T::ZERO, &mut rz);
-        gemm(ctx, Trans::N, Trans::T, T::ONE, a_prev, &vw, T::ONE, &mut rz);
+        gemm(
+            ctx,
+            Trans::N,
+            Trans::T,
+            T::ONE,
+            &r,
+            &layer.w,
+            T::ZERO,
+            &mut rz,
+        );
+        gemm(
+            ctx,
+            Trans::N,
+            Trans::T,
+            T::ONE,
+            a_prev,
+            &vw,
+            T::ONE,
+            &mut rz,
+        );
         rz.add_row_broadcast(vb);
 
         if l + 1 == layers.len() {
@@ -84,6 +102,7 @@ pub fn gn_product<T: Scalar>(
             r = rz;
         }
     }
+    // pdnn-lint: allow(l3-no-unwrap): Network::new asserts at least one layer, so the loop above always assigns rz_out
     let jv = rz_out.expect("network has at least one layer");
 
     // ---- 2. u = H_L (J v) ------------------------------------------
@@ -122,7 +141,16 @@ pub fn gn_product<T: Scalar>(
         let layer = &layers[l];
         let a_prev = &cache.acts[l];
         let mut gw = Matrix::zeros(layer.outputs(), layer.inputs());
-        gemm(ctx, Trans::T, Trans::N, T::ONE, &delta, a_prev, T::ZERO, &mut gw);
+        gemm(
+            ctx,
+            Trans::T,
+            Trans::N,
+            T::ONE,
+            &delta,
+            a_prev,
+            T::ZERO,
+            &mut gw,
+        );
         let gb = delta.column_sums();
         let base = offsets[l];
         out[base..base + gw.len()].copy_from_slice(gw.as_slice());
@@ -130,7 +158,16 @@ pub fn gn_product<T: Scalar>(
 
         if l > 0 {
             let mut dprev = Matrix::zeros(frames, layer.inputs());
-            gemm(ctx, Trans::N, Trans::N, T::ONE, &delta, &layer.w, T::ZERO, &mut dprev);
+            gemm(
+                ctx,
+                Trans::N,
+                Trans::N,
+                T::ONE,
+                &delta,
+                &layer.w,
+                T::ZERO,
+                &mut dprev,
+            );
             layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
             delta = dprev;
         }
@@ -242,8 +279,16 @@ mod tests {
         };
         let theta0 = net.to_flat();
         let h = 1e-5;
-        let plus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t + h * d).collect();
-        let minus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t - h * d).collect();
+        let plus: Vec<f64> = theta0
+            .iter()
+            .zip(v.iter())
+            .map(|(&t, &d)| t + h * d)
+            .collect();
+        let minus: Vec<f64> = theta0
+            .iter()
+            .zip(v.iter())
+            .map(|(&t, &d)| t - h * d)
+            .collect();
         let gp = grad_at(&plus);
         let gm = grad_at(&minus);
         for i in 0..gv.len() {
@@ -283,8 +328,16 @@ mod tests {
         };
         let theta0 = net.to_flat();
         let h = 1e-5;
-        let plus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t + h * d).collect();
-        let minus: Vec<f64> = theta0.iter().zip(v.iter()).map(|(&t, &d)| t - h * d).collect();
+        let plus: Vec<f64> = theta0
+            .iter()
+            .zip(v.iter())
+            .map(|(&t, &d)| t + h * d)
+            .collect();
+        let minus: Vec<f64> = theta0
+            .iter()
+            .zip(v.iter())
+            .map(|(&t, &d)| t - h * d)
+            .collect();
         let gp = grad_at(&plus);
         let gm = grad_at(&minus);
         for i in 0..gv.len() {

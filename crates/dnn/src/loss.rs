@@ -201,8 +201,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradient_rows_sum_to_zero() {
-        let logits: Matrix<f64> =
-            Matrix::from_vec(2, 3, vec![0.1, -0.4, 2.0, 1.0, 1.0, 1.0]);
+        let logits: Matrix<f64> = Matrix::from_vec(2, 3, vec![0.1, -0.4, 2.0, 1.0, 1.0, 1.0]);
         let out = cross_entropy(&logits, &[2, 0]);
         for r in 0..2 {
             let s: f64 = out.dlogits.row(r).iter().sum();
@@ -215,8 +214,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_counts_correct() {
-        let logits: Matrix<f32> =
-            Matrix::from_vec(3, 2, vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0]);
+        let logits: Matrix<f32> = Matrix::from_vec(3, 2, vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0]);
         let out = cross_entropy(&logits, &[0, 1, 1]);
         assert_eq!(out.correct, 2);
         let (loss2, correct2) = cross_entropy_loss_only(&logits, &[0, 1, 1]);
@@ -242,8 +240,7 @@ mod tests {
             plus[(0, j)] += h;
             let mut minus = base.clone();
             minus[(0, j)] -= h;
-            let fd = (cross_entropy(&plus, &labels).loss
-                - cross_entropy(&minus, &labels).loss)
+            let fd = (cross_entropy(&plus, &labels).loss - cross_entropy(&minus, &labels).loss)
                 / (2.0 * h);
             assert!(
                 (fd - out.dlogits[(0, j)]).abs() < 1e-6,

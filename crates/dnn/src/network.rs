@@ -55,7 +55,16 @@ impl<T: Scalar> Layer<T> {
     /// Affine + activation forward for a batch `[frames x in]`.
     pub fn forward(&self, ctx: &GemmContext, a_in: &Matrix<T>) -> Matrix<T> {
         let mut z = Matrix::zeros(a_in.rows(), self.outputs());
-        gemm(ctx, Trans::N, Trans::T, T::ONE, a_in, &self.w, T::ZERO, &mut z);
+        gemm(
+            ctx,
+            Trans::N,
+            Trans::T,
+            T::ONE,
+            a_in,
+            &self.w,
+            T::ZERO,
+            &mut z,
+        );
         z.add_row_broadcast(&self.b);
         self.act.apply(&mut z);
         z
@@ -88,6 +97,7 @@ pub struct ForwardCache<T: Scalar = f32> {
 impl<T: Scalar> ForwardCache<T> {
     /// The network output (logits of the final layer).
     pub fn logits(&self) -> &Matrix<T> {
+        // pdnn-lint: allow(l3-no-unwrap): forward() seeds acts with the input activation before any layer runs
         self.acts.last().expect("forward cache is never empty")
     }
 }
@@ -147,6 +157,7 @@ impl<T: Scalar> Network<T> {
 
     /// Output (class) dimension.
     pub fn output_dim(&self) -> usize {
+        // pdnn-lint: allow(l3-no-unwrap): Network::new asserts at least one layer
         self.layers.last().unwrap().outputs()
     }
 
@@ -174,6 +185,7 @@ impl<T: Scalar> Network<T> {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.clone());
         for layer in &self.layers {
+            // pdnn-lint: allow(l3-no-unwrap): acts is seeded with the input activation before the loop
             let next = layer.forward(ctx, acts.last().unwrap());
             acts.push(next);
         }
@@ -184,9 +196,11 @@ impl<T: Scalar> Network<T> {
     pub fn logits(&self, ctx: &GemmContext, x: &Matrix<T>) -> Matrix<T> {
         let mut a = None;
         for (i, layer) in self.layers.iter().enumerate() {
+            // pdnn-lint: allow(l3-no-unwrap): a is assigned on iteration 0 and only read from iteration 1 on
             let input = if i == 0 { x } else { a.as_ref().unwrap() };
             a = Some(layer.forward(ctx, input));
         }
+        // pdnn-lint: allow(l3-no-unwrap): Network::new asserts at least one layer, so the loop assigns a
         a.expect("network has at least one layer")
     }
 
@@ -219,7 +233,10 @@ impl<T: Scalar> Network<T> {
         let mut off = 0;
         for layer in &mut self.layers {
             let wlen = layer.w.len();
-            layer.w.as_mut_slice().copy_from_slice(&theta[off..off + wlen]);
+            layer
+                .w
+                .as_mut_slice()
+                .copy_from_slice(&theta[off..off + wlen]);
             off += wlen;
             let blen = layer.b.len();
             layer.b.copy_from_slice(&theta[off..off + blen]);
@@ -337,7 +354,9 @@ mod tests {
     fn axpy_flat_matches_manual_update() {
         let mut net = tiny();
         let theta0 = net.to_flat();
-        let d: Vec<f32> = (0..net.num_params()).map(|i| (i % 5) as f32 * 0.1).collect();
+        let d: Vec<f32> = (0..net.num_params())
+            .map(|i| (i % 5) as f32 * 0.1)
+            .collect();
         net.axpy_flat(2.0, &d);
         let theta1 = net.to_flat();
         for i in 0..theta0.len() {
@@ -375,7 +394,11 @@ mod tests {
         assert!(l.w.as_slice().iter().all(|&v| v.abs() <= limit));
         assert!(l.b.iter().all(|&v| v == 0.0));
         // Not all tiny: spread should be on the order of the limit.
-        let max = l.w.as_slice().iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
+        let max =
+            l.w.as_slice()
+                .iter()
+                .cloned()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(max > limit * 0.8);
     }
 }

@@ -69,7 +69,10 @@ impl DenominatorGraph {
         assert!((psum - 1.0).abs() < 1e-6, "prior sums to {psum}");
         for i in 0..states {
             let rsum: f64 = trans[i * states..(i + 1) * states].iter().sum();
-            assert!((rsum - 1.0).abs() < 1e-6, "transition row {i} sums to {rsum}");
+            assert!(
+                (rsum - 1.0).abs() < 1e-6,
+                "transition row {i} sums to {rsum}"
+            );
         }
         let eps = 1e-300f64; // avoid log(0); forbidden arcs get ~ -690
         DenominatorGraph {
@@ -148,8 +151,12 @@ pub fn mmi_utterance<T: Scalar>(
         for &v in row.iter() {
             max = max.max(v.to_f64());
         }
-        let lsev =
-            max + row.iter().map(|&v| (v.to_f64() - max).exp()).sum::<f64>().ln();
+        let lsev = max
+            + row
+                .iter()
+                .map(|&v| (v.to_f64() - max).exp())
+                .sum::<f64>()
+                .ln();
         for j in 0..s {
             lp[t * s + j] = row[j].to_f64() - lsev;
         }
@@ -343,10 +350,7 @@ mod tests {
                     - mmi_utterance(&minus, &align, &g).loss)
                     / (2.0 * h);
                 let an = out.dlogits[(t, j)];
-                assert!(
-                    (fd - an).abs() < 1e-5,
-                    "({t},{j}): fd={fd} analytic={an}"
-                );
+                assert!((fd - an).abs() < 1e-5, "({t},{j}): fd={fd} analytic={an}");
             }
         }
     }

@@ -51,6 +51,7 @@ macro_rules! impl_coll_elem {
             fn unwrap(p: Payload) -> Vec<Self> {
                 match p {
                     Payload::$variant(v) => v,
+                    // pdnn-lint: allow(l3-no-unwrap): payload type mismatch inside a collective is a protocol bug, not a recoverable condition
                     other => panic!(
                         "collective type mismatch: expected {}, got {}",
                         stringify!($variant),
@@ -371,6 +372,7 @@ impl Comm {
         let size = self.size();
         with_collective(self, "scatter", |comm, tag| {
             if comm.rank() == root {
+                // pdnn-lint: allow(l3-no-unwrap): documented API contract — the root rank must pass Some(chunks)
                 let chunks = chunks.expect("scatter root must provide chunks");
                 assert_eq!(chunks.len(), size, "scatter needs one chunk per rank");
                 let mut own = Vec::new();
@@ -410,6 +412,7 @@ impl Comm {
             comm.trace_collective_done();
             Ok(slots
                 .into_iter()
+                // pdnn-lint: allow(l3-no-unwrap): the ring walks exactly size steps, filling every slot once
                 .map(|s| s.expect("ring allgather filled every slot"))
                 .collect())
         })

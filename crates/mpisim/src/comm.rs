@@ -12,8 +12,9 @@ use crate::trace::{CommClass, CommTrace};
 use crate::vtime::LinkModel;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pdnn_obs::{InMemoryRecorder, Telemetry};
+use pdnn_util::timing::{Clock, WallClock};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Communication failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,6 +41,24 @@ impl std::fmt::Display for CommError {
 }
 
 impl std::error::Error for CommError {}
+
+/// Unwrap a communication result in code that cannot return one.
+///
+/// Rank bodies running under [`run_world`](crate::run_world) often
+/// implement traits whose signatures have no error channel (e.g. the
+/// `HfProblem` phase methods). In this in-process runtime a failed
+/// collective means a peer rank already panicked — its panic is what
+/// `run_world` propagates — so the only useful thing left to do on
+/// this rank is fail fast with context naming the operation. This
+/// helper is the single audited place that does so; call sites stay
+/// free of `unwrap`/`expect` (lint rule `l3-no-unwrap`).
+pub fn comm_ok<T>(res: Result<T, CommError>, what: &str) -> T {
+    match res {
+        Ok(v) => v,
+        // pdnn-lint: allow(l3-no-unwrap): centralized comm failure path — a failed op means a peer already panicked and that panic is propagating via run_world
+        Err(e) => panic!("{what}: {e}"),
+    }
+}
 
 impl From<CommError> for pdnn_util::Error {
     fn from(e: CommError) -> Self {
@@ -69,6 +88,11 @@ pub struct Comm {
     vtime: f64,
     /// Optional cost model driving the virtual clock.
     link_model: Option<Arc<dyn LinkModel>>,
+    /// Injectable wall-clock source: real elapsed time charged to the
+    /// communication trace is read from here, never from
+    /// `std::time::Instant` directly, so simulated runs can freeze it
+    /// (pdnn-lint rule `l1-sim-wall-clock`).
+    clock: Arc<dyn Clock>,
 }
 
 /// Tag bit reserved for collective-internal messages; user tags must
@@ -82,6 +106,20 @@ impl Comm {
         inbox: Receiver<Packet>,
         peers: Vec<Sender<Packet>>,
     ) -> Self {
+        Self::with_clock(rank, size, inbox, peers, Arc::new(WallClock::new()))
+    }
+
+    /// Build a communicator whose trace timing *and* telemetry
+    /// recorder both read the given clock. With a
+    /// `pdnn_util::ManualClock` the rank's entire telemetry output
+    /// becomes bit-reproducible run to run.
+    pub(crate) fn with_clock(
+        rank: usize,
+        size: usize,
+        inbox: Receiver<Packet>,
+        peers: Vec<Sender<Packet>>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         Comm {
             rank,
             size,
@@ -89,12 +127,22 @@ impl Comm {
             peers,
             pending: Vec::new(),
             trace: CommTrace::default(),
-            recorder: Arc::new(InMemoryRecorder::new()),
+            recorder: Arc::new(InMemoryRecorder::with_clock(clock.clone())),
             in_collective: false,
             coll_seq: 0,
             vtime: 0.0,
             link_model: None,
+            clock,
         }
+    }
+
+    /// Replace the wall-clock source feeding the communication trace
+    /// (e.g. with a `pdnn_util::ManualClock` for bit-reproducible
+    /// simulated runs). The telemetry recorder keeps its own clock;
+    /// build the world with [`crate::build_world_deterministic`] to
+    /// freeze both together.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// Attach a link cost model: every subsequent send advances this
@@ -172,7 +220,7 @@ impl Comm {
             self.in_collective || tag < COLLECTIVE_TAG_BASE,
             "user tag {tag} collides with collective tag space"
         );
-        let start = Instant::now();
+        let start = self.clock.now();
         let bytes = payload.size_bytes();
         let class = self.class();
         // Virtual timing: injection serializes on the sender (the
@@ -188,7 +236,7 @@ impl Comm {
                 payload,
             })
             .map_err(|_| CommError::Disconnected { peer: dst });
-        self.trace.add_seconds(class, start.elapsed().as_secs_f64());
+        self.trace.add_seconds(class, self.clock.now() - start);
         if result.is_ok() {
             self.trace.on_send(class, bytes);
         }
@@ -217,16 +265,17 @@ impl Comm {
         tag: u64,
         timeout: Duration,
     ) -> Result<Packet, CommError> {
-        self.recv_deadline(src, tag, Some(Instant::now() + timeout))
+        let deadline = self.clock.now() + timeout.as_secs_f64();
+        self.recv_deadline(src, tag, Some(deadline))
     }
 
     fn recv_deadline(
         &mut self,
         src: Src,
         tag: u64,
-        deadline: Option<Instant>,
+        deadline: Option<f64>,
     ) -> Result<Packet, CommError> {
-        let start = Instant::now();
+        let start = self.clock.now();
         let class = self.class();
         let result = loop {
             if let Some(pkt) = self.match_pending(src, tag) {
@@ -235,11 +284,12 @@ impl Comm {
             let received = match deadline {
                 None => self.inbox.recv().map_err(|_| CommError::WorldShutDown),
                 Some(d) => {
-                    let now = Instant::now();
+                    let now = self.clock.now();
                     if now >= d {
                         break Err(CommError::Timeout);
                     }
-                    self.inbox.recv_timeout(d - now).map_err(|e| match e {
+                    let remaining = Duration::from_secs_f64(d - now);
+                    self.inbox.recv_timeout(remaining).map_err(|e| match e {
                         RecvTimeoutError::Timeout => CommError::Timeout,
                         RecvTimeoutError::Disconnected => CommError::WorldShutDown,
                     })
@@ -255,7 +305,7 @@ impl Comm {
                 Err(e) => break Err(e),
             }
         };
-        self.trace.add_seconds(class, start.elapsed().as_secs_f64());
+        self.trace.add_seconds(class, self.clock.now() - start);
         if let Ok(pkt) = &result {
             self.trace.on_recv(class, pkt.payload.size_bytes());
             // Virtual timing: the message is available no earlier than

@@ -39,9 +39,11 @@ pub mod trace;
 pub mod vtime;
 
 pub use collectives::{CollElem, ReduceOp};
-pub use comm::{Comm, CommError};
+pub use comm::{comm_ok, Comm, CommError};
 pub use message::{Packet, Payload, Src};
-pub use runner::{build_world, run_world, RankOutcome};
+pub use runner::{
+    build_world, build_world_deterministic, run_world, run_world_deterministic, RankOutcome,
+};
 pub use timeline::{render_gantt, Span, SpanKind, SpanRecorder};
 pub use trace::{ClassTotals, CommClass, CommTrace};
 pub use vtime::{AlphaBeta, LinkModel};

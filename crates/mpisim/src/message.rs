@@ -36,6 +36,7 @@ impl Payload {
     pub fn into_f32(self) -> Vec<f32> {
         match self {
             Payload::F32(v) => v,
+            // pdnn-lint: allow(l3-no-unwrap): documented panicking extractor — a payload-kind mismatch is a protocol bug
             other => panic!("protocol error: expected F32, got {}", other.kind()),
         }
     }
@@ -44,6 +45,7 @@ impl Payload {
     pub fn into_f64(self) -> Vec<f64> {
         match self {
             Payload::F64(v) => v,
+            // pdnn-lint: allow(l3-no-unwrap): documented panicking extractor — a payload-kind mismatch is a protocol bug
             other => panic!("protocol error: expected F64, got {}", other.kind()),
         }
     }
@@ -52,6 +54,7 @@ impl Payload {
     pub fn into_u64(self) -> Vec<u64> {
         match self {
             Payload::U64(v) => v,
+            // pdnn-lint: allow(l3-no-unwrap): documented panicking extractor — a payload-kind mismatch is a protocol bug
             other => panic!("protocol error: expected U64, got {}", other.kind()),
         }
     }

@@ -7,6 +7,9 @@ use crate::message::Packet;
 use crate::trace::CommTrace;
 use crossbeam::channel::unbounded;
 use pdnn_obs::Telemetry;
+use pdnn_util::timing::Clock;
+use pdnn_util::ManualClock;
+use std::sync::Arc;
 
 /// Result of one rank's execution.
 #[derive(Clone, Debug)]
@@ -42,6 +45,28 @@ pub fn build_world(n: usize) -> Vec<Comm> {
         .collect()
 }
 
+/// Like [`build_world`], but every rank's trace timing and telemetry
+/// recorder read one shared frozen `ManualClock`, so two identical
+/// runs produce byte-identical telemetry (all wall-clock reads return
+/// the same simulated instant; virtual time from link models is
+/// unaffected).
+pub fn build_world_deterministic(n: usize) -> Vec<Comm> {
+    assert!(n > 0, "world needs at least one rank");
+    let clock: Arc<dyn Clock> = ManualClock::shared();
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Packet>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Comm::with_clock(rank, n, rx, senders.clone(), clock.clone()))
+        .collect()
+}
+
 /// Run `f` on every rank of an `n`-rank world (one OS thread per
 /// rank) and return outcomes in rank order.
 ///
@@ -52,7 +77,27 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
-    let comms = build_world(n);
+    run_on(build_world(n), f)
+}
+
+/// [`run_world`] over a world built by [`build_world_deterministic`]:
+/// same execution, but all telemetry timestamps come from one frozen
+/// simulated clock, so repeated identical runs emit byte-identical
+/// telemetry.
+pub fn run_world_deterministic<R, F>(n: usize, f: F) -> Vec<RankOutcome<R>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    run_on(build_world_deterministic(n), f)
+}
+
+fn run_on<R, F>(comms: Vec<Comm>, f: F) -> Vec<RankOutcome<R>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    let n = comms.len();
     let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
@@ -82,6 +127,7 @@ where
     });
     outcomes
         .into_iter()
+        // pdnn-lint: allow(l3-no-unwrap): the join loop above either filled every slot or resumed a rank panic
         .map(|o| o.expect("every rank joined"))
         .collect()
 }

@@ -191,7 +191,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), Error> {
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&byte) {
             self.pos += 1;
@@ -207,7 +207,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, Error> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let b = *self
@@ -309,7 +309,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, Error> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -317,7 +317,7 @@ impl<'a> Parser<'a> {
         }
         loop {
             let key = self.string()?;
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             fields.push((key, value));
             match self.peek() {

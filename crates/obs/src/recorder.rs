@@ -9,9 +9,10 @@
 
 use crate::event::{Event, Telemetry, Value};
 use crate::span::{SpanKind, SpanRecord};
+use pdnn_util::sync::locked;
+use pdnn_util::timing::{Clock, WallClock};
 use std::borrow::Cow;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 /// Object-safe telemetry sink.
 ///
@@ -78,13 +79,17 @@ impl<R: Recorder + ?Sized> Drop for SpanGuard<'_, R> {
     }
 }
 
-enum Clock {
-    Wall(Instant),
+enum ClockSource {
+    /// Injected time source (wall clock by default; see
+    /// [`InMemoryRecorder::with_clock`]). All wall-clock reads go
+    /// through `pdnn_util::timing` per lint rule `l1-sim-wall-clock`.
+    External(Arc<dyn Clock>),
+    /// Explicitly advanced simulated time.
     Manual(f64),
 }
 
 struct Inner {
-    clock: Clock,
+    clock: ClockSource,
     data: Telemetry,
 }
 
@@ -106,9 +111,15 @@ impl Default for InMemoryRecorder {
 impl InMemoryRecorder {
     /// Recorder whose epoch is its creation instant (wall clock).
     pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// Recorder reading time from an injected [`Clock`] (e.g. a shared
+    /// `pdnn_util::ManualClock` in deterministic simulated runs).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         InMemoryRecorder {
             inner: Mutex::new(Inner {
-                clock: Clock::Wall(Instant::now()),
+                clock: ClockSource::External(clock),
                 data: Telemetry::default(),
             }),
         }
@@ -121,7 +132,7 @@ impl InMemoryRecorder {
     pub fn with_manual_clock() -> Self {
         InMemoryRecorder {
             inner: Mutex::new(Inner {
-                clock: Clock::Manual(0.0),
+                clock: ClockSource::Manual(0.0),
                 data: Telemetry::default(),
             }),
         }
@@ -133,42 +144,40 @@ impl InMemoryRecorder {
     /// Panics on a wall-clock recorder or negative `dt`.
     pub fn advance_clock(&self, dt: f64) {
         assert!(dt >= 0.0, "clock must advance forward");
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = locked(&self.inner);
         match &mut inner.clock {
-            Clock::Manual(t) => *t += dt,
-            Clock::Wall(_) => panic!("advance_clock on a wall-clock recorder"),
+            ClockSource::Manual(t) => *t += dt,
+            // pdnn-lint: allow(l3-no-unwrap): documented contract panic (see "# Panics" above); mixing manual advance with an injected clock is a wiring bug
+            ClockSource::External(_) => panic!("advance_clock on an externally clocked recorder"),
         }
     }
 
     /// Take the accumulated telemetry, resetting the recorder's data
     /// (the clock keeps running).
     pub fn take(&self) -> Telemetry {
-        std::mem::take(&mut self.inner.lock().unwrap().data)
+        std::mem::take(&mut locked(&self.inner).data)
     }
 
     /// Clone of the telemetry accumulated so far.
     pub fn snapshot(&self) -> Telemetry {
-        self.inner.lock().unwrap().data.clone()
+        locked(&self.inner).data.clone()
     }
 }
 
 impl Recorder for InMemoryRecorder {
     fn now(&self) -> f64 {
-        match &self.inner.lock().unwrap().clock {
-            Clock::Wall(epoch) => epoch.elapsed().as_secs_f64(),
-            Clock::Manual(t) => *t,
+        match &locked(&self.inner).clock {
+            ClockSource::External(clock) => clock.now(),
+            ClockSource::Manual(t) => *t,
         }
     }
 
     fn record_span(&self, span: SpanRecord) {
-        self.inner.lock().unwrap().data.spans.push(span);
+        locked(&self.inner).data.spans.push(span);
     }
 
     fn counter_add(&self, name: &'static str, delta: u64) {
-        *self
-            .inner
-            .lock()
-            .unwrap()
+        *locked(&self.inner)
             .data
             .counters
             .entry(Cow::Borrowed(name))
@@ -176,9 +185,7 @@ impl Recorder for InMemoryRecorder {
     }
 
     fn gauge_set(&self, name: &'static str, value: f64) {
-        self.inner
-            .lock()
-            .unwrap()
+        locked(&self.inner)
             .data
             .gauges
             .insert(Cow::Borrowed(name), value);
@@ -186,7 +193,7 @@ impl Recorder for InMemoryRecorder {
 
     fn event(&self, name: &'static str, fields: Vec<(Cow<'static, str>, Value)>) {
         let t = self.now();
-        self.inner.lock().unwrap().data.events.push(Event {
+        locked(&self.inner).data.events.push(Event {
             t,
             name: Cow::Borrowed(name),
             fields,

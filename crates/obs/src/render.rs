@@ -65,7 +65,7 @@ pub fn phase_table(title: &str, telemetry: &Telemetry) -> Table {
         .phases()
         .map(|(name, tot)| (name.to_string(), tot.seconds, tot.calls))
         .collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut table = Table::new(title, &["phase", "seconds", "calls", "share"]);
     for (name, seconds, calls) in rows {
         table.row(&[

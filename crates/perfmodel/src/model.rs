@@ -80,7 +80,10 @@ impl BgqRun {
 
     /// Paper-style label, e.g. `4096-4-16`.
     pub fn label(&self) -> String {
-        format!("{}-{}-{}", self.ranks, self.ranks_per_node, self.threads_per_rank)
+        format!(
+            "{}-{}-{}",
+            self.ranks, self.ranks_per_node, self.threads_per_rank
+        )
     }
 
     /// Nodes occupied.
@@ -206,8 +209,8 @@ pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
 
     // ---- load_data -------------------------------------------------
     let data_bytes = job.data_bytes() as f64;
-    let load_wire = data_bytes / (pdnn_bgq::torus::LINK_BANDWIDTH)
-        + workers * LOAD_DATA_HANDSHAKE_SECONDS;
+    let load_wire =
+        data_bytes / (pdnn_bgq::torus::LINK_BANDWIDTH) + workers * LOAD_DATA_HANDSHAKE_SECONDS;
     let load_data = Phase {
         name: "load_data",
         kind: PhaseKind::MemoryBound,
@@ -230,9 +233,8 @@ pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
     };
 
     // ---- gradient_loss ---------------------------------------------
-    let grad_compute = iters * fpw * job.gradient_batch_fraction
-        * job.gradient_flops_per_frame()
-        / rank_flops;
+    let grad_compute =
+        iters * fpw * job.gradient_batch_fraction * job.gradient_flops_per_frame() / rank_flops;
     let gradient_loss = Phase {
         name: "gradient_loss",
         kind: PhaseKind::DenseCompute,
@@ -246,9 +248,8 @@ pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
     let sample_fpw = fpw * job.curvature_fraction * curvature_jitter;
     let gn_compute = iters * cg * sample_fpw * job.gn_flops_per_frame() / rank_flops;
     // Master CG vector arithmetic: P-length ops per CG iteration.
-    let cg_master = iters
-        * cg
-        * (CG_MASTER_VECTOR_OPS * job.params() as f64 / MASTER_SCALAR_FLOPS + master_op);
+    let cg_master =
+        iters * cg * (CG_MASTER_VECTOR_OPS * job.params() as f64 / MASTER_SCALAR_FLOPS + master_op);
     let curvature = Phase {
         name: "worker_curvature_product",
         kind: PhaseKind::DenseCompute,
@@ -261,8 +262,7 @@ pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
     };
 
     // ---- eval_heldout ----------------------------------------------
-    let heldout_compute =
-        iters * evals * heldout_fpw * job.heldout_flops_per_frame() / rank_flops;
+    let heldout_compute = iters * evals * heldout_fpw * job.heldout_flops_per_frame() / rank_flops;
     let eval_heldout = Phase {
         name: "eval_heldout",
         kind: PhaseKind::DenseCompute,
@@ -276,7 +276,13 @@ pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
 
     RunBreakdown {
         label: run.label(),
-        phases: vec![load_data, sync_weights, gradient_loss, curvature, eval_heldout],
+        phases: vec![
+            load_data,
+            sync_weights,
+            gradient_loss,
+            curvature,
+            eval_heldout,
+        ],
     }
 }
 
@@ -318,7 +324,9 @@ pub fn xeon_time(job: &JobSpec, processes: usize) -> RunBreakdown {
         kind: PhaseKind::DenseCompute,
         wire_coll_s: iters * net.reduce_time(pbytes, processes),
         wire_p2p_s: 0.0,
-        worker_compute_s: iters * fpw * job.gradient_batch_fraction
+        worker_compute_s: iters
+            * fpw
+            * job.gradient_batch_fraction
             * job.gradient_flops_per_frame()
             / proc_flops,
         master_compute_s: 0.0,
@@ -342,14 +350,19 @@ pub fn xeon_time(job: &JobSpec, processes: usize) -> RunBreakdown {
             * evals
             * (net.bcast_time(pbytes, processes) + net.reduce_time(24, processes)),
         wire_p2p_s: 0.0,
-        worker_compute_s: iters * evals * heldout_fpw * job.heldout_flops_per_frame()
-            / proc_flops,
+        worker_compute_s: iters * evals * heldout_fpw * job.heldout_flops_per_frame() / proc_flops,
         master_compute_s: 0.0,
     };
 
     RunBreakdown {
         label: format!("xeon-{processes}"),
-        phases: vec![load_data, sync_weights, gradient_loss, curvature, eval_heldout],
+        phases: vec![
+            load_data,
+            sync_weights,
+            gradient_loss,
+            curvature,
+            eval_heldout,
+        ],
     }
 }
 

@@ -155,9 +155,7 @@ impl JobSpec {
         let base = flops::gradient_flops_per_frame(&self.dims) as f64;
         let extra = match self.objective {
             ObjectiveKind::CrossEntropy => 0.0,
-            ObjectiveKind::Sequence { states } => {
-                flops::mmi_extra_flops_per_frame(states) as f64
-            }
+            ObjectiveKind::Sequence { states } => flops::mmi_extra_flops_per_frame(states) as f64,
         };
         base * self.objective_compute_factor() + extra
     }

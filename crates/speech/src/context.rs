@@ -116,7 +116,11 @@ mod tests {
         // Last frame of utterance 0: right context replicates itself.
         let last = boundary - 1;
         let row = out.x.row(last);
-        assert_eq!(&row[2 * dim..3 * dim], s.x.row(last), "right context leaked");
+        assert_eq!(
+            &row[2 * dim..3 * dim],
+            s.x.row(last),
+            "right context leaked"
+        );
     }
 
     impl Shard {

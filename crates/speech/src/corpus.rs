@@ -202,9 +202,7 @@ impl Corpus {
                 let offset = speaker_offsets.row(speaker);
                 let row = features.row_mut(t);
                 for d in 0..spec.feature_dim {
-                    row[d] = mean[d]
-                        + offset[d]
-                        + rng.normal() as f32 * spec.emission_noise as f32;
+                    row[d] = mean[d] + offset[d] + rng.normal() as f32 * spec.emission_noise as f32;
                 }
             }
 
@@ -272,13 +270,16 @@ impl Corpus {
         for &i in ids {
             let utt = &self.utterances[i];
             let f = utt.frames();
-            x.as_mut_slice()[row * dim..(row + f) * dim]
-                .copy_from_slice(utt.features.as_slice());
+            x.as_mut_slice()[row * dim..(row + f) * dim].copy_from_slice(utt.features.as_slice());
             labels.extend_from_slice(&utt.alignment);
             utt_lens.push(f);
             row += f;
         }
-        Shard { x, labels, utt_lens }
+        Shard {
+            x,
+            labels,
+            utt_lens,
+        }
     }
 
     /// Split utterance ids into `(train, heldout)` with roughly
@@ -292,8 +293,8 @@ impl Corpus {
         let mut ids: Vec<usize> = (0..self.utterances.len()).collect();
         let mut rng = Prng::new(self.spec.seed ^ 0x5EED_0DD5);
         rng.shuffle(&mut ids);
-        let n_held = ((ids.len() as f64 * heldout_frac).round() as usize)
-            .min(ids.len().saturating_sub(1));
+        let n_held =
+            ((ids.len() as f64 * heldout_frac).round() as usize).min(ids.len().saturating_sub(1));
         let heldout = ids.split_off(ids.len() - n_held);
         (ids, heldout)
     }
@@ -409,7 +410,10 @@ mod tests {
         let mut all: Vec<usize> = train.iter().chain(held.iter()).cloned().collect();
         all.sort_unstable();
         assert_eq!(all, (0..c.utterances().len()).collect::<Vec<_>>());
-        assert_eq!(held.len(), (c.utterances().len() as f64 * 0.25).round() as usize);
+        assert_eq!(
+            held.len(),
+            (c.utterances().len() as f64 * 0.25).round() as usize
+        );
         // Deterministic.
         let (train2, _) = c.split_heldout(0.25);
         assert_eq!(train, train2);

@@ -66,6 +66,7 @@ pub fn partition(utt_lens: &[usize], workers: usize, strategy: Strategy) -> Vec<
             let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
                 (0..workers).map(|w| Reverse((0u64, w))).collect();
             for i in order {
+                // pdnn-lint: allow(l3-no-unwrap): heap holds one entry per worker and every pop is paired with a push
                 let Reverse((load, w)) = heap.pop().expect("heap never empty");
                 bins[w].push(i);
                 heap.push(Reverse((load + utt_lens[i] as u64, w)));
@@ -135,8 +136,7 @@ mod tests {
         let lens = skewed_lengths(256, 42);
         let naive = assignment_imbalance(&lens, &partition(&lens, 16, Strategy::Contiguous));
         let rr = assignment_imbalance(&lens, &partition(&lens, 16, Strategy::RoundRobin));
-        let lpt =
-            assignment_imbalance(&lens, &partition(&lens, 16, Strategy::SortedBalanced));
+        let lpt = assignment_imbalance(&lens, &partition(&lens, 16, Strategy::SortedBalanced));
         assert!(lpt <= rr, "lpt={lpt} rr={rr}");
         assert!(lpt <= naive, "lpt={lpt} naive={naive}");
         // LPT should be very close to perfect with 16 utterances/bin.
@@ -152,9 +152,11 @@ mod tests {
         let loads = loads(&lens, &bins);
         let makespan = *loads.iter().max().unwrap() as f64;
         let total: u64 = lens.iter().map(|&l| l as u64).sum();
-        let lb = (total as f64 / workers as f64)
-            .max(*lens.iter().max().unwrap() as f64);
-        assert!(makespan <= 4.0 / 3.0 * lb + 1.0, "makespan={makespan} lb={lb}");
+        let lb = (total as f64 / workers as f64).max(*lens.iter().max().unwrap() as f64);
+        assert!(
+            makespan <= 4.0 / 3.0 * lb + 1.0,
+            "makespan={makespan} lb={lb}"
+        );
     }
 
     #[test]

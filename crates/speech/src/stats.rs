@@ -6,6 +6,7 @@
 //! way a data-prep pipeline would before deciding how to shard it.
 
 use crate::corpus::Corpus;
+use pdnn_util::float::exactly_zero;
 use pdnn_util::report::Table;
 use pdnn_util::stats::percentile;
 
@@ -64,17 +65,31 @@ impl CorpusStats {
     pub fn table(&self) -> Table {
         let mut t = Table::new("Corpus statistics", &["metric", "value"]);
         t.row(&["utterances".into(), format!("{}", self.utterances)]);
-        t.row(&["total frames".into(), pdnn_util::fmt_count(self.total_frames as u64)]);
-        t.row(&["min / median / mean / p95 / max frames".into(),
+        t.row(&[
+            "total frames".into(),
+            pdnn_util::fmt_count(self.total_frames as u64),
+        ]);
+        t.row(&[
+            "min / median / mean / p95 / max frames".into(),
             format!(
                 "{} / {:.0} / {:.1} / {:.0} / {}",
-                self.min_frames, self.median_frames, self.mean_frames,
-                self.p95_frames, self.max_frames
-            )]);
+                self.min_frames,
+                self.median_frames,
+                self.mean_frames,
+                self.p95_frames,
+                self.max_frames
+            ),
+        ]);
         let state_imb = imbalance(&self.frames_per_state);
         let speaker_imb = imbalance(&self.frames_per_speaker);
-        t.row(&["state imbalance (max/mean)".into(), format!("{state_imb:.2}")]);
-        t.row(&["speaker imbalance (max/mean)".into(), format!("{speaker_imb:.2}")]);
+        t.row(&[
+            "state imbalance (max/mean)".into(),
+            format!("{state_imb:.2}"),
+        ]);
+        t.row(&[
+            "speaker imbalance (max/mean)".into(),
+            format!("{speaker_imb:.2}"),
+        ]);
         t
     }
 }
@@ -84,10 +99,13 @@ fn imbalance(counts: &[u64]) -> f64 {
         return 1.0;
     }
     let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
-    if mean == 0.0 {
+    if exactly_zero(mean) {
         return 1.0;
     }
-    *counts.iter().max().unwrap() as f64 / mean
+    let Some(max) = counts.iter().max().copied() else {
+        return 1.0;
+    };
+    max as f64 / mean
 }
 
 #[cfg(test)]

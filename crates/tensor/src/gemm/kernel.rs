@@ -60,6 +60,7 @@ pub fn microkernel<T: Scalar>(
 
     // Merge into C, masking the ragged edge.
     match merge_beta {
+        // pdnn-lint: allow(l4-float-exact-compare): BLAS beta sentinel dispatch — exact 0/1 select the overwrite/no-scale fast paths (0 must overwrite, 0*NaN != 0); this is discrimination on a sentinel, not a numeric tolerance test
         Some(beta) if beta == T::ZERO => {
             // beta == 0 must overwrite, not scale: C may hold NaN/gar-
             // bage from uninitialized reuse, and 0 * NaN = NaN.

@@ -130,6 +130,7 @@ impl GemmContext {
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(threads)
                     .build()
+                    // pdnn-lint: allow(l3-no-unwrap): pool construction cannot fail for num_threads >= 1, guaranteed by the max(1) above
                     .expect("failed to build GEMM thread pool"),
             ))
         } else {
@@ -203,15 +204,22 @@ pub fn gemm<T: Scalar>(
         }
     };
     assert_eq!(k, kb, "gemm: inner dimensions {k} != {kb}");
-    assert_eq!(c.shape(), (m, n), "gemm: C is {:?}, want ({m},{n})", c.shape());
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "gemm: C is {:?}, want ({m},{n})",
+        c.shape()
+    );
 
     if m == 0 || n == 0 {
         return;
     }
     if k == 0 {
         // Pure C scaling; beta == 0 must overwrite (NaN-safe).
+        // pdnn-lint: allow(l4-float-exact-compare): BLAS beta sentinel dispatch — exact 0/1 select the overwrite/no-scale fast paths (0 must overwrite, 0*NaN != 0); this is discrimination on a sentinel, not a numeric tolerance test
         if beta == T::ZERO {
             c.as_mut_slice().fill(T::ZERO);
+        // pdnn-lint: allow(l4-float-exact-compare): BLAS beta sentinel dispatch — exact 0/1 select the overwrite/no-scale fast paths (0 must overwrite, 0*NaN != 0); this is discrimination on a sentinel, not a numeric tolerance test
         } else if beta != T::ONE {
             c.scale(beta);
         }
@@ -297,8 +305,7 @@ fn stripe_kernel<T: Scalar>(
                     let ap_panel = &ap[ir * kc_eff * MR..(ir + 1) * kc_eff * MR];
                     let c_off = (ir * MR) * n + jc + jr * NR;
                     kernel::microkernel(
-                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff,
-                        merge,
+                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff, merge,
                     );
                 }
             }
@@ -439,7 +446,11 @@ mod tests {
 
     #[test]
     fn degenerate_blocking_is_sanitized() {
-        let ctx = GemmContext::sequential().with_blocking(Blocking { mc: 0, kc: 0, nc: 0 });
+        let ctx = GemmContext::sequential().with_blocking(Blocking {
+            mc: 0,
+            kc: 0,
+            nc: 0,
+        });
         assert!(ctx.blocking().mc >= MR);
         check_against_naive(&ctx, Trans::N, Trans::N, 12, 12, 12, 1.0, 0.0, 5);
     }

@@ -164,15 +164,22 @@ pub fn gemm_prepacked<T: Scalar>(
             (cc, r)
         }
     };
-    assert_eq!(k, b.k(), "gemm_prepacked: inner dimensions {k} != {}", b.k());
+    assert_eq!(
+        k,
+        b.k(),
+        "gemm_prepacked: inner dimensions {k} != {}",
+        b.k()
+    );
     let n = b.n();
     assert_eq!(c.shape(), (m, n), "gemm_prepacked: C shape mismatch");
     if m == 0 || n == 0 {
         return;
     }
     if k == 0 {
+        // pdnn-lint: allow(l4-float-exact-compare): BLAS beta sentinel dispatch — exact 0/1 select the overwrite/no-scale fast paths (0 must overwrite, 0*NaN != 0); this is discrimination on a sentinel, not a numeric tolerance test
         if beta == T::ZERO {
             c.as_mut_slice().fill(T::ZERO);
+        // pdnn-lint: allow(l4-float-exact-compare): BLAS beta sentinel dispatch — exact 0/1 select the overwrite/no-scale fast paths (0 must overwrite, 0*NaN != 0); this is discrimination on a sentinel, not a numeric tolerance test
         } else if beta != T::ONE {
             c.scale(beta);
         }
@@ -246,8 +253,7 @@ fn stripe_prepacked<T: Scalar>(
                     let ap_panel = &ap[ir * kc_eff * MR..(ir + 1) * kc_eff * MR];
                     let c_off = (ir * MR) * n + jc + jr * NR;
                     kernel::microkernel(
-                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff,
-                        merge,
+                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff, merge,
                     );
                 }
             }
@@ -272,7 +278,12 @@ mod tests {
     #[test]
     fn matches_plain_gemm_bitwise() {
         let ctx = GemmContext::sequential();
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (17, 23, 9), (64, 64, 64), (130, 77, 33)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (17, 23, 9),
+            (64, 64, 64),
+            (130, 77, 33),
+        ] {
             let a = rand(m, k, 1);
             let b = rand(k, n, 2);
             let packed = PackedB::new(&b, Trans::N, ctx.blocking());
@@ -332,7 +343,11 @@ mod tests {
 
     #[test]
     fn custom_blocking_respected() {
-        let blocking = Blocking { mc: 16, kc: 8, nc: 24 };
+        let blocking = Blocking {
+            mc: 16,
+            kc: 8,
+            nc: 24,
+        };
         let ctx = GemmContext::sequential().with_blocking(blocking);
         let a = rand(37, 53, 9);
         let b = rand(53, 29, 10);

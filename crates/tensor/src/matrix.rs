@@ -288,7 +288,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -296,7 +299,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -380,8 +386,7 @@ mod tests {
 
     #[test]
     fn row_argmax_breaks_ties_low() {
-        let m: Matrix<f32> =
-            Matrix::from_vec(2, 3, vec![0.0, 5.0, 5.0, 7.0, 1.0, 2.0]);
+        let m: Matrix<f32> = Matrix::from_vec(2, 3, vec![0.0, 5.0, 5.0, 7.0, 1.0, 2.0]);
         assert_eq!(m.row_argmax(), vec![1, 0]);
     }
 
@@ -423,8 +428,12 @@ mod tests {
         let mut rng = Prng::new(99);
         let m: Matrix<f64> = Matrix::random_normal(100, 100, 2.0, &mut rng);
         let mean: f64 = m.as_slice().iter().sum::<f64>() / 10_000.0;
-        let var: f64 =
-            m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / 10_000.0;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1, "mean={mean}");
         assert!((var - 4.0).abs() < 0.3, "var={var}");
     }

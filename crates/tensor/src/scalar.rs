@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(T::ZERO.to_f64(), 0.0);
         assert_eq!(T::ONE.to_f64(), 1.0);
         assert_eq!(T::from_f64(2.5).to_f64(), 2.5);
-        assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(), 7.0);
+        assert_eq!(
+            T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(),
+            7.0
+        );
         assert!(T::from_f64(4.0).sqrt().to_f64() == 2.0);
         assert!(T::from_f64(-1.5).abs().to_f64() == 1.5);
         assert!(T::from_f64(1.0).is_finite());

@@ -12,20 +12,28 @@
 //!   figure/table generators.
 //! * [`timing`] — named phase timers used to attribute wall-clock time
 //!   to algorithm phases (`gradient_loss`, `sync_weights`, …) the same
-//!   way the paper's Figures 2–5 attribute cycles.
+//!   way the paper's Figures 2–5 attribute cycles, plus the injectable
+//!   [`Clock`] every simulation crate must route wall-clock reads
+//!   through (enforced by `pdnn-lint`).
+//! * [`float`] — the approved float-comparison helpers (`pdnn-lint`
+//!   bans raw `==`/`!=` on floats in library code).
+//! * [`sync`] — poison-tolerant locking ([`sync::locked`]), the
+//!   sanctioned replacement for `Mutex::lock().unwrap()`.
 //! * [`error`] — the workspace-wide [`Error`] type that fallible
 //!   operations across crates convert into.
 
 pub mod error;
+pub mod float;
 pub mod report;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod timing;
 
 pub use error::{Error, Result};
 pub use rng::Prng;
 pub use stats::OnlineStats;
-pub use timing::PhaseTimer;
+pub use timing::{Clock, ManualClock, PhaseTimer, WallClock};
 
 /// Format a duration given in seconds as a human-readable string.
 ///

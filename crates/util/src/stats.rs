@@ -108,6 +108,7 @@ pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
     }
     assert!((0.0..=1.0).contains(&q), "percentile q out of range: {q}");
     let mut sorted: Vec<f64> = samples.to_vec();
+    // pdnn-lint: allow(l3-no-unwrap): NaN input is a caller bug; the panic message names it, total_cmp would silently misrank
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -127,7 +128,7 @@ pub fn imbalance_factor(loads: &[f64]) -> f64 {
     }
     let sum: f64 = loads.iter().sum();
     let mean = sum / loads.len() as f64;
-    if mean == 0.0 {
+    if crate::float::exactly_zero(mean) {
         return 1.0;
     }
     let max = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

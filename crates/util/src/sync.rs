@@ -1,0 +1,45 @@
+//! Poison-tolerant locking.
+//!
+//! `Mutex::lock().unwrap()` is the single most common panic site in
+//! library code, and the panic it raises is almost never the
+//! interesting one: a poisoned mutex means some *other* thread already
+//! panicked while holding the guard, and that panic is what the test
+//! harness or `run_world` will report. Re-panicking here only buries
+//! the original failure under a `PoisonError` backtrace.
+//!
+//! [`locked`] recovers the guard from a poisoned mutex instead. All
+//! state guarded by mutexes in this workspace is telemetry or caches —
+//! plain data with no invariants that a mid-update panic could break
+//! in a way that matters more than the panic itself.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `m`, recovering the guard if the mutex is poisoned.
+pub fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn locks_a_healthy_mutex() {
+        let m = Mutex::new(7);
+        *locked(&m) += 1;
+        assert_eq!(*locked(&m), 8);
+    }
+
+    #[test]
+    fn recovers_from_poisoning() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(locked(&m).len(), 3, "data still reachable");
+    }
+}

@@ -9,7 +9,112 @@
 
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// An injectable time source reporting seconds since its own epoch.
+///
+/// This is the **only** sanctioned route to wall-clock time in the
+/// simulation crates (`pdnn-mpisim`, `pdnn-bgq`, `pdnn-perfmodel`,
+/// `pdnn-core`, `pdnn-obs`): components take a `Arc<dyn Clock>` (or
+/// construct a [`WallClock`] via this module) instead of calling
+/// `std::time::Instant::now()` directly, so simulated runs can swap in
+/// a [`ManualClock`] and stay bit-reproducible. Enforced by `pdnn-lint`
+/// rule `l1-sim-wall-clock`.
+pub trait Clock: Send + Sync {
+    /// Seconds elapsed since the clock's epoch. Must be monotonically
+    /// non-decreasing.
+    fn now(&self) -> f64;
+}
+
+/// Real wall-clock time, anchored at construction.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Clock whose epoch is this call.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// A clock that only moves when told to: the deterministic stand-in
+/// for [`WallClock`] in simulated runs and tests.
+///
+/// Thread-safe; stores seconds as `f64` bits in an atomic so reads
+/// never lock.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// Clock frozen at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared clock frozen at `0.0`.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Advance by `dt` seconds.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative or NaN (time cannot go backwards).
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0, "ManualClock::advance: dt must be >= 0, got {dt}");
+        // Single compare-exchange loop so concurrent advances compose.
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(cur) + dt).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Jump to an absolute time `t >= now()`.
+    ///
+    /// # Panics
+    /// Panics if `t` would move the clock backwards.
+    pub fn set(&self, t: f64) {
+        let cur = f64::from_bits(self.bits.load(Ordering::Acquire));
+        assert!(
+            t >= cur,
+            "ManualClock::set: cannot rewind from {cur} to {t}"
+        );
+        self.bits.store(t.to_bits(), Ordering::Release);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+}
 
 /// Accumulated wall time and call count for one named phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -81,7 +186,7 @@ impl PhaseTimer {
     pub fn report(&self) -> String {
         let mut rows: Vec<(&str, PhaseTotal)> =
             self.phases.iter().map(|(k, &v)| (k.as_ref(), v)).collect();
-        rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+        rows.sort_by(|a, b| b.1.seconds.total_cmp(&a.1.seconds));
         let total = self.total_seconds().max(f64::MIN_POSITIVE);
         let mut out = String::new();
         out.push_str(&format!(
@@ -104,6 +209,41 @@ impl PhaseTimer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_from_zero() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a >= 0.0 && b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_and_sets() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        c.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-12);
+        c.set(10.0);
+        assert_eq!(c.now(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn manual_clock_refuses_to_rewind() {
+        let c = ManualClock::new();
+        c.advance(5.0);
+        c.set(1.0);
+    }
+
+    #[test]
+    fn clocks_are_usable_as_trait_objects() {
+        let manual = ManualClock::shared();
+        manual.advance(3.0);
+        let clock: Arc<dyn Clock> = manual;
+        assert!((clock.now() - 3.0).abs() < 1e-12);
+    }
 
     #[test]
     fn time_accumulates_and_counts() {

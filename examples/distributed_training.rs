@@ -48,7 +48,11 @@ fn main() {
             "{:>4}  {:>12.4}  {:>8.3}  {}",
             s.iter,
             s.heldout_after,
-            if s.heldout_accuracy.is_nan() { 0.0 } else { s.heldout_accuracy },
+            if s.heldout_accuracy.is_nan() {
+                0.0
+            } else {
+                s.heldout_accuracy
+            },
             s.accepted
         );
     }

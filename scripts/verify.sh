@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + tests, then style gates scoped to
-# the crates touched by the telemetry-subsystem work.
+# Repo verification: tier-1 build + tests, then the full style and
+# static-analysis gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,9 +13,10 @@ cargo test -q
 echo "== style: rustfmt =="
 cargo fmt --check
 
-echo "== style: clippy (changed crates) =="
-cargo clippy -p pdnn-obs -p pdnn-util -p pdnn-mpisim -p pdnn-core \
-    -p pdnn-bgq -p pdnn-perfmodel -p pdnn-bench -p pdnn \
-    --all-targets -- -D warnings
+echo "== style: clippy (workspace) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== static analysis: pdnn-lint =="
+cargo run -q -p pdnn-lint
 
 echo "verify: OK"

@@ -17,7 +17,11 @@ fn serial_training_run_succeeds() {
         .args(["--utterances", "40", "--iters", "2"])
         .output()
         .expect("failed to spawn pdnn-train");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("mode: serial"), "{stdout}");
     assert!(stdout.contains("heldout loss"), "{stdout}");
@@ -30,22 +34,42 @@ fn distributed_save_then_sequence_resume() {
 
     let out = Command::new(train_bin())
         .args([
-            "--utterances", "40", "--iters", "2", "--workers", "2",
-            "--save", ckpt.to_str().unwrap(),
+            "--utterances",
+            "40",
+            "--iters",
+            "2",
+            "--workers",
+            "2",
+            "--save",
+            ckpt.to_str().unwrap(),
         ])
         .output()
         .expect("spawn failed");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ckpt.exists(), "checkpoint not written");
 
     let out = Command::new(train_bin())
         .args([
-            "--utterances", "40", "--iters", "1", "--objective", "sequence",
-            "--resume", ckpt.to_str().unwrap(),
+            "--utterances",
+            "40",
+            "--iters",
+            "1",
+            "--objective",
+            "sequence",
+            "--resume",
+            ckpt.to_str().unwrap(),
         ])
         .output()
         .expect("spawn failed");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("resumed from"), "{stdout}");
     std::fs::remove_file(&ckpt).unwrap();
@@ -87,16 +111,28 @@ fn checkpoint_shape_mismatch_is_rejected() {
     // Train with 8 states, then resume claiming 6.
     let out = Command::new(train_bin())
         .args([
-            "--utterances", "30", "--iters", "1", "--states", "8",
-            "--save", ckpt.to_str().unwrap(),
+            "--utterances",
+            "30",
+            "--iters",
+            "1",
+            "--states",
+            "8",
+            "--save",
+            ckpt.to_str().unwrap(),
         ])
         .output()
         .expect("spawn failed");
     assert!(out.status.success());
     let out = Command::new(train_bin())
         .args([
-            "--utterances", "30", "--iters", "1", "--states", "6",
-            "--resume", ckpt.to_str().unwrap(),
+            "--utterances",
+            "30",
+            "--iters",
+            "1",
+            "--states",
+            "6",
+            "--resume",
+            ckpt.to_str().unwrap(),
         ])
         .output()
         .expect("spawn failed");

@@ -84,10 +84,14 @@ fn mismatched_collective_lengths_panic() {
     let outcome = std::panic::catch_unwind(|| {
         run_world(2, |comm| {
             let mut buf = vec![0.0f64; comm.rank() + 1]; // 1 vs 2 elements
-            comm.reduce(&mut buf, pdnn::mpisim::ReduceOp::Sum, 0).unwrap();
+            comm.reduce(&mut buf, pdnn::mpisim::ReduceOp::Sum, 0)
+                .unwrap();
         })
     });
-    assert!(outcome.is_err(), "length mismatch must not silently truncate");
+    assert!(
+        outcome.is_err(),
+        "length mismatch must not silently truncate"
+    );
 }
 
 #[test]

@@ -75,6 +75,10 @@ fn imbalance_inflates_modeled_time_proportionally() {
     let ts = bgq_time(&skewed, &run);
     let gb = tb.phase("gradient_loss").unwrap().worker_compute_s;
     let gs = ts.phase("gradient_loss").unwrap().worker_compute_s;
-    assert!((gs / gb - 1.5).abs() < 1e-9, "gradient did not scale: {}", gs / gb);
+    assert!(
+        (gs / gb - 1.5).abs() < 1e-9,
+        "gradient did not scale: {}",
+        gs / gb
+    );
     assert!(ts.total_seconds() > tb.total_seconds());
 }

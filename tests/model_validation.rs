@@ -102,7 +102,11 @@ fn imbalance_inflates_functional_step_time_like_the_model() {
             comm.set_link_model(Arc::new(BgqLink(Network::bgq(64))));
             if comm.rank() > 0 {
                 // One worker carries the imbalanced load.
-                let load = if comm.rank() == 1 { base * imbalance } else { base };
+                let load = if comm.rank() == 1 {
+                    base * imbalance
+                } else {
+                    base
+                };
                 comm.advance_vtime(load);
             }
             let mut g = vec![0.0f32; 64];

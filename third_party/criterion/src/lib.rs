@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API that `pdnn-bench` uses. The
+//! harness is intentionally simple: each benchmark runs a short
+//! warmup, then a fixed measurement loop, and prints mean ns/iter
+//! (plus derived throughput when declared). There is no statistical
+//! analysis, outlier rejection, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration used to derive rate output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            total_iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if bencher.total_iters == 0 {
+            println!("{}/{id}: no iterations recorded", self.name);
+            return;
+        }
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.total_iters as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(", {:.3e} elem/s", n as f64 * 1e9 / ns_per_iter),
+            Throughput::Bytes(n) => format!(", {:.3e} B/s", n as f64 * 1e9 / ns_per_iter),
+        });
+        println!(
+            "{}/{id}: {ns_per_iter:.0} ns/iter{}",
+            self.name,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` for one warmup pass plus `sample_size` timed passes.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.total_iters += self.iters;
+    }
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // one warmup + three timed iterations
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("id", 5), &5usize, |b, &n| {
+            b.iter(|| seen = n)
+        });
+        group.finish();
+        assert_eq!(seen, 5);
+    }
+}

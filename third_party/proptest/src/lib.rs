@@ -1,0 +1,134 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a deterministic re-implementation of the proptest surface
+//! its test suites use: the `proptest!` macro, range/`Just`/tuple
+//! strategies, `prop_map`/`prop_flat_map`, `prop_oneof!`,
+//! `collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//! * generation is fully deterministic — case `i` of test `t` always
+//!   sees the same inputs (seeded from a hash of the test name and the
+//!   case index), so failures reproduce without a persistence file;
+//! * there is no shrinking — the failing inputs are reported as-is;
+//! * `prop_assert*` panics immediately instead of recording a failure
+//!   for shrinking.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Inclusive-exclusive bounds on a generated collection length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub start: usize,
+        pub end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range must be non-empty");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating a `Vec` of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Entry point macro: a block of property tests sharing one config.
+///
+/// Supported grammar (the subset this workspace uses):
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop_name(x in 0usize..10, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        __case as u64,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; panics with the failing message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(Box::new($s) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal implementation of the slice of rayon's API that
+//! `pdnn-tensor` uses: a sized thread pool with `install`, and
+//! `par_chunks_mut(..).enumerate().for_each(..)` over `&mut [T]`.
+//!
+//! Semantics match rayon where it matters for correctness: chunks are
+//! disjoint `&mut` stripes, `for_each` returns only after every chunk
+//! has been processed, and panics in workers propagate to the caller.
+//! Scheduling is static (round-robin over `threads` scoped workers)
+//! rather than work-stealing, which is adequate for the near-uniform
+//! GEMM stripes this workspace feeds it.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Parallelism level installed by [`ThreadPool::install`] for the
+    /// current thread; `None` means "not inside a pool".
+    static ACTIVE_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn current_parallelism() -> usize {
+    ACTIVE_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stand-in pool
+/// cannot actually fail to build; the type exists for API parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A sized pool. Threads are spawned per `for_each` call (scoped)
+/// rather than kept alive; `install` only records the parallelism
+/// level for parallel iterators run inside `f`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's parallelism level active.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        ACTIVE_THREADS.with(|t| {
+            let prev = t.replace(Some(self.threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// Configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod slice {
+    use super::current_parallelism;
+
+    /// `&mut [T]` extension providing `par_chunks_mut`.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "par_chunks_mut: chunk size must be > 0");
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    /// Parallel iterator over disjoint mutable chunks of a slice.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        #[must_use]
+        pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+            EnumerateParChunksMut { inner: self }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, chunk)| f(chunk));
+        }
+    }
+
+    /// Enumerated variant of [`ParChunksMut`].
+    pub struct EnumerateParChunksMut<'a, T> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Sync,
+        {
+            let chunks: Vec<(usize, &'a mut [T])> = self
+                .inner
+                .slice
+                .chunks_mut(self.inner.chunk_size)
+                .enumerate()
+                .collect();
+            let workers = current_parallelism().min(chunks.len()).max(1);
+            if workers <= 1 {
+                for item in chunks {
+                    f(item);
+                }
+                return;
+            }
+            // Static round-robin assignment over scoped workers; the
+            // scope joins (and re-raises worker panics) before return.
+            let mut per_worker: Vec<Vec<(usize, &'a mut [T])>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, item) in chunks.into_iter().enumerate() {
+                per_worker[i % workers].push(item);
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                for work in per_worker {
+                    s.spawn(move || {
+                        for item in work {
+                            f(item);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_cover_every_element() {
+        let mut v = vec![0u64; 1037];
+        v.as_mut_slice()
+            .par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (i * 64 + j) as u64;
+                }
+            });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn install_scopes_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_parallelism);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn pool_result_is_returned() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut v = vec![1.0f32; 256];
+        let total: f32 = pool.install(|| {
+            v.as_mut_slice().par_chunks_mut(32).for_each(|c| {
+                for x in c.iter_mut() {
+                    *x *= 2.0;
+                }
+            });
+            v.iter().sum()
+        });
+        assert_eq!(total, 512.0);
+    }
+}
