@@ -17,6 +17,7 @@
 //!   one by one, so "collectives" serialize into `P − 1` p2p messages.
 
 use crate::torus::{Torus, HOP_LATENCY, LINK_BANDWIDTH};
+use pdnn_util::cast;
 
 /// Network model flavor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -82,12 +83,16 @@ impl Network {
     pub fn p2p_time(&self, bytes: u64) -> f64 {
         match self {
             Network::BgqTorus { torus } => {
-                BGQ_MPI_LATENCY + torus.mean_hops() * HOP_LATENCY + bytes as f64 / LINK_BANDWIDTH
+                BGQ_MPI_LATENCY
+                    + torus.mean_hops() * HOP_LATENCY
+                    + cast::exact_f64(bytes) / LINK_BANDWIDTH
             }
             Network::EthernetCluster {
                 latency, bandwidth, ..
-            } => latency + bytes as f64 / bandwidth,
-            Network::SocketBaseline { latency, bandwidth } => latency + bytes as f64 / bandwidth,
+            } => latency + cast::exact_f64(bytes) / bandwidth,
+            Network::SocketBaseline { latency, bandwidth } => {
+                latency + cast::exact_f64(bytes) / bandwidth
+            }
         }
     }
 
@@ -101,8 +106,8 @@ impl Network {
                 // Pipelined over the torus: fill the diameter once,
                 // then stream at collective bandwidth.
                 BGQ_MPI_LATENCY
-                    + torus.diameter() as f64 * HOP_LATENCY
-                    + bytes as f64 / (LINK_BANDWIDTH * BGQ_COLLECTIVE_BW_FRACTION)
+                    + cast::exact_f64_usize(torus.diameter()) * HOP_LATENCY
+                    + cast::exact_f64(bytes) / (LINK_BANDWIDTH * BGQ_COLLECTIVE_BW_FRACTION)
             }
             Network::EthernetCluster {
                 latency,
@@ -111,13 +116,14 @@ impl Network {
             } => {
                 // Binomial software tree: log2(P) rounds of the full
                 // message, with congestion inflating transfer time.
-                let rounds = (ranks as f64).log2().ceil();
-                let eff_bw = bandwidth / (1.0 + contention * ranks as f64);
-                rounds * (latency + bytes as f64 / eff_bw)
+                let rounds = cast::exact_f64_usize(ranks).log2().ceil();
+                let eff_bw = bandwidth / (1.0 + contention * cast::exact_f64_usize(ranks));
+                rounds * (latency + cast::exact_f64(bytes) / eff_bw)
             }
             Network::SocketBaseline { latency, bandwidth } => {
                 // Sequential fan-out from the master.
-                (ranks as f64 - 1.0) * (latency + bytes as f64 / bandwidth)
+                (cast::exact_f64_usize(ranks) - 1.0)
+                    * (latency + cast::exact_f64(bytes) / bandwidth)
             }
         }
     }
@@ -134,12 +140,13 @@ impl Network {
                 // Hardware-combining pipelined reduction; slightly
                 // slower than bcast (combine ALU on the way).
                 BGQ_MPI_LATENCY
-                    + torus.diameter() as f64 * HOP_LATENCY
-                    + 1.15 * bytes as f64 / (LINK_BANDWIDTH * BGQ_COLLECTIVE_BW_FRACTION)
+                    + cast::exact_f64_usize(torus.diameter()) * HOP_LATENCY
+                    + 1.15 * cast::exact_f64(bytes) / (LINK_BANDWIDTH * BGQ_COLLECTIVE_BW_FRACTION)
             }
             Network::EthernetCluster { .. } => self.bcast_time(bytes, ranks) * 1.1,
             Network::SocketBaseline { latency, bandwidth } => {
-                (ranks as f64 - 1.0) * (latency + bytes as f64 / bandwidth)
+                (cast::exact_f64_usize(ranks) - 1.0)
+                    * (latency + cast::exact_f64(bytes) / bandwidth)
             }
         }
     }

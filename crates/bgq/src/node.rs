@@ -17,6 +17,8 @@
 //!   why 2 ranks × 32 threads beats 1 rank × 64 threads at equal
 //!   hardware utilization.
 
+use pdnn_util::cast;
+
 /// Core clock (Hz).
 pub const CLOCK_HZ: f64 = 1.6e9;
 /// Cores per node.
@@ -26,6 +28,7 @@ pub const THREADS_PER_CORE: usize = 4;
 /// Peak FLOPs per core per cycle (4-wide FMA).
 pub const FLOPS_PER_CORE_PER_CYCLE: f64 = 8.0;
 /// Peak node throughput in FLOP/s (204.8 GF).
+// pdnn-lint: allow(l6-lossy-cast): const expression (checked helpers are not const fn); 16 is exact
 pub const NODE_PEAK_FLOPS: f64 = CLOCK_HZ * FLOPS_PER_CORE_PER_CYCLE * CORES_PER_NODE as f64;
 
 /// Fraction of peak a tuned SGEMM reaches with perfect threading
@@ -66,7 +69,7 @@ impl NodeConfig {
     /// Hardware threads per core actually occupied (may be
     /// fractional when fewer than 16 threads run).
     pub fn threads_per_core(&self) -> f64 {
-        self.threads_per_node() as f64 / CORES_PER_NODE as f64
+        cast::exact_f64_usize(self.threads_per_node()) / cast::exact_f64_usize(CORES_PER_NODE)
     }
 }
 
@@ -79,7 +82,7 @@ impl NodeConfig {
 /// qualitative Figure 1(a) scaling (16→32→64 threads/node keeps
 /// improving, with diminishing returns).
 pub fn smt_throughput(threads_per_core: f64) -> f64 {
-    let t = threads_per_core.clamp(0.0, THREADS_PER_CORE as f64);
+    let t = threads_per_core.clamp(0.0, cast::exact_f64_usize(THREADS_PER_CORE));
     // Piecewise-linear through (1, 0.52), (2, 0.80), (3, 0.93), (4, 1.0).
     const POINTS: [(f64, f64); 5] = [
         (0.0, 0.0),
@@ -107,7 +110,7 @@ pub fn smt_throughput(threads_per_core: f64) -> f64 {
 /// ordering.
 pub fn thread_scaling(threads_per_rank: usize) -> f64 {
     // ~4.5% loss per doubling beyond 8 threads.
-    let t = threads_per_rank.max(1) as f64;
+    let t = cast::exact_f64_usize(threads_per_rank.max(1));
     let doublings = (t / 8.0).log2().max(0.0);
     (1.0 - 0.045 * doublings).max(0.5)
 }
@@ -121,7 +124,7 @@ pub fn rank_packing_overhead(ranks_per_node: usize) -> f64 {
         2 => 0.995,
         4 => 0.98,
         8 => 0.96,
-        n => (1.0 - 0.01 * (n as f64).log2()).max(0.9),
+        n => (1.0 - 0.01 * cast::exact_f64_usize(n).log2()).max(0.9),
     }
 }
 
@@ -137,7 +140,7 @@ pub fn node_effective_flops(config: NodeConfig) -> f64 {
 
 /// Effective FLOP/s available to a single rank.
 pub fn rank_effective_flops(config: NodeConfig) -> f64 {
-    node_effective_flops(config) / config.ranks_per_node as f64
+    node_effective_flops(config) / cast::exact_f64_usize(config.ranks_per_node)
 }
 
 #[cfg(test)]

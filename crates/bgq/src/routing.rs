@@ -89,8 +89,9 @@ impl Torus {
         let Some(max) = traffic.values().max().copied() else {
             return 1.0;
         };
-        let mean = traffic.values().sum::<u64>() as f64 / traffic.len() as f64;
-        max as f64 / mean
+        let mean = pdnn_util::cast::exact_f64(traffic.values().sum::<u64>())
+            / pdnn_util::cast::exact_f64_usize(traffic.len());
+        pdnn_util::cast::exact_f64(max) / mean
     }
 }
 

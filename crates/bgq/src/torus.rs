@@ -99,7 +99,7 @@ impl Torus {
             return 0.0;
         }
         let total: usize = (1..n).map(|b| self.hops(0, b)).sum();
-        total as f64 / (n - 1) as f64
+        pdnn_util::cast::exact_f64_usize(total) / pdnn_util::cast::exact_f64_usize(n - 1)
     }
 
     /// Aggregate torus bandwidth per node, bytes/s (the paper's
@@ -107,6 +107,7 @@ impl Torus {
     /// 10 × 2 GB/s × 2 directions = 40 GB/s; we expose the
     /// unidirectional injection bound).
     pub fn injection_bandwidth() -> f64 {
+        // pdnn-lint: allow(l6-lossy-cast): LINKS_PER_NODE is the constant 10, exactly representable
         LINKS_PER_NODE as f64 * LINK_BANDWIDTH
     }
 }

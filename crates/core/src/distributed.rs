@@ -37,7 +37,7 @@ use pdnn_dnn::gauss_newton::{gn_product, Curvature};
 use pdnn_dnn::loss::{cross_entropy, cross_entropy_loss_only, softmax_rows};
 use pdnn_dnn::network::{ForwardCache, Network};
 use pdnn_dnn::sequence::mmi_batch;
-use pdnn_mpisim::{comm_ok, Comm, CommTrace, Payload, RankOutcome, ReduceOp, Src};
+use pdnn_mpisim::{comm_ok, Comm, CommTrace, HbViolation, Payload, RankOutcome, ReduceOp, Src};
 use pdnn_obs::{InMemoryRecorder, RecorderExt, SpanKind, Telemetry};
 use pdnn_speech::{partition, Corpus, Shard, Strategy};
 use pdnn_tensor::gemm::GemmContext;
@@ -108,6 +108,15 @@ pub struct TrainOutput {
     pub master_telemetry: Telemetry,
     /// Full per-worker telemetry, worker order.
     pub worker_telemetries: Vec<Telemetry>,
+    /// Happens-before violations `(rank, violation)` from the
+    /// vector-clock tracker. Always empty except under
+    /// [`train_distributed_perturbed`], where any entry is a protocol
+    /// race.
+    pub hb_violations: Vec<(usize, HbViolation)>,
+    /// Schedule-perturbation seed the run executed under (`None`
+    /// outside [`train_distributed_perturbed`]); also stamped on every
+    /// rank's telemetry so JSONL dumps record their schedule.
+    pub schedule_seed: Option<u64>,
 }
 
 /// Master-side implementation of [`HfProblem`] over the communicator.
@@ -346,23 +355,21 @@ fn worker_loop(
         GemmContext::sequential()
     };
 
-    // load_data: receive this worker's utterance assignments.
+    // load_data: receive this worker's utterance assignments. The
+    // typed receive surfaces a tag/kind-mismatched sender as a
+    // `CommError::TypeMismatch` instead of a payload panic.
     let load_span = rec.span("load_data", SpanKind::CommP2p);
     let train_ids: Vec<usize> = comm_ok(
-        comm.recv(Src::Of(0), TAG_LOAD_DATA),
+        comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA),
         "train assignment recv",
     )
-    .payload
-    .into_u64()
     .into_iter()
     .map(|v| v as usize)
     .collect();
     let held_ids: Vec<usize> = comm_ok(
-        comm.recv(Src::Of(0), TAG_LOAD_DATA),
+        comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA),
         "heldout assignment recv",
     )
-    .payload
-    .into_u64()
     .into_iter()
     .map(|v| v as usize)
     .collect();
@@ -481,6 +488,10 @@ fn worker_loop(
             other => panic!("unknown command {other}"),
         }
     }
+    // Epoch barrier closing the protocol: no rank exits while another
+    // may still be mid-collective, so the quiescence check at exit
+    // (static p3 / dynamic UnconsumedAtExit) is meaningful.
+    comm_ok(comm.barrier(), "shutdown barrier");
 }
 
 /// Train a network with distributed Hessian-free optimization.
@@ -493,7 +504,7 @@ pub fn train_distributed(
     objective: &Objective,
     config: &DistributedConfig,
 ) -> TrainOutput {
-    train_impl(net0, corpus, objective, config, false)
+    train_impl(net0, corpus, objective, config, WorldMode::Normal)
 }
 
 /// [`train_distributed`] with every rank's telemetry clock frozen at a
@@ -509,7 +520,36 @@ pub fn train_distributed_deterministic(
     objective: &Objective,
     config: &DistributedConfig,
 ) -> TrainOutput {
-    train_impl(net0, corpus, objective, config, true)
+    train_impl(net0, corpus, objective, config, WorldMode::Deterministic)
+}
+
+/// [`train_distributed_deterministic`] under a seeded schedule
+/// perturbation (see [`pdnn_mpisim::run_world_perturbed`]): message
+/// delivery and rank progress are jittered within MPI-legal
+/// reorderings and every rank runs a vector-clock happens-before
+/// tracker. A schedule-independent protocol produces bit-identical
+/// weights and telemetry for every `seed` and an empty
+/// [`TrainOutput::hb_violations`]; `pdnn-protocheck` pass 2 sweeps K
+/// seeds asserting exactly that.
+pub fn train_distributed_perturbed(
+    net0: &Network<f32>,
+    corpus: &Corpus,
+    objective: &Objective,
+    config: &DistributedConfig,
+    seed: u64,
+) -> TrainOutput {
+    train_impl(net0, corpus, objective, config, WorldMode::Perturbed(seed))
+}
+
+/// How the rank world is built and scheduled.
+#[derive(Clone, Copy)]
+enum WorldMode {
+    /// Real clocks, unperturbed schedule.
+    Normal,
+    /// Frozen shared telemetry clock (byte-identical reruns).
+    Deterministic,
+    /// Frozen clock plus seeded schedule perturbation + HB tracking.
+    Perturbed(u64),
 }
 
 fn train_impl(
@@ -517,7 +557,7 @@ fn train_impl(
     corpus: &Corpus,
     objective: &Objective,
     config: &DistributedConfig,
-    deterministic: bool,
+    mode: WorldMode,
 ) -> TrainOutput {
     assert!(config.workers >= 1, "need at least one worker");
     config.hf.validate();
@@ -587,6 +627,8 @@ fn train_impl(
             let stats = opt.train(&mut problem);
             let theta_final = problem.theta();
             problem.command(vec![CMD_SHUTDOWN]);
+            // Matching half of the workers' shutdown barrier.
+            comm_ok(comm.barrier(), "shutdown barrier");
             RoleOutput::Master(Box::new((stats, theta_final)))
         } else {
             // ---- worker ----
@@ -594,10 +636,14 @@ fn train_impl(
             RoleOutput::Worker
         }
     };
-    let outcomes: Vec<RankOutcome<RoleOutput>> = if deterministic {
-        pdnn_mpisim::run_world_deterministic(world, body)
-    } else {
-        pdnn_mpisim::run_world(world, body)
+    let outcomes: Vec<RankOutcome<RoleOutput>> = match mode {
+        WorldMode::Normal => pdnn_mpisim::run_world(world, body),
+        WorldMode::Deterministic => pdnn_mpisim::run_world_deterministic(world, body),
+        WorldMode::Perturbed(seed) => pdnn_mpisim::run_world_perturbed(world, seed, body),
+    };
+    let schedule_seed = match mode {
+        WorldMode::Perturbed(seed) => Some(seed),
+        _ => None,
     };
 
     let mut network = net0.clone();
@@ -606,7 +652,10 @@ fn train_impl(
     let mut master_telemetry = Telemetry::default();
     let mut worker_traces = Vec::new();
     let mut worker_telemetries = Vec::new();
-    for outcome in outcomes {
+    let mut hb_violations = Vec::new();
+    for mut outcome in outcomes {
+        outcome.telemetry.schedule_seed = schedule_seed;
+        hb_violations.extend(outcome.hb.into_iter().map(|v| (outcome.rank, v)));
         match outcome.result {
             RoleOutput::Master(boxed) => {
                 let (s, theta) = *boxed;
@@ -636,6 +685,8 @@ fn train_impl(
         worker_phases,
         master_telemetry,
         worker_telemetries,
+        hb_violations,
+        schedule_seed,
     }
 }
 
@@ -800,6 +851,41 @@ mod tests {
             assert_eq!(&t.comm, &out.worker_traces[w]);
             assert!(t.spans.iter().any(|s| s.name() == "gradient_loss"));
             assert!(t.spans.iter().any(|s| s.name() == "bcast"));
+        }
+    }
+
+    #[test]
+    fn perturbed_schedule_matches_deterministic_run() {
+        let corpus = small_corpus(13);
+        let net0 = small_net(&corpus, 6);
+        let mut config = DistributedConfig::default();
+        config.workers = 3;
+        config.hf.max_iters = 2;
+        let baseline =
+            train_distributed_deterministic(&net0, &corpus, &Objective::CrossEntropy, &config);
+        assert!(baseline.hb_violations.is_empty());
+        assert_eq!(baseline.schedule_seed, None);
+        for seed in [1u64, 99] {
+            let out = train_distributed_perturbed(
+                &net0,
+                &corpus,
+                &Objective::CrossEntropy,
+                &config,
+                seed,
+            );
+            assert_eq!(
+                out.hb_violations,
+                vec![],
+                "seed {seed}: happens-before violations"
+            );
+            assert_eq!(out.schedule_seed, Some(seed));
+            assert_eq!(out.master_telemetry.schedule_seed, Some(seed));
+            // Bit-identical weights: the protocol is schedule-independent.
+            assert_eq!(
+                out.network.to_flat(),
+                baseline.network.to_flat(),
+                "seed {seed}: weights diverged under perturbation"
+            );
         }
     }
 

@@ -17,6 +17,13 @@
 use crate::{rules, FileOutcome};
 use std::fmt::Write as _;
 
+/// Escape a string for embedding in a JSON double-quoted literal.
+/// Shared with `pdnn-protocheck`, whose report writer reuses this
+/// crate's hand-rolled serialization conventions.
+pub fn json_escape(s: &str) -> String {
+    esc(s)
+}
+
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {

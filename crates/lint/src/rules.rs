@@ -38,6 +38,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "public phase-level functions must open a pdnn-obs \
                   Recorder span (directly or via a same-file callee)",
     },
+    RuleInfo {
+        id: L6,
+        summary: "no bare `as` numeric casts in cycle/byte accounting \
+                  paths; use try_into or pdnn_util::cast helpers",
+    },
 ];
 
 pub const L1: &str = "l1-sim-wall-clock";
@@ -45,6 +50,39 @@ pub const L2: &str = "l2-iteration-order";
 pub const L3: &str = "l3-no-unwrap";
 pub const L4: &str = "l4-float-exact-compare";
 pub const L5: &str = "l5-phase-span";
+pub const L6: &str = "l6-lossy-cast";
+
+/// Rule ids owned by `pdnn-protocheck` but registered here so the
+/// shared suppression machinery (`pdnn_lint::suppressions`) accepts
+/// `// pdnn-lint: allow(p...)` directives. The linter itself never
+/// emits these; protocheck validates and consumes them.
+pub const PROTOCHECK_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "p1-collective-order",
+        summary: "master and worker must issue the same collective \
+                  sequence, in the same order, for every command",
+    },
+    RuleInfo {
+        id: "p2-tag-match",
+        summary: "every point-to-point send tag must have a matching \
+                  recv with a compatible payload type, and vice versa",
+    },
+    RuleInfo {
+        id: "p3-unconsumed-message",
+        summary: "no message may be left unconsumed at the shutdown \
+                  barrier; send/recv site counts must balance per tag",
+    },
+    RuleInfo {
+        id: "p4-command-space",
+        summary: "command opcodes must be unique and handled by both \
+                  the master and the worker loop",
+    },
+];
+
+/// Is `id` a rule id the suppression parser should accept?
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id) || PROTOCHECK_RULES.iter().any(|r| r.id == id)
+}
 
 /// Crates whose behaviour (and telemetry) must be a pure function of
 /// their inputs: the simulated machine, the trainer that runs on it,
@@ -82,6 +120,15 @@ const PHASE_MODULES: &[&str] = &[
 /// phase; L5 skips it.
 const PHASE_MIN_BODY_LINES: usize = 10;
 
+/// Cycle/byte accounting paths where a silently-lossy `as` cast skews
+/// the performance model: the BG/Q machine model, the analytic
+/// perf-model crate, and the simulator's virtual-time layer.
+const ACCOUNTING_PATHS: &[&str] = &[
+    "crates/bgq/src/",
+    "crates/perfmodel/src/",
+    "crates/mpisim/src/vtime.rs",
+];
+
 pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
     l1_sim_wall_clock(file, &mut out);
@@ -89,6 +136,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     l3_no_unwrap(file, &mut out);
     l4_float_exact_compare(file, &mut out);
     l5_phase_span(file, &mut out);
+    l6_lossy_cast(file, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
@@ -302,6 +350,42 @@ fn l4_float_exact_compare(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// The numeric type tokens an `as` cast can target; `as` followed by
+/// anything else (`as &str`, `as dyn Trait`, `as Payload`) is not a
+/// numeric cast and is out of scope for L6.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn l6_lossy_cast(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_any(&file.path, ACCOUNTING_PATHS) {
+        return;
+    }
+    let mut from = 0;
+    while let Some(pos) = find_word(&file.masked, "as", from) {
+        from = pos + 2;
+        let line = file.line_of(pos);
+        if file.test_lines.get(line).copied().unwrap_or(false) {
+            continue;
+        }
+        let target = operand_right(&file.masked, pos + 2);
+        let Some(ty) = NUMERIC_TYPES.iter().find(|t| **t == target) else {
+            continue;
+        };
+        out.push(Finding::new(
+            file,
+            L6,
+            pos,
+            format!(
+                "bare `as {ty}` cast in an accounting path; use `try_into()` or a \
+                 `pdnn_util::cast` checked helper (or suppress with the reason the \
+                 value provably fits)"
+            ),
+        ));
+    }
+}
+
 /// Tokens whose presence in a body mean "this function is visible in
 /// telemetry".
 fn body_opens_span(body: &str) -> bool {
@@ -510,6 +594,41 @@ fn f(x: f64, n: u32) -> bool {
         let l5: Vec<_> = hits.iter().filter(|f| f.rule == L5).collect();
         assert_eq!(l5.len(), 1, "{l5:?}");
         assert!(l5[0].message.contains("no_span"));
+    }
+
+    #[test]
+    fn l6_flags_numeric_casts_in_accounting_paths_only() {
+        let src =
+            "fn f(bytes: u64) -> f64 {\n    bytes as f64\n}\nfn g(x: f64) -> u64 { x as u64 }\n";
+        let hits = findings_for("crates/bgq/src/torus.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == L6).count(), 2, "{hits:?}");
+        let hits = findings_for("crates/mpisim/src/vtime.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == L6).count(), 2);
+        // Out of scope: other mpisim modules, core, util.
+        assert!(findings_for("crates/mpisim/src/comm.rs", src)
+            .iter()
+            .all(|f| f.rule != L6));
+        assert!(findings_for("crates/util/src/cast.rs", src)
+            .iter()
+            .all(|f| f.rule != L6));
+    }
+
+    #[test]
+    fn l6_ignores_non_numeric_casts_and_test_code() {
+        let src = "fn f(p: &dyn Payload) { let _ = p as &dyn Payload; }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t(b: u64) -> f64 { b as f64 }\n}\n";
+        let hits = findings_for("crates/perfmodel/src/model.rs", src);
+        assert!(hits.iter().all(|f| f.rule != L6), "{hits:?}");
+    }
+
+    #[test]
+    fn protocheck_rule_ids_are_known() {
+        assert!(known_rule("p1-collective-order"));
+        assert!(known_rule("p2-tag-match"));
+        assert!(known_rule("p3-unconsumed-message"));
+        assert!(known_rule("p4-command-space"));
+        assert!(known_rule(L6));
+        assert!(!known_rule("p9-nonsense"));
     }
 
     #[test]

@@ -23,8 +23,13 @@ use pdnn_obs::{RecorderExt, SpanKind};
 
 /// Element type usable in typed collectives.
 pub trait CollElem: Copy + Send + 'static {
+    /// The payload kind name this element maps to (for diagnostics).
+    const KIND: &'static str;
     /// Wrap a vector into a payload.
     fn wrap(v: Vec<Self>) -> Payload;
+    /// Checked unwrap: `Err` returns the payload untouched on a kind
+    /// mismatch so the caller can report what actually arrived.
+    fn unwrap_checked(p: Payload) -> Result<Vec<Self>, Payload>;
     /// Unwrap a payload (panics on type mismatch — protocol bug).
     fn unwrap(p: Payload) -> Vec<Self>;
     /// Combine `b` into `a` under `op`.
@@ -45,14 +50,21 @@ pub enum ReduceOp {
 macro_rules! impl_coll_elem {
     ($t:ty, $variant:ident) => {
         impl CollElem for $t {
+            const KIND: &'static str = stringify!($variant);
             fn wrap(v: Vec<Self>) -> Payload {
                 Payload::$variant(v)
             }
-            fn unwrap(p: Payload) -> Vec<Self> {
+            fn unwrap_checked(p: Payload) -> Result<Vec<Self>, Payload> {
                 match p {
-                    Payload::$variant(v) => v,
+                    Payload::$variant(v) => Ok(v),
+                    other => Err(other),
+                }
+            }
+            fn unwrap(p: Payload) -> Vec<Self> {
+                match Self::unwrap_checked(p) {
+                    Ok(v) => v,
                     // pdnn-lint: allow(l3-no-unwrap): payload type mismatch inside a collective is a protocol bug, not a recoverable condition
-                    other => panic!(
+                    Err(other) => panic!(
                         "collective type mismatch: expected {}, got {}",
                         stringify!($variant),
                         other.kind()
@@ -129,8 +141,7 @@ impl Comm {
             while mask < size {
                 if vrank & mask != 0 {
                     let src = (vrank - mask + root) % size;
-                    let pkt = comm.recv(Src::Of(src), tag)?;
-                    *buf = T::unwrap(pkt.payload);
+                    *buf = comm.recv_vec::<T>(Src::Of(src), tag)?;
                     break;
                 }
                 mask <<= 1;
@@ -174,8 +185,7 @@ impl Comm {
                     let vsrc = vrank | mask;
                     if vsrc < size {
                         let src = (vsrc + root) % size;
-                        let pkt = comm.recv(Src::Of(src), tag)?;
-                        let other = T::unwrap(pkt.payload);
+                        let other = comm.recv_vec::<T>(Src::Of(src), tag)?;
                         T::combine(op, buf, &other);
                     }
                 } else {
@@ -214,8 +224,7 @@ impl Comm {
                     // Deterministic exchange: send then receive (the
                     // unbounded channels make this deadlock-free).
                     comm.send(partner, tag + 1, T::wrap(buf.clone()))?;
-                    let pkt = comm.recv(Src::Of(partner), tag + 1)?;
-                    let other = T::unwrap(pkt.payload);
+                    let other = comm.recv_vec::<T>(Src::Of(partner), tag + 1)?;
                     // Combine in a rank-independent order: lower rank's
                     // data is always the left operand, so all ranks
                     // compute bitwise-identical results.
@@ -283,8 +292,7 @@ impl Comm {
                 };
                 let send_slice = buf[bounds[send.0]..bounds[send.1]].to_vec();
                 comm.send(partner, tag + 1, T::wrap(send_slice))?;
-                let pkt = comm.recv(Src::Of(partner), tag + 1)?;
-                let incoming = T::unwrap(pkt.payload);
+                let incoming = comm.recv_vec::<T>(Src::Of(partner), tag + 1)?;
                 let own = &mut buf[bounds[keep.0]..bounds[keep.1]];
                 // Rank-independent operand order for bitwise
                 // reproducibility.
@@ -311,8 +319,7 @@ impl Comm {
                 let partner = rank ^ mask;
                 let send_slice = buf[bounds[lo]..bounds[hi]].to_vec();
                 comm.send(partner, tag + 2, T::wrap(send_slice))?;
-                let pkt = comm.recv(Src::Of(partner), tag + 2)?;
-                let incoming = T::unwrap(pkt.payload);
+                let incoming = comm.recv_vec::<T>(Src::Of(partner), tag + 2)?;
                 let span = hi - lo;
                 let (nlo, nhi) = if (lo / span).is_multiple_of(2) {
                     (lo, hi + span) // sibling is to the right
@@ -347,8 +354,7 @@ impl Comm {
                     if r == root {
                         out.push(data.clone());
                     } else {
-                        let pkt = comm.recv(Src::Of(r), tag)?;
-                        out.push(T::unwrap(pkt.payload));
+                        out.push(comm.recv_vec::<T>(Src::Of(r), tag)?);
                     }
                 }
                 comm.trace_collective_done();
@@ -386,9 +392,9 @@ impl Comm {
                 comm.trace_collective_done();
                 Ok(own)
             } else {
-                let pkt = comm.recv(Src::Of(root), tag)?;
+                let chunk = comm.recv_vec::<T>(Src::Of(root), tag)?;
                 comm.trace_collective_done();
-                Ok(T::unwrap(pkt.payload))
+                Ok(chunk)
             }
         })
     }
@@ -405,8 +411,7 @@ impl Comm {
             for step in 0..size - 1 {
                 comm.send(next, tag, T::wrap(current.clone()))?;
                 slots[(rank + size - step) % size] = Some(std::mem::take(&mut current));
-                let pkt = comm.recv(Src::Of(prev), tag)?;
-                current = T::unwrap(pkt.payload);
+                current = comm.recv_vec::<T>(Src::Of(prev), tag)?;
             }
             slots[(rank + 1) % size] = Some(current);
             comm.trace_collective_done();

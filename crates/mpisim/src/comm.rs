@@ -7,12 +7,15 @@
 //! pending list, so receive order is governed by `(src, tag)` matching
 //! exactly like MPI, not by arrival order.
 
+use crate::collectives::CollElem;
+use crate::hb::{HbTracker, HbViolation};
 use crate::message::{Packet, Payload, Src};
 use crate::trace::{CommClass, CommTrace};
 use crate::vtime::LinkModel;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pdnn_obs::{InMemoryRecorder, Telemetry};
 use pdnn_util::timing::{Clock, WallClock};
+use pdnn_util::Prng;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,6 +31,20 @@ pub enum CommError {
     Timeout,
     /// All senders to this rank dropped while waiting.
     WorldShutDown,
+    /// A matched message carried the wrong payload kind — a protocol
+    /// bug (mismatched send/recv pair), distinct from the transport
+    /// faults above so callers and the protocol checker can tell them
+    /// apart.
+    TypeMismatch {
+        /// Sending rank.
+        src: usize,
+        /// Tag the receive matched on.
+        tag: u64,
+        /// Payload kind the receiver expected.
+        expected: &'static str,
+        /// Payload kind actually received.
+        got: &'static str,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -36,6 +53,16 @@ impl std::fmt::Display for CommError {
             CommError::Disconnected { peer } => write!(f, "rank {peer} disconnected"),
             CommError::Timeout => write!(f, "receive timed out"),
             CommError::WorldShutDown => write!(f, "all peers disconnected"),
+            CommError::TypeMismatch {
+                src,
+                tag,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type-mismatched receive from rank {src} (tag {tag}): \
+                 expected {expected}, got {got}"
+            ),
         }
     }
 }
@@ -88,6 +115,15 @@ pub struct Comm {
     vtime: f64,
     /// Optional cost model driving the virtual clock.
     link_model: Option<Arc<dyn LinkModel>>,
+    /// Vector-clock happens-before tracker (`None` = off; see
+    /// `crate::hb`). Enabled by perturbed worlds.
+    hb: Option<HbTracker>,
+    /// Seeded schedule-perturbation stream (`None` = deterministic
+    /// FIFO behaviour). When set, sends inject seeded yield points and
+    /// `Src::Any` receives pick randomly among the per-source heads of
+    /// the parked messages — legal reorderings under MPI's
+    /// non-overtaking guarantee (per-(src, tag) order is preserved).
+    perturb: Option<Prng>,
     /// Injectable wall-clock source: real elapsed time charged to the
     /// communication trace is read from here, never from
     /// `std::time::Instant` directly, so simulated runs can freeze it
@@ -132,8 +168,58 @@ impl Comm {
             coll_seq: 0,
             vtime: 0.0,
             link_model: None,
+            hb: None,
+            perturb: None,
             clock,
         }
+    }
+
+    /// Switch on vector-clock happens-before tracking: every
+    /// subsequent send stamps this rank's clock onto the packet and
+    /// every receive checks the delivery/consumption invariants.
+    /// Collect results with [`Comm::hb_finish`].
+    pub fn enable_hb(&mut self) {
+        self.hb = Some(HbTracker::new(self.rank, self.size));
+    }
+
+    /// Switch on seeded schedule perturbation (see the `perturb` field
+    /// docs). Distinct seeds explore distinct legal schedules; the
+    /// protocol's observable behaviour must not depend on the choice.
+    pub fn enable_perturbation(&mut self, seed: u64) {
+        self.perturb = Some(Prng::new(seed));
+    }
+
+    /// Seeded yield jitter at rank-body start, so perturbed worlds
+    /// also vary which rank's first sends win the initial races.
+    pub(crate) fn startup_jitter(&mut self) {
+        if let Some(prng) = &mut self.perturb {
+            for _ in 0..prng.index(4) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Finish happens-before tracking: drain in-flight messages, flag
+    /// anything parked or undelivered as unconsumed-at-exit, and
+    /// return every violation recorded on this rank. Returns empty
+    /// when tracking was never enabled.
+    pub fn hb_finish(&mut self) -> Vec<HbViolation> {
+        if self.hb.is_none() {
+            return Vec::new();
+        }
+        while let Ok(pkt) = self.inbox.try_recv() {
+            if let Some(hb) = &mut self.hb {
+                hb.on_delivered(&pkt);
+            }
+            self.pending.push(pkt);
+        }
+        let Some(mut hb) = self.hb.take() else {
+            return Vec::new();
+        };
+        for pkt in &self.pending {
+            hb.on_unconsumed(pkt);
+        }
+        hb.take_violations()
     }
 
     /// Replace the wall-clock source feeding the communication trace
@@ -228,11 +314,20 @@ impl Comm {
         if let Some(model) = &self.link_model {
             self.vtime += model.p2p_seconds(bytes);
         }
+        // Perturbation: a seeded yield before injection varies which
+        // sender wins cross-source delivery races.
+        if let Some(prng) = &mut self.perturb {
+            if prng.bernoulli(0.4) {
+                std::thread::yield_now();
+            }
+        }
+        let hb_clock = self.hb.as_mut().map(HbTracker::on_send);
         let result = self.peers[dst]
             .send(Packet {
                 src: self.rank,
                 tag,
                 sent_vtime: self.vtime,
+                clock: hb_clock,
                 payload,
             })
             .map_err(|_| CommError::Disconnected { peer: dst });
@@ -246,11 +341,46 @@ impl Comm {
     /// Send to self is allowed (the message lands in the pending list
     /// on the next receive).
     fn match_pending(&mut self, src: Src, tag: u64) -> Option<Packet> {
+        // Perturbed `Src::Any`: choose randomly among the *heads* of
+        // each source's parked subsequence. Per-(src, tag) FIFO is
+        // preserved (only the first match per source is a candidate),
+        // so this explores exactly the schedules MPI's non-overtaking
+        // rule permits.
+        if self.perturb.is_some() && matches!(src, Src::Any) {
+            let mut heads: Vec<usize> = Vec::new();
+            let mut seen_srcs: Vec<usize> = Vec::new();
+            for (i, p) in self.pending.iter().enumerate() {
+                if p.tag == tag && !seen_srcs.contains(&p.src) {
+                    heads.push(i);
+                    seen_srcs.push(p.src);
+                }
+            }
+            if heads.is_empty() {
+                return None;
+            }
+            let choice = match &mut self.perturb {
+                Some(prng) => heads[prng.index(heads.len())],
+                None => heads[0],
+            };
+            return Some(self.pending.remove(choice));
+        }
         let idx = self
             .pending
             .iter()
             .position(|p| p.tag == tag && src.matches(p.src))?;
         Some(self.pending.remove(idx))
+    }
+
+    /// Pull every already-delivered message off the transport channel
+    /// into the pending list (non-blocking), so perturbed matching
+    /// sees the full set of concurrently-available messages.
+    fn drain_inbox(&mut self) {
+        while let Ok(pkt) = self.inbox.try_recv() {
+            if let Some(hb) = &mut self.hb {
+                hb.on_delivered(&pkt);
+            }
+            self.pending.push(pkt);
+        }
     }
 
     /// Blocking receive of the next message matching `(src, tag)`.
@@ -278,6 +408,12 @@ impl Comm {
         let start = self.clock.now();
         let class = self.class();
         let result = loop {
+            if self.perturb.is_some() {
+                // See the full set of already-delivered messages before
+                // matching, so the perturbed Any-source choice is among
+                // everything genuinely concurrent.
+                self.drain_inbox();
+            }
             if let Some(pkt) = self.match_pending(src, tag) {
                 break Ok(pkt);
             }
@@ -297,6 +433,9 @@ impl Comm {
             };
             match received {
                 Ok(pkt) => {
+                    if let Some(hb) = &mut self.hb {
+                        hb.on_delivered(&pkt);
+                    }
                     if pkt.tag == tag && src.matches(pkt.src) {
                         break Ok(pkt);
                     }
@@ -307,6 +446,9 @@ impl Comm {
         };
         self.trace.add_seconds(class, self.clock.now() - start);
         if let Ok(pkt) = &result {
+            if let Some(hb) = &mut self.hb {
+                hb.on_consumed(pkt);
+            }
             self.trace.on_recv(class, pkt.payload.size_bytes());
             // Virtual timing: the message is available no earlier than
             // the sender's completion time.
@@ -315,6 +457,23 @@ impl Comm {
             }
         }
         result
+    }
+
+    /// Typed receive: match `(src, tag)` like [`Comm::recv`], then
+    /// check the payload kind against `T`. A mismatch surfaces as
+    /// [`CommError::TypeMismatch`] — a protocol bug the caller can
+    /// distinguish from transport faults — instead of a panic deep in
+    /// a payload extractor.
+    pub fn recv_vec<T: CollElem>(&mut self, src: Src, tag: u64) -> Result<Vec<T>, CommError> {
+        let pkt = self.recv(src, tag)?;
+        let src_rank = pkt.src;
+        let got = pkt.payload.kind();
+        T::unwrap_checked(pkt.payload).map_err(|_| CommError::TypeMismatch {
+            src: src_rank,
+            tag,
+            expected: T::KIND,
+            got,
+        })
     }
 
     /// Number of parked (received but unmatched) messages.

@@ -32,6 +32,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod hb;
 pub mod message;
 pub mod runner;
 pub mod timeline;
@@ -40,9 +41,11 @@ pub mod vtime;
 
 pub use collectives::{CollElem, ReduceOp};
 pub use comm::{comm_ok, Comm, CommError};
+pub use hb::{HbTracker, HbViolation};
 pub use message::{Packet, Payload, Src};
 pub use runner::{
-    build_world, build_world_deterministic, run_world, run_world_deterministic, RankOutcome,
+    build_world, build_world_deterministic, run_world, run_world_deterministic,
+    run_world_perturbed, RankOutcome,
 };
 pub use timeline::{render_gantt, Span, SpanKind, SpanRecorder};
 pub use trace::{ClassTotals, CommClass, CommTrace};

@@ -81,6 +81,10 @@ pub struct Packet {
     /// Sender's virtual time when the transfer completed (0 when
     /// virtual timing is off). See `crate::vtime`.
     pub sent_vtime: f64,
+    /// Sender's vector clock at send time (`None` unless the world
+    /// runs with happens-before tracking — see `crate::hb`). Metadata
+    /// for the race detector; not counted as wire bytes.
+    pub clock: Option<Vec<u64>>,
     /// Body.
     pub payload: Payload,
 }

@@ -3,6 +3,7 @@
 //! communication traces in rank order.
 
 use crate::comm::Comm;
+use crate::hb::HbViolation;
 use crate::message::Packet;
 use crate::trace::CommTrace;
 use crossbeam::channel::unbounded;
@@ -25,6 +26,10 @@ pub struct RankOutcome<R> {
     /// collectives and user code, counters, gauges, events, and the
     /// communication trace.
     pub telemetry: Telemetry,
+    /// Happens-before violations detected by the vector-clock tracker
+    /// (always empty unless the world ran under
+    /// [`run_world_perturbed`] or tracking was enabled by hand).
+    pub hb: Vec<HbViolation>,
 }
 
 /// Build the communicators for an `n`-rank world without spawning
@@ -92,6 +97,33 @@ where
     run_on(build_world_deterministic(n), f)
 }
 
+/// [`run_world_deterministic`] under a seeded schedule perturbation:
+/// message delivery and rank progress are jittered within the legal
+/// reorderings (per-(src, tag) FIFO preserved; `Src::Any` choice
+/// randomized among concurrent sources), and every rank runs a
+/// vector-clock happens-before tracker whose findings ride
+/// [`RankOutcome::hb`].
+///
+/// A schedule-independent protocol produces identical results,
+/// telemetry, and zero violations for every `seed`; that is exactly
+/// what `pdnn-protocheck` pass 2 asserts across K seeds.
+pub fn run_world_perturbed<R, F>(n: usize, seed: u64, f: F) -> Vec<RankOutcome<R>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    let base = pdnn_util::Prng::new(seed);
+    let mut comms = build_world_deterministic(n);
+    for comm in &mut comms {
+        comm.enable_hb();
+        comm.enable_perturbation(base.split(comm.rank() as u64 + 1).next_u64());
+    }
+    run_on(comms, |comm: &mut Comm| {
+        comm.startup_jitter();
+        f(comm)
+    })
+}
+
 fn run_on<R, F>(comms: Vec<Comm>, f: F) -> Vec<RankOutcome<R>>
 where
     R: Send,
@@ -107,6 +139,7 @@ where
                 rank,
                 scope.spawn(move || {
                     let result = f(&mut comm);
+                    let hb = comm.hb_finish();
                     let telemetry = comm.take_telemetry();
                     let trace = telemetry.comm.clone();
                     RankOutcome {
@@ -114,6 +147,7 @@ where
                         result,
                         trace,
                         telemetry,
+                        hb,
                     }
                 }),
             ));

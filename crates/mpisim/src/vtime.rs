@@ -39,7 +39,7 @@ pub struct AlphaBeta {
 
 impl LinkModel for AlphaBeta {
     fn p2p_seconds(&self, bytes: u64) -> f64 {
-        self.alpha + bytes as f64 / self.beta_bytes_per_s
+        self.alpha + pdnn_util::cast::exact_f64(bytes) / self.beta_bytes_per_s
     }
 }
 

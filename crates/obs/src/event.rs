@@ -99,6 +99,11 @@ pub struct Telemetry {
     pub events: Vec<Event>,
     /// Communication statistics (Figures 4–5).
     pub comm: CommStats,
+    /// Seed of the schedule perturbation this snapshot ran under
+    /// (`None` for unperturbed runs). Set by the protocheck pass-2
+    /// harness so a JSONL dump records which schedule produced it; the
+    /// byte-identity comparison normalizes this line away.
+    pub schedule_seed: Option<u64>,
 }
 
 impl Telemetry {
@@ -109,6 +114,7 @@ impl Telemetry {
             && self.gauges.is_empty()
             && self.events.is_empty()
             && self.comm == CommStats::default()
+            && self.schedule_seed.is_none()
     }
 
     /// Aggregate span durations into a per-phase timer.
@@ -147,6 +153,9 @@ impl Telemetry {
         }
         self.events.extend(other.events.iter().cloned());
         self.comm.merge(&other.comm);
+        if other.schedule_seed.is_some() {
+            self.schedule_seed = other.schedule_seed;
+        }
     }
 }
 

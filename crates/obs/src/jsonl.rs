@@ -15,7 +15,12 @@
 //! {"type":"event","rank":0,"t":2.0,"name":"hf_iteration","fields":{"iter":1,"rho":0.8}}
 //! {"type":"comm","rank":0,"class":"p2p","seconds":0.1,"bytes_sent":64,"bytes_received":0,"sends":1,"recvs":0}
 //! {"type":"collectives","rank":0,"completed":3}
+//! {"type":"schedule","rank":0,"seed":42}
 //! ```
+//!
+//! The `schedule` line only appears for snapshots taken under a
+//! perturbed schedule (see `Telemetry::schedule_seed`); protocheck's
+//! determinism harness strips it before comparing dumps byte-for-byte.
 //!
 //! Floats are written with Rust's shortest round-trip formatting
 //! (always containing `.` or `e`), so the parser can reconstruct the
@@ -135,6 +140,12 @@ pub fn to_jsonl_string(rank: u64, telemetry: &Telemetry) -> String {
         "{{\"type\":\"collectives\",\"rank\":{rank},\"completed\":{}}}",
         telemetry.comm.collectives_completed
     );
+    if let Some(seed) = telemetry.schedule_seed {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"schedule\",\"rank\":{rank},\"seed\":{seed}}}"
+        );
+    }
     out
 }
 
@@ -440,6 +451,9 @@ fn apply_line(
             telemetry.comm.collectives_completed +=
                 as_u64(field(fields, "completed")?, "completed")?;
         }
+        "schedule" => {
+            telemetry.schedule_seed = Some(as_u64(field(fields, "seed")?, "seed")?);
+        }
         other => return Err(Error::Parse(format!("unknown line type '{other}'"))),
     }
     Ok(())
@@ -556,6 +570,18 @@ mod tests {
         let t = rec.take();
         let parsed = parse_jsonl(&to_jsonl_string(0, &t)).unwrap();
         assert_eq!(parsed[0].1, t);
+    }
+
+    #[test]
+    fn schedule_seed_round_trips() {
+        let mut t = sample();
+        t.schedule_seed = Some(42);
+        let text = to_jsonl_string(1, &t);
+        assert!(text.contains("{\"type\":\"schedule\",\"rank\":1,\"seed\":42}"));
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].1.schedule_seed, Some(42));
+        // Unperturbed snapshots emit no schedule line at all.
+        assert!(!to_jsonl_string(0, &sample()).contains("\"schedule\""));
     }
 
     #[test]

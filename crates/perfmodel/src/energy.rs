@@ -16,6 +16,7 @@
 
 use crate::model::{bgq_time, xeon_time, BgqRun, RunBreakdown};
 use crate::workload::JobSpec;
+use pdnn_util::cast;
 
 /// BG/Q node power under load, watts.
 pub const BGQ_NODE_WATTS: f64 = 83.0;
@@ -43,7 +44,7 @@ pub struct EnergyReport {
 pub fn bgq_energy(job: &JobSpec, run: &BgqRun) -> EnergyReport {
     let breakdown: RunBreakdown = bgq_time(job, run);
     let hours = breakdown.total_hours();
-    let kilowatts = run.nodes() as f64 * BGQ_NODE_WATTS / 1000.0;
+    let kilowatts = cast::exact_f64_usize(run.nodes()) * BGQ_NODE_WATTS / 1000.0;
     EnergyReport {
         label: run.label(),
         hours,
@@ -57,7 +58,7 @@ pub fn xeon_energy(job: &JobSpec, processes: usize) -> EnergyReport {
     let breakdown = xeon_time(job, processes);
     let hours = breakdown.total_hours();
     let nodes = processes.div_ceil(XEON_PROCS_PER_NODE);
-    let kilowatts = nodes as f64 * XEON_NODE_WATTS * CLUSTER_OVERHEAD / 1000.0;
+    let kilowatts = cast::exact_f64_usize(nodes) * XEON_NODE_WATTS * CLUSTER_OVERHEAD / 1000.0;
     EnergyReport {
         label: format!("xeon-{processes}"),
         hours,

@@ -10,6 +10,7 @@ use crate::workload::JobSpec;
 use pdnn_bgq::counters::{classify_cycles, PhaseKind};
 use pdnn_bgq::node::CLOCK_HZ;
 use pdnn_obs::{Event, InMemoryRecorder, Recorder, Telemetry, Value};
+use pdnn_util::cast;
 use pdnn_util::report::Table;
 
 /// The rank/threads configurations of Figure 1(a) (one rack).
@@ -314,7 +315,7 @@ pub fn scaling_curve(job: &JobSpec, rank_counts: &[usize]) -> Table {
     for &ranks in rank_counts {
         let secs = bgq_time(job, &BgqRun::new(ranks, 4, 16)).total_seconds();
         let speedup = base / secs;
-        let ideal = ranks as f64 / base_ranks as f64;
+        let ideal = cast::exact_f64_usize(ranks) / cast::exact_f64_usize(base_ranks);
         t.row(&[
             format!("{ranks}"),
             format!("{:.2}", secs / 3600.0),

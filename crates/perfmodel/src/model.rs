@@ -16,6 +16,7 @@ use crate::workload::JobSpec;
 use pdnn_bgq::comm_model::Network;
 use pdnn_bgq::counters::PhaseKind;
 use pdnn_bgq::node::{rank_effective_flops, NodeConfig};
+use pdnn_util::cast;
 use pdnn_util::Prng;
 
 /// Application-level efficiency on top of the kernel-level node model:
@@ -185,30 +186,31 @@ impl RunBreakdown {
 pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
     job.validate();
     let cfg = run.node_config();
-    let workers = (run.ranks - 1) as f64;
+    let workers = cast::exact_f64_usize(run.ranks - 1);
     let net = Network::bgq(run.nodes());
     let rank_flops = rank_effective_flops(cfg) * BGQ_APP_EFFICIENCY;
 
-    let frames = job.frames() as f64;
+    let frames = cast::exact_f64(job.frames());
     let train_frames = frames * (1.0 - job.heldout_fraction);
     let fpw = train_frames / workers * job.imbalance;
     let heldout_fpw = frames * job.heldout_fraction / workers * job.imbalance;
     let pbytes = job.param_bytes();
-    let iters = job.hf_iters as f64;
-    let cg = job.cg_iters as f64;
-    let evals = job.backtrack_evals as f64;
+    let iters = cast::exact_f64_usize(job.hf_iters);
+    let cg = cast::exact_f64_usize(job.cg_iters);
+    let evals = cast::exact_f64_usize(job.backtrack_evals);
 
     // Deterministic per-config jitter for the curvature sample (the
     // paper: the random resample makes worker_curvature_product
     // noisy).
+    // pdnn-lint: allow(l6-lossy-cast): usize -> u64 widening is lossless on supported targets
     let mut jrng = Prng::new(run.ranks as u64 * 31 + run.threads_per_rank as u64);
     let curvature_jitter = 1.0 + 0.015 * (2.0 * jrng.uniform() - 1.0);
 
     // Per-collective master bookkeeping (grows with ranks).
-    let master_op = MASTER_PER_RANK_OP_SECONDS * run.ranks as f64;
+    let master_op = MASTER_PER_RANK_OP_SECONDS * cast::exact_f64_usize(run.ranks);
 
     // ---- load_data -------------------------------------------------
-    let data_bytes = job.data_bytes() as f64;
+    let data_bytes = cast::exact_f64(job.data_bytes());
     let load_wire =
         data_bytes / (pdnn_bgq::torus::LINK_BANDWIDTH) + workers * LOAD_DATA_HANDSHAKE_SECONDS;
     let load_data = Phase {
@@ -248,8 +250,9 @@ pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
     let sample_fpw = fpw * job.curvature_fraction * curvature_jitter;
     let gn_compute = iters * cg * sample_fpw * job.gn_flops_per_frame() / rank_flops;
     // Master CG vector arithmetic: P-length ops per CG iteration.
-    let cg_master =
-        iters * cg * (CG_MASTER_VECTOR_OPS * job.params() as f64 / MASTER_SCALAR_FLOPS + master_op);
+    let cg_master = iters
+        * cg
+        * (CG_MASTER_VECTOR_OPS * cast::exact_f64(job.params()) / MASTER_SCALAR_FLOPS + master_op);
     let curvature = Phase {
         name: "worker_curvature_product",
         kind: PhaseKind::DenseCompute,
@@ -290,26 +293,26 @@ pub fn bgq_time(job: &JobSpec, run: &BgqRun) -> RunBreakdown {
 pub fn xeon_time(job: &JobSpec, processes: usize) -> RunBreakdown {
     job.validate();
     assert!(processes >= 2, "need a master and at least one worker");
-    let workers = (processes - 1) as f64;
+    let workers = cast::exact_f64_usize(processes - 1);
     let net = pdnn_bgq::comm_model::ethernet_1g();
     let proc_flops = XEON_PROCESS_FLOPS;
 
-    let frames = job.frames() as f64;
+    let frames = cast::exact_f64(job.frames());
     let train_frames = frames * (1.0 - job.heldout_fraction);
     let fpw = train_frames / workers * job.imbalance;
     let heldout_fpw = frames * job.heldout_fraction / workers * job.imbalance;
     let pbytes = job.param_bytes();
-    let iters = job.hf_iters as f64;
-    let cg = job.cg_iters as f64;
-    let evals = job.backtrack_evals as f64;
+    let iters = cast::exact_f64_usize(job.hf_iters);
+    let cg = cast::exact_f64_usize(job.cg_iters);
+    let evals = cast::exact_f64_usize(job.backtrack_evals);
 
     let load_data = Phase {
         name: "load_data",
         kind: PhaseKind::MemoryBound,
         wire_coll_s: 0.0,
-        wire_p2p_s: job.data_bytes() as f64 / 125e6,
-        worker_compute_s: job.data_bytes() as f64 / workers / 1.0e9,
-        master_compute_s: job.data_bytes() as f64 / 2.0e9,
+        wire_p2p_s: cast::exact_f64(job.data_bytes()) / 125e6,
+        worker_compute_s: cast::exact_f64(job.data_bytes()) / workers / 1.0e9,
+        master_compute_s: cast::exact_f64(job.data_bytes()) / 2.0e9,
     };
     let sync_weights = Phase {
         name: "sync_weights",
@@ -340,7 +343,7 @@ pub fn xeon_time(job: &JobSpec, processes: usize) -> RunBreakdown {
         wire_p2p_s: 0.0,
         worker_compute_s: iters * cg * fpw * job.curvature_fraction * job.gn_flops_per_frame()
             / proc_flops,
-        master_compute_s: iters * cg * CG_MASTER_VECTOR_OPS * job.params() as f64
+        master_compute_s: iters * cg * CG_MASTER_VECTOR_OPS * cast::exact_f64(job.params())
             / XEON_MASTER_SCALAR_FLOPS,
     };
     let eval_heldout = Phase {

@@ -2,6 +2,7 @@
 
 use pdnn_dnn::flops;
 use pdnn_speech::hours_to_frames;
+use pdnn_util::cast;
 
 /// Training criterion for the modeled job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,27 +153,31 @@ impl JobSpec {
 
     /// FLOPs per frame of a gradient pass under the objective.
     pub fn gradient_flops_per_frame(&self) -> f64 {
-        let base = flops::gradient_flops_per_frame(&self.dims) as f64;
+        let base = cast::exact_f64(flops::gradient_flops_per_frame(&self.dims));
         let extra = match self.objective {
             ObjectiveKind::CrossEntropy => 0.0,
-            ObjectiveKind::Sequence { states } => flops::mmi_extra_flops_per_frame(states) as f64,
+            ObjectiveKind::Sequence { states } => {
+                cast::exact_f64(flops::mmi_extra_flops_per_frame(states))
+            }
         };
         base * self.objective_compute_factor() + extra
     }
 
     /// FLOPs per frame of one Gauss–Newton product (forward cached).
     pub fn gn_flops_per_frame(&self) -> f64 {
-        flops::gn_product_flops_per_frame(&self.dims, false) as f64
+        cast::exact_f64(flops::gn_product_flops_per_frame(&self.dims, false))
             * self.objective_compute_factor()
     }
 
     /// FLOPs per frame of a held-out evaluation (forward only).
     pub fn heldout_flops_per_frame(&self) -> f64 {
-        flops::loss_eval_flops_per_frame(&self.dims) as f64 * self.objective_compute_factor()
+        cast::exact_f64(flops::loss_eval_flops_per_frame(&self.dims))
+            * self.objective_compute_factor()
     }
 
     /// Bytes of acoustic data shipped during load_data.
     pub fn data_bytes(&self) -> u64 {
+        // pdnn-lint: allow(l6-lossy-cast): usize -> u64 widening is lossless on supported targets
         self.frames() * (self.feature_dim as u64 * 4 + 4)
     }
 

@@ -1,0 +1,636 @@
+//! Protocol-model validation: rules p1–p4.
+//!
+//! Each rule consumes the extracted [`Model`] and emits
+//! [`pdnn_lint::Finding`]s using the protocheck rule ids registered in
+//! `pdnn_lint::rules::PROTOCHECK_RULES`:
+//!
+//! * **p1-collective-order** — for every command, master and worker
+//!   must issue the same collective sequence (same ops, roots,
+//!   element kinds, and statically-known lengths); the command-header
+//!   broadcast pair must agree too, and no master op may precede its
+//!   command header.
+//! * **p2-tag-match** — point-to-point send tags must have matching
+//!   receives with compatible payload kinds (and vice versa); inside
+//!   each collective algorithm the internal send/recv tag expressions
+//!   must pair up.
+//! * **p3-unconsumed-message** — per-tag send and recv site counts
+//!   must balance, and both roles must close the protocol with the
+//!   shutdown barrier, so no message can be left in flight at exit.
+//! * **p4-command-space** — opcode constants must be unique, every
+//!   command must have a worker arm, the master may only issue
+//!   declared opcodes, and the worker must have a catch-all arm.
+
+use crate::model::{ElemKind, Model, Op, SeqOp, Site};
+use pdnn_lint::Finding;
+use std::collections::BTreeMap;
+
+pub const P1: &str = "p1-collective-order";
+pub const P2: &str = "p2-tag-match";
+pub const P3: &str = "p3-unconsumed-message";
+pub const P4: &str = "p4-command-space";
+
+fn finding(rule: &'static str, site: &Site, message: String) -> Finding {
+    Finding {
+        rule,
+        path: site.path.clone(),
+        line: site.line,
+        col: 1,
+        message,
+        snippet: String::new(),
+    }
+}
+
+fn describe(op: &Op) -> String {
+    match op {
+        Op::Bcast { root, kind, len } => format!(
+            "bcast(root {}, {}, len {})",
+            root.map_or("?".to_string(), |r| r.to_string()),
+            kind.name(),
+            len.map_or("?".to_string(), |l| l.to_string()),
+        ),
+        Op::Reduce { root, kind, len } => format!(
+            "reduce(root {}, {}, len {})",
+            root.map_or("?".to_string(), |r| r.to_string()),
+            kind.name(),
+            len.map_or("?".to_string(), |l| l.to_string()),
+        ),
+        Op::Barrier => "barrier".to_string(),
+        Op::Send { to, tag, kind } => format!(
+            "send(to {to}, tag {}, {})",
+            tag.map_or("?".to_string(), |t| t.to_string()),
+            kind.name(),
+        ),
+        Op::Recv { from, tag, kind } => format!(
+            "recv(from {from}, tag {}, {})",
+            tag.map_or("?".to_string(), |t| t.to_string()),
+            kind.name(),
+        ),
+    }
+}
+
+/// Why two same-position ops disagree, if they do. Roots, kinds, and
+/// lengths are only compared when both sides are statically known.
+fn op_mismatch(master: &Op, worker: &Op) -> Option<String> {
+    if master.category() != worker.category() {
+        return Some(format!(
+            "master issues a {} where the worker issues a {}",
+            master.category(),
+            worker.category()
+        ));
+    }
+    let (roots, kinds, lens) = match (master, worker) {
+        (
+            Op::Bcast {
+                root: r1,
+                kind: k1,
+                len: l1,
+            },
+            Op::Bcast {
+                root: r2,
+                kind: k2,
+                len: l2,
+            },
+        )
+        | (
+            Op::Reduce {
+                root: r1,
+                kind: k1,
+                len: l1,
+            },
+            Op::Reduce {
+                root: r2,
+                kind: k2,
+                len: l2,
+            },
+        ) => ((*r1, *r2), (*k1, *k2), (*l1, *l2)),
+        (
+            Op::Send {
+                tag: t1, kind: k1, ..
+            },
+            Op::Send {
+                tag: t2, kind: k2, ..
+            },
+        )
+        | (
+            Op::Recv {
+                tag: t1, kind: k1, ..
+            },
+            Op::Recv {
+                tag: t2, kind: k2, ..
+            },
+        ) => (
+            (t1.map(|t| t as usize), t2.map(|t| t as usize)),
+            (*k1, *k2),
+            (None, None),
+        ),
+        _ => return None, // barriers
+    };
+    if let (Some(a), Some(b)) = roots {
+        if a != b {
+            return Some(format!("root/tag disagrees: master {a}, worker {b}"));
+        }
+    }
+    if !kinds.0.compatible(kinds.1) {
+        return Some(format!(
+            "element kind disagrees: master {}, worker {}",
+            kinds.0.name(),
+            kinds.1.name()
+        ));
+    }
+    if let (Some(a), Some(b)) = lens {
+        if a != b {
+            return Some(format!(
+                "payload length disagrees: master {a} element(s), worker {b}"
+            ));
+        }
+    }
+    None
+}
+
+fn check_p1(model: &Model, out: &mut Vec<Finding>) {
+    for op in &model.orphan_master_ops {
+        out.push(finding(
+            P1,
+            &op.site,
+            format!(
+                "master issues {} before any `.command(..)` header; the \
+                 worker cannot know a command is in flight yet",
+                describe(&op.op)
+            ),
+        ));
+    }
+    for cmd in &model.commands {
+        let (Some(master), Some(worker)) = (&cmd.master, &cmd.worker) else {
+            continue;
+        };
+        if master.len() != worker.len() {
+            out.push(finding(
+                P1,
+                &cmd.master_site,
+                format!(
+                    "{}: master issues {} collective op(s) after the header \
+                     but the worker arm issues {} — the roles will deadlock \
+                     or cross-match ([{}] vs [{}])",
+                    cmd.name,
+                    master.len(),
+                    worker.len(),
+                    seq_names(master),
+                    seq_names(worker),
+                ),
+            ));
+            continue;
+        }
+        for (m, w) in master.iter().zip(worker.iter()) {
+            if let Some(why) = op_mismatch(&m.op, &w.op) {
+                out.push(finding(
+                    P1,
+                    &m.site,
+                    format!(
+                        "{}: {} (master {} at {}, worker {} at {})",
+                        cmd.name,
+                        why,
+                        describe(&m.op),
+                        m.site,
+                        describe(&w.op),
+                        w.site,
+                    ),
+                ));
+            }
+        }
+    }
+    // The command-header pair itself.
+    match (&model.helper_header_bcast, &model.dispatch) {
+        (Some(helper), Some(dispatch)) => {
+            if let Some(why) = op_mismatch(&helper.op, &dispatch.op) {
+                out.push(finding(
+                    P1,
+                    &helper.site,
+                    format!(
+                        "command header broadcast disagrees with the worker \
+                         dispatch receive: {} ({} vs {} at {})",
+                        why,
+                        describe(&helper.op),
+                        describe(&dispatch.op),
+                        dispatch.site,
+                    ),
+                ));
+            }
+        }
+        (Some(helper), None) => out.push(finding(
+            P1,
+            &helper.site,
+            "master broadcasts command headers but the worker loop has no \
+             dispatch broadcast to receive them"
+                .to_string(),
+        )),
+        _ => {}
+    }
+}
+
+fn seq_names(seq: &[SeqOp]) -> String {
+    seq.iter()
+        .map(|s| s.op.category())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Per-tag p2p accounting over the startup phase.
+#[derive(Default)]
+struct TagUse {
+    send_kinds: Vec<(ElemKind, Site)>,
+    recv_kinds: Vec<(ElemKind, Site)>,
+}
+
+fn tag_table(model: &Model) -> BTreeMap<u64, TagUse> {
+    let mut tags: BTreeMap<u64, TagUse> = BTreeMap::new();
+    for s in &model.startup_sends {
+        if let Op::Send {
+            tag: Some(t), kind, ..
+        } = &s.op
+        {
+            tags.entry(*t)
+                .or_default()
+                .send_kinds
+                .push((*kind, s.site.clone()));
+        }
+    }
+    for r in &model.startup_recvs {
+        if let Op::Recv {
+            tag: Some(t), kind, ..
+        } = &r.op
+        {
+            tags.entry(*t)
+                .or_default()
+                .recv_kinds
+                .push((*kind, r.site.clone()));
+        }
+    }
+    tags
+}
+
+fn check_p2(model: &Model, out: &mut Vec<Finding>) {
+    for (tag, uses) in tag_table(model) {
+        match (uses.send_kinds.first(), uses.recv_kinds.first()) {
+            (Some((_, site)), None) => out.push(finding(
+                P2,
+                site,
+                format!(
+                    "tag {tag} is sent but never received: the worker loop \
+                     has no matching recv for this tag"
+                ),
+            )),
+            (None, Some((_, site))) => out.push(finding(
+                P2,
+                site,
+                format!(
+                    "tag {tag} is received but never sent: the recv will \
+                     block forever"
+                ),
+            )),
+            _ => {}
+        }
+        for (sk, s_site) in &uses.send_kinds {
+            for (rk, r_site) in &uses.recv_kinds {
+                if !sk.compatible(*rk) {
+                    out.push(finding(
+                        P2,
+                        s_site,
+                        format!(
+                            "tag {tag}: sender payload kind {} does not match \
+                             receiver kind {} at {}",
+                            sk.name(),
+                            rk.name(),
+                            r_site,
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // Collective internals: per algorithm, the multiset of send-tag
+    // expressions must equal the recv-tag expressions.
+    for f in &model.collective_fns {
+        let mut sends: Vec<&str> = f.send_tags.iter().map(String::as_str).collect();
+        let mut recvs: Vec<&str> = f.recv_tags.iter().map(String::as_str).collect();
+        sends.sort_unstable();
+        sends.dedup();
+        recvs.sort_unstable();
+        recvs.dedup();
+        if sends != recvs {
+            out.push(finding(
+                P2,
+                &f.site,
+                format!(
+                    "collective `{}` sends on tag expression(s) [{}] but \
+                     receives on [{}]; unmatched tags strand messages in the \
+                     inbox",
+                    f.name,
+                    sends.join(", "),
+                    recvs.join(", "),
+                ),
+            ));
+        }
+    }
+}
+
+fn check_p3(model: &Model, out: &mut Vec<Finding>) {
+    for (tag, uses) in tag_table(model) {
+        let (ns, nr) = (uses.send_kinds.len(), uses.recv_kinds.len());
+        if ns != nr && ns > 0 && nr > 0 {
+            let site = if ns > nr {
+                &uses.send_kinds[0].1
+            } else {
+                &uses.recv_kinds[0].1
+            };
+            out.push(finding(
+                P3,
+                site,
+                format!(
+                    "tag {tag}: {ns} send site(s) per worker but {nr} recv \
+                     site(s); the surplus messages sit unconsumed at the \
+                     shutdown barrier"
+                ),
+            ));
+        }
+    }
+    let master_barrier = model
+        .shutdown_master
+        .iter()
+        .any(|s| matches!(s.op, Op::Barrier));
+    let worker_barrier = model
+        .shutdown_worker
+        .iter()
+        .any(|s| matches!(s.op, Op::Barrier));
+    if !worker_barrier {
+        out.push(finding(
+            P3,
+            &model.worker_match_site,
+            "worker loop exits without the shutdown barrier; the master can \
+             tear the world down while messages are still in flight"
+                .to_string(),
+        ));
+    }
+    if !master_barrier {
+        let site = model
+            .command("CMD_SHUTDOWN")
+            .map(|c| c.master_site.clone())
+            .unwrap_or_else(|| model.worker_match_site.clone());
+        out.push(finding(
+            P3,
+            &site,
+            "master never joins the shutdown barrier; workers blocked in it \
+             will never exit"
+                .to_string(),
+        ));
+    }
+}
+
+fn check_p4(model: &Model, out: &mut Vec<Finding>) {
+    // Unique opcode values.
+    let cmds: Vec<_> = model
+        .consts
+        .iter()
+        .filter(|(n, _, _)| n.starts_with("CMD_"))
+        .collect();
+    for (i, (name, value, site)) in cmds.iter().enumerate() {
+        if let Some((prev, _, _)) = cmds[..i].iter().find(|(_, v, _)| v == value) {
+            out.push(finding(
+                P4,
+                site,
+                format!(
+                    "opcode value {value} of `{name}` duplicates `{prev}`; \
+                     the worker match can only dispatch one of them"
+                ),
+            ));
+        }
+    }
+    // Every declared command must have a worker arm.
+    for (name, _, site) in &cmds {
+        let handled = model
+            .command(name)
+            .map(|c| c.worker.is_some())
+            .unwrap_or(false);
+        if !handled {
+            out.push(finding(
+                P4,
+                site,
+                format!(
+                    "`{name}` is declared but the worker match has no arm for \
+                     it; issuing it would hit the catch-all and abort"
+                ),
+            ));
+        }
+    }
+    // The master may only issue declared opcodes.
+    for cmd in &model.commands {
+        if cmd.master.is_some() && cmd.value.is_none() {
+            out.push(finding(
+                P4,
+                &cmd.master_site,
+                format!(
+                    "master issues `{}` but no `const {}: u64 = ..;` opcode \
+                     is declared",
+                    cmd.name, cmd.name
+                ),
+            ));
+        }
+    }
+    if !model.worker_catchall {
+        out.push(finding(
+            P4,
+            &model.worker_match_site,
+            "worker command match has no catch-all arm; an unknown opcode \
+             would fall through silently instead of failing loudly"
+                .to_string(),
+        ));
+    }
+}
+
+/// Run every protocol rule over the model.
+pub fn check(model: &Model) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_p1(model, &mut out);
+    check_p2(model, &mut out);
+    check_p3(model, &mut out);
+    check_p4(model, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CommandSpec, Peer};
+
+    fn s(line: usize) -> Site {
+        Site::new("crates/core/src/distributed.rs", line)
+    }
+
+    fn cmd(name: &str, value: u64, master: Vec<Op>, worker: Vec<Op>) -> CommandSpec {
+        CommandSpec {
+            name: name.to_string(),
+            value: Some(value),
+            header_len: Some(1),
+            master: Some(
+                master
+                    .into_iter()
+                    .map(|op| SeqOp { op, site: s(10) })
+                    .collect(),
+            ),
+            worker: Some(
+                worker
+                    .into_iter()
+                    .map(|op| SeqOp { op, site: s(20) })
+                    .collect(),
+            ),
+            master_site: s(10),
+            worker_site: s(20),
+        }
+    }
+
+    fn base_model() -> Model {
+        let mut m = Model {
+            worker_match_site: s(50),
+            worker_catchall: true,
+            ..Model::default()
+        };
+        m.consts.push(("CMD_GO".to_string(), 1, s(1)));
+        m.commands.push(cmd(
+            "CMD_GO",
+            1,
+            vec![Op::Reduce {
+                root: Some(0),
+                kind: ElemKind::F32,
+                len: None,
+            }],
+            vec![Op::Reduce {
+                root: Some(0),
+                kind: ElemKind::F32,
+                len: None,
+            }],
+        ));
+        m.shutdown_master.push(SeqOp {
+            op: Op::Barrier,
+            site: s(60),
+        });
+        m.shutdown_worker.push(SeqOp {
+            op: Op::Barrier,
+            site: s(61),
+        });
+        m
+    }
+
+    #[test]
+    fn clean_model_has_no_findings() {
+        assert!(check(&base_model()).is_empty());
+    }
+
+    #[test]
+    fn sequence_length_mismatch_is_p1() {
+        let mut m = base_model();
+        if let Some(c) = m.command_mut("CMD_GO") {
+            c.worker = Some(vec![]);
+        }
+        let f = check(&m);
+        assert!(f.iter().any(|f| f.rule == P1), "{f:?}");
+    }
+
+    #[test]
+    fn kind_mismatch_is_p1_but_unknown_is_compatible() {
+        let mut m = base_model();
+        if let Some(c) = m.command_mut("CMD_GO") {
+            if let Some(w) = c.worker.as_mut() {
+                w[0].op = Op::Reduce {
+                    root: Some(0),
+                    kind: ElemKind::F64,
+                    len: None,
+                };
+            }
+        }
+        assert!(check(&m).iter().any(|f| f.rule == P1));
+        let mut m = base_model();
+        if let Some(c) = m.command_mut("CMD_GO") {
+            if let Some(w) = c.worker.as_mut() {
+                w[0].op = Op::Reduce {
+                    root: Some(0),
+                    kind: ElemKind::Unknown,
+                    len: None,
+                };
+            }
+        }
+        assert!(check(&m).is_empty());
+    }
+
+    #[test]
+    fn one_sided_tag_is_p2_and_count_skew_is_p3() {
+        let mut m = base_model();
+        m.startup_sends.push(SeqOp {
+            op: Op::Send {
+                to: Peer::EachWorker,
+                tag: Some(17),
+                kind: ElemKind::U64,
+            },
+            site: s(30),
+        });
+        let f = check(&m);
+        assert!(f.iter().any(|f| f.rule == P2), "{f:?}");
+
+        let mut m = base_model();
+        for _ in 0..2 {
+            m.startup_sends.push(SeqOp {
+                op: Op::Send {
+                    to: Peer::EachWorker,
+                    tag: Some(17),
+                    kind: ElemKind::U64,
+                },
+                site: s(30),
+            });
+        }
+        m.startup_recvs.push(SeqOp {
+            op: Op::Recv {
+                from: Peer::Rank(0),
+                tag: Some(17),
+                kind: ElemKind::U64,
+            },
+            site: s(31),
+        });
+        let f = check(&m);
+        assert!(f.iter().any(|f| f.rule == P3), "{f:?}");
+        assert!(f.iter().all(|f| f.rule != P2), "{f:?}");
+    }
+
+    #[test]
+    fn missing_barrier_missing_arm_and_duplicate_opcode() {
+        let mut m = base_model();
+        m.shutdown_worker.clear();
+        assert!(check(&m).iter().any(|f| f.rule == P3));
+
+        let mut m = base_model();
+        m.consts.push(("CMD_EXTRA".to_string(), 9, s(2)));
+        assert!(check(&m).iter().any(|f| f.rule == P4));
+
+        let mut m = base_model();
+        m.consts.push(("CMD_DUP".to_string(), 1, s(2)));
+        m.commands.push(cmd("CMD_DUP", 1, vec![], vec![]));
+        assert!(check(&m).iter().any(|f| f.rule == P4));
+
+        let mut m = base_model();
+        m.worker_catchall = false;
+        assert!(check(&m).iter().any(|f| f.rule == P4));
+    }
+
+    #[test]
+    fn collective_tag_asymmetry_is_p2() {
+        let mut m = base_model();
+        m.collective_fns.push(crate::model::CollectiveFn {
+            name: "allreduce".to_string(),
+            site: Site::new("crates/mpisim/src/collectives.rs", 200),
+            send_tags: vec!["tag+1".to_string()],
+            recv_tags: vec!["tag+3".to_string()],
+        });
+        let f = check(&m);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == P2 && f.path.contains("collectives")));
+    }
+}

@@ -1,0 +1,200 @@
+//! CLI: `pdnn-protocheck [--static] [--mutations] [--dynamic K]
+//! [--workers N] [--iters I] [root]`.
+//!
+//! With no pass flags, runs all three (static, mutation self-test, and
+//! a small dynamic sweep). Writes `results/protocheck_report.json`
+//! under the workspace root and exits nonzero when any pass fails.
+
+use pdnn_protocheck::dynamic::{self, DynamicConfig};
+use pdnn_protocheck::{mutate, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    run_static: bool,
+    run_mutations: bool,
+    run_dynamic: bool,
+    dynamic: DynamicConfig,
+    root: PathBuf,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        run_static: false,
+        run_mutations: false,
+        run_dynamic: false,
+        dynamic: DynamicConfig::default(),
+        root: PathBuf::from("."),
+    };
+    let mut any_flag = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--static" => {
+                cli.run_static = true;
+                any_flag = true;
+            }
+            "--mutations" => {
+                cli.run_mutations = true;
+                any_flag = true;
+            }
+            "--dynamic" => {
+                cli.run_dynamic = true;
+                any_flag = true;
+                let k = args.next().ok_or("--dynamic needs a seed count")?;
+                cli.dynamic.seeds = k.parse().map_err(|_| format!("bad seed count `{k}`"))?;
+            }
+            "--workers" => {
+                let n = args.next().ok_or("--workers needs a count")?;
+                cli.dynamic.workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+            }
+            "--iters" => {
+                let i = args.next().ok_or("--iters needs a count")?;
+                cli.dynamic.max_iters = i
+                    .parse()
+                    .map_err(|_| format!("bad iteration count `{i}`"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: pdnn-protocheck [--static] [--mutations] [--dynamic K] \
+                     [--workers N] [--iters I] [root]"
+                        .to_string(),
+                )
+            }
+            other if !other.starts_with('-') => cli.root = PathBuf::from(other),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !any_flag {
+        cli.run_static = true;
+        cli.run_mutations = true;
+        cli.run_dynamic = true;
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+
+    // Static extraction is also the mutation baseline, so run it
+    // whenever either pass is requested.
+    let static_outcome = if cli.run_static || cli.run_mutations {
+        match pdnn_protocheck::run_static(&cli.root) {
+            Ok(outcome) => Some(outcome),
+            Err(err) => {
+                eprintln!(
+                    "error: cannot read protocol surfaces under {:?}: {err}",
+                    cli.root
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    if cli.run_static {
+        let outcome = static_outcome.as_ref().expect("static pass ran");
+        for finding in &outcome.findings {
+            println!("{finding}\n");
+        }
+        for diag in &outcome.meta {
+            println!("{diag}\n");
+        }
+        for (finding, reason) in &outcome.suppressed {
+            println!(
+                "note: suppressed {} at {}:{} ({reason})",
+                finding.rule, finding.path, finding.line
+            );
+        }
+        let n = outcome.findings.len();
+        println!(
+            "protocheck static: {} finding(s), {} suppressed, {} commands modeled",
+            n,
+            outcome.suppressed.len(),
+            outcome.model.commands.len()
+        );
+        if n > 0 || !outcome.meta.is_empty() {
+            failed = true;
+        }
+    }
+
+    let mutation_results = if cli.run_mutations {
+        let outcome = static_outcome.as_ref().expect("static pass ran");
+        let results = mutate::selftest(&outcome.model);
+        let caught = results.iter().filter(|r| r.flagged).count();
+        for r in results.iter().filter(|r| !r.flagged) {
+            println!(
+                "MISSED {}: expected {} but only {:?} fired",
+                r.name, r.expected_rule, r.fired_rules
+            );
+        }
+        println!("protocheck mutations: {caught}/{} caught", results.len());
+        if caught != results.len() {
+            failed = true;
+        }
+        Some(results)
+    } else {
+        None
+    };
+
+    let dynamic_outcome = if cli.run_dynamic {
+        let outcome = dynamic::run(&cli.dynamic);
+        for (seed, rank, what) in &outcome.hb_violations {
+            println!("HB VIOLATION seed {seed} rank {rank}: {what}");
+        }
+        for seed in &outcome.weight_divergence {
+            println!("WEIGHT DIVERGENCE under seed {seed}");
+        }
+        for seed in &outcome.telemetry_divergence {
+            println!("TELEMETRY DIVERGENCE under seed {seed}");
+        }
+        println!(
+            "protocheck dynamic: {} seed(s) x {} worker(s) x {} iter(s): {}",
+            outcome.seeds_run.len(),
+            cli.dynamic.workers,
+            cli.dynamic.max_iters,
+            if outcome.ok() {
+                "schedule-independent"
+            } else {
+                "FAILED"
+            }
+        );
+        if !outcome.ok() {
+            failed = true;
+        }
+        Some(outcome)
+    } else {
+        None
+    };
+
+    let report = report::Report {
+        static_findings: static_outcome
+            .as_ref()
+            .filter(|_| cli.run_static)
+            .map(|o| o.findings.as_slice()),
+        suppressed: static_outcome
+            .as_ref()
+            .map(|o| o.suppressed.len())
+            .unwrap_or(0),
+        mutation_results: mutation_results.as_deref(),
+        dynamic: dynamic_outcome.as_ref(),
+    };
+    if let Err(err) = report::write(&cli.root, &report) {
+        eprintln!("error: cannot write protocheck report: {err}");
+        return ExitCode::from(2);
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,263 @@
+//! The extracted communication-protocol model.
+//!
+//! Pass 1 of `pdnn-protocheck` reduces the distributed trainer's two
+//! protocol surfaces — the master/worker command loop in
+//! `crates/core/src/distributed.rs` and the collective algorithms in
+//! `crates/mpisim/src/collectives.rs` — to the declarative model in
+//! this module. The checker ([`crate::check`]) then validates the
+//! model instead of the source text, and the mutation self-test
+//! ([`crate::mutate`]) perturbs the model to prove each rule actually
+//! fires.
+
+use std::fmt;
+
+/// Where a model element came from (for rustc-style diagnostics).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Site {
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl Site {
+    pub fn new(path: &str, line: usize) -> Site {
+        Site {
+            path: path.to_string(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.path, self.line)
+    }
+}
+
+/// Payload element kind of a communication buffer, as inferred from
+/// the source. `Unknown` means inference was ambiguous; checks only
+/// compare kinds when both sides are known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElemKind {
+    F32,
+    F64,
+    U64,
+    Empty,
+    Unknown,
+}
+
+impl ElemKind {
+    /// Two kinds are compatible when either is unknown or they match.
+    pub fn compatible(self, other: ElemKind) -> bool {
+        matches!(self, ElemKind::Unknown) || matches!(other, ElemKind::Unknown) || self == other
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ElemKind::F32 => "f32",
+            ElemKind::F64 => "f64",
+            ElemKind::U64 => "u64",
+            ElemKind::Empty => "empty",
+            ElemKind::Unknown => "?",
+        }
+    }
+}
+
+/// The peer of a point-to-point operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Peer {
+    /// A literal or const-resolvable rank.
+    Rank(usize),
+    /// `Src::Any`.
+    AnySource,
+    /// A loop-dependent expression covering every worker (`w + 1`).
+    EachWorker,
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Peer::Rank(r) => write!(f, "rank {r}"),
+            Peer::AnySource => write!(f, "any source"),
+            Peer::EachWorker => write!(f, "each worker"),
+        }
+    }
+}
+
+/// One communication operation, as issued by one role.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `comm.bcast(&mut buf, root)`.
+    Bcast {
+        root: Option<usize>,
+        kind: ElemKind,
+        /// Statically-known element count, when the buffer came from a
+        /// countable `vec![..]`.
+        len: Option<usize>,
+    },
+    /// `comm.reduce(&mut buf, op, root)`.
+    Reduce {
+        root: Option<usize>,
+        kind: ElemKind,
+        len: Option<usize>,
+    },
+    /// `comm.barrier()`.
+    Barrier,
+    /// `comm.send(to, tag, payload)`.
+    Send {
+        to: Peer,
+        tag: Option<u64>,
+        kind: ElemKind,
+    },
+    /// `comm.recv(src, tag)` / `comm.recv_vec::<T>(src, tag)`.
+    Recv {
+        from: Peer,
+        tag: Option<u64>,
+        kind: ElemKind,
+    },
+}
+
+impl Op {
+    /// Short operation-category name for diagnostics.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Op::Bcast { .. } => "bcast",
+            Op::Reduce { .. } => "reduce",
+            Op::Barrier => "barrier",
+            Op::Send { .. } => "send",
+            Op::Recv { .. } => "recv",
+        }
+    }
+}
+
+/// An operation plus where it was issued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqOp {
+    pub op: Op,
+    pub site: Site,
+}
+
+/// One protocol command: the master's post-header sequence and the
+/// worker arm's sequence, which rule p1 requires to be collectively
+/// identical.
+#[derive(Clone, Debug)]
+pub struct CommandSpec {
+    /// Const name (`CMD_GRADIENT`).
+    pub name: String,
+    /// Declared opcode value; `None` when the master issues a command
+    /// whose const the extractor could not resolve.
+    pub value: Option<u64>,
+    /// Number of `u64` header words the master broadcasts.
+    pub header_len: Option<usize>,
+    /// Master-side sequence after the header broadcast; `None` when
+    /// the master never issues this command.
+    pub master: Option<Vec<SeqOp>>,
+    /// Worker-arm sequence; `None` when the worker has no arm.
+    pub worker: Option<Vec<SeqOp>>,
+    /// Site of the master's `.command(..)` call (or const decl).
+    pub master_site: Site,
+    /// Site of the worker's match arm (or the match itself).
+    pub worker_site: Site,
+}
+
+/// One collective algorithm in `collectives.rs`: the normalized tag
+/// expressions of its internal sends and receives.
+#[derive(Clone, Debug)]
+pub struct CollectiveFn {
+    pub name: String,
+    pub site: Site,
+    /// Whitespace-stripped tag expressions, e.g. `"tag+1"`.
+    pub send_tags: Vec<String>,
+    pub recv_tags: Vec<String>,
+}
+
+/// The whole extracted protocol model.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    /// `const CMD_* / TAG_*: u64 = n;` declarations, source order.
+    pub consts: Vec<(String, u64, Site)>,
+    /// Per-command specs, source order of first appearance.
+    pub commands: Vec<CommandSpec>,
+    /// Master point-to-point sends before the command loop starts.
+    pub startup_sends: Vec<SeqOp>,
+    /// Worker point-to-point receives before its command loop.
+    pub startup_recvs: Vec<SeqOp>,
+    /// Master-side ops after the `SHUTDOWN` command is issued.
+    pub shutdown_master: Vec<SeqOp>,
+    /// Worker-side ops after the command loop exits.
+    pub shutdown_worker: Vec<SeqOp>,
+    /// The worker's header broadcast at the top of its loop.
+    pub dispatch: Option<SeqOp>,
+    /// The master's header broadcast inside the `command` helper.
+    pub helper_header_bcast: Option<SeqOp>,
+    /// Master-side ops found in a protocol method *before* its
+    /// `.command(..)` header marker (always a bug — the worker cannot
+    /// know a command is in flight yet).
+    pub orphan_master_ops: Vec<SeqOp>,
+    /// Does the worker match have a catch-all arm for unknown opcodes?
+    pub worker_catchall: bool,
+    /// Site of the worker's `match` (anchor for p4 findings).
+    pub worker_match_site: Site,
+    /// Collective algorithms with their internal tag usage.
+    pub collective_fns: Vec<CollectiveFn>,
+}
+
+impl Model {
+    /// Look up a declared const value by name.
+    pub fn const_value(&self, name: &str) -> Option<u64> {
+        self.consts
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, v, _)| *v)
+    }
+
+    /// Mutable access to one command spec by name (used by the
+    /// mutation self-test).
+    pub fn command_mut(&mut self, name: &str) -> Option<&mut CommandSpec> {
+        self.commands.iter_mut().find(|c| c.name == name)
+    }
+
+    pub fn command(&self, name: &str) -> Option<&CommandSpec> {
+        self.commands.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_compatibility() {
+        assert!(ElemKind::F32.compatible(ElemKind::F32));
+        assert!(ElemKind::F32.compatible(ElemKind::Unknown));
+        assert!(ElemKind::Unknown.compatible(ElemKind::U64));
+        assert!(!ElemKind::F32.compatible(ElemKind::F64));
+        assert_eq!(ElemKind::F64.name(), "f64");
+    }
+
+    #[test]
+    fn site_displays_as_path_line() {
+        let s = Site::new("crates/core/src/distributed.rs", 42);
+        assert_eq!(s.to_string(), "crates/core/src/distributed.rs:42");
+    }
+
+    #[test]
+    fn model_lookups() {
+        let mut m = Model::default();
+        m.consts.push(("CMD_X".into(), 7, Site::new("f.rs", 1)));
+        m.commands.push(CommandSpec {
+            name: "CMD_X".into(),
+            value: Some(7),
+            header_len: Some(1),
+            master: Some(vec![]),
+            worker: Some(vec![]),
+            master_site: Site::new("f.rs", 2),
+            worker_site: Site::new("f.rs", 3),
+        });
+        assert_eq!(m.const_value("CMD_X"), Some(7));
+        assert!(m.const_value("CMD_Y").is_none());
+        assert!(m.command("CMD_X").is_some());
+        assert!(m.command_mut("CMD_X").is_some());
+    }
+}

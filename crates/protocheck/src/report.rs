@@ -1,0 +1,192 @@
+//! Machine-readable report (`results/protocheck_report.json`).
+//!
+//! Hand-rolled JSON, like `pdnn_lint::report` — the workspace has no
+//! serde. Sections are optional so the CLI can run any subset of the
+//! passes; absent passes serialize as `null`.
+
+use crate::dynamic::DynamicOutcome;
+use crate::mutate::MutationResult;
+use pdnn_lint::report::json_escape;
+use pdnn_lint::Finding;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Everything one CLI invocation learned.
+pub struct Report<'a> {
+    pub static_findings: Option<&'a [Finding]>,
+    pub suppressed: usize,
+    pub mutation_results: Option<&'a [MutationResult]>,
+    pub dynamic: Option<&'a DynamicOutcome>,
+}
+
+fn push_findings(out: &mut String, findings: &[Finding]) {
+    out.push('[');
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+        );
+    }
+    out.push(']');
+}
+
+/// Render the report as a JSON string.
+pub fn render(report: &Report<'_>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"pdnn-protocheck\",\n");
+    out.push_str("  \"static\": ");
+    match report.static_findings {
+        Some(findings) => {
+            let _ = write!(
+                out,
+                "{{\"findings\": {}, \"suppressed\": {}, \"violations\": ",
+                findings.len(),
+                report.suppressed
+            );
+            push_findings(&mut out, findings);
+            out.push('}');
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"mutation_selftest\": ");
+    match report.mutation_results {
+        Some(results) => {
+            let caught = results.iter().filter(|r| r.flagged).count();
+            let _ = write!(
+                out,
+                "{{\"mutations\": {}, \"caught\": {}, \"results\": [",
+                results.len(),
+                caught
+            );
+            for (i, r) in results.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let mut fired = String::new();
+                for (j, rule) in r.fired_rules.iter().enumerate() {
+                    if j > 0 {
+                        fired.push(',');
+                    }
+                    let _ = write!(fired, "\"{}\"", json_escape(rule));
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"expected\":\"{}\",\"flagged\":{},\"fired\":[{}]}}",
+                    json_escape(r.name),
+                    json_escape(r.expected_rule),
+                    r.flagged,
+                    fired,
+                );
+            }
+            out.push_str("]}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"dynamic\": ");
+    match report.dynamic {
+        Some(d) => {
+            let mut seeds = String::new();
+            for (i, s) in d.seeds_run.iter().enumerate() {
+                if i > 0 {
+                    seeds.push(',');
+                }
+                let _ = write!(seeds, "{s}");
+            }
+            let mut hb = String::new();
+            for (i, (seed, rank, what)) in d.hb_violations.iter().enumerate() {
+                if i > 0 {
+                    hb.push(',');
+                }
+                let _ = write!(
+                    hb,
+                    "{{\"seed\":{seed},\"rank\":{rank},\"violation\":\"{}\"}}",
+                    json_escape(what)
+                );
+            }
+            let _ = write!(
+                out,
+                "{{\"ok\": {}, \"seeds\": [{}], \"hb_violations\": [{}], \
+                 \"weight_divergence\": {:?}, \"telemetry_divergence\": {:?}}}",
+                d.ok(),
+                seeds,
+                hb,
+                d.weight_divergence,
+                d.telemetry_divergence,
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Write the report under `<root>/results/protocheck_report.json`.
+pub fn write(root: &Path, report: &Report<'_>) -> io::Result<()> {
+    let dir = root.join("results");
+    fs::create_dir_all(&dir)?;
+    fs::write(dir.join("protocheck_report.json"), render(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynamicOutcome;
+
+    #[test]
+    fn renders_all_sections() {
+        let findings = vec![Finding {
+            rule: "p1-collective-order",
+            path: "crates/core/src/distributed.rs".to_string(),
+            line: 7,
+            col: 1,
+            message: "master \"quoted\" mismatch".to_string(),
+            snippet: String::new(),
+        }];
+        let muts = vec![MutationResult {
+            name: "m01",
+            expected_rule: "p1-collective-order",
+            flagged: true,
+            fired_rules: vec!["p1-collective-order"],
+        }];
+        let dynamic = DynamicOutcome {
+            seeds_run: vec![1, 2],
+            hb_violations: vec![(2, 1, "RecvBeforeSend".to_string())],
+            weight_divergence: vec![],
+            telemetry_divergence: vec![2],
+        };
+        let json = render(&Report {
+            static_findings: Some(&findings),
+            suppressed: 1,
+            mutation_results: Some(&muts),
+            dynamic: Some(&dynamic),
+        });
+        assert!(json.contains("\"tool\": \"pdnn-protocheck\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"caught\": 1"));
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"seed\":2"));
+    }
+
+    #[test]
+    fn absent_passes_serialize_as_null() {
+        let json = render(&Report {
+            static_findings: None,
+            suppressed: 0,
+            mutation_results: None,
+            dynamic: None,
+        });
+        assert!(json.contains("\"static\": null"));
+        assert!(json.contains("\"mutation_selftest\": null"));
+        assert!(json.contains("\"dynamic\": null"));
+    }
+}

@@ -21,7 +21,11 @@
 //!   sanctioned replacement for `Mutex::lock().unwrap()`.
 //! * [`error`] — the workspace-wide [`Error`] type that fallible
 //!   operations across crates convert into.
+//! * [`cast`] — checked numeric conversions for cycle/byte accounting
+//!   paths (`pdnn-lint` rule `l6-lossy-cast` bans bare `as` casts
+//!   there).
 
+pub mod cast;
 pub mod error;
 pub mod float;
 pub mod report;

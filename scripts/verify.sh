@@ -19,4 +19,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== static analysis: pdnn-lint =="
 cargo run -q -p pdnn-lint
 
+echo "== protocol: pdnn-protocheck static + mutation self-test =="
+cargo run -q -p pdnn-protocheck -- --static --mutations
+
+echo "== protocol: pdnn-protocheck dynamic sweep =="
+cargo run -q --release -p pdnn-protocheck -- --dynamic 8 --workers 3 --iters 2
+
 echo "verify: OK"
