@@ -122,20 +122,32 @@ pub fn cg_minimize(
 /// [`cg_minimize_precond`] instrumented with a `pdnn_obs` recorder.
 ///
 /// Wraps the solve in a `"cg_minimize"` span, bumps the `"cg_iters"`
-/// counter by the iterations executed, and publishes the final
-/// quadratic value as the `"cg_q_final"` gauge. Numerically identical
-/// to the uninstrumented solve.
+/// counter by the iterations executed and `"cg_curvature_products"`
+/// by the exact number of `apply_a` evaluations, and publishes the
+/// final quadratic value as the `"cg_q_final"` gauge. Numerically
+/// identical to the uninstrumented solve.
 pub fn cg_minimize_recorded(
     g: &[f32],
     d0: &[f32],
-    apply_a: impl FnMut(&[f32]) -> Vec<f32>,
+    mut apply_a: impl FnMut(&[f32]) -> Vec<f32>,
     precond: Option<&[f32]>,
     config: &CgConfig,
     recorder: &dyn Recorder,
 ) -> CgResult {
     let _span = recorder.span("cg_minimize", SpanKind::DenseCompute);
-    let result = cg_minimize_precond(g, d0, apply_a, precond, config);
+    let mut products = 0u64;
+    let result = cg_minimize_precond(
+        g,
+        d0,
+        |v| {
+            products += 1;
+            apply_a(v)
+        },
+        precond,
+        config,
+    );
     recorder.counter_add("cg_iters", result.iters as u64);
+    recorder.counter_add("cg_curvature_products", products);
     recorder.gauge_set("cg_q_final", result.final_q());
     result
 }
@@ -543,6 +555,9 @@ mod tests {
         assert_eq!(plain.final_d(), recorded.final_d());
         let data = rec.take();
         assert_eq!(data.counter("cg_iters"), recorded.iters as u64);
+        // One product seeds the residual, plus at most one per iter.
+        let products = data.counter("cg_curvature_products");
+        assert!(products >= 1 && products <= recorded.iters as u64 + 1);
         assert_eq!(data.gauge("cg_q_final"), Some(recorded.final_q()));
         assert_eq!(data.spans.len(), 1);
         assert_eq!(data.spans[0].name(), "cg_minimize");

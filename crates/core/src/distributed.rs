@@ -33,15 +33,17 @@
 use crate::config::HfConfig;
 use crate::optimizer::{HfOptimizer, IterStats};
 use crate::problem::{sample_utterances, HeldoutEval, HfProblem, Objective};
-use pdnn_dnn::gauss_newton::{gn_product, Curvature};
+use pdnn_dnn::backprop::backprop_ws;
+use pdnn_dnn::gauss_newton::{gn_product_ws, Curvature};
 use pdnn_dnn::loss::{cross_entropy, cross_entropy_loss_only, softmax_rows};
 use pdnn_dnn::network::{ForwardCache, Network};
+use pdnn_dnn::packed::{PackedActivations, PackedWeights};
 use pdnn_dnn::sequence::mmi_batch;
 use pdnn_mpisim::{comm_ok, Comm, CommTrace, HbViolation, Payload, RankOutcome, ReduceOp, Src};
-use pdnn_obs::{InMemoryRecorder, RecorderExt, SpanKind, Telemetry};
+use pdnn_obs::{InMemoryRecorder, Recorder, RecorderExt, SpanKind, Telemetry};
 use pdnn_speech::{partition, Corpus, Shard, Strategy};
 use pdnn_tensor::gemm::GemmContext;
-use pdnn_tensor::Matrix;
+use pdnn_tensor::{Matrix, Workspace};
 use pdnn_util::PhaseTimer;
 use std::sync::Arc;
 
@@ -247,6 +249,27 @@ struct WorkerSample {
     utt_lens: Vec<usize>,
     cache: ForwardCache<f32>,
     dist: Matrix<f32>,
+    /// Prepacked activation operands, reused by every `GN_PRODUCT`
+    /// command of the solve.
+    packed_acts: PackedActivations<f32>,
+}
+
+/// Rebuild the worker's weight packs iff the network version moved.
+/// Hit/miss counters are pure functions of the command sequence, so
+/// per-rank telemetry stays byte-identical across runs.
+fn ensure_worker_packs<R: Recorder + ?Sized>(
+    packs: &mut Option<PackedWeights<f32>>,
+    net: &Network<f32>,
+    ctx: &GemmContext,
+    rec: &R,
+) {
+    match packs {
+        Some(p) if p.matches(net) => rec.counter_add("pack_cache_hit", 1),
+        _ => {
+            *packs = Some(PackedWeights::new(net, ctx));
+            rec.counter_add("pack_cache_miss", 1);
+        }
+    }
 }
 
 /// Evaluate the objective's summed loss + dlogits on a batch.
@@ -326,14 +349,18 @@ fn draw_sample(
     if x.rows() == 0 {
         return None;
     }
+    // The cache outlives this call (it backs every GN_PRODUCT of the
+    // solve), so it is forwarded outside the arena.
     let cache = net.forward(ctx, &x);
     let dist = curvature_dist(objective, &cache, &labels, &utt_lens);
+    let packed_acts = PackedActivations::new(&cache, ctx);
     Some(WorkerSample {
         x,
         labels,
         utt_lens,
         cache,
         dist,
+        packed_acts,
     })
 }
 
@@ -385,6 +412,8 @@ fn worker_loop(
     };
     let mut scratch = net.clone();
     let mut sample: Option<WorkerSample> = None;
+    let mut ws: Workspace<f32> = Workspace::new();
+    let mut packs: Option<PackedWeights<f32>> = None;
 
     loop {
         let mut header = vec![0u64; 1];
@@ -396,9 +425,16 @@ fn worker_loop(
                 comm_ok(comm.bcast(&mut theta, 0), "theta receive");
                 {
                     let _s = rec.span("sync_weights_worker", SpanKind::MemoryBound);
+                    // Bumps the network version: the next compute
+                    // command repacks the weights (pack_cache_miss).
                     net.set_flat(&theta);
                 }
-                sample = None;
+                if let Some(s) = sample.take() {
+                    s.cache.give_back(&mut ws);
+                    ws.give_matrix(s.x);
+                    ws.give_matrix(s.dist);
+                }
+                ws.give_vec(theta);
             }
             CMD_GRADIENT => {
                 let (loss_sum, mut grad) = {
@@ -406,21 +442,31 @@ fn worker_loop(
                     if train.frames() == 0 {
                         (0.0, vec![0.0f32; net.num_params()])
                     } else {
-                        let cache = net.forward(&ctx, &train.x);
+                        ensure_worker_packs(&mut packs, &net, &ctx, rec.as_ref());
+                        let cache = net.forward_ws(&ctx, &train.x, packs.as_ref(), &mut ws);
                         let (loss, dlogits) =
                             eval_objective(objective, &cache, &train.labels, &train.utt_lens);
-                        let grad = pdnn_dnn::backprop::backprop(&net, &ctx, &cache, &dlogits);
+                        let grad =
+                            backprop_ws(&net, &ctx, &cache, &dlogits, packs.as_ref(), &mut ws);
+                        ws.give_matrix(dlogits);
+                        cache.give_back(&mut ws);
                         (loss, grad)
                     }
                 };
                 comm_ok(comm.reduce(&mut grad, ReduceOp::Sum, 0), "grad reduce");
                 let mut meta = vec![loss_sum, train.frames() as f64];
                 comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "meta reduce");
+                ws.give_vec(grad);
             }
             CMD_SAMPLE => {
                 assert_eq!(header.len(), 3, "SAMPLE header must carry seed+fraction");
                 let seed = header[1];
                 let fraction = f64::from_bits(header[2]);
+                if let Some(s) = sample.take() {
+                    s.cache.give_back(&mut ws);
+                    ws.give_matrix(s.x);
+                    ws.give_matrix(s.dist);
+                }
                 sample = {
                     let _s = rec.span("worker_curvature_sample", SpanKind::DenseCompute);
                     draw_sample(&train, &net, &ctx, objective, seed, fraction, comm.rank())
@@ -433,8 +479,17 @@ fn worker_loop(
                     let _s = rec.span("worker_curvature_product", SpanKind::DenseCompute);
                     match &sample {
                         Some(s) => {
-                            let gv =
-                                gn_product(&net, &ctx, &s.cache, Curvature::Fisher(&s.dist), &v);
+                            ensure_worker_packs(&mut packs, &net, &ctx, rec.as_ref());
+                            let gv = gn_product_ws(
+                                &net,
+                                &ctx,
+                                &s.cache,
+                                Curvature::Fisher(&s.dist),
+                                &v,
+                                packs.as_ref(),
+                                Some(&s.packed_acts),
+                                &mut ws,
+                            );
                             (gv, s.x.rows() as f64)
                         }
                         None => (vec![0.0f32; net.num_params()], 0.0),
@@ -443,6 +498,11 @@ fn worker_loop(
                 comm_ok(comm.reduce(&mut gv, ReduceOp::Sum, 0), "gn reduce");
                 let mut meta = vec![frames];
                 comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "gn meta");
+                ws.give_vec(gv);
+                ws.give_vec(v);
+                let stats = ws.stats();
+                rec.gauge_set("arena_bytes_reused", stats.bytes_reused as f64);
+                rec.gauge_set("arena_high_water_bytes", stats.high_water_bytes as f64);
             }
             CMD_FISHER => {
                 let (mut diag, frames) = {
@@ -471,18 +531,22 @@ fn worker_loop(
                     if heldout.frames() == 0 {
                         vec![0.0f64, 0.0, 0.0]
                     } else {
+                        // Trial weights change every call: no packs,
+                        // but the arena recycles activation scratch.
                         scratch.set_flat(&trial);
-                        let logits = scratch.logits(&ctx, &heldout.x);
+                        let logits = scratch.logits_ws(&ctx, &heldout.x, None, &mut ws);
                         let (loss_sum, correct) = heldout_objective(
                             objective,
                             &logits,
                             &heldout.labels,
                             &heldout.utt_lens,
                         );
+                        ws.give_matrix(logits);
                         vec![loss_sum, correct as f64, heldout.frames() as f64]
                     }
                 };
                 comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "heldout reduce");
+                ws.give_vec(trial);
             }
             // pdnn-lint: allow(l3-no-unwrap): an unknown opcode is a protocol bug between master and worker builds, not a runtime condition to recover from
             other => panic!("unknown command {other}"),

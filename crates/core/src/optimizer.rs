@@ -294,6 +294,9 @@ impl HfOptimizer {
 
         let mut theta_new = theta0;
         blas1::axpy(alpha as f32, &chosen.d, &mut theta_new);
+        // The sole weight update of the iteration — prepacked weight
+        // caches downstream (DnnProblem, workers) invalidate exactly
+        // here, and stay valid across every CG product in between.
         problem.set_theta(&theta_new);
 
         // Momentum warm start: d_0 ← β d_N.

@@ -10,14 +10,18 @@
 //! passing — the optimizer cannot tell the difference, which is what
 //! makes the serial-vs-distributed parity tests meaningful.
 
-use pdnn_dnn::gauss_newton::{gn_product, Curvature};
+use pdnn_dnn::backprop::backprop_ws;
+use pdnn_dnn::gauss_newton::{gn_product_ws, Curvature};
 use pdnn_dnn::loss::{cross_entropy, cross_entropy_loss_only, softmax_rows};
 use pdnn_dnn::network::{ForwardCache, Network};
+use pdnn_dnn::packed::{PackedActivations, PackedWeights};
 use pdnn_dnn::sequence::{mmi_batch, DenominatorGraph};
+use pdnn_obs::{NullRecorder, Recorder};
 use pdnn_speech::Shard;
 use pdnn_tensor::gemm::GemmContext;
-use pdnn_tensor::Matrix;
+use pdnn_tensor::{Matrix, Workspace};
 use pdnn_util::Prng;
+use std::sync::Arc;
 
 /// Training objective (the two criteria of the paper's Table I).
 #[derive(Clone, Debug)]
@@ -76,6 +80,9 @@ struct SampleState {
     /// Model distribution rows for the Fisher curvature (softmax for
     /// CE, denominator occupancies for MMI).
     dist: Matrix<f32>,
+    /// Prepacked activation operands for the repeated `gn_product`
+    /// calls of one CG solve (`None` when packing is disabled).
+    packed_acts: Option<PackedActivations<f32>>,
 }
 
 /// Serial in-process implementation of [`HfProblem`].
@@ -90,6 +97,15 @@ pub struct DnnProblem {
     /// Upper bound on frames materialized per forward pass (chunked
     /// evaluation); `usize::MAX` = single batch.
     max_batch_frames: usize,
+    /// Recycled scratch buffers for the training hot path.
+    ws: Workspace<f32>,
+    /// Prepacked weight panels, rebuilt lazily when `net.version()`
+    /// moves (i.e. exactly once per accepted weight update).
+    packs: Option<PackedWeights<f32>>,
+    /// Whether to use the prepacked/arena hot path (on by default;
+    /// the unpacked path exists for parity testing).
+    packing: bool,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl DnnProblem {
@@ -133,7 +149,26 @@ impl DnnProblem {
             sample: None,
             scratch_net,
             max_batch_frames: usize::MAX,
+            ws: Workspace::new(),
+            packs: None,
+            packing: true,
+            recorder: Arc::new(NullRecorder),
         }
+    }
+
+    /// Enable or disable the prepacked-weight / workspace-arena hot
+    /// path. Both settings produce bit-identical results; disabling
+    /// exists for parity tests and A/B benchmarks.
+    pub fn with_packing(mut self, enabled: bool) -> Self {
+        self.packing = enabled;
+        self.packs = None;
+        self
+    }
+
+    /// Attach a recorder for pack-cache and arena telemetry.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Bound the number of frames materialized per forward pass.
@@ -157,6 +192,38 @@ impl DnnProblem {
     /// Consume, returning the trained network.
     pub fn into_network(self) -> Network<f32> {
         self.net
+    }
+
+    /// Arena statistics (allocations avoided, bytes recycled).
+    pub fn workspace_stats(&self) -> pdnn_tensor::WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Rebuild the weight packs iff the network's version moved since
+    /// they were last built. Counters are pure functions of the call
+    /// sequence, so telemetry stays byte-identical across runs.
+    fn ensure_packs(&mut self) {
+        if !self.packing {
+            return;
+        }
+        match &self.packs {
+            Some(p) if p.matches(&self.net) => {
+                self.recorder.counter_add("pack_cache_hit", 1);
+            }
+            _ => {
+                self.packs = Some(PackedWeights::new(&self.net, &self.ctx));
+                self.recorder.counter_add("pack_cache_miss", 1);
+            }
+        }
+    }
+
+    /// Drop the cached curvature sample, recycling its buffers.
+    fn retire_sample(&mut self) {
+        if let Some(s) = self.sample.take() {
+            s.cache.give_back(&mut self.ws);
+            self.ws.give_matrix(s.x);
+            self.ws.give_matrix(s.dist);
+        }
     }
 
     /// Evaluate loss + dlogits + distribution on a batch under the
@@ -194,11 +261,14 @@ impl HfProblem for DnnProblem {
     }
 
     fn set_theta(&mut self, theta: &[f32]) {
+        // This is the pack-invalidation point: `set_flat` bumps the
+        // network version, so the next `ensure_packs` repacks.
         self.net.set_flat(theta);
-        self.sample = None;
+        self.retire_sample();
     }
 
     fn gradient(&mut self) -> (f64, Vec<f32>) {
+        self.ensure_packs();
         let frames = self.train.frames().max(1) as f64;
         let mut loss_sum = 0.0f64;
         let mut grad = vec![0.0f32; self.net.num_params()];
@@ -206,8 +276,10 @@ impl HfProblem for DnnProblem {
             let x = self.train.x.rows_copy(frame_range.start, frame_range.end);
             let labels = &self.train.labels[frame_range.clone()];
             let utt_lens = &self.train.utt_lens[utt_range];
-            let cache = self.net.forward(&self.ctx, &x);
-            let (chunk_loss, dlogits, _) = Self::eval_batch(
+            let cache = self
+                .net
+                .forward_ws(&self.ctx, &x, self.packs.as_ref(), &mut self.ws);
+            let (chunk_loss, dlogits, dist) = Self::eval_batch(
                 &self.net,
                 &self.ctx,
                 &self.objective,
@@ -216,8 +288,20 @@ impl HfProblem for DnnProblem {
                 utt_lens,
             );
             loss_sum += chunk_loss;
-            let chunk_grad = pdnn_dnn::backprop::backprop(&self.net, &self.ctx, &cache, &dlogits);
+            let chunk_grad = backprop_ws(
+                &self.net,
+                &self.ctx,
+                &cache,
+                &dlogits,
+                self.packs.as_ref(),
+                &mut self.ws,
+            );
             pdnn_tensor::blas1::add(&chunk_grad, &mut grad);
+            self.ws.give_vec(chunk_grad);
+            self.ws.give_matrix(dlogits);
+            self.ws.give_matrix(dist);
+            cache.give_back(&mut self.ws);
+            self.ws.give_matrix(x);
         }
         let inv = (1.0 / frames) as f32;
         pdnn_tensor::blas1::scal(inv, &mut grad);
@@ -225,8 +309,11 @@ impl HfProblem for DnnProblem {
     }
 
     fn sample_curvature(&mut self, seed: u64, fraction: f64) {
+        self.retire_sample();
         let ids = sample_utterances(&self.train.utt_lens, fraction, seed);
         let (x, labels, utt_lens) = extract_utterances(&self.train, &ids);
+        // The cache outlives this call (it backs every `gn_product`
+        // of the solve), so it is forwarded outside the arena.
         let cache = self.net.forward(&self.ctx, &x);
         let (_, _, dist) = Self::eval_batch(
             &self.net,
@@ -236,16 +323,23 @@ impl HfProblem for DnnProblem {
             &labels,
             &utt_lens,
         );
+        let packed_acts = if self.packing {
+            Some(PackedActivations::new(&cache, &self.ctx))
+        } else {
+            None
+        };
         self.sample = Some(SampleState {
             x,
             labels,
             utt_lens,
             cache,
             dist,
+            packed_acts,
         });
     }
 
     fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
+        self.ensure_packs();
         let sample = self
             .sample
             .as_ref()
@@ -253,15 +347,23 @@ impl HfProblem for DnnProblem {
             .expect("gn_product called before sample_curvature");
         let frames = sample.x.rows().max(1) as f64;
         let _ = &sample.utt_lens;
-        let mut gv = gn_product(
+        let mut gv = gn_product_ws(
             &self.net,
             &self.ctx,
             &sample.cache,
             Curvature::Fisher(&sample.dist),
             v,
+            self.packs.as_ref(),
+            sample.packed_acts.as_ref(),
+            &mut self.ws,
         );
         let inv = (1.0 / frames) as f32;
         pdnn_tensor::blas1::scal(inv, &mut gv);
+        let stats = self.ws.stats();
+        self.recorder
+            .gauge_set("arena_bytes_reused", stats.bytes_reused as f64);
+        self.recorder
+            .gauge_set("arena_high_water_bytes", stats.high_water_bytes as f64);
         gv
     }
 
@@ -300,7 +402,11 @@ impl HfProblem for DnnProblem {
             let x = self.heldout.x.rows_copy(frame_range.start, frame_range.end);
             let labels = &self.heldout.labels[frame_range.clone()];
             let utt_lens = &self.heldout.utt_lens[utt_range];
-            let logits = self.scratch_net.logits(&self.ctx, &x);
+            // Trial parameters change every call, so no weight packs;
+            // the arena still recycles the activation scratch.
+            let logits = self
+                .scratch_net
+                .logits_ws(&self.ctx, &x, None, &mut self.ws);
             match &self.objective {
                 Objective::CrossEntropy => {
                     let (l, c) = cross_entropy_loss_only(&logits, labels);
@@ -319,6 +425,8 @@ impl HfProblem for DnnProblem {
                         .count();
                 }
             }
+            self.ws.give_matrix(logits);
+            self.ws.give_matrix(x);
         }
         HeldoutEval {
             loss: loss_sum / frames,

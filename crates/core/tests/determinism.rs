@@ -9,12 +9,17 @@
 //! emission paths. If either regresses, the byte comparison below is
 //! the test that goes red.
 
-use pdnn_core::{train_distributed_deterministic, DistributedConfig, Objective, TrainOutput};
+use pdnn_core::{
+    train_distributed_deterministic, DistributedConfig, DnnProblem, HfConfig, HfOptimizer,
+    HfProblem, Objective, TrainOutput,
+};
 use pdnn_dnn::{Activation, Network};
 use pdnn_obs::jsonl::to_jsonl_string;
 use pdnn_obs::Telemetry;
 use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_tensor::gemm::GemmContext;
 use pdnn_util::Prng;
+use std::sync::Arc;
 
 fn run_once(corpus: &Corpus) -> TrainOutput {
     let mut rng = Prng::new(11);
@@ -72,6 +77,68 @@ fn identical_runs_emit_byte_identical_telemetry() {
             "telemetry line counts diverge: {} vs {}",
             jsonl_a.lines().count(),
             jsonl_b.lines().count()
+        );
+    }
+}
+
+/// The prepacked-weight / workspace-arena hot path must be a pure
+/// optimization: multiple HF iterations (CG solve → line-search
+/// weight update → repack → next solve) with packing on and off must
+/// agree on every parameter, bit for bit.
+#[test]
+fn packed_hot_path_is_bit_identical_to_unpacked() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(17));
+    let (train_ids, held_ids) = corpus.split_heldout(0.25);
+
+    let run = |packing: bool| -> (Vec<f32>, Vec<u64>) {
+        let mut rng = Prng::new(5);
+        let net = Network::new(
+            &[corpus.spec().feature_dim, 12, corpus.spec().states],
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let recorder = Arc::new(pdnn_obs::InMemoryRecorder::new());
+        let mut problem = DnnProblem::new(
+            net,
+            GemmContext::sequential(),
+            corpus.shard(&train_ids),
+            corpus.shard(&held_ids),
+            Objective::CrossEntropy,
+        )
+        .with_packing(packing)
+        .with_recorder(recorder.clone());
+        let mut config = HfConfig::small_task();
+        config.max_iters = 3; // 3 solves → 2 line-search updates in between
+        let mut opt = HfOptimizer::new(config);
+        let stats = opt.train(&mut problem);
+        assert_eq!(stats.len(), 3);
+        let loss_bits = stats.iter().map(|s| s.train_loss.to_bits()).collect();
+        let data = recorder.take();
+        if packing {
+            assert!(
+                data.counter("pack_cache_miss") >= 1,
+                "packing run never built a pack"
+            );
+            assert!(
+                data.counter("pack_cache_hit") > data.counter("pack_cache_miss"),
+                "weights are constant across each CG solve, so hits must dominate"
+            );
+        } else {
+            assert_eq!(data.counter("pack_cache_miss"), 0);
+            assert_eq!(data.counter("pack_cache_hit"), 0);
+        }
+        (problem.theta(), loss_bits)
+    };
+
+    let (theta_packed, loss_packed) = run(true);
+    let (theta_plain, loss_plain) = run(false);
+    assert_eq!(loss_packed, loss_plain, "per-iteration losses diverge");
+    assert_eq!(theta_packed.len(), theta_plain.len());
+    for (i, (a, b)) in theta_packed.iter().zip(&theta_plain).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "theta[{i}] diverges: packed {a} vs unpacked {b}"
         );
     }
 }

@@ -6,8 +6,9 @@
 
 use crate::loss::{cross_entropy, squared_error, FrameLoss};
 use crate::network::{ForwardCache, Network};
-use pdnn_tensor::gemm::{gemm, GemmContext, Trans};
-use pdnn_tensor::{Matrix, Scalar};
+use crate::packed::PackedWeights;
+use pdnn_tensor::gemm::{gemm, gemm_prepacked, GemmContext, Trans};
+use pdnn_tensor::{Matrix, Scalar, Workspace};
 
 /// Backpropagate `dlogits` through the network, returning the flat
 /// gradient (same layout as [`Network::to_flat`]).
@@ -18,6 +19,29 @@ pub fn backprop<T: Scalar>(
     ctx: &GemmContext,
     cache: &ForwardCache<T>,
     dlogits: &Matrix<T>,
+) -> Vec<T> {
+    backprop_ws(net, ctx, cache, dlogits, None, &mut Workspace::new())
+}
+
+/// [`backprop`] with arena-recycled scratch and optionally prepacked
+/// weights — the training hot path.
+///
+/// Every intermediate (the delta buffer, per-layer `dW`/`db`, and the
+/// returned gradient vector) comes from `ws`; giving the returned
+/// vector back to `ws` after accumulation makes the steady state
+/// allocation-free. Bitwise identical to the unpacked path:
+/// [`gemm_prepacked`] replays the exact blocked GEMM.
+///
+/// # Panics
+/// If `packs` was built from a different weight version, or on shape
+/// mismatch between `cache`, `dlogits`, and `net`.
+pub fn backprop_ws<T: Scalar>(
+    net: &Network<T>,
+    ctx: &GemmContext,
+    cache: &ForwardCache<T>,
+    dlogits: &Matrix<T>,
+    packs: Option<&PackedWeights<T>>,
+    ws: &mut Workspace<T>,
 ) -> Vec<T> {
     let layers = net.layers();
     assert_eq!(
@@ -30,8 +54,19 @@ pub fn backprop<T: Scalar>(
         cache.logits().shape(),
         "dlogits shape mismatch"
     );
+    if let Some(p) = packs {
+        assert!(
+            p.matches(net),
+            "backprop_ws: stale PackedWeights (pack v{} != net v{})",
+            p.version(),
+            net.version()
+        );
+    }
 
-    let mut grad = vec![T::ZERO; net.num_params()];
+    // Scratch take: the layer loop below writes every flat-gradient
+    // region exactly once (weights by copy, biases by column_sums_into
+    // which zero-fills first).
+    let mut grad = ws.take_vec_scratch(net.num_params());
     // Compute per-layer flat offsets once.
     let mut offsets = Vec::with_capacity(layers.len());
     let mut off = 0;
@@ -40,7 +75,9 @@ pub fn backprop<T: Scalar>(
         off += layer.num_params();
     }
 
-    let mut delta = dlogits.clone();
+    // Seed the delta buffer from the arena instead of cloning dlogits.
+    let mut delta = ws.take_matrix_scratch(dlogits.rows(), dlogits.cols());
+    delta.as_mut_slice().copy_from_slice(dlogits.as_slice());
     for l in (0..layers.len()).rev() {
         let layer = &layers[l];
         let a_prev = &cache.acts[l];
@@ -48,7 +85,7 @@ pub fn backprop<T: Scalar>(
         debug_assert_eq!(a_prev.rows(), frames);
 
         // dW = delta^T * a_prev  (out x in)
-        let mut dw = Matrix::zeros(layer.outputs(), layer.inputs());
+        let mut dw = ws.take_matrix_scratch(layer.outputs(), layer.inputs());
         gemm(
             ctx,
             Trans::T,
@@ -59,29 +96,42 @@ pub fn backprop<T: Scalar>(
             T::ZERO,
             &mut dw,
         );
-        let db = delta.column_sums();
 
         let base = offsets[l];
         grad[base..base + dw.len()].copy_from_slice(dw.as_slice());
-        grad[base + dw.len()..base + dw.len() + db.len()].copy_from_slice(&db);
+        delta.column_sums_into(&mut grad[base + dw.len()..base + dw.len() + layer.b.len()]);
+        ws.give_matrix(dw);
 
         if l > 0 {
             // delta_prev = (delta * W) ∘ f'(a_prev)
-            let mut dprev = Matrix::zeros(frames, layer.inputs());
-            gemm(
-                ctx,
-                Trans::N,
-                Trans::N,
-                T::ONE,
-                &delta,
-                &layer.w,
-                T::ZERO,
-                &mut dprev,
-            );
+            let mut dprev = ws.take_matrix_scratch(frames, layer.inputs());
+            match packs {
+                Some(p) => gemm_prepacked(
+                    ctx,
+                    Trans::N,
+                    T::ONE,
+                    &delta,
+                    p.backward(l),
+                    T::ZERO,
+                    &mut dprev,
+                ),
+                None => gemm(
+                    ctx,
+                    Trans::N,
+                    Trans::N,
+                    T::ONE,
+                    &delta,
+                    &layer.w,
+                    T::ZERO,
+                    &mut dprev,
+                ),
+            }
             layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
+            ws.give_matrix(delta);
             delta = dprev;
         }
     }
+    ws.give_matrix(delta);
     grad
 }
 
@@ -210,6 +260,46 @@ mod tests {
         for i in 0..g_all.len() {
             assert!((g_all[i] - (g0[i] + g1[i])).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn packed_arena_path_bitwise_equals_plain() {
+        let ctx = GemmContext::sequential();
+        let mut rng = Prng::new(40);
+        let net: Network<f32> = Network::new(&[5, 8, 6, 3], Activation::Tanh, &mut rng);
+        let packs = crate::packed::PackedWeights::new(&net, &ctx);
+        let mut ws = pdnn_tensor::Workspace::new();
+        for seed in 70..73 {
+            let mut r2 = Prng::new(seed);
+            let x: Matrix<f32> = Matrix::random_normal(11, 5, 1.0, &mut r2);
+            let dl: Matrix<f32> = Matrix::random_normal(11, 3, 1.0, &mut r2);
+            let plain_cache = net.forward(&ctx, &x);
+            let plain = backprop(&net, &ctx, &plain_cache, &dl);
+            let cache = net.forward_ws(&ctx, &x, Some(&packs), &mut ws);
+            let fast = backprop_ws(&net, &ctx, &cache, &dl, Some(&packs), &mut ws);
+            assert_eq!(
+                plain_cache.acts, cache.acts,
+                "forward_ws diverged, seed {seed}"
+            );
+            assert_eq!(plain, fast, "backprop_ws diverged, seed {seed}");
+            cache.give_back(&mut ws);
+            ws.give_vec(fast);
+        }
+        assert!(ws.stats().reuses > 0, "arena never recycled");
+    }
+
+    #[test]
+    fn logits_ws_bitwise_equals_logits() {
+        let ctx = GemmContext::sequential();
+        let mut rng = Prng::new(41);
+        let net: Network<f32> = Network::new(&[4, 7, 3], Activation::Sigmoid, &mut rng);
+        let packs = crate::packed::PackedWeights::new(&net, &ctx);
+        let mut ws = pdnn_tensor::Workspace::new();
+        let x: Matrix<f32> = Matrix::random_normal(9, 4, 1.0, &mut rng);
+        let plain = net.logits(&ctx, &x);
+        let fast = net.logits_ws(&ctx, &x, Some(&packs), &mut ws);
+        assert_eq!(plain, fast);
+        ws.give_matrix(fast);
     }
 
     #[test]

@@ -22,8 +22,12 @@
 //!    (indefinite) Hessian product.
 
 use crate::network::{ForwardCache, Network};
-use pdnn_tensor::gemm::{gemm, GemmContext, Trans};
-use pdnn_tensor::{Matrix, Scalar};
+use crate::packed::{PackedActivations, PackedWeights};
+use pdnn_tensor::gemm::{
+    gemm, gemm_prepacked, gemm_prepacked_a_bt, gemm_prepacked_ab, GemmContext, PackedB, Trans,
+    MR as GEMM_MR,
+};
+use pdnn_tensor::{Matrix, Scalar, Workspace};
 
 /// Which loss-Hessian `H_L` closes the Gauss–Newton sandwich.
 #[derive(Clone, Copy, Debug)]
@@ -49,48 +53,151 @@ pub fn gn_product<T: Scalar>(
     curvature: Curvature<'_, T>,
     v: &[T],
 ) -> Vec<T> {
+    gn_product_ws(
+        net,
+        ctx,
+        cache,
+        curvature,
+        v,
+        None,
+        None,
+        &mut Workspace::new(),
+    )
+}
+
+/// [`gn_product`] with arena-recycled scratch and optionally prepacked
+/// operands — the CG hot path.
+///
+/// Within one CG solve the weights and the curvature sample are both
+/// fixed, so `packs` (weights) and `acts` (sample activations) can be
+/// built once and replayed across every iteration; only the small
+/// direction matrices `Vw` are packed per call. All scratch comes from
+/// `ws`; give the returned vector back after use for an allocation-free
+/// steady state. Packed and unpacked paths are bitwise identical (the
+/// prepacked drivers replay the exact blocked GEMMs).
+///
+/// # Panics
+/// If `packs` was built from a different weight version, or if `acts`
+/// does not cover `net`'s depth.
+#[allow(clippy::too_many_arguments)] // hot-path variant: operand caches are separate by design
+pub fn gn_product_ws<T: Scalar>(
+    net: &Network<T>,
+    ctx: &GemmContext,
+    cache: &ForwardCache<T>,
+    curvature: Curvature<'_, T>,
+    v: &[T],
+    packs: Option<&PackedWeights<T>>,
+    acts: Option<&PackedActivations<T>>,
+    ws: &mut Workspace<T>,
+) -> Vec<T> {
     let layers = net.layers();
     assert_eq!(
         cache.acts.len(),
         layers.len() + 1,
         "cache does not match network depth"
     );
+    if let Some(p) = packs {
+        assert!(
+            p.matches(net),
+            "gn_product_ws: stale PackedWeights (pack v{} != net v{})",
+            p.version(),
+            net.version()
+        );
+    }
+    if let Some(pa) = acts {
+        assert_eq!(
+            pa.layers(),
+            layers.len(),
+            "gn_product_ws: PackedActivations depth mismatch"
+        );
+    }
     let parts = net.split_flat(v);
     let frames = cache.acts[0].rows();
 
     // ---- 1. R-forward ---------------------------------------------
-    // r = R{a_l}; starts at zero for the input (inputs don't depend
-    // on θ).
-    let mut r: Matrix<T> = Matrix::zeros(frames, net.input_dim());
+    // r = R{a_l}; zero for the input (inputs don't depend on θ), so
+    // the layer-0 `r * W^T` term is skipped and the Vw product writes
+    // rz directly (beta = 0 overwrite instead of accumulate).
+    let mut r: Option<Matrix<T>> = None;
     let mut rz_out: Option<Matrix<T>> = None;
     for (l, layer) in layers.iter().enumerate() {
         let (vw_flat, vb) = parts[l];
-        let vw = Matrix::from_vec(layer.outputs(), layer.inputs(), vw_flat.to_vec());
         let a_prev = &cache.acts[l];
 
         // Rz = r * W^T + a_prev * Vw^T + Vb
-        let mut rz = Matrix::zeros(frames, layer.outputs());
-        gemm(
-            ctx,
-            Trans::N,
-            Trans::T,
-            T::ONE,
-            &r,
-            &layer.w,
-            T::ZERO,
-            &mut rz,
-        );
-        gemm(
-            ctx,
-            Trans::N,
-            Trans::T,
-            T::ONE,
-            a_prev,
-            &vw,
-            T::ONE,
-            &mut rz,
-        );
+        let mut rz = ws.take_matrix_scratch(frames, layer.outputs());
+        let beta_vw = match &r {
+            Some(r_in) => {
+                match packs {
+                    Some(p) => {
+                        gemm_prepacked(ctx, Trans::N, T::ONE, r_in, p.forward(l), T::ZERO, &mut rz)
+                    }
+                    None => gemm(
+                        ctx,
+                        Trans::N,
+                        Trans::T,
+                        T::ONE,
+                        r_in,
+                        &layer.w,
+                        T::ZERO,
+                        &mut rz,
+                    ),
+                }
+                T::ONE
+            }
+            None => T::ZERO,
+        };
+        match acts {
+            Some(pa) => {
+                let left = pa.left(l);
+                if frames <= 2 * GEMM_MR {
+                    // Few frame rows (the strong-scaling per-rank
+                    // shard regime): stream Vw's flat region straight
+                    // out of the direction vector — op(Vw^T) columns
+                    // are Vw rows, already stride-one — and skip the
+                    // pack's extra write + reread of a Vw-sized
+                    // buffer entirely.
+                    gemm_prepacked_a_bt(ctx, T::ONE, left, vw_flat, beta_vw, &mut rz);
+                } else {
+                    // Tall frame blocks amortize the register-blocked
+                    // packed kernel better: pack Vw once straight from
+                    // its flat region (arena scratch; no Vw matrix is
+                    // ever materialized) and multiply with both
+                    // operands prepacked.
+                    let pvw = PackedB::new_in_from_rows(
+                        layer.outputs(),
+                        layer.inputs(),
+                        vw_flat,
+                        Trans::T,
+                        left.blocking(),
+                        ws,
+                    );
+                    gemm_prepacked_ab(ctx, T::ONE, left, &pvw, beta_vw, &mut rz);
+                    pvw.give_back(ws);
+                }
+            }
+            None => {
+                // Unpacked path: the plain GEMM driver wants a Matrix
+                // operand, so materialize Vw from its flat region.
+                let mut vw = ws.take_matrix_scratch(layer.outputs(), layer.inputs());
+                vw.as_mut_slice().copy_from_slice(vw_flat);
+                gemm(
+                    ctx,
+                    Trans::N,
+                    Trans::T,
+                    T::ONE,
+                    a_prev,
+                    &vw,
+                    beta_vw,
+                    &mut rz,
+                );
+                ws.give_matrix(vw);
+            }
+        }
         rz.add_row_broadcast(vb);
+        if let Some(r_old) = r.take() {
+            ws.give_matrix(r_old);
+        }
 
         if l + 1 == layers.len() {
             // Output layer is Identity: R{a_L} = Rz_L = J v.
@@ -99,7 +206,7 @@ pub fn gn_product<T: Scalar>(
             // Ra = f'(z) ∘ Rz, with f' read from the stored activation.
             let a_l = &cache.acts[l + 1];
             layer.act.mask_derivative(&mut rz, a_l);
-            r = rz;
+            r = Some(rz);
         }
     }
     // pdnn-lint: allow(l3-no-unwrap): Network::new asserts at least one layer, so the loop above always assigns rz_out
@@ -128,7 +235,10 @@ pub fn gn_product<T: Scalar>(
     }
 
     // ---- 3. linearized backward -----------------------------------
-    let mut out = vec![T::ZERO; net.num_params()];
+    // Scratch take: the layer loop below writes every flat-gradient
+    // region exactly once (weights by copy, biases by column_sums_into
+    // which zero-fills first).
+    let mut out = ws.take_vec_scratch(net.num_params());
     let mut offsets = Vec::with_capacity(layers.len());
     let mut off = 0;
     for layer in layers {
@@ -140,38 +250,56 @@ pub fn gn_product<T: Scalar>(
     for l in (0..layers.len()).rev() {
         let layer = &layers[l];
         let a_prev = &cache.acts[l];
-        let mut gw = Matrix::zeros(layer.outputs(), layer.inputs());
-        gemm(
-            ctx,
-            Trans::T,
-            Trans::N,
-            T::ONE,
-            &delta,
-            a_prev,
-            T::ZERO,
-            &mut gw,
-        );
-        let gb = delta.column_sums();
-        let base = offsets[l];
-        out[base..base + gw.len()].copy_from_slice(gw.as_slice());
-        out[base + gw.len()..base + gw.len() + gb.len()].copy_from_slice(&gb);
-
-        if l > 0 {
-            let mut dprev = Matrix::zeros(frames, layer.inputs());
-            gemm(
+        let mut gw = ws.take_matrix_scratch(layer.outputs(), layer.inputs());
+        match acts {
+            Some(pa) => {
+                gemm_prepacked(ctx, Trans::T, T::ONE, &delta, pa.right(l), T::ZERO, &mut gw)
+            }
+            None => gemm(
                 ctx,
-                Trans::N,
+                Trans::T,
                 Trans::N,
                 T::ONE,
                 &delta,
-                &layer.w,
+                a_prev,
                 T::ZERO,
-                &mut dprev,
-            );
+                &mut gw,
+            ),
+        }
+        let base = offsets[l];
+        out[base..base + gw.len()].copy_from_slice(gw.as_slice());
+        delta.column_sums_into(&mut out[base + gw.len()..base + gw.len() + layer.b.len()]);
+        ws.give_matrix(gw);
+
+        if l > 0 {
+            let mut dprev = ws.take_matrix_scratch(frames, layer.inputs());
+            match packs {
+                Some(p) => gemm_prepacked(
+                    ctx,
+                    Trans::N,
+                    T::ONE,
+                    &delta,
+                    p.backward(l),
+                    T::ZERO,
+                    &mut dprev,
+                ),
+                None => gemm(
+                    ctx,
+                    Trans::N,
+                    Trans::N,
+                    T::ONE,
+                    &delta,
+                    &layer.w,
+                    T::ZERO,
+                    &mut dprev,
+                ),
+            }
             layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
+            ws.give_matrix(delta);
             delta = dprev;
         }
     }
+    ws.give_matrix(delta);
     out
 }
 
@@ -359,6 +487,64 @@ mod tests {
         let v = vec![0.0f64; net.num_params()];
         let gv = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v);
         assert!(gv.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn packed_arena_path_bitwise_equals_plain() {
+        // The CG-solve invariant: with weights and sample fixed, the
+        // prepacked/arena product must be bit-identical to the plain
+        // one for every direction — in f32, the training type.
+        let ctx = GemmContext::sequential();
+        let mut rng = Prng::new(30);
+        let net: Network<f32> = Network::new(&[6, 9, 7, 4], Activation::Sigmoid, &mut rng);
+        let x: Matrix<f32> = Matrix::random_normal(13, 6, 1.0, &mut rng);
+        let cache = net.forward(&ctx, &x);
+        let q = crate::loss::softmax_rows(cache.logits());
+        let packs = PackedWeights::new(&net, &ctx);
+        let acts = PackedActivations::new(&cache, &ctx);
+        let mut ws = Workspace::new();
+        for seed in 60..65 {
+            let mut d = Prng::new(seed);
+            let v: Vec<f32> = (0..net.num_params()).map(|_| d.normal() as f32).collect();
+            let plain = gn_product(&net, &ctx, &cache, Curvature::Fisher(&q), &v);
+            let fast = gn_product_ws(
+                &net,
+                &ctx,
+                &cache,
+                Curvature::Fisher(&q),
+                &v,
+                Some(&packs),
+                Some(&acts),
+                &mut ws,
+            );
+            assert_eq!(plain, fast, "seed {seed}");
+            ws.give_vec(fast);
+        }
+        // Steady state: every buffer after the first call is recycled.
+        assert!(ws.stats().reuses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PackedWeights")]
+    fn stale_packs_are_rejected() {
+        let ctx = GemmContext::sequential();
+        let mut rng = Prng::new(31);
+        let mut net: Network<f32> = Network::new(&[3, 4, 2], Activation::Sigmoid, &mut rng);
+        let x: Matrix<f32> = Matrix::random_normal(5, 3, 1.0, &mut rng);
+        let cache = net.forward(&ctx, &x);
+        let packs = PackedWeights::new(&net, &ctx);
+        net.axpy_flat(0.01, &vec![1.0; net.num_params()]);
+        let v = vec![0.5f32; net.num_params()];
+        gn_product_ws(
+            &net,
+            &ctx,
+            &cache,
+            Curvature::Identity,
+            &v,
+            Some(&packs),
+            None,
+            &mut Workspace::new(),
+        );
     }
 
     #[test]

@@ -32,14 +32,16 @@ pub mod gauss_newton;
 pub mod gradcheck;
 pub mod loss;
 pub mod network;
+pub mod packed;
 pub mod sequence;
 
 pub use activation::Activation;
-pub use backprop::{backprop as backprop_dlogits, loss_and_gradient};
+pub use backprop::{backprop as backprop_dlogits, backprop_ws, loss_and_gradient};
 pub use checkpoint::{load_network, save_network, CheckpointError};
 pub use decode::{state_error_rate, viterbi_decode, viterbi_decode_batch};
 pub use fisher::empirical_fisher_diagonal;
-pub use gauss_newton::{gn_product, Curvature};
+pub use gauss_newton::{gn_product, gn_product_ws, Curvature};
 pub use loss::{cross_entropy, softmax_rows, FrameLoss, LossOutput};
 pub use network::{ForwardCache, Layer, Network};
+pub use packed::{PackedActivations, PackedWeights};
 pub use sequence::{mmi_batch, mmi_utterance, DenominatorGraph, SequenceLossOutput};

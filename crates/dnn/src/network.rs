@@ -8,9 +8,23 @@
 //! in order, the weight matrix row-major, then the bias.
 
 use crate::activation::Activation;
-use pdnn_tensor::gemm::{gemm, GemmContext, Trans};
-use pdnn_tensor::{Matrix, Scalar};
+use crate::packed::PackedWeights;
+use pdnn_tensor::gemm::{gemm, gemm_prepacked, GemmContext, Trans};
+use pdnn_tensor::{Matrix, Scalar, Workspace};
 use pdnn_util::Prng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of weight-version stamps.
+///
+/// Every mutation of a network's parameters takes a fresh stamp, so a
+/// [`crate::packed::PackedWeights`] built from version `v` is valid
+/// iff the network still reports `v` — no network ever reuses a
+/// version after mutation, including across clones.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One affine layer `z = a W^T + b` followed by an activation.
 ///
@@ -81,6 +95,9 @@ impl<T: Scalar> Layer<T> {
 #[derive(Clone, Debug)]
 pub struct Network<T: Scalar = f32> {
     layers: Vec<Layer<T>>,
+    /// Weight-version stamp; see [`fresh_version`]. Clones share the
+    /// stamp (identical weights) until either side mutates.
+    version: u64,
 }
 
 /// Cached activations from a forward pass.
@@ -99,6 +116,14 @@ impl<T: Scalar> ForwardCache<T> {
     pub fn logits(&self) -> &Matrix<T> {
         // pdnn-lint: allow(l3-no-unwrap): forward() seeds acts with the input activation before any layer runs
         self.acts.last().expect("forward cache is never empty")
+    }
+
+    /// Retire every activation buffer into `ws` for reuse by the next
+    /// forward pass.
+    pub fn give_back(self, ws: &mut Workspace<T>) {
+        for a in self.acts {
+            ws.give_matrix(a);
+        }
     }
 }
 
@@ -126,7 +151,10 @@ impl<T: Scalar> Network<T> {
             };
             layers.push(Layer::glorot(dims[i], dims[i + 1], act, rng));
         }
-        Network { layers }
+        Network {
+            layers,
+            version: fresh_version(),
+        }
     }
 
     /// Build directly from layers (for tests and surgery).
@@ -142,7 +170,10 @@ impl<T: Scalar> Network<T> {
                 "layer shapes do not chain"
             );
         }
-        Network { layers }
+        Network {
+            layers,
+            version: fresh_version(),
+        }
     }
 
     /// The layers, input-side first.
@@ -173,6 +204,15 @@ impl<T: Scalar> Network<T> {
         dims
     }
 
+    /// Weight-version stamp: changes on every parameter mutation
+    /// ([`Self::set_flat`], [`Self::axpy_flat`]), never repeats.
+    ///
+    /// A [`PackedWeights`] sidecar built from this network is valid
+    /// exactly while the stamp it recorded still matches.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Forward pass keeping every intermediate activation.
     pub fn forward(&self, ctx: &GemmContext, x: &Matrix<T>) -> ForwardCache<T> {
         assert_eq!(
@@ -190,6 +230,122 @@ impl<T: Scalar> Network<T> {
             acts.push(next);
         }
         ForwardCache { acts }
+    }
+
+    /// Forward pass with arena-recycled activations and optionally
+    /// prepacked weights.
+    ///
+    /// Bitwise identical to [`Self::forward`]: the prepacked driver
+    /// replays the exact blocked GEMM, and arena buffers are handed
+    /// out zero-filled like `Matrix::zeros`. Pass the returned cache
+    /// to [`ForwardCache::give_back`] when done to close the recycle
+    /// loop.
+    ///
+    /// # Panics
+    /// If `packs` was built from a different weight version.
+    pub fn forward_ws(
+        &self,
+        ctx: &GemmContext,
+        x: &Matrix<T>,
+        packs: Option<&PackedWeights<T>>,
+        ws: &mut Workspace<T>,
+    ) -> ForwardCache<T> {
+        assert_eq!(
+            x.cols(),
+            self.input_dim(),
+            "input width {} != network input dim {}",
+            x.cols(),
+            self.input_dim()
+        );
+        if let Some(p) = packs {
+            assert!(
+                p.matches(self),
+                "forward_ws: stale PackedWeights (pack v{} != net v{})",
+                p.version(),
+                self.version
+            );
+        }
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        let mut a0 = ws.take_matrix_scratch(x.rows(), x.cols());
+        a0.as_mut_slice().copy_from_slice(x.as_slice());
+        acts.push(a0);
+        for (l, layer) in self.layers.iter().enumerate() {
+            // pdnn-lint: allow(l3-no-unwrap): acts is seeded with the input activation before the loop
+            let a_in = acts.last().unwrap();
+            // Scratch take: the beta = 0 GEMM overwrites all of z.
+            let mut z = ws.take_matrix_scratch(a_in.rows(), layer.outputs());
+            match packs {
+                Some(p) => {
+                    gemm_prepacked(ctx, Trans::N, T::ONE, a_in, p.forward(l), T::ZERO, &mut z)
+                }
+                None => gemm(
+                    ctx,
+                    Trans::N,
+                    Trans::T,
+                    T::ONE,
+                    a_in,
+                    &layer.w,
+                    T::ZERO,
+                    &mut z,
+                ),
+            }
+            z.add_row_broadcast(&layer.b);
+            layer.act.apply(&mut z);
+            acts.push(z);
+        }
+        ForwardCache { acts }
+    }
+
+    /// Logits-only forward with arena-recycled scratch and optionally
+    /// prepacked weights (bitwise identical to [`Self::logits`]).
+    ///
+    /// The returned matrix is arena-backed; give it back to `ws` when
+    /// done to keep the steady state allocation-free.
+    pub fn logits_ws(
+        &self,
+        ctx: &GemmContext,
+        x: &Matrix<T>,
+        packs: Option<&PackedWeights<T>>,
+        ws: &mut Workspace<T>,
+    ) -> Matrix<T> {
+        if let Some(p) = packs {
+            assert!(
+                p.matches(self),
+                "logits_ws: stale PackedWeights (pack v{} != net v{})",
+                p.version(),
+                self.version
+            );
+        }
+        let mut a: Option<Matrix<T>> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            // pdnn-lint: allow(l3-no-unwrap): a is assigned on iteration 0 and only read from iteration 1 on
+            let input = if i == 0 { x } else { a.as_ref().unwrap() };
+            // Scratch take: the beta = 0 GEMM overwrites all of z.
+            let mut z = ws.take_matrix_scratch(input.rows(), layer.outputs());
+            match packs {
+                Some(p) => {
+                    gemm_prepacked(ctx, Trans::N, T::ONE, input, p.forward(i), T::ZERO, &mut z)
+                }
+                None => gemm(
+                    ctx,
+                    Trans::N,
+                    Trans::T,
+                    T::ONE,
+                    input,
+                    &layer.w,
+                    T::ZERO,
+                    &mut z,
+                ),
+            }
+            z.add_row_broadcast(&layer.b);
+            layer.act.apply(&mut z);
+            if let Some(prev) = a.take() {
+                ws.give_matrix(prev);
+            }
+            a = Some(z);
+        }
+        // pdnn-lint: allow(l3-no-unwrap): Network::new asserts at least one layer, so the loop assigns a
+        a.expect("network has at least one layer")
     }
 
     /// Forward pass returning only the logits (no cache).
@@ -230,6 +386,7 @@ impl<T: Scalar> Network<T> {
     /// Overwrite all parameters from a flat vector.
     pub fn set_flat(&mut self, theta: &[T]) {
         assert_eq!(theta.len(), self.num_params(), "set_flat length mismatch");
+        self.version = fresh_version();
         let mut off = 0;
         for layer in &mut self.layers {
             let wlen = layer.w.len();
@@ -247,6 +404,7 @@ impl<T: Scalar> Network<T> {
     /// `θ += alpha * d` for a flat direction `d`.
     pub fn axpy_flat(&mut self, alpha: T, d: &[T]) {
         assert_eq!(d.len(), self.num_params(), "axpy_flat length mismatch");
+        self.version = fresh_version();
         let mut off = 0;
         for layer in &mut self.layers {
             let wlen = layer.w.len();

@@ -22,6 +22,20 @@
 //! cycle-level SMT control that portable Rust cannot express; its
 //! effect is an efficiency factor, modeled in `pdnn-bgq` (see
 //! DESIGN.md substitutions).
+//!
+//! ## Hot-path entry: prepacked operands
+//!
+//! [`gemm`] packs both operands on every call. Training multiplies
+//! every batch against the *same* weights, and a CG solve multiplies
+//! dozens of directions against the *same* curvature-minibatch
+//! activations — so the hot path should enter through [`prepacked`]
+//! instead: [`PackedB`]/[`PackedA`] pack an operand once, and
+//! [`gemm_prepacked`]/[`gemm_prepacked_a`] run the identical blocked
+//! driver against the cached panels, bitwise equal to [`gemm`] under
+//! the same blocking. `pdnn-dnn` builds a `PackedWeights` sidecar per
+//! network and `pdnn-core` holds it across each CG solve; plain
+//! [`gemm`] remains the entry for one-shot products and the parity
+//! oracle in tests.
 
 pub mod kernel;
 pub mod naive;
@@ -29,7 +43,9 @@ pub mod pack;
 pub mod prepacked;
 
 pub use naive::gemm_naive;
-pub use prepacked::{gemm_prepacked, PackedB};
+pub use prepacked::{
+    gemm_prepacked, gemm_prepacked_a, gemm_prepacked_a_bt, gemm_prepacked_ab, PackedA, PackedB,
+};
 
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;

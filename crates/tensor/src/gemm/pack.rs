@@ -90,6 +90,25 @@ pub fn pack_b<T: Scalar>(
     nc: usize,
     out: &mut [T],
 ) {
+    pack_b_rows(b.as_slice(), b.cols(), trans, pc, kc, jc, nc, out);
+}
+
+/// [`pack_b`] reading from a row-major slice (`stride` elements per
+/// row) instead of a [`Matrix`] — lets callers holding a flat
+/// parameter region (e.g. a layer's slice of a direction vector) pack
+/// without first copying into a matrix.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b_rows<T: Scalar>(
+    data: &[T],
+    stride: usize,
+    trans: Trans,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    out: &mut [T],
+) {
+    let row = |r: usize| &data[r * stride..(r + 1) * stride];
     let panels = nc.div_ceil(NR);
     assert!(
         out.len() >= panels * kc * NR,
@@ -104,7 +123,7 @@ pub fn pack_b<T: Scalar>(
                 // op(B)(kk, j) = B[pc + kk, jc + j]; row kk contiguous
                 // in j: stride-one on both sides.
                 for kk in 0..kc {
-                    let src = &b.row(pc + kk)[jc + col0..jc + col0 + cols];
+                    let src = &row(pc + kk)[jc + col0..jc + col0 + cols];
                     dst[kk * NR..kk * NR + cols].copy_from_slice(src);
                 }
             }
@@ -112,7 +131,7 @@ pub fn pack_b<T: Scalar>(
                 // op(B)(kk, j) = B[jc + j, pc + kk]; source rows are
                 // the j dimension.
                 for j in 0..cols {
-                    let src = &b.row(jc + col0 + j)[pc..pc + kc];
+                    let src = &row(jc + col0 + j)[pc..pc + kc];
                     for (kk, &v) in src.iter().enumerate() {
                         dst[kk * NR + j] = v;
                     }

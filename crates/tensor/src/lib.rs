@@ -27,7 +27,12 @@ pub mod blas1;
 pub mod gemm;
 pub mod matrix;
 pub mod scalar;
+pub mod workspace;
 
-pub use gemm::{gemm as gemm_into, gemm_prepacked, matmul, GemmContext, PackedB, Trans};
+pub use gemm::{
+    gemm as gemm_into, gemm_prepacked, gemm_prepacked_a, gemm_prepacked_a_bt, gemm_prepacked_ab,
+    matmul, GemmContext, PackedA, PackedB, Trans,
+};
 pub use matrix::Matrix;
 pub use scalar::Scalar;
+pub use workspace::{Workspace, WorkspaceStats};

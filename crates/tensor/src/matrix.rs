@@ -245,6 +245,20 @@ impl<T: Scalar> Matrix<T> {
         out
     }
 
+    /// Sum over rows into a caller-provided buffer (allocation-free
+    /// [`Self::column_sums`]; identical accumulation order, so results
+    /// are bitwise equal).
+    pub fn column_sums_into(&self, out: &mut [T]) {
+        assert_eq!(out.len(), self.cols, "column_sums_into: out length != cols");
+        out.fill(T::ZERO);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+    }
+
     /// Index of the largest element in each row (ties -> lowest index).
     pub fn row_argmax(&self) -> Vec<usize> {
         (0..self.rows)

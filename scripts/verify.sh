@@ -25,4 +25,16 @@ cargo run -q -p pdnn-protocheck -- --static --mutations
 echo "== protocol: pdnn-protocheck dynamic sweep =="
 cargo run -q --release -p pdnn-protocheck -- --dynamic 8 --workers 3 --iters 2
 
+echo "== perf: training-step bench smoke (arena zero-growth gate) =="
+# The --smoke run itself asserts zero steady-state heap growth (the
+# workspace-arena guarantee); the greps assert the emitted JSON has
+# the phase schema consumers of BENCH_4.json rely on.
+mkdir -p target/bench_smoke
+cargo run -q --release -p pdnn-bench --bin training_step -- --smoke \
+  --out target/bench_smoke/BENCH_4.json
+for key in '"gn_solve"' '"ns_per_frame"' '"steady_state_heap_growth_bytes": 0'; do
+  grep -q "$key" target/bench_smoke/BENCH_4.json \
+    || { echo "bench smoke JSON missing $key" >&2; exit 1; }
+done
+
 echo "verify: OK"
