@@ -73,7 +73,8 @@ fn main() {
             heldout_frac: 0.2,
             ..Default::default()
         };
-        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config);
+        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config)
+            .expect("training failed");
         let last = out
             .stats
             .iter()

@@ -24,27 +24,45 @@
 //! | `GN_PRODUCT` | f32 v                          | f32 ΣGv, f64 [frames]          |
 //! | `HELDOUT`    | f32 trial θ                    | f64 [Σloss, Σcorrect, frames]  |
 //! | `FISHER`     | —                              | f32 Σdiag, f64 [frames]        |
+//! | `LOAD_DATA`  | u64 extra ids ×2 (p2p)         | —                              |
 //! | `SHUTDOWN`   | —                              | —                              |
 //!
 //! At start-up the master distributes per-worker utterance
 //! assignments point-to-point (`load_data` — the paper's Figures 2
 //! and 4 show this p2p phase growing with rank count).
+//!
+//! # Fault tolerance
+//!
+//! Under [`train_distributed_faulted`] the communicator runs with a
+//! [`FaultPlan`]: collectives report a failed worker as
+//! [`CommError::RankDead`] instead of hanging. The master then
+//! acknowledges the death, re-partitions the dead worker's shard onto
+//! the survivors (same LPT strategy as start-up, replayed via
+//! `LOAD_DATA`), restores θ from the last periodic snapshot, and
+//! resumes the Hessian-free iteration from there. Because the sample
+//! seeds are a pure function of the iteration index, a replay from
+//! iteration *k* recomputes exactly what an undisturbed run over the
+//! re-sharded data would have, so recovery is bit-deterministic given
+//! the same plan.
 
 use crate::config::HfConfig;
 use crate::optimizer::{HfOptimizer, IterStats};
 use crate::problem::{sample_utterances, HeldoutEval, HfProblem, Objective};
+use crate::stopping::StopState;
 use pdnn_dnn::backprop::backprop_ws;
 use pdnn_dnn::gauss_newton::{gn_product_ws, Curvature};
 use pdnn_dnn::loss::{cross_entropy, cross_entropy_loss_only, softmax_rows};
 use pdnn_dnn::network::{ForwardCache, Network};
 use pdnn_dnn::packed::{PackedActivations, PackedWeights};
 use pdnn_dnn::sequence::mmi_batch;
-use pdnn_mpisim::{comm_ok, Comm, CommTrace, HbViolation, Payload, RankOutcome, ReduceOp, Src};
+use pdnn_mpisim::{
+    Comm, CommError, CommTrace, FaultPlan, HbViolation, Payload, RankOutcome, ReduceOp, Src,
+};
 use pdnn_obs::{InMemoryRecorder, Recorder, RecorderExt, SpanKind, Telemetry};
 use pdnn_speech::{partition, Corpus, Shard, Strategy};
 use pdnn_tensor::gemm::GemmContext;
 use pdnn_tensor::{Matrix, Workspace};
-use pdnn_util::PhaseTimer;
+use pdnn_util::{Error, PhaseTimer};
 use std::sync::Arc;
 
 const CMD_SHUTDOWN: u64 = 0;
@@ -54,8 +72,11 @@ const CMD_SAMPLE: u64 = 3;
 const CMD_GN: u64 = 4;
 const CMD_HELDOUT: u64 = 5;
 const CMD_FISHER: u64 = 6;
+/// Shard-reassignment replay after a worker death (fault recovery).
+const CMD_LOAD_DATA: u64 = 7;
 
-/// Tag for the initial utterance-assignment messages (`load_data`).
+/// Tag for the utterance-assignment messages (`load_data`, both the
+/// start-up distribution and the recovery replay).
 const TAG_LOAD_DATA: u64 = 17;
 
 /// Distributed training configuration.
@@ -72,6 +93,14 @@ pub struct DistributedConfig {
     /// rayon threads per rank for the GEMM kernels (the paper's
     /// OpenMP-threads-per-rank).
     pub threads_per_rank: usize,
+    /// Snapshot θ every this many completed outer iterations for
+    /// fault recovery (`0` keeps only the initial snapshot).
+    pub checkpoint_every: usize,
+    /// Where to persist snapshots (atomic write-tmp/fsync/rename via
+    /// `pdnn_dnn::checkpoint`); recovery then restores θ from disk,
+    /// exercising the full checkpoint-restart path. `None` keeps
+    /// snapshots in memory only.
+    pub checkpoint_path: Option<std::path::PathBuf>,
 }
 
 impl Default for DistributedConfig {
@@ -82,6 +111,8 @@ impl Default for DistributedConfig {
             strategy: Strategy::SortedBalanced,
             heldout_frac: 0.2,
             threads_per_rank: 1,
+            checkpoint_every: 0,
+            checkpoint_path: None,
         }
     }
 }
@@ -119,6 +150,32 @@ pub struct TrainOutput {
     /// outside [`train_distributed_perturbed`]); also stamped on every
     /// rank's telemetry so JSONL dumps record their schedule.
     pub schedule_seed: Option<u64>,
+    /// Ranks the master saw die during the run (fault injection only).
+    pub dead_ranks: Vec<usize>,
+    /// How many worker failures the master recovered from.
+    pub recoveries: usize,
+}
+
+/// A failure the master observed mid-protocol. The problem stays
+/// poisoned (all collectives short-circuit to degraded values) until
+/// the training loop takes the fault and decides: recover, or abort.
+#[derive(Debug)]
+enum TrainFault {
+    /// The communication layer failed (dead rank, timeout, …).
+    Comm(CommError),
+    /// A reduction came back with zero total frames: every worker
+    /// contributed an empty batch, so the mean is undefined. The old
+    /// `max(1.0)` clamp silently trained on a zero gradient instead.
+    ZeroFrames { phase: &'static str },
+}
+
+fn fault_error(fault: TrainFault) -> Error {
+    match fault {
+        TrainFault::Comm(e) => Error::Comm(e.to_string()),
+        TrainFault::ZeroFrames { phase } => {
+            Error::Train(format!("reduction over zero frames in {phase}"))
+        }
+    }
 }
 
 /// Master-side implementation of [`HfProblem`] over the communicator.
@@ -127,12 +184,176 @@ struct MasterProblem<'a> {
     rec: Arc<InMemoryRecorder>,
     theta: Vec<f32>,
     train_frames: u64,
+    /// Per-worker corpus utterance ids currently assigned (training) —
+    /// the recovery ledger for re-sharding a dead worker's data.
+    train_assign: Vec<Vec<u64>>,
+    /// Per-worker corpus utterance ids currently assigned (held-out).
+    held_assign: Vec<Vec<u64>>,
+    /// Frame count of every corpus utterance, for LPT re-partition.
+    utt_frames: Vec<usize>,
+    strategy: Strategy,
+    /// First unhandled fault; poisons the problem until taken.
+    fault: Option<TrainFault>,
+    /// Without a fault plan a communication error is a harness bug:
+    /// fail loudly instead of attempting recovery.
+    strict: bool,
 }
 
 impl MasterProblem<'_> {
-    fn command(&mut self, header: Vec<u64>) {
+    fn command(&mut self, header: Vec<u64>) -> Result<(), CommError> {
         let mut buf = header;
-        comm_ok(self.comm.bcast(&mut buf, 0), "command broadcast");
+        self.comm.bcast(&mut buf, 0)
+    }
+
+    fn poisoned(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Record a fault and poison the problem. The first fault wins:
+    /// later ones are consequences of the degraded values the
+    /// short-circuiting methods return.
+    fn on_fault(&mut self, fault: TrainFault) {
+        match &fault {
+            TrainFault::Comm(e) => {
+                if self.strict {
+                    // pdnn-lint: allow(l3-no-unwrap): without a fault plan a communication error means the simulated world itself is broken; recovery would mask the harness bug
+                    panic!("distributed protocol failure: {e}");
+                }
+                self.rec
+                    .event("comm_fault", vec![("error".into(), e.to_string().into())]);
+            }
+            TrainFault::ZeroFrames { phase } => {
+                self.rec
+                    .event("zero_frames", vec![("phase".into(), (*phase).into())]);
+            }
+        }
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    fn take_fault(&mut self) -> Option<TrainFault> {
+        self.fault.take()
+    }
+
+    fn try_set_theta(&mut self) -> Result<(), TrainFault> {
+        let c = self.command(vec![CMD_SET_THETA]);
+        let mut buf = self.theta.clone();
+        let b = self.comm.bcast(&mut buf, 0);
+        c.and(b).map_err(TrainFault::Comm)
+    }
+
+    fn try_gradient(&mut self) -> Result<(f64, Vec<f32>), TrainFault> {
+        // Issue every collective of the command before inspecting any
+        // error (`Result::and` keeps the first), so master and workers
+        // never skew even when an op in the middle fails.
+        let c = self.command(vec![CMD_GRADIENT]);
+        let mut grad = vec![0.0f32; self.theta.len()];
+        let r1 = self.comm.reduce(&mut grad, ReduceOp::Sum, 0);
+        let mut meta = vec![0.0f64; 2];
+        let r2 = self.comm.reduce(&mut meta, ReduceOp::Sum, 0);
+        c.and(r1).and(r2).map_err(TrainFault::Comm)?;
+        if meta[1] <= 0.0 {
+            return Err(TrainFault::ZeroFrames { phase: "gradient" });
+        }
+        let frames = meta[1];
+        let inv = (1.0 / frames) as f32;
+        pdnn_tensor::blas1::scal(inv, &mut grad);
+        Ok((meta[0] / frames, grad))
+    }
+
+    fn try_sample(&mut self, seed: u64, fraction: f64) -> Result<(), TrainFault> {
+        self.command(vec![CMD_SAMPLE, seed, fraction.to_bits()])
+            .map_err(TrainFault::Comm)
+    }
+
+    fn try_gn_product(&mut self, v: &[f32]) -> Result<Vec<f32>, TrainFault> {
+        let c = self.command(vec![CMD_GN]);
+        let mut buf = v.to_vec();
+        let b = self.comm.bcast(&mut buf, 0);
+        let mut gv = vec![0.0f32; v.len()];
+        let r1 = self.comm.reduce(&mut gv, ReduceOp::Sum, 0);
+        let mut meta = vec![0.0f64; 1];
+        let r2 = self.comm.reduce(&mut meta, ReduceOp::Sum, 0);
+        c.and(b).and(r1).and(r2).map_err(TrainFault::Comm)?;
+        if meta[0] <= 0.0 {
+            return Err(TrainFault::ZeroFrames {
+                phase: "gn_product",
+            });
+        }
+        let inv = (1.0 / meta[0]) as f32;
+        pdnn_tensor::blas1::scal(inv, &mut gv);
+        Ok(gv)
+    }
+
+    fn try_fisher(&mut self) -> Result<Vec<f32>, TrainFault> {
+        let c = self.command(vec![CMD_FISHER]);
+        let mut diag = vec![0.0f32; self.theta.len()];
+        let r1 = self.comm.reduce(&mut diag, ReduceOp::Sum, 0);
+        let mut meta = vec![0.0f64; 1];
+        let r2 = self.comm.reduce(&mut meta, ReduceOp::Sum, 0);
+        c.and(r1).and(r2).map_err(TrainFault::Comm)?;
+        if meta[0] <= 0.0 {
+            return Err(TrainFault::ZeroFrames { phase: "fisher" });
+        }
+        pdnn_tensor::blas1::scal((1.0 / meta[0]) as f32, &mut diag);
+        Ok(diag)
+    }
+
+    fn try_heldout(&mut self, theta: &[f32]) -> Result<HeldoutEval, TrainFault> {
+        let c = self.command(vec![CMD_HELDOUT]);
+        let mut buf = theta.to_vec();
+        let b = self.comm.bcast(&mut buf, 0);
+        let mut meta = vec![0.0f64; 3];
+        let r = self.comm.reduce(&mut meta, ReduceOp::Sum, 0);
+        c.and(b).and(r).map_err(TrainFault::Comm)?;
+        if meta[2] <= 0.0 {
+            return Err(TrainFault::ZeroFrames { phase: "heldout" });
+        }
+        let frames = meta[2];
+        Ok(HeldoutEval {
+            loss: meta[0] / frames,
+            accuracy: meta[1] / frames,
+            frames: meta[2] as u64,
+        })
+    }
+
+    /// Re-partition a dead worker's utterances onto the survivors
+    /// (same LPT strategy as start-up) and replay the assignments via
+    /// `LOAD_DATA`. The caller has already acknowledged the death, so
+    /// the command broadcast reaches exactly the live workers.
+    fn try_redistribute(&mut self, dead: usize) -> Result<(), TrainFault> {
+        let orphan_train = std::mem::take(&mut self.train_assign[dead]);
+        let orphan_held = std::mem::take(&mut self.held_assign[dead]);
+        let live: Vec<usize> = (0..self.train_assign.len())
+            .filter(|&w| !self.comm.is_dead(w + 1))
+            .collect();
+        let t_lens: Vec<usize> = orphan_train
+            .iter()
+            .map(|&id| self.utt_frames[id as usize])
+            .collect();
+        let t_parts = partition(&t_lens, live.len(), self.strategy);
+        let h_lens: Vec<usize> = orphan_held
+            .iter()
+            .map(|&id| self.utt_frames[id as usize])
+            .collect();
+        let h_parts = partition(&h_lens, live.len(), self.strategy);
+        self.command(vec![CMD_LOAD_DATA])
+            .map_err(TrainFault::Comm)?;
+        for (i, &w) in live.iter().enumerate() {
+            let t: Vec<u64> = t_parts[i].iter().map(|&p| orphan_train[p]).collect();
+            let h: Vec<u64> = h_parts[i].iter().map(|&p| orphan_held[p]).collect();
+            let s1 = self
+                .comm
+                .send(w + 1, TAG_LOAD_DATA, Payload::U64(t.clone()));
+            let s2 = self
+                .comm
+                .send(w + 1, TAG_LOAD_DATA, Payload::U64(h.clone()));
+            s1.and(s2).map_err(TrainFault::Comm)?;
+            self.train_assign[w].extend(t);
+            self.held_assign[w].extend(h);
+        }
+        Ok(())
     }
 }
 
@@ -149,91 +370,90 @@ impl HfProblem for MasterProblem<'_> {
         let rec = self.rec.clone();
         let _span = rec.span("sync_weights_master", SpanKind::CommCollective);
         self.theta = theta.to_vec();
-        self.command(vec![CMD_SET_THETA]);
-        let mut buf = self.theta.clone();
-        comm_ok(self.comm.bcast(&mut buf, 0), "theta broadcast");
+        if self.poisoned() {
+            return;
+        }
+        if let Err(f) = self.try_set_theta() {
+            self.on_fault(f);
+        }
     }
 
     fn gradient(&mut self) -> (f64, Vec<f32>) {
         let rec = self.rec.clone();
         let _span = rec.span("gradient_reduce", SpanKind::CommCollective);
-        self.command(vec![CMD_GRADIENT]);
-        let mut grad = vec![0.0f32; self.theta.len()];
-        comm_ok(
-            self.comm.reduce(&mut grad, ReduceOp::Sum, 0),
-            "gradient reduce",
-        );
-        let mut meta = vec![0.0f64; 2];
-        comm_ok(
-            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
-            "gradient meta reduce",
-        );
-        let frames = meta[1].max(1.0);
-        let inv = (1.0 / frames) as f32;
-        pdnn_tensor::blas1::scal(inv, &mut grad);
-        (meta[0] / frames, grad)
+        if self.poisoned() {
+            return (f64::NAN, vec![0.0f32; self.theta.len()]);
+        }
+        match self.try_gradient() {
+            Ok(out) => out,
+            Err(f) => {
+                self.on_fault(f);
+                (f64::NAN, vec![0.0f32; self.theta.len()])
+            }
+        }
     }
 
     fn sample_curvature(&mut self, seed: u64, fraction: f64) {
         let rec = self.rec.clone();
         let _span = rec.span("sample_curvature", SpanKind::CommCollective);
-        self.command(vec![CMD_SAMPLE, seed, fraction.to_bits()]);
+        if self.poisoned() {
+            return;
+        }
+        if let Err(f) = self.try_sample(seed, fraction) {
+            self.on_fault(f);
+        }
     }
 
     fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
         let rec = self.rec.clone();
         let _span = rec.span("curvature_reduce", SpanKind::CommCollective);
-        self.command(vec![CMD_GN]);
-        let mut buf = v.to_vec();
-        comm_ok(self.comm.bcast(&mut buf, 0), "direction broadcast");
-        let mut gv = vec![0.0f32; v.len()];
-        comm_ok(self.comm.reduce(&mut gv, ReduceOp::Sum, 0), "GN reduce");
-        let mut meta = vec![0.0f64; 1];
-        comm_ok(
-            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
-            "GN meta reduce",
-        );
-        let frames = meta[0].max(1.0);
-        let inv = (1.0 / frames) as f32;
-        pdnn_tensor::blas1::scal(inv, &mut gv);
-        gv
+        if self.poisoned() {
+            return vec![0.0f32; v.len()];
+        }
+        match self.try_gn_product(v) {
+            Ok(gv) => gv,
+            Err(f) => {
+                self.on_fault(f);
+                vec![0.0f32; v.len()]
+            }
+        }
     }
 
     fn fisher_diagonal(&mut self) -> Option<Vec<f32>> {
         let rec = self.rec.clone();
         let _span = rec.span("curvature_reduce", SpanKind::CommCollective);
-        self.command(vec![CMD_FISHER]);
-        let mut diag = vec![0.0f32; self.theta.len()];
-        comm_ok(
-            self.comm.reduce(&mut diag, ReduceOp::Sum, 0),
-            "fisher reduce",
-        );
-        let mut meta = vec![0.0f64; 1];
-        comm_ok(
-            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
-            "fisher meta reduce",
-        );
-        let frames = meta[0].max(1.0);
-        pdnn_tensor::blas1::scal((1.0 / frames) as f32, &mut diag);
-        Some(diag)
+        if self.poisoned() {
+            return None;
+        }
+        match self.try_fisher() {
+            Ok(diag) => Some(diag),
+            Err(f) => {
+                self.on_fault(f);
+                None
+            }
+        }
     }
 
     fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
         let rec = self.rec.clone();
         let _span = rec.span("heldout_reduce", SpanKind::CommCollective);
-        self.command(vec![CMD_HELDOUT]);
-        let mut buf = theta.to_vec();
-        comm_ok(self.comm.bcast(&mut buf, 0), "trial broadcast");
-        let mut meta = vec![0.0f64; 3];
-        comm_ok(
-            self.comm.reduce(&mut meta, ReduceOp::Sum, 0),
-            "heldout reduce",
-        );
-        let frames = meta[2].max(1.0);
-        HeldoutEval {
-            loss: meta[0] / frames,
-            accuracy: meta[1] / frames,
-            frames: meta[2] as u64,
+        if self.poisoned() {
+            return HeldoutEval {
+                loss: f64::NAN,
+                accuracy: f64::NAN,
+                frames: 0,
+            };
+        }
+        match self.try_heldout(theta) {
+            Ok(eval) => eval,
+            Err(f) => {
+                self.on_fault(f);
+                HeldoutEval {
+                    loss: f64::NAN,
+                    accuracy: f64::NAN,
+                    frames: 0,
+                }
+            }
         }
     }
 
@@ -368,13 +588,16 @@ fn draw_sample(
 ///
 /// All phase accounting goes through the communicator's `pdnn_obs`
 /// recorder; the caller collects it from [`RankOutcome::telemetry`].
+/// A communication failure (including being killed or evicted by a
+/// fault plan) unwinds cleanly as an error — the caller decides
+/// whether that is expected (fault injection) or a harness bug.
 fn worker_loop(
     comm: &mut Comm,
     corpus: &Corpus,
     objective: &Objective,
     dims: &[usize],
     threads: usize,
-) {
+) -> Result<(), CommError> {
     let rec = comm.recorder().clone();
     let ctx = if threads > 1 {
         GemmContext::threaded(threads)
@@ -386,22 +609,18 @@ fn worker_loop(
     // typed receive surfaces a tag/kind-mismatched sender as a
     // `CommError::TypeMismatch` instead of a payload panic.
     let load_span = rec.span("load_data", SpanKind::CommP2p);
-    let train_ids: Vec<usize> = comm_ok(
-        comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA),
-        "train assignment recv",
-    )
-    .into_iter()
-    .map(|v| v as usize)
-    .collect();
-    let held_ids: Vec<usize> = comm_ok(
-        comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA),
-        "heldout assignment recv",
-    )
-    .into_iter()
-    .map(|v| v as usize)
-    .collect();
-    let train = corpus.shard(&train_ids);
-    let heldout = corpus.shard(&held_ids);
+    let mut train_ids: Vec<usize> = comm
+        .recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect();
+    let mut held_ids: Vec<usize> = comm
+        .recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect();
+    let mut train = corpus.shard(&train_ids);
+    let mut heldout = corpus.shard(&held_ids);
     drop(load_span);
 
     let mut net: Network<f32> = {
@@ -417,12 +636,12 @@ fn worker_loop(
 
     loop {
         let mut header = vec![0u64; 1];
-        comm_ok(comm.bcast(&mut header, 0), "command receive");
+        comm.bcast(&mut header, 0)?;
         match header[0] {
             CMD_SHUTDOWN => break,
             CMD_SET_THETA => {
                 let mut theta: Vec<f32> = Vec::new();
-                comm_ok(comm.bcast(&mut theta, 0), "theta receive");
+                comm.bcast(&mut theta, 0)?;
                 {
                     let _s = rec.span("sync_weights_worker", SpanKind::MemoryBound);
                     // Bumps the network version: the next compute
@@ -453,9 +672,9 @@ fn worker_loop(
                         (loss, grad)
                     }
                 };
-                comm_ok(comm.reduce(&mut grad, ReduceOp::Sum, 0), "grad reduce");
+                comm.reduce(&mut grad, ReduceOp::Sum, 0)?;
                 let mut meta = vec![loss_sum, train.frames() as f64];
-                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "meta reduce");
+                comm.reduce(&mut meta, ReduceOp::Sum, 0)?;
                 ws.give_vec(grad);
             }
             CMD_SAMPLE => {
@@ -474,7 +693,7 @@ fn worker_loop(
             }
             CMD_GN => {
                 let mut v: Vec<f32> = Vec::new();
-                comm_ok(comm.bcast(&mut v, 0), "direction receive");
+                comm.bcast(&mut v, 0)?;
                 let (mut gv, frames) = {
                     let _s = rec.span("worker_curvature_product", SpanKind::DenseCompute);
                     match &sample {
@@ -495,9 +714,9 @@ fn worker_loop(
                         None => (vec![0.0f32; net.num_params()], 0.0),
                     }
                 };
-                comm_ok(comm.reduce(&mut gv, ReduceOp::Sum, 0), "gn reduce");
+                comm.reduce(&mut gv, ReduceOp::Sum, 0)?;
                 let mut meta = vec![frames];
-                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "gn meta");
+                comm.reduce(&mut meta, ReduceOp::Sum, 0)?;
                 ws.give_vec(gv);
                 ws.give_vec(v);
                 let stats = ws.stats();
@@ -519,13 +738,13 @@ fn worker_loop(
                         None => (vec![0.0f32; net.num_params()], 0.0),
                     }
                 };
-                comm_ok(comm.reduce(&mut diag, ReduceOp::Sum, 0), "fisher reduce");
+                comm.reduce(&mut diag, ReduceOp::Sum, 0)?;
                 let mut meta = vec![frames];
-                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "fisher meta");
+                comm.reduce(&mut meta, ReduceOp::Sum, 0)?;
             }
             CMD_HELDOUT => {
                 let mut trial: Vec<f32> = Vec::new();
-                comm_ok(comm.bcast(&mut trial, 0), "trial receive");
+                comm.bcast(&mut trial, 0)?;
                 let mut meta = {
                     let _s = rec.span("eval_heldout", SpanKind::DenseCompute);
                     if heldout.frames() == 0 {
@@ -545,8 +764,26 @@ fn worker_loop(
                         vec![loss_sum, correct as f64, heldout.frames() as f64]
                     }
                 };
-                comm_ok(comm.reduce(&mut meta, ReduceOp::Sum, 0), "heldout reduce");
+                comm.reduce(&mut meta, ReduceOp::Sum, 0)?;
                 ws.give_vec(trial);
+            }
+            CMD_LOAD_DATA => {
+                // A peer died: the master re-partitioned its shard and
+                // ships this worker its extra utterance assignments.
+                let _s = rec.span("load_data", SpanKind::CommP2p);
+                let extra_train = comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?;
+                let extra_held = comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?;
+                train_ids.extend(extra_train.into_iter().map(|v| v as usize));
+                held_ids.extend(extra_held.into_iter().map(|v| v as usize));
+                train = corpus.shard(&train_ids);
+                heldout = corpus.shard(&held_ids);
+                // The cached curvature sample indexes the old shard.
+                if let Some(s) = sample.take() {
+                    s.cache.give_back(&mut ws);
+                    ws.give_matrix(s.x);
+                    ws.give_matrix(s.dist);
+                }
+                rec.counter_add("shard_reassignments", 1);
             }
             // pdnn-lint: allow(l3-no-unwrap): an unknown opcode is a protocol bug between master and worker builds, not a runtime condition to recover from
             other => panic!("unknown command {other}"),
@@ -555,7 +792,140 @@ fn worker_loop(
     // Epoch barrier closing the protocol: no rank exits while another
     // may still be mid-collective, so the quiescence check at exit
     // (static p3 / dynamic UnconsumedAtExit) is meaningful.
-    comm_ok(comm.barrier(), "shutdown barrier");
+    comm.barrier()?;
+    Ok(())
+}
+
+/// θ snapshot the master can rewind to after a worker failure.
+struct Snapshot {
+    iter: usize,
+    theta: Vec<f32>,
+    lambda: f64,
+}
+
+fn write_checkpoint(
+    config: &DistributedConfig,
+    net0: &Network<f32>,
+    snap: &Snapshot,
+) -> Result<(), Error> {
+    let Some(path) = &config.checkpoint_path else {
+        return Ok(());
+    };
+    let mut net = net0.clone();
+    net.set_flat(&snap.theta);
+    pdnn_dnn::checkpoint::save_network(&net, path)
+}
+
+fn restore_theta(config: &DistributedConfig, snap: &Snapshot) -> Result<Vec<f32>, Error> {
+    match &config.checkpoint_path {
+        Some(path) => Ok(pdnn_dnn::checkpoint::load_network(path)?.to_flat()),
+        None => Ok(snap.theta.clone()),
+    }
+}
+
+/// The master's outer training loop with checkpoint-restart recovery.
+///
+/// Drives the identical [`HfOptimizer::step`] sequence as
+/// [`HfOptimizer::train`]; a run that observes no fault is op-for-op
+/// (and telemetry-byte-for-byte) identical to it. When a step
+/// surfaces a dead worker, the master acknowledges the death,
+/// re-partitions the lost shard onto the survivors, restores θ from
+/// the last snapshot, rebuilds the optimizer at the snapshot's damping
+/// level, and replays from the snapshot iteration. Sample seeds are a
+/// pure function of the iteration index, so the replay is
+/// bit-deterministic.
+fn hf_loop(
+    problem: &mut MasterProblem<'_>,
+    config: &DistributedConfig,
+    net0: &Network<f32>,
+    rec: &Arc<InMemoryRecorder>,
+) -> (Result<Vec<IterStats>, Error>, usize) {
+    let hf = config.hf;
+    let mut opt = HfOptimizer::with_recorder(hf, rec.clone());
+    let mut rule = hf.stop;
+    if rule.target_loss.is_none() {
+        rule.target_loss = hf.target_heldout_loss;
+    }
+    let mut stop = StopState::new(rule);
+    let mut stats: Vec<IterStats> = Vec::with_capacity(hf.max_iters);
+    let mut snap = Snapshot {
+        iter: 0,
+        theta: problem.theta(),
+        lambda: opt.lambda(),
+    };
+    if let Err(e) = write_checkpoint(config, net0, &snap) {
+        return (Err(e), 0);
+    }
+    let mut recoveries = 0usize;
+    let mut iter = 0usize;
+    while iter < hf.max_iters {
+        let s = opt.step(problem, iter);
+        match problem.take_fault() {
+            None => {
+                let reason = stop.observe(s.heldout_before, s.heldout_after);
+                stats.push(s);
+                iter += 1;
+                if config.checkpoint_every > 0 && iter.is_multiple_of(config.checkpoint_every) {
+                    snap = Snapshot {
+                        iter,
+                        theta: problem.theta(),
+                        lambda: opt.lambda(),
+                    };
+                    if let Err(e) = write_checkpoint(config, net0, &snap) {
+                        return (Err(e), recoveries);
+                    }
+                }
+                if reason.is_some() {
+                    break;
+                }
+            }
+            Some(TrainFault::Comm(CommError::RankDead { rank })) => {
+                let _span = rec.span("recovery", SpanKind::Scalar);
+                rec.event(
+                    "worker_failure",
+                    vec![
+                        ("rank".into(), (rank as u64).into()),
+                        ("iter".into(), (iter as u64).into()),
+                    ],
+                );
+                problem.comm.ack_dead(rank);
+                let dead = problem.comm.dead_ranks().len();
+                rec.gauge_set("dead_workers", dead as f64);
+                if dead >= config.workers {
+                    return (Err(Error::Train("no surviving workers".into())), recoveries);
+                }
+                if let Err(f) = problem.try_redistribute(rank - 1) {
+                    return (Err(fault_error(f)), recoveries);
+                }
+                let theta = match restore_theta(config, &snap) {
+                    Ok(t) => t,
+                    Err(e) => return (Err(e), recoveries),
+                };
+                // Replay θ to the survivors. If a further rank dies
+                // during the replay, the problem re-poisons and the
+                // next loop iteration recovers again.
+                problem.set_theta(&theta);
+                opt = HfOptimizer::resume_with_recorder(hf, snap.lambda, rec.clone());
+                stop = StopState::new(rule);
+                stats.truncate(snap.iter);
+                // Re-feed the surviving history so patience/target
+                // stopping sees the same sequence an undisturbed run
+                // would have.
+                for s in &stats {
+                    let _ = stop.observe(s.heldout_before, s.heldout_after);
+                }
+                iter = snap.iter;
+                recoveries += 1;
+                rec.counter_add("recoveries", 1);
+                rec.event(
+                    "recovery_complete",
+                    vec![("resume_iter".into(), (iter as u64).into())],
+                );
+            }
+            Some(fault) => return (Err(fault_error(fault)), recoveries),
+        }
+    }
+    (Ok(stats), recoveries)
 }
 
 /// Train a network with distributed Hessian-free optimization.
@@ -567,7 +937,7 @@ pub fn train_distributed(
     corpus: &Corpus,
     objective: &Objective,
     config: &DistributedConfig,
-) -> TrainOutput {
+) -> Result<TrainOutput, Error> {
     train_impl(net0, corpus, objective, config, WorldMode::Normal)
 }
 
@@ -583,7 +953,7 @@ pub fn train_distributed_deterministic(
     corpus: &Corpus,
     objective: &Objective,
     config: &DistributedConfig,
-) -> TrainOutput {
+) -> Result<TrainOutput, Error> {
     train_impl(net0, corpus, objective, config, WorldMode::Deterministic)
 }
 
@@ -601,12 +971,34 @@ pub fn train_distributed_perturbed(
     objective: &Objective,
     config: &DistributedConfig,
     seed: u64,
-) -> TrainOutput {
+) -> Result<TrainOutput, Error> {
     train_impl(net0, corpus, objective, config, WorldMode::Perturbed(seed))
 }
 
+/// [`train_distributed_deterministic`] under a seeded [`FaultPlan`]
+/// (see [`pdnn_mpisim::run_world_faulted`]): ranks can be killed,
+/// stalled, or have messages dropped at plan-chosen points, and the
+/// master recovers by re-sharding onto the survivors and replaying
+/// from the last checkpoint. Two runs under the same plan produce
+/// bit-identical weights and byte-identical telemetry.
+pub fn train_distributed_faulted(
+    net0: &Network<f32>,
+    corpus: &Corpus,
+    objective: &Objective,
+    config: &DistributedConfig,
+    plan: &FaultPlan,
+) -> Result<TrainOutput, Error> {
+    train_impl(
+        net0,
+        corpus,
+        objective,
+        config,
+        WorldMode::Faulted(plan.clone()),
+    )
+}
+
 /// How the rank world is built and scheduled.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 enum WorldMode {
     /// Real clocks, unperturbed schedule.
     Normal,
@@ -614,6 +1006,16 @@ enum WorldMode {
     Deterministic,
     /// Frozen clock plus seeded schedule perturbation + HB tracking.
     Perturbed(u64),
+    /// Frozen clock plus deterministic fault injection + recovery.
+    Faulted(FaultPlan),
+}
+
+/// What the master rank hands back through the world runner.
+struct MasterOut {
+    result: Result<Vec<IterStats>, Error>,
+    theta: Vec<f32>,
+    dead_ranks: Vec<usize>,
+    recoveries: usize,
 }
 
 fn train_impl(
@@ -622,7 +1024,7 @@ fn train_impl(
     objective: &Objective,
     config: &DistributedConfig,
     mode: WorldMode,
-) -> TrainOutput {
+) -> Result<TrainOutput, Error> {
     assert!(config.workers >= 1, "need at least one worker");
     config.hf.validate();
 
@@ -639,15 +1041,28 @@ fn train_impl(
         .collect();
     let held_assign = partition(&held_lens, config.workers, config.strategy);
 
+    // Per-worker corpus-id assignments: the wire format of load_data
+    // and the master's recovery ledger.
+    let assigned_train: Vec<Vec<u64>> = train_assign
+        .iter()
+        .map(|part| part.iter().map(|&pos| train_ids[pos] as u64).collect())
+        .collect();
+    let assigned_held: Vec<Vec<u64>> = held_assign
+        .iter()
+        .map(|part| part.iter().map(|&pos| held_ids[pos] as u64).collect())
+        .collect();
+    let utt_frames: Vec<usize> = corpus.utterances().iter().map(|u| u.frames()).collect();
+
     let dims = net0.dims();
     let theta0 = net0.to_flat();
     let total_train_frames: u64 = train_lens.iter().map(|&l| l as u64).sum();
 
     enum RoleOutput {
-        Master(Box<(Vec<IterStats>, Vec<f32>)>),
+        Master(Box<MasterOut>),
         Worker,
     }
 
+    let faulted = matches!(mode, WorldMode::Faulted(_));
     let world = config.workers + 1;
     let body = |comm: &mut Comm| {
         if comm.rank() == 0 {
@@ -656,22 +1071,14 @@ fn train_impl(
             // load_data: ship each worker its utterance id lists.
             let load_span = rec.span("load_data", SpanKind::CommP2p);
             for w in 0..config.workers {
-                let t_ids: Vec<u64> = train_assign[w]
-                    .iter()
-                    .map(|&pos| train_ids[pos] as u64)
-                    .collect();
-                let h_ids: Vec<u64> = held_assign[w]
-                    .iter()
-                    .map(|&pos| held_ids[pos] as u64)
-                    .collect();
-                comm_ok(
-                    comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(t_ids)),
-                    "train assignment send",
-                );
-                comm_ok(
-                    comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(h_ids)),
-                    "heldout assignment send",
-                );
+                let t_ids: Vec<u64> = assigned_train[w].clone();
+                let h_ids: Vec<u64> = assigned_held[w].clone();
+                let s1 = comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(t_ids));
+                let s2 = comm.send(w + 1, TAG_LOAD_DATA, Payload::U64(h_ids));
+                if let Err(e) = s1.and(s2) {
+                    // pdnn-lint: allow(l3-no-unwrap): a start-up send can only fail if a worker vanished before training began; under a fault plan sends never error, so this is a harness bug either way
+                    panic!("load_data send to worker {w} failed: {e}");
+                }
             }
             drop(load_span);
 
@@ -680,6 +1087,12 @@ fn train_impl(
                 rec: rec.clone(),
                 theta: theta0.clone(),
                 train_frames: total_train_frames,
+                train_assign: assigned_train.clone(),
+                held_assign: assigned_held.clone(),
+                utt_frames: utt_frames.clone(),
+                strategy: config.strategy,
+                fault: None,
+                strict: !faulted,
             };
             // Distribute the initial weights.
             let t0 = problem.theta();
@@ -687,31 +1100,54 @@ fn train_impl(
 
             // The optimizer shares the master rank's recorder, so its
             // spans/events land in the same per-rank telemetry stream.
-            let mut opt = HfOptimizer::with_recorder(config.hf, rec);
-            let stats = opt.train(&mut problem);
+            let (result, recoveries) = hf_loop(&mut problem, config, net0, &rec);
             let theta_final = problem.theta();
-            problem.command(vec![CMD_SHUTDOWN]);
-            // Matching half of the workers' shutdown barrier.
-            comm_ok(comm.barrier(), "shutdown barrier");
-            RoleOutput::Master(Box::new((stats, theta_final)))
+            let shutdown = problem.command(vec![CMD_SHUTDOWN]);
+            // Matching half of the workers' shutdown barrier. A death
+            // first discovered *here* still reports RankDead, which is
+            // tolerable at teardown — training already finished.
+            let barrier = comm.barrier();
+            let result = result.and_then(|stats| match shutdown.and(barrier) {
+                Ok(()) | Err(CommError::RankDead { .. }) => Ok(stats),
+                Err(e) => Err(Error::Comm(e.to_string())),
+            });
+            RoleOutput::Master(Box::new(MasterOut {
+                result,
+                theta: theta_final,
+                dead_ranks: comm.dead_ranks().to_vec(),
+                recoveries,
+            }))
         } else {
             // ---- worker ----
-            worker_loop(comm, corpus, objective, &dims, config.threads_per_rank);
+            if let Err(e) = worker_loop(comm, corpus, objective, &dims, config.threads_per_rank) {
+                if faulted {
+                    // Expected under a fault plan: this rank was
+                    // killed, evicted, or orphaned by a peer's death.
+                    comm.recorder().event(
+                        "worker_comm_abort",
+                        vec![("error".into(), e.to_string().into())],
+                    );
+                } else {
+                    // pdnn-lint: allow(l3-no-unwrap): without a fault plan a worker-side communication failure is a harness bug, and unwinding the whole world is the loud failure we want
+                    panic!("worker communication failure: {e}");
+                }
+            }
             RoleOutput::Worker
         }
     };
-    let outcomes: Vec<RankOutcome<RoleOutput>> = match mode {
+    let outcomes: Vec<RankOutcome<RoleOutput>> = match &mode {
         WorldMode::Normal => pdnn_mpisim::run_world(world, body),
         WorldMode::Deterministic => pdnn_mpisim::run_world_deterministic(world, body),
-        WorldMode::Perturbed(seed) => pdnn_mpisim::run_world_perturbed(world, seed, body),
+        WorldMode::Perturbed(seed) => pdnn_mpisim::run_world_perturbed(world, *seed, body),
+        WorldMode::Faulted(plan) => pdnn_mpisim::run_world_faulted(world, plan, body),
     };
-    let schedule_seed = match mode {
-        WorldMode::Perturbed(seed) => Some(seed),
+    let schedule_seed = match &mode {
+        WorldMode::Perturbed(seed) => Some(*seed),
         _ => None,
     };
 
     let mut network = net0.clone();
-    let mut stats = Vec::new();
+    let mut master_out: Option<MasterOut> = None;
     let mut master_trace = CommTrace::default();
     let mut master_telemetry = Telemetry::default();
     let mut worker_traces = Vec::new();
@@ -722,9 +1158,7 @@ fn train_impl(
         hb_violations.extend(outcome.hb.into_iter().map(|v| (outcome.rank, v)));
         match outcome.result {
             RoleOutput::Master(boxed) => {
-                let (s, theta) = *boxed;
-                stats = s;
-                network.set_flat(&theta);
+                master_out = Some(*boxed);
                 master_trace = outcome.trace;
                 master_telemetry = outcome.telemetry;
             }
@@ -734,13 +1168,18 @@ fn train_impl(
             }
         }
     }
+    let Some(master) = master_out else {
+        return Err(Error::Train("master rank produced no output".into()));
+    };
+    let stats = master.result?;
+    network.set_flat(&master.theta);
 
     let master_phases = master_telemetry.phase_totals();
     let worker_phases = worker_telemetries
         .iter()
         .map(Telemetry::phase_totals)
         .collect();
-    TrainOutput {
+    Ok(TrainOutput {
         network,
         stats,
         master_trace,
@@ -751,7 +1190,9 @@ fn train_impl(
         worker_telemetries,
         hb_violations,
         schedule_seed,
-    }
+        dead_ranks: master.dead_ranks,
+        recoveries: master.recoveries,
+    })
 }
 
 #[cfg(test)]
@@ -781,8 +1222,10 @@ mod tests {
         let mut config = DistributedConfig::default();
         config.workers = 3;
         config.hf.max_iters = 8;
-        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config);
+        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config).unwrap();
         assert_eq!(out.stats.len(), 8);
+        assert_eq!(out.dead_ranks, Vec::<usize>::new());
+        assert_eq!(out.recoveries, 0);
         let first_acc = out
             .stats
             .iter()
@@ -834,7 +1277,7 @@ mod tests {
             // recorded train loss.
             let mut cfg = config.clone();
             cfg.hf.max_iters = 1;
-            let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &cfg);
+            let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &cfg).unwrap();
             let s = &out.stats[0];
             assert!(
                 (s.train_loss - serial_loss).abs() < 1e-4,
@@ -858,7 +1301,7 @@ mod tests {
         let mut config = DistributedConfig::default();
         config.workers = 2;
         config.hf.max_iters = 4;
-        let out = train_distributed(&net0, &corpus, &objective, &config);
+        let out = train_distributed(&net0, &corpus, &objective, &config).unwrap();
         let accepted: Vec<_> = out.stats.iter().filter(|s| s.accepted).collect();
         assert!(!accepted.is_empty(), "no accepted steps");
         let first = accepted.first().unwrap();
@@ -878,7 +1321,7 @@ mod tests {
         let mut config = DistributedConfig::default();
         config.workers = 3;
         config.hf.max_iters = 2;
-        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config);
+        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config).unwrap();
         // Master: p2p bytes from load_data, collective bytes from the
         // command/theta broadcasts and reduces.
         assert!(out.master_trace.p2p.bytes_sent > 0, "no load_data traffic");
@@ -926,7 +1369,8 @@ mod tests {
         config.workers = 3;
         config.hf.max_iters = 2;
         let baseline =
-            train_distributed_deterministic(&net0, &corpus, &Objective::CrossEntropy, &config);
+            train_distributed_deterministic(&net0, &corpus, &Objective::CrossEntropy, &config)
+                .unwrap();
         assert!(baseline.hb_violations.is_empty());
         assert_eq!(baseline.schedule_seed, None);
         for seed in [1u64, 99] {
@@ -936,7 +1380,8 @@ mod tests {
                 &Objective::CrossEntropy,
                 &config,
                 seed,
-            );
+            )
+            .unwrap();
             assert_eq!(
                 out.hb_violations,
                 vec![],
@@ -962,7 +1407,7 @@ mod tests {
         let mut config = DistributedConfig::default();
         config.workers = 6; // some workers get empty shards
         config.hf.max_iters = 2;
-        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config);
+        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config).unwrap();
         assert_eq!(out.stats.len(), 2);
         assert!(out.stats.iter().all(|s| s.train_loss.is_finite()));
     }

@@ -97,6 +97,28 @@ impl HfOptimizer {
         }
     }
 
+    /// Rebuild an optimizer mid-run for checkpoint-restart: same
+    /// validated config and recorder, but the damping level restored
+    /// to `lambda` (the value captured alongside the checkpoint).
+    /// Momentum and the cached held-out loss restart cold — both are
+    /// warm-start accelerations, and resetting them is deterministic,
+    /// so two recoveries from the same snapshot replay identically.
+    // pdnn-lint: allow(l5-phase-span): constructor, not a phase — spans open in step()/train(), which this merely wires up
+    pub fn resume_with_recorder(
+        config: HfConfig,
+        lambda: f64,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        config.validate();
+        HfOptimizer {
+            damping: Damping::new(lambda, config.lambda_rule),
+            config,
+            d_prev: None,
+            loss_prev: None,
+            recorder,
+        }
+    }
+
     /// Current damping λ.
     pub fn lambda(&self) -> f64 {
         self.damping.lambda()

@@ -34,6 +34,7 @@ fn run_once(corpus: &Corpus) -> TrainOutput {
     };
     config.hf.max_iters = 3;
     train_distributed_deterministic(&net0, corpus, &Objective::CrossEntropy, &config)
+        .expect("training failed")
 }
 
 /// Serialize a run's per-rank telemetry exactly as the figure

@@ -1,0 +1,193 @@
+//! Fault-tolerant distributed training: a worker killed mid-protocol
+//! must be detected, its shard re-partitioned onto the survivors, and
+//! training must resume from the last checkpoint and complete — with
+//! bit-identical results across two runs under the same fault plan.
+//!
+//! The worker's collective index counts every collective it joins:
+//! the initial `SET_THETA` is 0–1, the first `HELDOUT` 2–4, the first
+//! `GRADIENT` 5–7, `SAMPLE` is 8, and the first CG `GN_PRODUCT`
+//! occupies 9–12 — so the kill points below land before the gradient,
+//! inside the CG solve, and inside the held-out evaluation.
+
+use pdnn_core::{train_distributed_faulted, DistributedConfig, Objective, TrainOutput};
+use pdnn_dnn::network::Network;
+use pdnn_mpisim::FaultPlan;
+use pdnn_obs::Telemetry;
+use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_util::Prng;
+use std::time::Duration;
+
+fn corpus_and_net(seed: u64) -> (Corpus, Network<f32>) {
+    let corpus = Corpus::generate(CorpusSpec::tiny(seed));
+    let mut rng = Prng::new(seed + 100);
+    let net = Network::new(
+        &[corpus.spec().feature_dim, 12, corpus.spec().states],
+        pdnn_dnn::Activation::Sigmoid,
+        &mut rng,
+    );
+    (corpus, net)
+}
+
+fn config(workers: usize, max_iters: usize) -> DistributedConfig {
+    let mut config = DistributedConfig {
+        workers,
+        ..DistributedConfig::default()
+    };
+    config.hf.max_iters = max_iters;
+    config
+}
+
+fn kill_plan(victim: usize, at_collective: u64) -> FaultPlan {
+    FaultPlan::new(41)
+        .kill(victim, at_collective)
+        .with_timeouts(Duration::from_millis(500), Duration::from_secs(30))
+}
+
+/// Shared assertions for a run that lost exactly one worker.
+fn assert_recovered(out: &TrainOutput, victim: usize, max_iters: usize) {
+    assert_eq!(out.dead_ranks, vec![victim]);
+    assert_eq!(out.recoveries, 1, "expected exactly one recovery");
+    assert_eq!(out.stats.len(), max_iters, "training did not complete");
+    for s in &out.stats {
+        assert!(
+            s.train_loss.is_finite() && s.heldout_after.is_finite(),
+            "non-finite stats after recovery: {s:?}"
+        );
+    }
+    // The master narrated the failure and the recovery.
+    let names: Vec<&str> = out
+        .master_telemetry
+        .events
+        .iter()
+        .map(|e| e.name.as_ref())
+        .collect();
+    assert!(names.contains(&"worker_failure"), "no worker_failure event");
+    assert!(
+        names.contains(&"recovery_complete"),
+        "no recovery_complete event"
+    );
+    assert_eq!(out.master_telemetry.counter("recoveries"), 1);
+    // The victim recorded its own demise; every survivor absorbed a
+    // share of the orphaned shard.
+    let victim_tel = &out.worker_telemetries[victim - 1];
+    assert!(
+        victim_tel
+            .events
+            .iter()
+            .any(|e| e.name == "worker_comm_abort"),
+        "killed worker did not record its abort"
+    );
+    for (w, tel) in out.worker_telemetries.iter().enumerate() {
+        let expected = if w + 1 == victim { 0 } else { 1 };
+        assert_eq!(
+            tel.counter("shard_reassignments"),
+            expected,
+            "worker rank {} reassignment count",
+            w + 1
+        );
+    }
+}
+
+#[test]
+fn worker_death_before_gradient_recovers_on_survivors() {
+    let (corpus, net0) = corpus_and_net(3);
+    let cfg = config(3, 3);
+    let plan = kill_plan(2, 5); // rank 2 dies entering the first GRADIENT
+    let out = train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+        .expect("training must survive one worker death");
+    assert_recovered(&out, 2, 3);
+}
+
+#[test]
+fn worker_death_mid_cg_recovers_on_survivors() {
+    let (corpus, net0) = corpus_and_net(5);
+    let cfg = config(3, 3);
+    let plan = kill_plan(1, 10); // rank 1 dies inside the first GN_PRODUCT
+    let out = train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+        .expect("training must survive one worker death");
+    assert_recovered(&out, 1, 3);
+}
+
+#[test]
+fn worker_death_during_heldout_recovers_on_survivors() {
+    let (corpus, net0) = corpus_and_net(7);
+    let cfg = config(3, 3);
+    let plan = kill_plan(3, 3); // rank 3 dies inside the first HELDOUT
+    let out = train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+        .expect("training must survive one worker death");
+    assert_recovered(&out, 3, 3);
+}
+
+/// All-rank telemetry rendered exactly as the figure pipelines write
+/// `*_telemetry.jsonl` (rank 0 = master), for byte comparison.
+fn telemetry_jsonl(out: &TrainOutput) -> String {
+    let mut ranks: Vec<&Telemetry> = vec![&out.master_telemetry];
+    ranks.extend(out.worker_telemetries.iter());
+    let mut dump = String::new();
+    for (rank, tel) in ranks.into_iter().enumerate() {
+        dump.push_str(&pdnn_obs::jsonl::to_jsonl_string(rank as u64, tel));
+    }
+    dump
+}
+
+#[test]
+fn same_fault_plan_is_bit_deterministic() {
+    // The acceptance bar for plan-driven injection: a 4-rank run that
+    // loses one worker mid-CG must produce bit-identical weights and
+    // byte-identical telemetry when re-run under the same plan.
+    let (corpus, net0) = corpus_and_net(9);
+    let cfg = config(3, 2);
+    let plan = kill_plan(1, 10);
+    let run = || {
+        train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+            .expect("training must survive one worker death")
+    };
+    let a = run();
+    let b = run();
+    let bits =
+        |o: &TrainOutput| -> Vec<u32> { o.network.to_flat().iter().map(|w| w.to_bits()).collect() };
+    assert_eq!(bits(&a), bits(&b), "weights diverged across same-plan runs");
+    assert_eq!(
+        telemetry_jsonl(&a),
+        telemetry_jsonl(&b),
+        "telemetry diverged across same-plan runs"
+    );
+    assert_eq!(a.dead_ranks, b.dead_ranks);
+    assert_eq!(a.recoveries, b.recoveries);
+}
+
+#[test]
+fn checkpointed_recovery_restores_theta_from_disk() {
+    // With a checkpoint path configured, recovery round-trips θ
+    // through the atomic on-disk checkpoint rather than memory.
+    let (corpus, net0) = corpus_and_net(11);
+    let mut cfg = config(3, 3);
+    cfg.checkpoint_every = 1;
+    cfg.checkpoint_path =
+        Some(std::env::temp_dir().join(format!("pdnn-ft-restore-{}.ckpt", std::process::id())));
+    let plan = kill_plan(2, 25); // dies deep in the first outer iteration
+    let out = train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+        .expect("training must survive one worker death");
+    assert_recovered(&out, 2, 3);
+    // The checkpoint file holds the final periodic snapshot and is
+    // loadable (the atomic writer never leaves a torn file).
+    let path = cfg.checkpoint_path.as_ref().unwrap();
+    let ckpt = pdnn_dnn::checkpoint::load_network(path).expect("checkpoint must be loadable");
+    assert_eq!(ckpt.dims(), net0.dims());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn faultless_plan_changes_nothing_observable() {
+    // An empty fault plan must still complete training with no dead
+    // ranks and no recoveries (the timed-collective path is exercised,
+    // but nothing fails).
+    let (corpus, net0) = corpus_and_net(13);
+    let cfg = config(2, 2);
+    let plan = FaultPlan::new(1);
+    let out = train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+        .expect("fault-free faulted run");
+    assert_eq!(out.dead_ranks, Vec::<usize>::new());
+    assert_eq!(out.recoveries, 0);
+    assert_eq!(out.stats.len(), 2);
+}

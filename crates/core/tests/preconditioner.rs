@@ -172,7 +172,8 @@ fn serial_and_distributed_fisher_diagonals_agree() {
         heldout_frac: 0.2,
         ..Default::default()
     };
-    let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config);
+    let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config)
+        .expect("training failed");
     let dist_last = out.stats.iter().rev().find(|s| s.accepted).unwrap();
 
     assert!(

@@ -54,10 +54,24 @@ fn act_from_tag(tag: u8) -> Result<Activation, CheckpointError> {
     })
 }
 
-/// Write a checkpoint of `net` to `path` (atomically enough for a
-/// single writer: write then flush).
+/// Write a checkpoint of `net` to `path` atomically.
+///
+/// The bytes are written to a sibling `<path>.tmp` file, fsynced, and
+/// renamed into place — a rename within one directory is atomic on
+/// POSIX filesystems, so a crash at *any* point leaves either the old
+/// complete checkpoint or the new complete checkpoint at `path`,
+/// never a torn file. This is the property the fault-tolerant
+/// trainer's checkpoint-restart path depends on: the recovery
+/// artifact must always be loadable.
 pub fn save_network(net: &Network<f32>, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let mut w = BufWriter::new(File::create(path)?);
+    let path = path.as_ref();
+    let tmp_path = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let file = File::create(&tmp_path)?;
+    let mut w = BufWriter::new(file);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let dims = net.dims();
@@ -76,6 +90,13 @@ pub fn save_network(net: &Network<f32>, path: impl AsRef<Path>) -> Result<(), Ch
         w.write_all(&p.to_le_bytes())?;
     }
     w.flush()?;
+    // Durability before visibility: the data must be on disk before
+    // the rename publishes it.
+    let file = w
+        .into_inner()
+        .map_err(|e| CheckpointError::Io(io::Error::other(e.to_string())))?;
+    file.sync_all()?;
+    std::fs::rename(&tmp_path, path)?;
     Ok(())
 }
 
@@ -188,6 +209,48 @@ mod tests {
             Err(CheckpointError::Format(m)) => assert!(m.contains("truncated"), "{m}"),
             other => panic!("accepted truncated file: {other:?}"),
         }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn kill_mid_write_never_tears_the_checkpoint() {
+        // Simulate a crash at every possible write boundary: the
+        // not-yet-renamed temp file holds the partial bytes, so the
+        // published path must still hold the previous complete
+        // checkpoint (or nothing). This is exactly what an atomic
+        // write-tmp/fsync/rename protocol guarantees.
+        let mut rng = Prng::new(8);
+        let old: Network<f32> = Network::new(&[5, 4, 2], Activation::Sigmoid, &mut rng);
+        let new: Network<f32> = Network::new(&[5, 4, 2], Activation::Sigmoid, &mut rng);
+        let path = tmp("killmid");
+        save_network(&old, &path).unwrap();
+        let old_bytes = std::fs::read(&path).unwrap();
+
+        // Full bytes the new checkpoint would contain.
+        let staging = tmp("killmid-staging");
+        save_network(&new, &staging).unwrap();
+        let new_bytes = std::fs::read(&staging).unwrap();
+        std::fs::remove_file(&staging).unwrap();
+
+        let tmp_path = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        for cut in [0, 1, 4, 9, new_bytes.len() / 2, new_bytes.len() - 1] {
+            // A crash after writing `cut` bytes of the temp file.
+            std::fs::write(&tmp_path, &new_bytes[..cut]).unwrap();
+            // The published checkpoint is untouched and loadable.
+            assert_eq!(std::fs::read(&path).unwrap(), old_bytes, "cut={cut}");
+            let loaded = load_network(&path).unwrap();
+            assert_eq!(loaded.to_flat(), old.to_flat(), "cut={cut}");
+        }
+        // A fresh writer over the leftover temp file completes and
+        // atomically replaces the checkpoint.
+        save_network(&new, &path).unwrap();
+        assert!(!tmp_path.exists(), "rename consumed the temp file");
+        let loaded = load_network(&path).unwrap();
+        assert_eq!(loaded.to_flat(), new.to_flat());
         std::fs::remove_file(path).unwrap();
     }
 

@@ -20,6 +20,7 @@
 use crate::comm::{Comm, CommError, COLLECTIVE_TAG_BASE};
 use crate::message::{Payload, Src};
 use pdnn_obs::{RecorderExt, SpanKind};
+use std::time::Duration;
 
 /// Element type usable in typed collectives.
 pub trait CollElem: Copy + Send + 'static {
@@ -130,6 +131,10 @@ impl Comm {
     /// (it may change length).
     pub fn bcast<T: CollElem>(&mut self, buf: &mut Vec<T>, root: usize) -> Result<(), CommError> {
         assert!(root < self.size(), "bcast: root out of range");
+        if self.ft() {
+            let timeout = self.ft_timeout_for_root(root);
+            return self.bcast_timed(buf, root, timeout);
+        }
         let size = self.size();
         if size == 1 {
             return Ok(());
@@ -172,6 +177,10 @@ impl Comm {
         root: usize,
     ) -> Result<(), CommError> {
         assert!(root < self.size(), "reduce: root out of range");
+        if self.ft() {
+            let timeout = self.ft_timeout_for_root(root);
+            return self.reduce_timed(buf, op, root, timeout);
+        }
         let size = self.size();
         if size == 1 {
             return Ok(());
@@ -198,6 +207,162 @@ impl Comm {
             }
             comm.trace_collective_done();
             Ok(())
+        })
+    }
+
+    /// Fault-tolerant broadcast: flat fan-out from `root` to every
+    /// rank not known dead, with a bounded wait on the receive side.
+    ///
+    /// Instead of the binomial tree (where a dead interior node
+    /// severs its whole subtree) the root sends to each live rank
+    /// directly, so one death never blocks an unrelated rank.
+    /// Non-root ranks give up with [`CommError::Timeout`] after
+    /// `timeout`, or [`CommError::RankDead`] as soon as the root is
+    /// known dead. [`Comm::bcast`] dispatches here automatically when
+    /// fault injection is armed.
+    pub fn bcast_timed<T: CollElem>(
+        &mut self,
+        buf: &mut Vec<T>,
+        root: usize,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        assert!(root < self.size(), "bcast: root out of range");
+        self.fault_gate()?;
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        with_collective(self, "bcast", |comm, tag| {
+            if comm.rank() == root {
+                for dst in 0..size {
+                    if dst != root && !comm.is_dead(dst) {
+                        comm.send(dst, tag, T::wrap(buf.clone()))?;
+                    }
+                }
+            } else {
+                *buf = comm.recv_vec_timeout::<T>(Src::Of(root), tag, timeout)?;
+            }
+            comm.trace_collective_done();
+            Ok(())
+        })
+    }
+
+    /// Fault-tolerant reduce: flat fan-in to `root` with a bounded
+    /// wait per contribution and deterministic recovery semantics.
+    ///
+    /// The root combines contributions in ascending rank order (so
+    /// the result is bitwise deterministic), *drains* every live
+    /// contribution even after a failure is observed (so the tag
+    /// window closes cleanly and survivors stay in lockstep), and
+    /// reports the first failure as [`CommError::RankDead`] — after
+    /// evicting a rank whose contribution timed out without a death
+    /// notice. [`Comm::reduce`] dispatches here automatically when
+    /// fault injection is armed.
+    pub fn reduce_timed<T: CollElem>(
+        &mut self,
+        buf: &mut [T],
+        op: ReduceOp,
+        root: usize,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        assert!(root < self.size(), "reduce: root out of range");
+        self.fault_gate()?;
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        with_collective(self, "reduce", |comm, tag| {
+            if comm.rank() != root {
+                comm.send(root, tag, T::wrap(buf.to_vec()))?;
+                comm.trace_collective_done();
+                return Ok(());
+            }
+            let mut first_err: Option<CommError> = None;
+            for src in 0..size {
+                if src == root {
+                    continue;
+                }
+                if comm.is_acked(src) {
+                    continue;
+                }
+                if comm.is_dead(src) {
+                    first_err.get_or_insert(CommError::RankDead { rank: src });
+                    continue;
+                }
+                match comm.recv_vec_timeout::<T>(Src::Of(src), tag, timeout) {
+                    Ok(other) => T::combine(op, buf, &other),
+                    Err(CommError::RankDead { rank }) => {
+                        first_err.get_or_insert(CommError::RankDead { rank });
+                    }
+                    Err(CommError::Timeout) => {
+                        comm.evict(src);
+                        first_err.get_or_insert(CommError::RankDead { rank: src });
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            comm.trace_collective_done();
+            match first_err {
+                None => Ok(()),
+                Some(e) => Err(e),
+            }
+        })
+    }
+
+    /// Fault-tolerant barrier: rank 0 collects an arrival from every
+    /// live rank (evicting any that miss the window) and then
+    /// releases them with an acknowledgement. Reports the first
+    /// failure as [`CommError::RankDead`]; [`Comm::barrier`]
+    /// dispatches here automatically when fault injection is armed.
+    fn barrier_timed(&mut self, timeout: Duration) -> Result<(), CommError> {
+        self.fault_gate()?;
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        with_collective(self, "barrier", |comm, tag| {
+            if comm.rank() == 0 {
+                let mut first_err: Option<CommError> = None;
+                for src in 1..size {
+                    if comm.is_acked(src) {
+                        continue;
+                    }
+                    if comm.is_dead(src) {
+                        first_err.get_or_insert(CommError::RankDead { rank: src });
+                        continue;
+                    }
+                    match comm.recv_timeout(Src::Of(src), tag, timeout) {
+                        Ok(_) => {}
+                        Err(CommError::RankDead { rank }) => {
+                            first_err.get_or_insert(CommError::RankDead { rank });
+                        }
+                        Err(CommError::Timeout) => {
+                            comm.evict(src);
+                            first_err.get_or_insert(CommError::RankDead { rank: src });
+                        }
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                for dst in 1..size {
+                    if !comm.is_dead(dst) {
+                        comm.send(dst, tag + 1, Payload::Empty)?;
+                    }
+                }
+                comm.trace_collective_done();
+                match first_err {
+                    None => Ok(()),
+                    Some(e) => Err(e),
+                }
+            } else {
+                comm.send(0, tag, Payload::Empty)?;
+                comm.recv_timeout(Src::Of(0), tag + 1, timeout)?;
+                comm.trace_collective_done();
+                Ok(())
+            }
         })
     }
 
@@ -425,6 +590,10 @@ impl Comm {
 
     /// Dissemination barrier.
     pub fn barrier(&mut self) -> Result<(), CommError> {
+        if self.ft() {
+            let timeout = self.ft_timeout_for_root(0);
+            return self.barrier_timed(timeout);
+        }
         let size = self.size();
         if size == 1 {
             return Ok(());

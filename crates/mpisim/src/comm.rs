@@ -8,12 +8,13 @@
 //! exactly like MPI, not by arrival order.
 
 use crate::collectives::CollElem;
+use crate::fault::{FaultAction, FaultPlan, FAULT_TICK};
 use crate::hb::{HbTracker, HbViolation};
 use crate::message::{Packet, Payload, Src};
 use crate::trace::{CommClass, CommTrace};
 use crate::vtime::LinkModel;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use pdnn_obs::{InMemoryRecorder, Telemetry};
+use pdnn_obs::{InMemoryRecorder, Recorder, Telemetry};
 use pdnn_util::timing::{Clock, WallClock};
 use pdnn_util::Prng;
 use std::sync::Arc;
@@ -45,6 +46,19 @@ pub enum CommError {
         /// Payload kind actually received.
         got: &'static str,
     },
+    /// A rank known to have died was named as the peer of a receive
+    /// or collective. Carries the dead rank so a recovery layer can
+    /// re-partition its work.
+    RankDead {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// This rank was killed by the fault plan; every communication
+    /// call returns this from the injection point on.
+    Killed,
+    /// This rank was evicted by a collective root after missing its
+    /// timeout window; it must stop participating in the protocol.
+    Evicted,
 }
 
 impl std::fmt::Display for CommError {
@@ -63,6 +77,9 @@ impl std::fmt::Display for CommError {
                 "type-mismatched receive from rank {src} (tag {tag}): \
                  expected {expected}, got {got}"
             ),
+            CommError::RankDead { rank } => write!(f, "rank {rank} is dead"),
+            CommError::Killed => write!(f, "this rank was killed by the fault plan"),
+            CommError::Evicted => write!(f, "this rank was evicted after a missed timeout"),
         }
     }
 }
@@ -129,11 +146,51 @@ pub struct Comm {
     /// `std::time::Instant` directly, so simulated runs can freeze it
     /// (pdnn-lint rule `l1-sim-wall-clock`).
     clock: Arc<dyn Clock>,
+    /// Ranks this rank knows to be dead (learned from `CTRL_DEATH`
+    /// packets or by evicting a timed-out peer).
+    dead: Vec<usize>,
+    /// Dead ranks whose failure the application has acknowledged
+    /// (recovered from); timed collectives skip these silently
+    /// instead of re-reporting [`CommError::RankDead`].
+    acked: Vec<usize>,
+    /// This rank's own fault status.
+    fate: Fate,
+    /// Fault-injection context (`None` = fault-free world; every
+    /// injection hook is a no-op).
+    fault: Option<FaultCtx>,
 }
 
 /// Tag bit reserved for collective-internal messages; user tags must
 /// stay below this.
 pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+/// Tag space reserved for fault-tolerance control packets. Control
+/// packets never surface to user code: the receive loop intercepts
+/// them, updates the communicator's fault state, and keeps matching.
+pub(crate) const CTRL_TAG_BASE: u64 = 1 << 60;
+/// "I am dead": a killed rank's farewell. Per-pair FIFO means every
+/// real message the dead rank sent is already delivered (or parked)
+/// when a peer observes this, so detection is deterministic.
+pub(crate) const CTRL_DEATH: u64 = CTRL_TAG_BASE;
+/// "You are evicted": sent by a collective root to a rank that missed
+/// its timeout window; the recipient must stop participating.
+pub(crate) const CTRL_EVICT: u64 = CTRL_TAG_BASE + 1;
+
+/// What the fault plan has done to this rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fate {
+    Alive,
+    Killed,
+    Evicted,
+}
+
+/// Per-rank fault-injection state: the shared plan plus this rank's
+/// per-link send counters (the logical-progress index that
+/// drop/delay actions key on).
+struct FaultCtx {
+    plan: Arc<FaultPlan>,
+    sent_counts: Vec<u64>,
+}
 
 impl Comm {
     pub(crate) fn new(
@@ -171,7 +228,168 @@ impl Comm {
             hb: None,
             perturb: None,
             clock,
+            dead: Vec::new(),
+            acked: Vec::new(),
+            fate: Fate::Alive,
+            fault: None,
         }
+    }
+
+    /// Arm fault injection against the given plan. Every rank of a
+    /// faulted world shares one plan and applies it against its own
+    /// logical progress (collective sequence numbers, per-link send
+    /// counts), so injection is bit-deterministic.
+    pub fn enable_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(FaultCtx {
+            plan,
+            sent_counts: vec![0; self.size],
+        });
+    }
+
+    /// Whether this rank knows `rank` to be dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.contains(&rank)
+    }
+
+    /// Ranks this rank knows to be dead, in discovery order.
+    pub fn dead_ranks(&self) -> &[usize] {
+        &self.dead
+    }
+
+    /// Acknowledge a rank's death after recovering from it: timed
+    /// collectives stop reporting [`CommError::RankDead`] for this
+    /// rank and simply run without it. An unacknowledged death is
+    /// re-reported by every collective that misses the rank, so a
+    /// failure can never be silently absorbed.
+    pub fn ack_dead(&mut self, rank: usize) {
+        self.mark_dead(rank);
+        if !self.acked.contains(&rank) {
+            self.acked.push(rank);
+        }
+    }
+
+    pub(crate) fn is_acked(&self, rank: usize) -> bool {
+        self.acked.contains(&rank)
+    }
+
+    /// Deliberately silent (no telemetry): *when* a rank pulls the
+    /// death packet out of its inbox is scheduling-dependent, and an
+    /// event here would make telemetry nondeterministic. Deterministic
+    /// fault events are emitted by the code that *acts* on a death
+    /// (the collective root and the recovery layer).
+    pub(crate) fn mark_dead(&mut self, rank: usize) {
+        if !self.dead.contains(&rank) {
+            self.dead.push(rank);
+        }
+    }
+
+    /// Whether fault tolerance is armed (collectives dispatch to
+    /// their timed flat variants when it is).
+    pub(crate) fn ft(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Timeout window for a timed collective: the root runs the short
+    /// detection window; everyone else waits out the generous worker
+    /// window (it must outlast a whole recovery cycle at the root).
+    pub(crate) fn ft_timeout_for_root(&self, root: usize) -> Duration {
+        match &self.fault {
+            Some(ctx) if self.rank == root => ctx.plan.detect_timeout,
+            Some(ctx) => ctx.plan.worker_timeout,
+            None => Duration::from_secs(30),
+        }
+    }
+
+    fn fate_check(&self) -> Result<(), CommError> {
+        match self.fate {
+            Fate::Alive => Ok(()),
+            Fate::Killed => Err(CommError::Killed),
+            Fate::Evicted => Err(CommError::Evicted),
+        }
+    }
+
+    /// Raw control-packet send: bypasses tracing, happens-before
+    /// stamping, and fault injection. Failures are ignored — the
+    /// recipient being gone is exactly the situation control packets
+    /// exist to report.
+    pub(crate) fn ctrl_send(&mut self, dst: usize, tag: u64) {
+        if dst == self.rank {
+            return;
+        }
+        let _ = self.peers[dst].send(Packet {
+            src: self.rank,
+            tag,
+            sent_vtime: self.vtime,
+            clock: None,
+            payload: Payload::Empty,
+        });
+    }
+
+    /// Declare `rank` dead after it missed a timeout window: mark it
+    /// locally and send it `CTRL_EVICT` so that, if it is merely
+    /// stalled, it stops participating instead of corrupting later
+    /// tag windows.
+    pub(crate) fn evict(&mut self, rank: usize) {
+        self.recorder.event(
+            "rank_evicted",
+            vec![
+                ("rank".into(), (rank as u64).into()),
+                ("by".into(), (self.rank as u64).into()),
+            ],
+        );
+        self.mark_dead(rank);
+        self.ctrl_send(rank, CTRL_EVICT);
+    }
+
+    /// Fault-plan hook run at the top of every collective, *before*
+    /// the collective claims its tag window. Applies any `Kill` or
+    /// `Stall` scheduled for this rank at the current collective
+    /// sequence number. A killed rank's last act is sending
+    /// `CTRL_DEATH` to every peer.
+    pub(crate) fn fault_gate(&mut self) -> Result<(), CommError> {
+        self.fate_check()?;
+        let Some(ctx) = &self.fault else {
+            return Ok(());
+        };
+        let plan = ctx.plan.clone();
+        for action in &plan.actions {
+            match *action {
+                FaultAction::Kill {
+                    rank,
+                    before_collective,
+                } if rank == self.rank && before_collective == self.coll_seq => {
+                    for dst in 0..self.size {
+                        self.ctrl_send(dst, CTRL_DEATH);
+                    }
+                    self.fate = Fate::Killed;
+                    self.recorder.event(
+                        "fault_kill",
+                        vec![
+                            ("rank".into(), (self.rank as u64).into()),
+                            ("collective".into(), self.coll_seq.into()),
+                        ],
+                    );
+                    return Err(CommError::Killed);
+                }
+                FaultAction::Stall {
+                    rank,
+                    before_collective,
+                    ticks,
+                } if rank == self.rank && before_collective == self.coll_seq => {
+                    self.recorder.event(
+                        "fault_stall",
+                        vec![
+                            ("rank".into(), (self.rank as u64).into()),
+                            ("collective".into(), self.coll_seq.into()),
+                            ("ticks".into(), u64::from(ticks).into()),
+                        ],
+                    );
+                    std::thread::sleep(FAULT_TICK * ticks);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     /// Switch on vector-clock happens-before tracking: every
@@ -208,6 +426,10 @@ impl Comm {
             return Vec::new();
         }
         while let Ok(pkt) = self.inbox.try_recv() {
+            if pkt.tag >= CTRL_TAG_BASE {
+                self.on_ctrl(&pkt);
+                continue;
+            }
             if let Some(hb) = &mut self.hb {
                 hb.on_delivered(&pkt);
             }
@@ -306,9 +528,43 @@ impl Comm {
             self.in_collective || tag < COLLECTIVE_TAG_BASE,
             "user tag {tag} collides with collective tag space"
         );
+        self.fate_check()?;
         let start = self.clock.now();
         let bytes = payload.size_bytes();
         let class = self.class();
+        // Fault injection: drop/delay actions key on the per-link send
+        // count (logical progress), so the same plan hits the same
+        // message every run.
+        let link_fault = match &mut self.fault {
+            Some(ctx) => {
+                let n = ctx.sent_counts[dst];
+                ctx.sent_counts[dst] += 1;
+                Some((ctx.plan.clone(), n))
+            }
+            None => None,
+        };
+        if let Some((plan, n)) = link_fault {
+            for action in &plan.actions {
+                match *action {
+                    FaultAction::DropMessage { from, to, nth }
+                        if from == self.rank && to == dst && nth == n =>
+                    {
+                        self.recorder.counter_add("fault_dropped_sends", 1);
+                        self.trace.add_seconds(class, self.clock.now() - start);
+                        return Ok(());
+                    }
+                    FaultAction::DelayMessage {
+                        from,
+                        to,
+                        nth,
+                        ticks,
+                    } if from == self.rank && to == dst && nth == n => {
+                        std::thread::sleep(FAULT_TICK * ticks);
+                    }
+                    _ => {}
+                }
+            }
+        }
         // Virtual timing: injection serializes on the sender (the
         // mechanism behind the master's fan-out bottleneck).
         if let Some(model) = &self.link_model {
@@ -322,15 +578,22 @@ impl Comm {
             }
         }
         let hb_clock = self.hb.as_mut().map(HbTracker::on_send);
-        let result = self.peers[dst]
-            .send(Packet {
-                src: self.rank,
-                tag,
-                sent_vtime: self.vtime,
-                clock: hb_clock,
-                payload,
-            })
-            .map_err(|_| CommError::Disconnected { peer: dst });
+        let result = match self.peers[dst].send(Packet {
+            src: self.rank,
+            tag,
+            sent_vtime: self.vtime,
+            clock: hb_clock,
+            payload,
+        }) {
+            Ok(()) => Ok(()),
+            // Faulted worlds: a closed channel means the destination
+            // rank already exited (it died or finished). The message
+            // would never be consumed either way, so treat it as sent
+            // — keeping the sender's behaviour and trace independent
+            // of how the dead rank's teardown raced this call.
+            Err(_) if self.fault.is_some() => Ok(()),
+            Err(_) => Err(CommError::Disconnected { peer: dst }),
+        };
         self.trace.add_seconds(class, self.clock.now() - start);
         if result.is_ok() {
             self.trace.on_send(class, bytes);
@@ -376,10 +639,25 @@ impl Comm {
     /// sees the full set of concurrently-available messages.
     fn drain_inbox(&mut self) {
         while let Ok(pkt) = self.inbox.try_recv() {
+            if pkt.tag >= CTRL_TAG_BASE {
+                self.on_ctrl(&pkt);
+                continue;
+            }
             if let Some(hb) = &mut self.hb {
                 hb.on_delivered(&pkt);
             }
             self.pending.push(pkt);
+        }
+    }
+
+    /// Apply a fault-tolerance control packet to this rank's state.
+    /// Control packets are consumed here; they never reach user code,
+    /// tracing, or happens-before tracking.
+    fn on_ctrl(&mut self, pkt: &Packet) {
+        match pkt.tag {
+            CTRL_DEATH => self.mark_dead(pkt.src),
+            CTRL_EVICT => self.fate = Fate::Evicted,
+            _ => {}
         }
     }
 
@@ -408,6 +686,9 @@ impl Comm {
         let start = self.clock.now();
         let class = self.class();
         let result = loop {
+            if let Err(e) = self.fate_check() {
+                break Err(e);
+            }
             if self.perturb.is_some() {
                 // See the full set of already-delivered messages before
                 // matching, so the perturbed Any-source choice is among
@@ -416,6 +697,16 @@ impl Comm {
             }
             if let Some(pkt) = self.match_pending(src, tag) {
                 break Ok(pkt);
+            }
+            // Dead-source check *after* match_pending: per-pair FIFO
+            // guarantees every real message the dead rank sent was
+            // already delivered before its death packet, so anything it
+            // owed us is in the pending list by the time it is marked
+            // dead — an empty match means the message will never come.
+            if let Src::Of(s) = src {
+                if self.dead.contains(&s) {
+                    break Err(CommError::RankDead { rank: s });
+                }
             }
             let received = match deadline {
                 None => self.inbox.recv().map_err(|_| CommError::WorldShutDown),
@@ -433,6 +724,10 @@ impl Comm {
             };
             match received {
                 Ok(pkt) => {
+                    if pkt.tag >= CTRL_TAG_BASE {
+                        self.on_ctrl(&pkt);
+                        continue;
+                    }
                     if let Some(hb) = &mut self.hb {
                         hb.on_delivered(&pkt);
                     }
@@ -466,6 +761,24 @@ impl Comm {
     /// a payload extractor.
     pub fn recv_vec<T: CollElem>(&mut self, src: Src, tag: u64) -> Result<Vec<T>, CommError> {
         let pkt = self.recv(src, tag)?;
+        Self::typed(pkt, tag)
+    }
+
+    /// Typed receive with a timeout: [`Comm::recv_vec`] semantics, but
+    /// gives up with [`CommError::Timeout`] after `timeout`, or
+    /// [`CommError::RankDead`] as soon as the awaited source is known
+    /// dead. The timed collectives are built on this.
+    pub fn recv_vec_timeout<T: CollElem>(
+        &mut self,
+        src: Src,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        let pkt = self.recv_timeout(src, tag, timeout)?;
+        Self::typed(pkt, tag)
+    }
+
+    fn typed<T: CollElem>(pkt: Packet, tag: u64) -> Result<Vec<T>, CommError> {
         let src_rank = pkt.src;
         let got = pkt.payload.kind();
         T::unwrap_checked(pkt.payload).map_err(|_| CommError::TypeMismatch {

@@ -1,0 +1,210 @@
+//! Deterministic fault injection for simulated worlds.
+//!
+//! A [`FaultPlan`] is a declarative schedule of failures threaded
+//! through [`crate::run_world_faulted`]: kill rank R right before its
+//! K-th collective, stall a rank for D sim-ticks, or drop/delay the
+//! N-th point-to-point message on a link. Injection points are indexed
+//! by *logical* progress (per-rank collective sequence numbers,
+//! per-link message counts), never by wall-clock time, so the same
+//! plan reproduces the same failure — and the same recovery — bit for
+//! bit, run after run.
+//!
+//! Death is propagated by control packets, not by timeouts: a killed
+//! rank's last act is to send `CTRL_DEATH` to every peer. Channels are
+//! FIFO per pair, so by the time a peer observes the death packet it
+//! has already received every real message the dead rank sent — peers
+//! learn of the death at a deterministic point in their own receive
+//! streams. Timeouts exist only as a safety net for *silent* failures
+//! (a stalled rank that never reports in), where the collective root
+//! evicts the missing rank with `CTRL_EVICT` after its window expires.
+
+use pdnn_util::Prng;
+use std::time::Duration;
+
+/// Duration of one simulated tick used by [`FaultAction::Stall`] and
+/// [`FaultAction::DelayMessage`].
+pub const FAULT_TICK: Duration = Duration::from_millis(1);
+
+/// One scheduled failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Rank `rank` dies immediately before starting its
+    /// `before_collective`-th collective (0-based per-rank count).
+    /// It notifies every peer with a `CTRL_DEATH` control packet and
+    /// then returns [`crate::CommError::Killed`] from every subsequent
+    /// communication call.
+    Kill {
+        /// Victim rank.
+        rank: usize,
+        /// Per-rank collective sequence number to die before.
+        before_collective: u64,
+    },
+    /// Rank `rank` sleeps `ticks` × [`FAULT_TICK`] immediately before
+    /// starting its `before_collective`-th collective. Long stalls
+    /// exercise the timeout/eviction path.
+    Stall {
+        /// Stalled rank.
+        rank: usize,
+        /// Per-rank collective sequence number to stall before.
+        before_collective: u64,
+        /// Stall length in sim-ticks.
+        ticks: u32,
+    },
+    /// Delay the `nth` message (0-based, counted per `(from, to)`
+    /// link) by `ticks` × [`FAULT_TICK`] before injection.
+    DelayMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 0-based message index on the link.
+        nth: u64,
+        /// Delay in sim-ticks.
+        ticks: u32,
+    },
+    /// Silently drop the `nth` message (0-based, counted per
+    /// `(from, to)` link). The receiver can only discover the loss via
+    /// its timeout window.
+    DropMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 0-based message index on the link.
+        nth: u64,
+    },
+}
+
+/// A deterministic, seeded schedule of failures for one world run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed this plan was derived from (recorded for reproduction; the
+    /// actions themselves are already fully explicit).
+    pub seed: u64,
+    /// Scheduled failures, applied by every rank against its own
+    /// logical progress.
+    pub actions: Vec<FaultAction>,
+    /// How long a collective *root* waits for each contribution before
+    /// evicting the missing rank. Kills are detected via death packets
+    /// (deterministic); this window only catches silent stalls and
+    /// dropped messages.
+    pub detect_timeout: Duration,
+    /// How long a non-root rank waits on the root before giving up.
+    /// Generous by default: a worker must outlast the master's whole
+    /// recovery cycle without falsely declaring the world dead.
+    pub worker_timeout: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures) with default timeout windows.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            actions: Vec::new(),
+            detect_timeout: Duration::from_secs(2),
+            worker_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Add a [`FaultAction::Kill`].
+    pub fn kill(mut self, rank: usize, before_collective: u64) -> Self {
+        self.actions.push(FaultAction::Kill {
+            rank,
+            before_collective,
+        });
+        self
+    }
+
+    /// Add a [`FaultAction::Stall`].
+    pub fn stall(mut self, rank: usize, before_collective: u64, ticks: u32) -> Self {
+        self.actions.push(FaultAction::Stall {
+            rank,
+            before_collective,
+            ticks,
+        });
+        self
+    }
+
+    /// Add a [`FaultAction::DelayMessage`].
+    pub fn delay_message(mut self, from: usize, to: usize, nth: u64, ticks: u32) -> Self {
+        self.actions.push(FaultAction::DelayMessage {
+            from,
+            to,
+            nth,
+            ticks,
+        });
+        self
+    }
+
+    /// Add a [`FaultAction::DropMessage`].
+    pub fn drop_message(mut self, from: usize, to: usize, nth: u64) -> Self {
+        self.actions
+            .push(FaultAction::DropMessage { from, to, nth });
+        self
+    }
+
+    /// Override both timeout windows.
+    pub fn with_timeouts(mut self, detect: Duration, worker: Duration) -> Self {
+        self.detect_timeout = detect;
+        self.worker_timeout = worker;
+        self
+    }
+
+    /// Seeded single-kill plan: derive the victim (a non-root rank in
+    /// `1..world`) and its death point (a collective index in
+    /// `0..max_collective`) deterministically from `seed`. The same
+    /// seed always produces the same plan.
+    pub fn seeded_kill(seed: u64, world: usize, max_collective: u64) -> Self {
+        assert!(world >= 2, "a seeded kill needs at least one non-root rank");
+        assert!(max_collective >= 1, "need a non-empty collective range");
+        let mut rng = Prng::new(seed ^ 0xFA17_FA17_FA17_FA17);
+        let victim = 1 + rng.index(world - 1);
+        let at = rng.index(usize::try_from(max_collective).unwrap_or(usize::MAX)) as u64;
+        FaultPlan::new(seed).kill(victim, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_actions() {
+        let plan = FaultPlan::new(7)
+            .kill(2, 5)
+            .stall(1, 3, 10)
+            .delay_message(0, 1, 4, 2)
+            .drop_message(1, 0, 0)
+            .with_timeouts(Duration::from_millis(100), Duration::from_secs(5));
+        assert_eq!(plan.actions.len(), 4);
+        assert_eq!(plan.detect_timeout, Duration::from_millis(100));
+        assert_eq!(
+            plan.actions[0],
+            FaultAction::Kill {
+                rank: 2,
+                before_collective: 5
+            }
+        );
+    }
+
+    #[test]
+    fn seeded_kill_is_reproducible_and_in_range() {
+        let a = FaultPlan::seeded_kill(42, 4, 20);
+        let b = FaultPlan::seeded_kill(42, 4, 20);
+        assert_eq!(a.actions, b.actions);
+        let FaultAction::Kill {
+            rank,
+            before_collective,
+        } = a.actions[0]
+        else {
+            panic!("expected a kill");
+        };
+        assert!((1..4).contains(&rank));
+        assert!(before_collective < 20);
+        // A different seed explores a different plan at least sometimes.
+        let plans: Vec<_> = (0..16)
+            .map(|s| FaultPlan::seeded_kill(s, 4, 20).actions)
+            .collect();
+        assert!(plans.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod hb;
 pub mod message;
 pub mod runner;
@@ -41,10 +42,11 @@ pub mod vtime;
 
 pub use collectives::{CollElem, ReduceOp};
 pub use comm::{comm_ok, Comm, CommError};
+pub use fault::{FaultAction, FaultPlan, FAULT_TICK};
 pub use hb::{HbTracker, HbViolation};
 pub use message::{Packet, Payload, Src};
 pub use runner::{
-    build_world, build_world_deterministic, run_world, run_world_deterministic,
+    build_world, build_world_deterministic, run_world, run_world_deterministic, run_world_faulted,
     run_world_perturbed, RankOutcome,
 };
 pub use timeline::{render_gantt, Span, SpanKind, SpanRecorder};

@@ -3,6 +3,7 @@
 //! communication traces in rank order.
 
 use crate::comm::Comm;
+use crate::fault::FaultPlan;
 use crate::hb::HbViolation;
 use crate::message::Packet;
 use crate::trace::CommTrace;
@@ -122,6 +123,46 @@ where
         comm.startup_jitter();
         f(comm)
     })
+}
+
+/// [`run_world_deterministic`] under a seeded [`FaultPlan`]: every
+/// rank applies the plan against its own logical progress, so kills,
+/// stalls, and message drops land at the same point run after run and
+/// the whole execution — failure, detection, recovery — is
+/// bit-deterministic.
+///
+/// Rank closures must be written against the timed collective
+/// semantics: `bcast`/`reduce`/`barrier` return
+/// [`CommError::RankDead`](crate::CommError::RankDead) (or
+/// `Timeout`) instead of blocking when a peer is gone, and a killed
+/// rank sees [`CommError::Killed`](crate::CommError::Killed) from the
+/// injection point on (it should unwind its closure normally, not
+/// panic).
+pub fn run_world_faulted<R, F>(n: usize, plan: &FaultPlan, f: F) -> Vec<RankOutcome<R>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    assert!(n > 0, "world needs at least one rank");
+    let clock: Arc<dyn Clock> = ManualClock::shared();
+    let plan = Arc::new(plan.clone());
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Packet>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let comms: Vec<Comm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| {
+            let mut comm = Comm::with_clock(rank, n, rx, senders.clone(), clock.clone());
+            comm.enable_faults(plan.clone());
+            comm
+        })
+        .collect();
+    run_on(comms, f)
 }
 
 fn run_on<R, F>(comms: Vec<Comm>, f: F) -> Vec<RankOutcome<R>>

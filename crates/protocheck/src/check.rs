@@ -20,7 +20,7 @@
 //!   command must have a worker arm, the master may only issue
 //!   declared opcodes, and the worker must have a catch-all arm.
 
-use crate::model::{ElemKind, Model, Op, SeqOp, Site};
+use crate::model::{ElemKind, Model, Op, Peer, SeqOp, Site};
 use pdnn_lint::Finding;
 use std::collections::BTreeMap;
 
@@ -71,6 +71,36 @@ fn describe(op: &Op) -> String {
 /// Why two same-position ops disagree, if they do. Roots, kinds, and
 /// lengths are only compared when both sides are statically known.
 fn op_mismatch(master: &Op, worker: &Op) -> Option<String> {
+    // Master send fanned out to each worker paired with a worker
+    // receive from rank 0 is a p2p rendezvous (the LOAD_DATA replay),
+    // not a category skew: check tag and kind agreement instead.
+    if let (
+        Op::Send {
+            to: Peer::EachWorker,
+            tag: t1,
+            kind: k1,
+        },
+        Op::Recv {
+            from: Peer::Rank(0),
+            tag: t2,
+            kind: k2,
+        },
+    ) = (master, worker)
+    {
+        if let (Some(a), Some(b)) = (t1, t2) {
+            if a != b {
+                return Some(format!("rendezvous tag disagrees: master {a}, worker {b}"));
+            }
+        }
+        if !k1.compatible(*k2) {
+            return Some(format!(
+                "rendezvous element kind disagrees: master {}, worker {}",
+                k1.name(),
+                k2.name()
+            ));
+        }
+        return None;
+    }
     if master.category() != worker.category() {
         return Some(format!(
             "master issues a {} where the worker issues a {}",

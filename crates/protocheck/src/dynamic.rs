@@ -107,7 +107,9 @@ pub fn run(config: &DynamicConfig) -> DynamicOutcome {
     };
 
     let baseline =
-        train_distributed_deterministic(&net0, &corpus, &Objective::CrossEntropy, &train_config);
+        train_distributed_deterministic(&net0, &corpus, &Objective::CrossEntropy, &train_config)
+            // pdnn-lint: allow(l3-no-unwrap): the checker's fixed tiny corpus cannot hit the fault paths (no fault plan, non-empty shards); an error here is a harness bug worth a loud stop
+            .expect("baseline training failed");
     let baseline_weights = weight_bits(&baseline);
     let baseline_telemetry = telemetry_fingerprint(&baseline);
 
@@ -129,7 +131,9 @@ pub fn run(config: &DynamicConfig) -> DynamicOutcome {
             &Objective::CrossEntropy,
             &train_config,
             seed,
-        );
+        )
+        // pdnn-lint: allow(l3-no-unwrap): same fixed corpus as the baseline — a training error is a harness bug, not a checkable divergence
+        .expect("perturbed training failed");
         outcome.seeds_run.push(seed);
         outcome.hb_violations.extend(
             out.hb_violations

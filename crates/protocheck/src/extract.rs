@@ -43,7 +43,15 @@ struct FnSpan {
 }
 
 const OP_NAMES: &[&str] = &[
-    "bcast", "reduce", "send", "recv_vec", "recv", "barrier", "command",
+    "bcast",
+    "reduce",
+    "send",
+    "recv_vec_timeout",
+    "recv_vec",
+    "recv_timeout",
+    "recv",
+    "barrier",
+    "command",
 ];
 
 fn site(file: &SourceFile, offset: usize) -> Site {
@@ -675,14 +683,14 @@ fn op_of(
                 .map(|a| payload_kind(a))
                 .unwrap_or(ElemKind::Unknown),
         },
-        "recv_vec" | "recv" => Op::Recv {
+        "recv_vec" | "recv" | "recv_vec_timeout" | "recv_timeout" => Op::Recv {
             from: call
                 .args
                 .first()
                 .map(|a| peer_of(a, consts))
                 .unwrap_or(Peer::AnySource),
             tag: call.args.get(1).and_then(|a| resolve_tag(a, consts)),
-            kind: if call.name == "recv_vec" {
+            kind: if call.name.starts_with("recv_vec") {
                 turbofish_kind(&call.turbofish)
             } else {
                 ElemKind::Unknown
@@ -856,12 +864,23 @@ fn find_or_insert<'m>(model: &'m mut Model, name: &str, anchor: &Site) -> &'m mu
     &mut model.commands[last]
 }
 
-/// Extract master-side command sequences from the `HfProblem` impl.
+/// Extract master-side command sequences from `MasterProblem`.
+///
+/// The `HfProblem` impl delegates the wire work to fallible `try_*`
+/// helpers on the inherent impl, so both regions are scanned; the
+/// `command` header helper is modeled separately
+/// ([`extract_command_helper`]) and skipped here.
 fn extract_master_impl(file: &SourceFile, model: &mut Model) {
-    let Some(region) = block_after(&file.masked, "impl HfProblem for MasterProblem") else {
-        return;
-    };
-    for f in fns_in(&file.masked, region) {
+    let inherent = block_after(&file.masked, "impl MasterProblem");
+    let trait_impl = block_after(&file.masked, "impl HfProblem for MasterProblem");
+    let mut fns = Vec::new();
+    for region in [inherent, trait_impl].into_iter().flatten() {
+        fns.extend(fns_in(&file.masked, region));
+    }
+    for f in fns {
+        if f.name == "command" {
+            continue;
+        }
         let mut current: Option<String> = None;
         for call in scan_calls(file, f.body.clone()) {
             if call.name == "command" {
@@ -1051,7 +1070,7 @@ fn extract_collectives(file: &SourceFile, model: &mut Model) {
             };
             match call.name {
                 "send" => send_tags.push(tag),
-                "recv" | "recv_vec" => recv_tags.push(tag),
+                "recv" | "recv_vec" | "recv_timeout" | "recv_vec_timeout" => recv_tags.push(tag),
                 _ => {}
             }
         }

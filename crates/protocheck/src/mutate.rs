@@ -284,6 +284,24 @@ pub fn mutations() -> Vec<Mutation> {
             describes: "worker match silently ignores unknown opcodes",
             apply: |m| m.worker_catchall = false,
         },
+        Mutation {
+            name: "m18-load-data-replay-kind-skew",
+            expected_rule: P1,
+            describes:
+                "worker receives the re-shard replay ids as f32 against the master's u64 fan-out",
+            apply: |m| {
+                set_worker_op(
+                    m,
+                    "CMD_LOAD_DATA",
+                    0,
+                    Op::Recv {
+                        from: Peer::Rank(0),
+                        tag: Some(17),
+                        kind: ElemKind::F32,
+                    },
+                )
+            },
+        },
     ]
 }
 

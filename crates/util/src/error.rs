@@ -25,6 +25,9 @@ pub enum Error {
     Comm(String),
     /// Text that should parse (JSONL telemetry, CLI values) did not.
     Parse(String),
+    /// Training could not proceed or recover (e.g. a reduction over
+    /// zero frames, or a failure with no surviving workers).
+    Train(String),
 }
 
 impl std::fmt::Display for Error {
@@ -35,6 +38,7 @@ impl std::fmt::Display for Error {
             Error::Config(m) => write!(f, "invalid configuration: {m}"),
             Error::Comm(m) => write!(f, "communication failed: {m}"),
             Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Train(m) => write!(f, "training failed: {m}"),
         }
     }
 }

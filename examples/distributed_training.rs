@@ -40,7 +40,8 @@ fn main() {
         net0.num_params()
     );
 
-    let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config);
+    let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config)
+        .expect("training failed");
 
     println!("iter  heldout loss  accuracy  accepted");
     for s in &out.stats {

@@ -1,0 +1,76 @@
+//! Kill-and-recover smoke: a worker is killed mid-CG by a seeded
+//! `FaultPlan`, the master detects the death via timed collectives,
+//! re-partitions the orphaned shard onto the survivors, restores θ
+//! from the on-disk checkpoint, and finishes training.
+//!
+//! ```sh
+//! cargo run --release --example fault_recovery
+//! ```
+//!
+//! `scripts/verify.sh` runs this and greps the summary line, so the
+//! output format is load-bearing.
+
+use pdnn::core::{train_distributed_faulted, DistributedConfig, Objective};
+use pdnn::dnn::{Activation, Network};
+use pdnn::mpisim::FaultPlan;
+use pdnn::speech::{Corpus, CorpusSpec};
+use pdnn::util::Prng;
+use std::time::Duration;
+
+fn main() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(19));
+    let mut rng = Prng::new(4);
+    let net0 = Network::new(
+        &[corpus.spec().feature_dim, 16, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+
+    let checkpoint =
+        std::env::temp_dir().join(format!("pdnn-fault-recovery-{}.ckpt", std::process::id()));
+    let mut config = DistributedConfig {
+        workers: 3,
+        checkpoint_every: 1,
+        checkpoint_path: Some(checkpoint.clone()),
+        ..Default::default()
+    };
+    config.hf.max_iters = 3;
+
+    // Rank 1 dies at its 10th collective — inside the first CG solve.
+    let plan = FaultPlan::new(41)
+        .kill(1, 10)
+        .with_timeouts(Duration::from_millis(500), Duration::from_secs(30));
+
+    println!(
+        "training: {} workers + 1 master, killing rank 1 mid-CG, checkpoint at {}",
+        config.workers,
+        checkpoint.display()
+    );
+
+    let out = train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &config, &plan)
+        .expect("training must survive one worker death");
+    std::fs::remove_file(&checkpoint).ok();
+
+    println!("\niter  train loss  heldout loss");
+    for s in &out.stats {
+        println!(
+            "{:>4}  {:>10.4}  {:>12.4}",
+            s.iter, s.train_loss, s.heldout_after
+        );
+    }
+
+    assert_eq!(out.dead_ranks, vec![1], "expected exactly rank 1 dead");
+    assert_eq!(out.recoveries, 1, "expected exactly one recovery");
+    assert_eq!(out.stats.len(), 3, "training did not run to completion");
+    assert!(
+        out.stats.iter().all(|s| s.train_loss.is_finite()),
+        "non-finite loss after recovery"
+    );
+
+    println!(
+        "\nfault recovery OK: dead_ranks={:?} recoveries={} iters={}",
+        out.dead_ranks,
+        out.recoveries,
+        out.stats.len()
+    );
+}

@@ -25,6 +25,18 @@ cargo run -q -p pdnn-protocheck -- --static --mutations
 echo "== protocol: pdnn-protocheck dynamic sweep =="
 cargo run -q --release -p pdnn-protocheck -- --dynamic 8 --workers 3 --iters 2
 
+echo "== fault tolerance: mpisim failure-injection suite =="
+cargo test -q --release --test failure_injection
+
+echo "== fault tolerance: core recovery suite (kill, re-shard, resume) =="
+cargo test -q --release -p pdnn-core --test fault_tolerance
+
+echo "== fault tolerance: kill-and-recover smoke (checkpoint restore) =="
+# Capture first (grep -q would SIGPIPE the example under pipefail).
+smoke_out="$(cargo run -q --release --example fault_recovery)"
+echo "$smoke_out" | grep -q "fault recovery OK: dead_ranks=\[1\] recoveries=1 iters=3" \
+  || { echo "fault_recovery smoke did not report a clean recovery" >&2; exit 1; }
+
 echo "== perf: training-step bench smoke (arena zero-growth gate) =="
 # The --smoke run itself asserts zero steady-state heap growth (the
 # workspace-arena guarantee); the greps assert the emitted JSON has

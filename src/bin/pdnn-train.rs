@@ -200,8 +200,15 @@ fn main() -> ExitCode {
             strategy,
             heldout_frac: 0.2,
             threads_per_rank: threads,
+            ..DistributedConfig::default()
         };
-        let out = train_distributed(&net0, &corpus, &objective, &config);
+        let out = match train_distributed(&net0, &corpus, &objective, &config) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("distributed training failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         print_stats(&out.stats);
         println!("\nmaster phases:\n{}", out.master_phases.report());
         out.network

@@ -56,7 +56,8 @@ fn distributed_matches_serial_across_worker_counts() {
             heldout_frac: 0.2,
             ..Default::default()
         };
-        let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config);
+        let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config)
+            .expect("training failed");
         let last = out
             .stats
             .iter()
@@ -94,7 +95,8 @@ fn partition_strategy_does_not_change_quality() {
             heldout_frac: 0.2,
             ..Default::default()
         };
-        let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config);
+        let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config)
+            .expect("training failed");
         let last = out.stats.iter().rev().find(|s| s.accepted).unwrap();
         losses.push(last.heldout_after);
     }
@@ -116,7 +118,8 @@ fn distributed_run_produces_paper_instrumentation() {
         heldout_frac: 0.2,
         ..Default::default()
     };
-    let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config);
+    let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config)
+        .expect("training failed");
 
     // The phase names of Figures 2-3.
     for phases in &out.worker_phases {
@@ -163,7 +166,8 @@ fn threads_per_rank_does_not_change_results() {
             heldout_frac: 0.2,
             ..Default::default()
         };
-        let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config);
+        let out = train_distributed(&net, &corpus, &Objective::CrossEntropy, &config)
+            .expect("training failed");
         out.network.to_flat()
     };
     let t1 = run(1);

@@ -3,7 +3,7 @@
 //! violated. The distributed trainer's liveness rests on these
 //! semantics.
 
-use pdnn::mpisim::{run_world, CommError, Payload, Src};
+use pdnn::mpisim::{run_world, run_world_faulted, CommError, FaultPlan, Payload, ReduceOp, Src};
 use std::time::Duration;
 
 #[test]
@@ -92,6 +92,139 @@ fn mismatched_collective_lengths_panic() {
         outcome.is_err(),
         "length mismatch must not silently truncate"
     );
+}
+
+#[test]
+fn killed_rank_unwinds_and_root_sees_rank_dead() {
+    // Rank 2 is killed right before its second collective (the
+    // reduce). It must observe `Killed`, every peer must observe
+    // `RankDead { rank: 2 }` at a deterministic point, and the
+    // world must terminate.
+    let plan = FaultPlan::new(1)
+        .kill(2, 1)
+        .with_timeouts(Duration::from_millis(200), Duration::from_secs(5));
+    let results = run_world_faulted(3, &plan, |comm| {
+        let mut theta = vec![comm.rank() as f64; 4];
+        let b = comm.bcast(&mut theta, 0);
+        let mut acc = vec![1.0f64; 4];
+        let r = comm.reduce(&mut acc, ReduceOp::Sum, 0);
+        (b.is_ok(), r, comm.dead_ranks().to_vec())
+    });
+    assert!(results[2].result.0, "bcast before the kill point succeeds");
+    assert_eq!(results[2].result.1, Err(CommError::Killed));
+    assert_eq!(results[0].result.1, Err(CommError::RankDead { rank: 2 }));
+    assert_eq!(results[0].result.2, vec![2]);
+    assert!(results[1].result.1.is_ok(), "send-side reduce unaffected");
+}
+
+#[test]
+fn acknowledged_death_lets_survivors_continue() {
+    // After the root acknowledges a death, later collectives run
+    // cleanly on the survivors; an unacknowledged death keeps being
+    // reported so it can never be silently absorbed.
+    let plan = FaultPlan::new(2)
+        .kill(2, 0)
+        .with_timeouts(Duration::from_millis(200), Duration::from_secs(5));
+    let results = run_world_faulted(3, &plan, |comm| {
+        let mut acc = vec![1.0f64];
+        let first = comm.reduce(&mut acc, ReduceOp::Sum, 0);
+        if comm.rank() == 0 {
+            if let Err(CommError::RankDead { rank }) = &first {
+                comm.ack_dead(*rank);
+            }
+        }
+        let mut acc2 = vec![1.0f64];
+        let second = comm.reduce(&mut acc2, ReduceOp::Sum, 0);
+        (first, second, acc2)
+    });
+    assert_eq!(results[0].result.0, Err(CommError::RankDead { rank: 2 }));
+    assert!(results[0].result.1.is_ok(), "post-ack reduce is clean");
+    assert_eq!(results[0].result.2, vec![2.0], "root + rank 1 only");
+}
+
+#[test]
+fn dropped_message_times_out_but_later_traffic_flows() {
+    let plan = FaultPlan::new(3).drop_message(0, 1, 0);
+    let results = run_world_faulted(2, &plan, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 5, Payload::U64(vec![9])).unwrap();
+            comm.send(1, 6, Payload::U64(vec![10])).unwrap();
+            (true, 0)
+        } else {
+            let first = comm.recv_timeout(Src::Of(0), 5, Duration::from_millis(50));
+            let second = comm.recv(Src::Of(0), 6).unwrap().payload.into_u64();
+            (matches!(first, Err(CommError::Timeout)), second[0])
+        }
+    });
+    assert_eq!(results[1].result, (true, 10));
+}
+
+#[test]
+fn stalled_rank_is_evicted_by_the_root() {
+    // Rank 1 stalls past the root's detection window: the root must
+    // evict it (reporting RankDead) rather than hang, and the
+    // stalled rank must observe `Evicted` when it wakes.
+    let plan = FaultPlan::new(4)
+        .stall(1, 0, 200)
+        .with_timeouts(Duration::from_millis(40), Duration::from_secs(5));
+    let results = run_world_faulted(2, &plan, |comm| {
+        let mut v = vec![1.0f64];
+        let r1 = comm.reduce(&mut v, ReduceOp::Sum, 0);
+        let mut w = vec![2.0f64];
+        let r2 = comm.bcast(&mut w, 0);
+        (r1, r2)
+    });
+    assert_eq!(results[0].result.0, Err(CommError::RankDead { rank: 1 }));
+    assert!(results[0].result.1.is_ok());
+    assert_eq!(results[1].result.1, Err(CommError::Evicted));
+}
+
+#[test]
+fn same_fault_plan_reproduces_identical_outcomes() {
+    // The whole point of plan-driven injection: two runs under the
+    // same plan observe the failure, detect it, and recover at the
+    // same logical points, producing identical results and traces.
+    let run = || {
+        run_world_faulted(
+            4,
+            &FaultPlan::new(7)
+                .kill(3, 2)
+                .with_timeouts(Duration::from_millis(200), Duration::from_secs(5)),
+            |comm| {
+                let mut log: Vec<String> = Vec::new();
+                for _ in 0..3 {
+                    let mut theta = vec![0.25f64; 8];
+                    let b = comm.bcast(&mut theta, 0);
+                    log.push(format!("{b:?}"));
+                    let mut g = vec![comm.rank() as f64; 8];
+                    let r = comm.reduce(&mut g, ReduceOp::Sum, 0);
+                    log.push(format!("{r:?}:{g:?}"));
+                    if comm.rank() == 0 {
+                        if let Err(CommError::RankDead { rank }) = r {
+                            comm.ack_dead(rank);
+                        }
+                    }
+                }
+                // Only the root's dead-set is compared: when a
+                // *bystander* rank pulls the death packet out of its
+                // inbox is scheduling-dependent (detection there is
+                // lazy), but the root discovers the death at a fixed
+                // point in its receive sequence.
+                let dead = if comm.rank() == 0 {
+                    comm.dead_ranks().to_vec()
+                } else {
+                    Vec::new()
+                };
+                (log, dead)
+            },
+        )
+    };
+    let a = run();
+    let b = run();
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.result, rb.result, "rank {}", ra.rank);
+        assert_eq!(ra.trace, rb.trace, "rank {}", ra.rank);
+    }
 }
 
 #[test]

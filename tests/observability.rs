@@ -31,7 +31,7 @@ fn train_four_ranks() -> TrainOutput {
         heldout_frac: 0.2,
         ..Default::default()
     };
-    train_distributed(&net, &corpus, &Objective::CrossEntropy, &config)
+    train_distributed(&net, &corpus, &Objective::CrossEntropy, &config).expect("training failed")
 }
 
 /// Fraction of `[first start, last end]` covered by the union of the
