@@ -5,9 +5,7 @@
 //! thread ladder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pdnn_tensor::gemm::{
-    gemm, gemm_flops, gemm_naive, gemm_prepacked, Blocking, GemmContext, PackedB, Trans,
-};
+use pdnn_tensor::gemm::{gemm_flops, Blocking, GemmContext, GemmOp, PackedB, Trans};
 use pdnn_tensor::Matrix;
 use pdnn_util::Prng;
 
@@ -27,19 +25,19 @@ fn bench_kernels(c: &mut Criterion) {
         group.throughput(Throughput::Elements(gemm_flops(n, n, n)));
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
             let mut out = Matrix::zeros(n, n);
-            bch.iter(|| gemm_naive(Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut out));
+            bch.iter(|| GemmOp::<f32>::ab(&a, Trans::N, &b, Trans::N).run_reference(&mut out));
         });
         let ctx = GemmContext::sequential();
         group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
             let mut out = Matrix::zeros(n, n);
-            bch.iter(|| gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut out));
+            bch.iter(|| GemmOp::<f32>::ab(&a, Trans::N, &b, Trans::N).run(&ctx, &mut out));
         });
         // The weight-reuse path: B packed once outside the loop (the
         // paper's memory-reuse optimization).
         let packed = PackedB::new(&b, Trans::N, ctx.blocking());
         group.bench_with_input(BenchmarkId::new("prepacked", n), &n, |bch, _| {
             let mut out = Matrix::zeros(n, n);
-            bch.iter(|| gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut out));
+            bch.iter(|| GemmOp::packed_b(&a, Trans::N, &packed).run(&ctx, &mut out));
         });
     }
     group.finish();
@@ -74,7 +72,7 @@ fn bench_blocking_ablation(c: &mut Criterion) {
         let ctx = GemmContext::sequential().with_blocking(blocking);
         group.bench_function(name, |bch| {
             let mut out = Matrix::zeros(n, n);
-            bch.iter(|| gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut out));
+            bch.iter(|| GemmOp::<f32>::ab(&a, Trans::N, &b, Trans::N).run(&ctx, &mut out));
         });
     }
     group.finish();
@@ -90,7 +88,7 @@ fn bench_threads(c: &mut Criterion) {
         let ctx = GemmContext::threaded(threads);
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bch, _| {
             let mut out = Matrix::zeros(n, n);
-            bch.iter(|| gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut out));
+            bch.iter(|| GemmOp::<f32>::ab(&a, Trans::N, &b, Trans::N).run(&ctx, &mut out));
         });
     }
     group.finish();

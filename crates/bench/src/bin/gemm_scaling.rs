@@ -6,7 +6,7 @@
 //! thread ladder.
 
 use pdnn_bench::{arg_num, arg_value, emit};
-use pdnn_tensor::gemm::{gemm, gemm_flops, gemm_naive, GemmContext, Trans};
+use pdnn_tensor::gemm::{gemm_flops, GemmContext, GemmOp, Trans};
 use pdnn_tensor::Matrix;
 use pdnn_util::report::Table;
 use pdnn_util::Prng;
@@ -15,10 +15,10 @@ use std::time::Instant;
 fn time_gemm(ctx: &GemmContext, a: &Matrix<f32>, b: &Matrix<f32>, reps: usize) -> f64 {
     let mut c = Matrix::zeros(a.rows(), b.cols());
     // Warm up once.
-    gemm(ctx, Trans::N, Trans::N, 1.0, a, b, 0.0, &mut c);
+    GemmOp::ab(a, Trans::N, b, Trans::N).run(ctx, &mut c);
     let start = Instant::now();
     for _ in 0..reps {
-        gemm(ctx, Trans::N, Trans::N, 1.0, a, b, 0.0, &mut c);
+        GemmOp::ab(a, Trans::N, b, Trans::N).run(ctx, &mut c);
     }
     start.elapsed().as_secs_f64() / reps as f64
 }
@@ -44,7 +44,7 @@ fn main() {
         let tuned_s = time_gemm(&seq, &a, &b, 3);
         let mut c = Matrix::zeros(n, n);
         let start = Instant::now();
-        gemm_naive(Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c);
+        GemmOp::<f32>::ab(&a, Trans::N, &b, Trans::N).run_reference(&mut c);
         let naive_s = start.elapsed().as_secs_f64();
         t.row(&[
             format!("{n}"),

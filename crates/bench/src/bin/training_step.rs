@@ -15,10 +15,19 @@
 //! multi-iteration CG solve — the configuration the optimizer
 //! actually runs — and reports the resulting speedup.
 //!
+//! Also sweeps every compute backend the host supports (scalar plus
+//! whichever of AVX2/AVX-512/NEON runtime detection finds), timing the
+//! packed forward and GN-product phases under each ISA, and emits the
+//! per-ISA numbers as `BENCH_5.json` — the measured payoff of the
+//! explicit SIMD microkernels, which are bit-identical to scalar by
+//! contract and therefore free to enable.
+//!
 //! `--smoke` runs a seconds-scale configuration and asserts zero
 //! per-iteration heap growth once the arena reaches steady state
 //! (the allocation guarantee `scripts/verify.sh` gates on).
-//! `--out PATH` overrides the JSON destination.
+//! `--out PATH` overrides the phase JSON destination, `--out-isa PATH`
+//! the per-ISA one, and `--backend NAME` forces the main measurement's
+//! microkernel ISA (`scalar|avx2|avx512|neon|auto`).
 
 use pdnn_bench::{arg_num, arg_value};
 use pdnn_dnn::flops::{
@@ -27,7 +36,7 @@ use pdnn_dnn::flops::{
 use pdnn_dnn::gauss_newton::{gn_product, gn_product_ws, Curvature};
 use pdnn_dnn::loss::{cross_entropy, softmax_rows};
 use pdnn_dnn::{Activation, Network, PackedActivations, PackedWeights};
-use pdnn_tensor::gemm::GemmContext;
+use pdnn_tensor::gemm::{available_isas, backend_for, BackendConfig, GemmContext, Isa};
 use pdnn_tensor::{Matrix, Workspace};
 use pdnn_util::Prng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -42,24 +51,29 @@ struct CountingAlloc;
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
 
+// pdnn-lint: allow(l7-unsafe-outside-kernel): GlobalAlloc is an unsafe trait; this wrapper only counts and delegates to System
 unsafe impl GlobalAlloc for CountingAlloc {
+    // pdnn-lint: allow(l7-unsafe-outside-kernel): unsafe signature required by the GlobalAlloc trait; body delegates to System
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // pdnn-lint: allow(l7-unsafe-outside-kernel): unsafe signature required by the GlobalAlloc trait; body delegates to System
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
+    // pdnn-lint: allow(l7-unsafe-outside-kernel): unsafe signature required by the GlobalAlloc trait; body delegates to System
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // pdnn-lint: allow(l7-unsafe-outside-kernel): unsafe signature required by the GlobalAlloc trait; body delegates to System
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
@@ -122,6 +136,18 @@ fn measure_pair(
     )
 }
 
+/// Warmup once, then the fastest of `iters` reps of `f` (seconds).
+fn measure_min(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// `{"ns_per_frame": .., "gflops": .., "allocs": ..}` for one phase.
 fn phase_json(m: PhaseMeasure, frames: usize, flops_per_frame: u64) -> String {
     let ns_per_frame = m.secs * 1e9 / frames as f64;
@@ -135,6 +161,7 @@ fn phase_json(m: PhaseMeasure, frames: usize, flops_per_frame: u64) -> String {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_4.json".into());
+    let out_isa_path = arg_value("--out-isa").unwrap_or_else(|| "BENCH_5.json".into());
     // Full mode mirrors a paper-shaped acoustic model on a per-rank
     // curvature shard; smoke mode shrinks everything to run in
     // seconds. The 8-frame default is the strong-scaling regime the
@@ -155,7 +182,17 @@ fn main() {
 
     let mut rng = Prng::new(4);
     let net: Network<f32> = Network::new(&dims, Activation::Sigmoid, &mut rng);
-    let ctx = GemmContext::sequential();
+    let backend = BackendConfig::builder()
+        .select_name(&arg_value("--backend").unwrap_or_else(|| "auto".into()))
+        .build()
+        .expect("invalid --backend")
+        .resolve()
+        .expect("backend resolution failed");
+    let ctx = GemmContext::sequential().with_backend(backend);
+    println!(
+        "compute backend: dispatching {} microkernels",
+        ctx.backend().isa()
+    );
     let x: Matrix<f32> = Matrix::random_normal(frames, dims[0], 1.0, &mut rng);
     let classes = *dims.last().expect("dims nonempty") as u32;
     let labels: Vec<u32> = (0..frames)
@@ -350,6 +387,83 @@ fn main() {
         packed_solve * 1e3,
         build_secs * 1e3,
     );
+
+    // Per-ISA sweep: the packed forward and GN-product phases under
+    // every backend runtime detection finds on this host. Because the
+    // kernels are bit-identical by contract, the only thing that may
+    // change between rows is time.
+    let isa_reps = if smoke { 3 } else { reps };
+    let mut isa_rows: Vec<(Isa, f64, f64)> = Vec::new();
+    for isa in available_isas() {
+        let ictx = GemmContext::sequential()
+            .with_backend(backend_for(isa).expect("available ISA must resolve"));
+        let ipacks = PackedWeights::new(&net, &ictx);
+        let iacts = PackedActivations::new(&cache, &ictx);
+        let fwd_secs = measure_min(isa_reps, || {
+            let c = net.forward_ws(&ictx, &x, Some(&ipacks), &mut ws);
+            c.give_back(&mut ws);
+        });
+        let gn_secs = measure_min(isa_reps, || {
+            let gv = gn_product_ws(
+                &net,
+                &ictx,
+                &cache,
+                Curvature::Fisher(&dist),
+                &v,
+                Some(&ipacks),
+                Some(&iacts),
+                &mut ws,
+            );
+            ws.give_vec(gv);
+        });
+        isa_rows.push((isa, fwd_secs, gn_secs));
+    }
+    let gflops_of = |secs: f64, flops_per_frame: u64| -> f64 {
+        flops_per_frame as f64 * frames as f64 / secs / 1e9
+    };
+    let scalar_row = isa_rows
+        .iter()
+        .find(|(isa, _, _)| *isa == Isa::Scalar)
+        .copied()
+        .expect("scalar backend is always available");
+    let best_simd = isa_rows
+        .iter()
+        .filter(|(isa, _, _)| *isa != Isa::Scalar)
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .copied();
+
+    let mut isa_json = String::from("{\n");
+    isa_json.push_str("  \"bench\": \"training_step_isa\",\n");
+    isa_json.push_str(&format!(
+        "  \"config\": {{\"dims\": [{dims_json}], \"frames\": {frames}, \"reps\": {isa_reps}, \"smoke\": {smoke}}},\n"
+    ));
+    isa_json.push_str(&format!(
+        "  \"dispatched_default\": \"{}\",\n",
+        GemmContext::sequential().backend().isa()
+    ));
+    isa_json.push_str("  \"isas\": {\n");
+    for (i, (isa, fwd_secs, gn_secs)) in isa_rows.iter().enumerate() {
+        isa_json.push_str(&format!(
+            "    \"{isa}\": {{\"forward_gflops\": {:.3}, \"gn_product_gflops\": {:.3}}}{}\n",
+            gflops_of(*fwd_secs, fwd_flops),
+            gflops_of(*gn_secs, gn_flops),
+            if i + 1 < isa_rows.len() { "," } else { "" },
+        ));
+    }
+    isa_json.push_str("  }");
+    if let Some((isa, fwd_secs, gn_secs)) = best_simd {
+        isa_json.push_str(&format!(
+            ",\n  \"simd_vs_scalar\": {{\"isa\": \"{isa}\", \"forward_speedup\": {:.3}, \"gn_product_speedup\": {:.3}}}\n",
+            scalar_row.1 / fwd_secs,
+            scalar_row.2 / gn_secs,
+        ));
+    } else {
+        isa_json.push('\n');
+    }
+    isa_json.push_str("}\n");
+    std::fs::write(&out_isa_path, &isa_json).expect("failed to write ISA json");
+    print!("{isa_json}");
+    println!("[json] {out_isa_path}");
 
     if smoke {
         assert_eq!(

@@ -17,7 +17,7 @@ use pdnn_dnn::{Activation, Network};
 use pdnn_obs::jsonl::to_jsonl_string;
 use pdnn_obs::Telemetry;
 use pdnn_speech::{Corpus, CorpusSpec};
-use pdnn_tensor::gemm::GemmContext;
+use pdnn_tensor::gemm::{scalar_backend, GemmContext};
 use pdnn_util::Prng;
 use std::sync::Arc;
 
@@ -142,6 +142,67 @@ fn packed_hot_path_is_bit_identical_to_unpacked() {
             "theta[{i}] diverges: packed {a} vs unpacked {b}"
         );
     }
+}
+
+/// The compute backend must be invisible to training: the forced-
+/// scalar reference and the runtime-dispatched SIMD backend (whatever
+/// `default_backend()` resolves to on this host) must produce
+/// bit-identical trained weights, per-iteration losses, AND
+/// byte-identical serialized telemetry. This is the end-to-end check
+/// on the microkernels' bit-exactness contract (`gemm::backend`);
+/// `backend_parity` in pdnn-tensor covers the kernel level.
+///
+/// Backends are forced through explicit [`GemmContext::with_backend`]
+/// contexts, not `PDNN_BACKEND`: the env override is resolved once
+/// per process, so in-process comparisons must bypass it (the
+/// env-driven equivalent runs as separate processes in verify.sh).
+#[test]
+fn forced_scalar_and_auto_backends_train_identically() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(31));
+    let (train_ids, held_ids) = corpus.split_heldout(0.25);
+
+    let run = |ctx: GemmContext| -> (Vec<f32>, Vec<u64>, String) {
+        let mut rng = Prng::new(7);
+        let net = Network::new(
+            &[corpus.spec().feature_dim, 12, corpus.spec().states],
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let recorder = Arc::new(pdnn_obs::InMemoryRecorder::new());
+        let mut problem = DnnProblem::new(
+            net,
+            ctx,
+            corpus.shard(&train_ids),
+            corpus.shard(&held_ids),
+            Objective::CrossEntropy,
+        )
+        .with_recorder(recorder.clone());
+        let mut config = HfConfig::small_task();
+        config.max_iters = 3;
+        let mut opt = HfOptimizer::new(config);
+        let stats = opt.train(&mut problem);
+        let loss_bits = stats.iter().map(|s| s.train_loss.to_bits()).collect();
+        let jsonl = to_jsonl_string(0, &recorder.take());
+        (problem.theta(), loss_bits, jsonl)
+    };
+
+    let (theta_scalar, loss_scalar, jsonl_scalar) =
+        run(GemmContext::sequential().with_backend(scalar_backend()));
+    let (theta_auto, loss_auto, jsonl_auto) = run(GemmContext::sequential());
+
+    assert_eq!(loss_scalar, loss_auto, "per-iteration losses diverge");
+    for (i, (a, b)) in theta_scalar.iter().zip(&theta_auto).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "theta[{i}] diverges: scalar {a} vs auto-backend {b}"
+        );
+    }
+    assert!(!jsonl_scalar.is_empty(), "run produced no telemetry");
+    assert_eq!(
+        jsonl_scalar, jsonl_auto,
+        "telemetry bytes diverge across backends"
+    );
 }
 
 #[test]

@@ -7,7 +7,7 @@
 use crate::loss::{cross_entropy, squared_error, FrameLoss};
 use crate::network::{ForwardCache, Network};
 use crate::packed::PackedWeights;
-use pdnn_tensor::gemm::{gemm, gemm_prepacked, GemmContext, Trans};
+use pdnn_tensor::gemm::{GemmContext, GemmOp, Trans};
 use pdnn_tensor::{Matrix, Scalar, Workspace};
 
 /// Backpropagate `dlogits` through the network, returning the flat
@@ -30,7 +30,7 @@ pub fn backprop<T: Scalar>(
 /// returned gradient vector) comes from `ws`; giving the returned
 /// vector back to `ws` after accumulation makes the steady state
 /// allocation-free. Bitwise identical to the unpacked path:
-/// [`gemm_prepacked`] replays the exact blocked GEMM.
+/// the packed-operand [`GemmOp`] forms replay the exact blocked GEMM.
 ///
 /// # Panics
 /// If `packs` was built from a different weight version, or on shape
@@ -86,16 +86,7 @@ pub fn backprop_ws<T: Scalar>(
 
         // dW = delta^T * a_prev  (out x in)
         let mut dw = ws.take_matrix_scratch(layer.outputs(), layer.inputs());
-        gemm(
-            ctx,
-            Trans::T,
-            Trans::N,
-            T::ONE,
-            &delta,
-            a_prev,
-            T::ZERO,
-            &mut dw,
-        );
+        GemmOp::ab(&delta, Trans::T, a_prev, Trans::N).run(ctx, &mut dw);
 
         let base = offsets[l];
         grad[base..base + dw.len()].copy_from_slice(dw.as_slice());
@@ -106,25 +97,8 @@ pub fn backprop_ws<T: Scalar>(
             // delta_prev = (delta * W) ∘ f'(a_prev)
             let mut dprev = ws.take_matrix_scratch(frames, layer.inputs());
             match packs {
-                Some(p) => gemm_prepacked(
-                    ctx,
-                    Trans::N,
-                    T::ONE,
-                    &delta,
-                    p.backward(l),
-                    T::ZERO,
-                    &mut dprev,
-                ),
-                None => gemm(
-                    ctx,
-                    Trans::N,
-                    Trans::N,
-                    T::ONE,
-                    &delta,
-                    &layer.w,
-                    T::ZERO,
-                    &mut dprev,
-                ),
+                Some(p) => GemmOp::packed_b(&delta, Trans::N, p.backward(l)).run(ctx, &mut dprev),
+                None => GemmOp::ab(&delta, Trans::N, &layer.w, Trans::N).run(ctx, &mut dprev),
             }
             layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
             ws.give_matrix(delta);

@@ -21,7 +21,7 @@
 //! by `pdnn-core`'s optimizer (see its `preconditioner` config).
 
 use crate::network::{ForwardCache, Network};
-use pdnn_tensor::gemm::{gemm, GemmContext, Trans};
+use pdnn_tensor::gemm::{GemmContext, GemmOp, Trans};
 use pdnn_tensor::{Matrix, Scalar};
 
 /// Estimate `diag(Σ_frames ∇L_f ∘ ∇L_f)` over the batch in `cache`.
@@ -63,16 +63,7 @@ pub fn empirical_fisher_diagonal<T: Scalar>(
         let a2 = a_prev.map(|v| v * v);
 
         let mut dw = Matrix::zeros(layer.outputs(), layer.inputs());
-        gemm(
-            ctx,
-            Trans::T,
-            Trans::N,
-            T::ONE,
-            &delta2,
-            &a2,
-            T::ZERO,
-            &mut dw,
-        );
+        GemmOp::ab(&delta2, Trans::T, &a2, Trans::N).run(ctx, &mut dw);
         let db = delta2.column_sums();
         let base = offsets[l];
         out[base..base + dw.len()].copy_from_slice(dw.as_slice());
@@ -81,16 +72,7 @@ pub fn empirical_fisher_diagonal<T: Scalar>(
         if l > 0 {
             let w2 = layer.w.map(|v| v * v);
             let mut dprev = Matrix::zeros(delta2.rows(), layer.inputs());
-            gemm(
-                ctx,
-                Trans::N,
-                Trans::N,
-                T::ONE,
-                &delta2,
-                &w2,
-                T::ZERO,
-                &mut dprev,
-            );
+            GemmOp::ab(&delta2, Trans::N, &w2, Trans::N).run(ctx, &mut dprev);
             // ∘ f'(a_prev)²
             for (dv, &av) in dprev
                 .as_mut_slice()

@@ -23,10 +23,7 @@
 
 use crate::network::{ForwardCache, Network};
 use crate::packed::{PackedActivations, PackedWeights};
-use pdnn_tensor::gemm::{
-    gemm, gemm_prepacked, gemm_prepacked_a_bt, gemm_prepacked_ab, GemmContext, PackedB, Trans,
-    MR as GEMM_MR,
-};
+use pdnn_tensor::gemm::{GemmContext, GemmOp, PackedB, Trans, MR as GEMM_MR};
 use pdnn_tensor::{Matrix, Scalar, Workspace};
 
 /// Which loss-Hessian `H_L` closes the Gauss–Newton sandwich.
@@ -129,19 +126,8 @@ pub fn gn_product_ws<T: Scalar>(
         let beta_vw = match &r {
             Some(r_in) => {
                 match packs {
-                    Some(p) => {
-                        gemm_prepacked(ctx, Trans::N, T::ONE, r_in, p.forward(l), T::ZERO, &mut rz)
-                    }
-                    None => gemm(
-                        ctx,
-                        Trans::N,
-                        Trans::T,
-                        T::ONE,
-                        r_in,
-                        &layer.w,
-                        T::ZERO,
-                        &mut rz,
-                    ),
+                    Some(p) => GemmOp::packed_b(r_in, Trans::N, p.forward(l)).run(ctx, &mut rz),
+                    None => GemmOp::ab(r_in, Trans::N, &layer.w, Trans::T).run(ctx, &mut rz),
                 }
                 T::ONE
             }
@@ -157,7 +143,9 @@ pub fn gn_product_ws<T: Scalar>(
                     // are Vw rows, already stride-one — and skip the
                     // pack's extra write + reread of a Vw-sized
                     // buffer entirely.
-                    gemm_prepacked_a_bt(ctx, T::ONE, left, vw_flat, beta_vw, &mut rz);
+                    GemmOp::packed_a_bt(left, vw_flat)
+                        .beta(beta_vw)
+                        .run(ctx, &mut rz);
                 } else {
                     // Tall frame blocks amortize the register-blocked
                     // packed kernel better: pack Vw once straight from
@@ -172,7 +160,9 @@ pub fn gn_product_ws<T: Scalar>(
                         left.blocking(),
                         ws,
                     );
-                    gemm_prepacked_ab(ctx, T::ONE, left, &pvw, beta_vw, &mut rz);
+                    GemmOp::packed_ab(left, &pvw)
+                        .beta(beta_vw)
+                        .run(ctx, &mut rz);
                     pvw.give_back(ws);
                 }
             }
@@ -181,16 +171,9 @@ pub fn gn_product_ws<T: Scalar>(
                 // operand, so materialize Vw from its flat region.
                 let mut vw = ws.take_matrix_scratch(layer.outputs(), layer.inputs());
                 vw.as_mut_slice().copy_from_slice(vw_flat);
-                gemm(
-                    ctx,
-                    Trans::N,
-                    Trans::T,
-                    T::ONE,
-                    a_prev,
-                    &vw,
-                    beta_vw,
-                    &mut rz,
-                );
+                GemmOp::ab(a_prev, Trans::N, &vw, Trans::T)
+                    .beta(beta_vw)
+                    .run(ctx, &mut rz);
                 ws.give_matrix(vw);
             }
         }
@@ -252,19 +235,8 @@ pub fn gn_product_ws<T: Scalar>(
         let a_prev = &cache.acts[l];
         let mut gw = ws.take_matrix_scratch(layer.outputs(), layer.inputs());
         match acts {
-            Some(pa) => {
-                gemm_prepacked(ctx, Trans::T, T::ONE, &delta, pa.right(l), T::ZERO, &mut gw)
-            }
-            None => gemm(
-                ctx,
-                Trans::T,
-                Trans::N,
-                T::ONE,
-                &delta,
-                a_prev,
-                T::ZERO,
-                &mut gw,
-            ),
+            Some(pa) => GemmOp::packed_b(&delta, Trans::T, pa.right(l)).run(ctx, &mut gw),
+            None => GemmOp::ab(&delta, Trans::T, a_prev, Trans::N).run(ctx, &mut gw),
         }
         let base = offsets[l];
         out[base..base + gw.len()].copy_from_slice(gw.as_slice());
@@ -274,25 +246,8 @@ pub fn gn_product_ws<T: Scalar>(
         if l > 0 {
             let mut dprev = ws.take_matrix_scratch(frames, layer.inputs());
             match packs {
-                Some(p) => gemm_prepacked(
-                    ctx,
-                    Trans::N,
-                    T::ONE,
-                    &delta,
-                    p.backward(l),
-                    T::ZERO,
-                    &mut dprev,
-                ),
-                None => gemm(
-                    ctx,
-                    Trans::N,
-                    Trans::N,
-                    T::ONE,
-                    &delta,
-                    &layer.w,
-                    T::ZERO,
-                    &mut dprev,
-                ),
+                Some(p) => GemmOp::packed_b(&delta, Trans::N, p.backward(l)).run(ctx, &mut dprev),
+                None => GemmOp::ab(&delta, Trans::N, &layer.w, Trans::N).run(ctx, &mut dprev),
             }
             layers[l - 1].act.mask_derivative(&mut dprev, a_prev);
             ws.give_matrix(delta);

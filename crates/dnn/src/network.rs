@@ -9,7 +9,7 @@
 
 use crate::activation::Activation;
 use crate::packed::PackedWeights;
-use pdnn_tensor::gemm::{gemm, gemm_prepacked, GemmContext, Trans};
+use pdnn_tensor::gemm::{GemmContext, GemmOp, Trans};
 use pdnn_tensor::{Matrix, Scalar, Workspace};
 use pdnn_util::Prng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,16 +69,7 @@ impl<T: Scalar> Layer<T> {
     /// Affine + activation forward for a batch `[frames x in]`.
     pub fn forward(&self, ctx: &GemmContext, a_in: &Matrix<T>) -> Matrix<T> {
         let mut z = Matrix::zeros(a_in.rows(), self.outputs());
-        gemm(
-            ctx,
-            Trans::N,
-            Trans::T,
-            T::ONE,
-            a_in,
-            &self.w,
-            T::ZERO,
-            &mut z,
-        );
+        GemmOp::ab(a_in, Trans::N, &self.w, Trans::T).run(ctx, &mut z);
         z.add_row_broadcast(&self.b);
         self.act.apply(&mut z);
         z
@@ -275,19 +266,8 @@ impl<T: Scalar> Network<T> {
             // Scratch take: the beta = 0 GEMM overwrites all of z.
             let mut z = ws.take_matrix_scratch(a_in.rows(), layer.outputs());
             match packs {
-                Some(p) => {
-                    gemm_prepacked(ctx, Trans::N, T::ONE, a_in, p.forward(l), T::ZERO, &mut z)
-                }
-                None => gemm(
-                    ctx,
-                    Trans::N,
-                    Trans::T,
-                    T::ONE,
-                    a_in,
-                    &layer.w,
-                    T::ZERO,
-                    &mut z,
-                ),
+                Some(p) => GemmOp::packed_b(a_in, Trans::N, p.forward(l)).run(ctx, &mut z),
+                None => GemmOp::ab(a_in, Trans::N, &layer.w, Trans::T).run(ctx, &mut z),
             }
             z.add_row_broadcast(&layer.b);
             layer.act.apply(&mut z);
@@ -323,19 +303,8 @@ impl<T: Scalar> Network<T> {
             // Scratch take: the beta = 0 GEMM overwrites all of z.
             let mut z = ws.take_matrix_scratch(input.rows(), layer.outputs());
             match packs {
-                Some(p) => {
-                    gemm_prepacked(ctx, Trans::N, T::ONE, input, p.forward(i), T::ZERO, &mut z)
-                }
-                None => gemm(
-                    ctx,
-                    Trans::N,
-                    Trans::T,
-                    T::ONE,
-                    input,
-                    &layer.w,
-                    T::ZERO,
-                    &mut z,
-                ),
+                Some(p) => GemmOp::packed_b(input, Trans::N, p.forward(i)).run(ctx, &mut z),
+                None => GemmOp::ab(input, Trans::N, &layer.w, Trans::T).run(ctx, &mut z),
             }
             z.add_row_broadcast(&layer.b);
             layer.act.apply(&mut z);

@@ -1,4 +1,4 @@
-//! The five project rules. Each rule takes a [`SourceFile`] and emits
+//! The seven project rules. Each rule takes a [`SourceFile`] and emits
 //! findings; scoping (which paths a rule applies to) lives here so
 //! RULES.md and the code stay side by side.
 
@@ -43,6 +43,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no bare `as` numeric casts in cycle/byte accounting \
                   paths; use try_into or pdnn_util::cast helpers",
     },
+    RuleInfo {
+        id: L7,
+        summary: "`unsafe` is confined to the tensor GEMM kernel backend \
+                  modules (explicit SIMD microkernels); everywhere else \
+                  needs a reasoned suppression",
+    },
 ];
 
 pub const L1: &str = "l1-sim-wall-clock";
@@ -51,6 +57,7 @@ pub const L3: &str = "l3-no-unwrap";
 pub const L4: &str = "l4-float-exact-compare";
 pub const L5: &str = "l5-phase-span";
 pub const L6: &str = "l6-lossy-cast";
+pub const L7: &str = "l7-unsafe-outside-kernel";
 
 /// Rule ids owned by `pdnn-protocheck` but registered here so the
 /// shared suppression machinery (`pdnn_lint::suppressions`) accepts
@@ -137,6 +144,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     l4_float_exact_compare(file, &mut out);
     l5_phase_span(file, &mut out);
     l6_lossy_cast(file, &mut out);
+    l7_unsafe_outside_kernel(file, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
@@ -386,6 +394,28 @@ fn l6_lossy_cast(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// The only modules allowed to contain `unsafe`: the explicit SIMD
+/// microkernels behind the `ComputeBackend` seam, where raw-pointer
+/// `std::arch` code is the entire point and every entry is a safe
+/// wrapper that asserts lengths and runtime CPU features first.
+const KERNEL_BACKEND_PATHS: &[&str] = &["crates/tensor/src/gemm/kernel/"];
+
+fn l7_unsafe_outside_kernel(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.path.ends_with(".rs") || in_any(&file.path, KERNEL_BACKEND_PATHS) {
+        return;
+    }
+    flag_word(
+        file,
+        "unsafe",
+        L7,
+        "`unsafe` outside the GEMM kernel backend modules \
+         (crates/tensor/src/gemm/kernel/); move the code behind the \
+         ComputeBackend seam or suppress with the reason the block is \
+         unavoidable and sound",
+        out,
+    );
+}
+
 /// Tokens whose presence in a body mean "this function is visible in
 /// telemetry".
 fn body_opens_span(body: &str) -> bool {
@@ -619,6 +649,23 @@ fn f(x: f64, n: u32) -> bool {
                    #[cfg(test)]\nmod tests {\n    fn t(b: u64) -> f64 { b as f64 }\n}\n";
         let hits = findings_for("crates/perfmodel/src/model.rs", src);
         assert!(hits.iter().all(|f| f.rule != L6), "{hits:?}");
+    }
+
+    #[test]
+    fn l7_confines_unsafe_to_kernel_backends() {
+        let src = "fn f(p: *mut u8) { unsafe { p.write(0) } }\n";
+        // Anywhere else: flagged.
+        let hits = findings_for("crates/core/src/x.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == L7).count(), 1);
+        let hits = findings_for("src/bin/pdnn-train.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == L7).count(), 1);
+        // Inside the kernel backend dir: allowed.
+        let hits = findings_for("crates/tensor/src/gemm/kernel/x86.rs", src);
+        assert!(hits.iter().all(|f| f.rule != L7), "{hits:?}");
+        // Test code and strings don't count.
+        let masked = "#[cfg(test)]\nmod tests {\n    fn t(p: *mut u8) { unsafe { p.write(0) } }\n}\nfn f() { let s = \"unsafe\"; }\n";
+        let hits = findings_for("crates/core/src/x.rs", masked);
+        assert!(hits.iter().all(|f| f.rule != L7), "{hits:?}");
     }
 
     #[test]

@@ -3,18 +3,37 @@
 //! Mirrors the paper's Section V.A.2: an `MR x NR` block of C is
 //! updated by a sequence of rank-1 updates read with unit stride from
 //! the packed panels. On BG/Q this was hand-scheduled QPX assembly;
-//! here the fixed-size accumulator array and stride-one loads give
-//! LLVM a loop it reliably auto-vectorizes. The accumulator lives in
-//! registers for the whole `kc` loop, so C traffic is one read-modify-
-//! write per block regardless of `kc` — the property the paper's
-//! "reduce bandwidth to a level the caches can feed" goal is about.
+//! here the accumulate loop is a [`AccFn`] function pointer selected
+//! by the active [`crate::gemm::backend::ComputeBackend`] — either the
+//! portable [`scalar`] reference or an explicit `std::arch` kernel
+//! ([`x86`], [`neon`]). The accumulator lives in registers for the
+//! whole `kc` loop, so C traffic is one read-modify-write per block
+//! regardless of `kc` — the property the paper's "reduce bandwidth to
+//! a level the caches can feed" goal is about.
+//!
+//! These submodules are the **only** place in the workspace where
+//! `unsafe` is permitted (lint rule `l7-unsafe-outside-kernel`): the
+//! SIMD kernels need raw intrinsics, and everything they touch is
+//! bounds-asserted in a safe wrapper first.
 
 use crate::scalar::Scalar;
 
+use super::backend::AccFn;
 use super::{MR, NR};
 
-/// Compute `acc = Ap * Bp` for one micro-panel pair and merge into C.
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
+
+/// Compute `acc = Ap * Bp` for one micro-panel pair via `acc_fn` and
+/// merge into C.
 ///
+/// * `acc_fn`: backend-selected accumulate kernel (resolved once per
+///   driver call via [`crate::scalar::Scalar::acc_kernel`]).
 /// * `ap`: packed A micro-panel, `kc * MR` elements (`kk`-major).
 /// * `bp`: packed B micro-panel, `kc * NR` elements (`kk`-major).
 /// * `c`: the full C stripe buffer; the target block starts at
@@ -24,9 +43,14 @@ use super::{MR, NR};
 ///   uniform and only the C write is masked).
 /// * `merge_beta`: `Some(beta)` on the first k-block (C is scaled),
 ///   `None` afterwards (pure accumulate).
+///
+/// The merge is shared generic code — backends only replace the
+/// accumulate loop, which is what keeps the merge rounding identical
+/// across backends by construction.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 pub fn microkernel<T: Scalar>(
+    acc_fn: AccFn<T>,
     kc: usize,
     alpha: T,
     ap: &[T],
@@ -43,20 +67,7 @@ pub fn microkernel<T: Scalar>(
     debug_assert!(mr_eff <= MR && nr_eff <= NR);
 
     let mut acc = [[T::ZERO; NR]; MR];
-    // Rank-1 update loop: both panels are walked front to back with
-    // unit stride (this is what packing buys us).
-    for (a_row, b_row) in ap[..kc * MR]
-        .chunks_exact(MR)
-        .zip(bp[..kc * NR].chunks_exact(NR))
-    {
-        for i in 0..MR {
-            let ai = a_row[i];
-            let row = &mut acc[i];
-            for j in 0..NR {
-                row[j] = ai.mul_add(b_row[j], row[j]);
-            }
-        }
-    }
+    acc_fn(kc, ap, bp, &mut acc);
 
     // Merge into C, masking the ragged edge.
     match merge_beta {
@@ -110,13 +121,15 @@ mod tests {
         (ap, bp)
     }
 
+    const ACC: AccFn<f32> = scalar::acc::<f32>;
+
     #[test]
     fn full_block_beta_zero() {
         let kc = 4;
         let (ap, bp) = panels(kc);
         let ldc = NR;
         let mut c = vec![f32::NAN; MR * ldc];
-        microkernel(kc, 1.0, &ap, &bp, &mut c, 0, ldc, MR, NR, Some(0.0));
+        microkernel(ACC, kc, 1.0, &ap, &bp, &mut c, 0, ldc, MR, NR, Some(0.0));
         // acc(i, j) = sum_kk ap(kk,i) * bp(kk,j) = (i+1) * 1 (one kk hits).
         for i in 0..MR {
             for j in 0..NR {
@@ -131,7 +144,7 @@ mod tests {
         let ap = vec![0.0f32; kc * MR];
         let bp = vec![0.0f32; kc * NR];
         let mut c = vec![f32::NAN; MR * NR];
-        microkernel(kc, 1.0, &ap, &bp, &mut c, 0, NR, MR, NR, Some(0.0));
+        microkernel(ACC, kc, 1.0, &ap, &bp, &mut c, 0, NR, MR, NR, Some(0.0));
         assert!(c.iter().all(|&v| v == 0.0));
     }
 
@@ -140,7 +153,7 @@ mod tests {
         let kc = 2;
         let (ap, bp) = panels(kc);
         let mut c = vec![10.0f32; MR * NR];
-        microkernel(kc, 2.0, &ap, &bp, &mut c, 0, NR, MR, NR, None);
+        microkernel(ACC, kc, 2.0, &ap, &bp, &mut c, 0, NR, MR, NR, None);
         // c += 2 * (i+1)
         assert_eq!(c[0], 10.0 + 2.0);
         assert_eq!(c[(MR - 1) * NR], 10.0 + 2.0 * MR as f32);
@@ -153,7 +166,19 @@ mod tests {
         let ldc = NR + 2; // wider C stripe
         let mut c = vec![-7.0f32; (MR + 1) * ldc];
         let (mr_eff, nr_eff) = (MR - 3, NR - 2);
-        microkernel(kc, 1.0, &ap, &bp, &mut c, 0, ldc, mr_eff, nr_eff, Some(0.0));
+        microkernel(
+            ACC,
+            kc,
+            1.0,
+            &ap,
+            &bp,
+            &mut c,
+            0,
+            ldc,
+            mr_eff,
+            nr_eff,
+            Some(0.0),
+        );
         for i in 0..MR + 1 {
             for j in 0..ldc {
                 let v = c[i * ldc + j];
@@ -171,7 +196,7 @@ mod tests {
         let kc = 1;
         let (ap, bp) = panels(kc);
         let mut c = vec![4.0f32; MR * NR];
-        microkernel(kc, 1.0, &ap, &bp, &mut c, 0, NR, MR, NR, Some(0.5));
+        microkernel(ACC, kc, 1.0, &ap, &bp, &mut c, 0, NR, MR, NR, Some(0.5));
         // c = 1*(i+1) + 0.5*4
         assert_eq!(c[0], 1.0 + 2.0);
         assert_eq!(c[NR], 2.0 + 2.0);
@@ -182,7 +207,7 @@ mod tests {
         let ap: Vec<f32> = vec![];
         let bp: Vec<f32> = vec![];
         let mut c = vec![3.0f32; MR * NR];
-        microkernel(0, 1.0, &ap, &bp, &mut c, 0, NR, MR, NR, Some(0.5));
+        microkernel(ACC, 0, 1.0, &ap, &bp, &mut c, 0, NR, MR, NR, Some(0.5));
         assert!(c.iter().all(|&v| v == 1.5));
     }
 }

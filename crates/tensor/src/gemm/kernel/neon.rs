@@ -1,0 +1,186 @@
+//! Explicit NEON microkernels (aarch64).
+//!
+//! Same dataflow as [`super::x86`] at 128-bit width: broadcast one A
+//! element against a vector of B columns and accumulate the 8x8 C tile
+//! in registers. `vmulq`/`vaddq` pairs are used instead of `vmlaq`
+//! (which lowers to fused FMLA) so every lane performs the unfused
+//! rounding sequence of [`crate::scalar::Scalar::mul_add`] — the
+//! bit-exactness contract in [`crate::gemm::backend`]. NEON is
+//! baseline on aarch64, so no runtime detection is needed; the
+//! wrappers still assert panel lengths before the raw-pointer loop.
+
+use core::arch::aarch64::*;
+
+use crate::gemm::{MR, NR};
+
+// The register schedules below hardcode the 8x8 micro-tile.
+const _: () = assert!(MR == 8 && NR == 8);
+
+/// NEON f32 accumulate: the 8 columns split into two 4-lane halves;
+/// the half loop is outermost, so each element's `kk` chain is intact.
+pub fn acc_f32_neon(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    assert!(ap.len() >= kc * MR, "acc_f32_neon: A panel too short");
+    assert!(bp.len() >= kc * NR, "acc_f32_neon: B panel too short");
+    // Safety: lengths asserted above; NEON is baseline on aarch64.
+    unsafe {
+        acc_f32_neon_imp(
+            kc,
+            ap.as_ptr(),
+            bp.as_ptr(),
+            acc.as_flattened_mut().as_mut_ptr(),
+        )
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn acc_f32_neon_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut f32) {
+    for h in 0..2 {
+        let mut r = [vdupq_n_f32(0.0); MR];
+        for (i, ri) in r.iter_mut().enumerate() {
+            *ri = vld1q_f32(acc.add(i * NR + h * 4));
+        }
+        for kk in 0..kc {
+            let bv = vld1q_f32(bp.add(kk * NR + h * 4));
+            let a = ap.add(kk * MR);
+            for (i, ri) in r.iter_mut().enumerate() {
+                let av = vdupq_n_f32(*a.add(i));
+                // mul then add, not vmlaq (fused): must match the
+                // unfused scalar chain `ai * b + row` bit for bit.
+                *ri = vaddq_f32(vmulq_f32(av, bv), *ri);
+            }
+        }
+        for (i, ri) in r.iter().enumerate() {
+            vst1q_f32(acc.add(i * NR + h * 4), *ri);
+        }
+    }
+}
+
+/// NEON f64 accumulate: the 8 columns split into four 2-lane quarters.
+pub fn acc_f64_neon(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    assert!(ap.len() >= kc * MR, "acc_f64_neon: A panel too short");
+    assert!(bp.len() >= kc * NR, "acc_f64_neon: B panel too short");
+    // Safety: lengths asserted above; NEON is baseline on aarch64.
+    unsafe {
+        acc_f64_neon_imp(
+            kc,
+            ap.as_ptr(),
+            bp.as_ptr(),
+            acc.as_flattened_mut().as_mut_ptr(),
+        )
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn acc_f64_neon_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut f64) {
+    for h in 0..4 {
+        let mut r = [vdupq_n_f64(0.0); MR];
+        for (i, ri) in r.iter_mut().enumerate() {
+            *ri = vld1q_f64(acc.add(i * NR + h * 2));
+        }
+        for kk in 0..kc {
+            let bv = vld1q_f64(bp.add(kk * NR + h * 2));
+            let a = ap.add(kk * MR);
+            for (i, ri) in r.iter_mut().enumerate() {
+                let av = vdupq_n_f64(*a.add(i));
+                *ri = vaddq_f64(vmulq_f64(av, bv), *ri);
+            }
+        }
+        for (i, ri) in r.iter().enumerate() {
+            vst1q_f64(acc.add(i * NR + h * 2), *ri);
+        }
+    }
+}
+
+/// NEON f32 streaming-B^T column kernel: two 4-lane halves over the
+/// `MR` column accumulators.
+pub fn bt_f32_neon(kc: usize, ap: &[f32], brow: &[f32], acc: &mut [f32; MR]) {
+    assert!(ap.len() >= kc * MR, "bt_f32_neon: A panel too short");
+    assert!(brow.len() >= kc, "bt_f32_neon: B row too short");
+    // Safety: lengths asserted above; NEON is baseline on aarch64.
+    unsafe { bt_f32_neon_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn bt_f32_neon_imp(kc: usize, ap: *const f32, brow: *const f32, acc: *mut f32) {
+    let mut r0 = vld1q_f32(acc);
+    let mut r1 = vld1q_f32(acc.add(4));
+    for kk in 0..kc {
+        let a = ap.add(kk * MR);
+        let bv = vdupq_n_f32(*brow.add(kk));
+        r0 = vaddq_f32(vmulq_f32(vld1q_f32(a), bv), r0);
+        r1 = vaddq_f32(vmulq_f32(vld1q_f32(a.add(4)), bv), r1);
+    }
+    vst1q_f32(acc, r0);
+    vst1q_f32(acc.add(4), r1);
+}
+
+/// NEON f64 streaming-B^T column kernel: four 2-lane quarters.
+pub fn bt_f64_neon(kc: usize, ap: &[f64], brow: &[f64], acc: &mut [f64; MR]) {
+    assert!(ap.len() >= kc * MR, "bt_f64_neon: A panel too short");
+    assert!(brow.len() >= kc, "bt_f64_neon: B row too short");
+    // Safety: lengths asserted above; NEON is baseline on aarch64.
+    unsafe { bt_f64_neon_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn bt_f64_neon_imp(kc: usize, ap: *const f64, brow: *const f64, acc: *mut f64) {
+    let mut r = [vdupq_n_f64(0.0); 4];
+    for (q, rq) in r.iter_mut().enumerate() {
+        *rq = vld1q_f64(acc.add(q * 2));
+    }
+    for kk in 0..kc {
+        let a = ap.add(kk * MR);
+        let bv = vdupq_n_f64(*brow.add(kk));
+        for (q, rq) in r.iter_mut().enumerate() {
+            *rq = vaddq_f64(vmulq_f64(vld1q_f64(a.add(q * 2)), bv), *rq);
+        }
+    }
+    for (q, rq) in r.iter().enumerate() {
+        vst1q_f64(acc.add(q * 2), *rq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scalar;
+    use super::*;
+
+    #[test]
+    fn neon_kernels_bitwise_match_scalar() {
+        for kc in [0usize, 1, 3, 17] {
+            let ap32: Vec<f32> = (0..kc.max(1) * MR)
+                .map(|i| (i as f32).sin() * 3.7)
+                .collect();
+            let bp32: Vec<f32> = (0..kc * NR).map(|i| (i as f32).cos() * 1.3 - 0.4).collect();
+            let mut fast = [[0.5f32; NR]; MR];
+            let mut want = [[0.5f32; NR]; MR];
+            acc_f32_neon(kc, &ap32, &bp32, &mut fast);
+            scalar::acc(kc, &ap32, &bp32, &mut want);
+            assert_eq!(fast, want, "f32 acc kc={kc}");
+
+            let ap64: Vec<f64> = (0..kc.max(1) * MR)
+                .map(|i| (i as f64).sin() * 3.7)
+                .collect();
+            let bp64: Vec<f64> = (0..kc * NR).map(|i| (i as f64).cos() * 1.3 - 0.4).collect();
+            let mut fast = [[0.5f64; NR]; MR];
+            let mut want = [[0.5f64; NR]; MR];
+            acc_f64_neon(kc, &ap64, &bp64, &mut fast);
+            scalar::acc(kc, &ap64, &bp64, &mut want);
+            assert_eq!(fast, want, "f64 acc kc={kc}");
+
+            let brow32: Vec<f32> = (0..kc).map(|i| (i as f32 * 0.9).tan()).collect();
+            let mut fast = [1.0f32; MR];
+            let mut want = [1.0f32; MR];
+            bt_f32_neon(kc, &ap32, &brow32, &mut fast);
+            scalar::bt(kc, &ap32, &brow32, &mut want);
+            assert_eq!(fast, want, "f32 bt kc={kc}");
+
+            let brow64: Vec<f64> = (0..kc).map(|i| (i as f64 * 0.9).tan()).collect();
+            let mut fast = [1.0f64; MR];
+            let mut want = [1.0f64; MR];
+            bt_f64_neon(kc, &ap64, &brow64, &mut fast);
+            scalar::bt(kc, &ap64, &brow64, &mut want);
+            assert_eq!(fast, want, "f64 bt kc={kc}");
+        }
+    }
+}

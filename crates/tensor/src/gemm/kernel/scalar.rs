@@ -1,0 +1,105 @@
+//! Portable reference kernels.
+//!
+//! These loops define the bit-exactness contract every SIMD backend
+//! must reproduce: each C element accumulates along its own unfused
+//! multiply-add chain with `kk` ascending ([`crate::gemm::backend`]
+//! module docs). LLVM autovectorizes them at the build target's
+//! baseline width, which is also why they stay fast enough to be the
+//! forced-scalar determinism oracle rather than a naive triple loop.
+
+use crate::scalar::Scalar;
+
+use crate::gemm::{MR, NR};
+
+/// Reference packed-panel accumulate kernel
+/// ([`crate::gemm::backend::AccFn`] shape).
+///
+/// `acc[i][j] += sum_kk ap(kk, i) * bp(kk, j)`; both panels are walked
+/// front to back with unit stride (this is what packing buys us).
+#[inline]
+pub fn acc<T: Scalar>(kc: usize, ap: &[T], bp: &[T], acc: &mut [[T; NR]; MR]) {
+    for (a_row, b_row) in ap[..kc * MR]
+        .chunks_exact(MR)
+        .zip(bp[..kc * NR].chunks_exact(NR))
+    {
+        for i in 0..MR {
+            let ai = a_row[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] = ai.mul_add(b_row[j], row[j]);
+            }
+        }
+    }
+}
+
+/// Reference streaming-B^T column kernel
+/// ([`crate::gemm::backend::BtFn`] shape).
+///
+/// `acc[i] += sum_kk ap(kk, i) * brow[kk]` — one output column of an
+/// `MR`-row micro-panel against a contiguous B row segment.
+#[inline]
+pub fn bt<T: Scalar>(kc: usize, ap: &[T], brow: &[T], acc: &mut [T; MR]) {
+    for (a_row, &bv) in ap[..kc * MR].chunks_exact(MR).zip(&brow[..kc]) {
+        for i in 0..MR {
+            acc[i] = a_row[i].mul_add(bv, acc[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_matches_by_hand() {
+        // kc = 2, ap(kk,i) = i+1 for kk=0 and 2(i+1) for kk=1,
+        // bp(kk,j) = j for kk=0 and 1 for kk=1.
+        let kc = 2;
+        let mut ap = vec![0.0f32; kc * MR];
+        let mut bp = vec![0.0f32; kc * NR];
+        for i in 0..MR {
+            ap[i] = (i + 1) as f32;
+            ap[MR + i] = 2.0 * (i + 1) as f32;
+        }
+        for j in 0..NR {
+            bp[j] = j as f32;
+            bp[NR + j] = 1.0;
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        acc(kc, &ap, &bp, &mut out);
+        for (i, row) in out.iter().enumerate() {
+            for (j, &got) in row.iter().enumerate() {
+                let want = (i + 1) as f32 * j as f32 + 2.0 * (i + 1) as f32;
+                assert_eq!(got, want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bt_matches_by_hand() {
+        let kc = 3;
+        let mut ap = vec![0.0f32; kc * MR];
+        for kk in 0..kc {
+            for i in 0..MR {
+                ap[kk * MR + i] = (kk * MR + i) as f32;
+            }
+        }
+        let brow = [1.0f32, -2.0, 0.5];
+        let mut out = [0.0f32; MR];
+        bt(kc, &ap, &brow, &mut out);
+        for (i, &v) in out.iter().enumerate() {
+            let want = i as f32 - 2.0 * (MR + i) as f32 + 0.5 * (2 * MR + i) as f32;
+            assert_eq!(v, want, "column {i}");
+        }
+    }
+
+    #[test]
+    fn kc_zero_is_noop() {
+        let mut a = [[1.0f32; NR]; MR];
+        acc(0, &[], &[], &mut a);
+        assert!(a.iter().all(|r| r.iter().all(|&v| v == 1.0)));
+        let mut col = [2.0f64; MR];
+        bt(0, &[], &[], &mut col);
+        assert!(col.iter().all(|&v| v == 2.0));
+    }
+}

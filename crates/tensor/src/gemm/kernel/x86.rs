@@ -1,0 +1,342 @@
+//! Explicit AVX2 and AVX-512 microkernels (x86_64).
+//!
+//! The paper's QPX kernel broadcasts one A element against a vector of
+//! B and accumulates an 8x8 C block in registers; these kernels are
+//! the same dataflow in `std::arch` intrinsics. Crucially they use
+//! **separate multiply and add** instructions — never `fmadd` — so
+//! every lane performs exactly the unfused rounding sequence of
+//! [`crate::scalar::Scalar::mul_add`], and results stay bit-identical
+//! to the [`super::scalar`] reference (the backend contract in
+//! [`crate::gemm::backend`]). That trades the FMA throughput win for
+//! determinism across backends; the speedup here comes from register
+//! width, not fusion.
+//!
+//! Each public kernel is a safe wrapper that asserts panel lengths and
+//! runtime CPU support (a cached flag check, negligible next to the
+//! `MR x NR x kc` FLOP loop) before entering the `#[target_feature]`
+//! implementation. This module is inside the workspace's single
+//! lint-sanctioned `unsafe` zone (`l7-unsafe-outside-kernel`).
+
+use core::arch::x86_64::*;
+
+use crate::gemm::{MR, NR};
+
+// The register schedules below hardcode the 8x8 micro-tile.
+const _: () = assert!(MR == 8 && NR == 8);
+
+/// AVX2 f32 accumulate: one 8-lane ymm per micro-tile row.
+pub fn acc_f32_avx2(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    assert!(ap.len() >= kc * MR, "acc_f32_avx2: A panel too short");
+    assert!(bp.len() >= kc * NR, "acc_f32_avx2: B panel too short");
+    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    // Safety: lengths and CPU support asserted above; `acc` is a
+    // fixed-size 8x8 tile.
+    unsafe {
+        acc_f32_avx2_imp(
+            kc,
+            ap.as_ptr(),
+            bp.as_ptr(),
+            acc.as_flattened_mut().as_mut_ptr(),
+        )
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn acc_f32_avx2_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut f32) {
+    let mut r = [_mm256_setzero_ps(); MR];
+    for (i, ri) in r.iter_mut().enumerate() {
+        *ri = _mm256_loadu_ps(acc.add(i * NR));
+    }
+    for kk in 0..kc {
+        let bv = _mm256_loadu_ps(bp.add(kk * NR));
+        let a = ap.add(kk * MR);
+        for (i, ri) in r.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*a.add(i));
+            // mul then add, not fmadd: must match the unfused scalar
+            // chain `ai * b + row` bit for bit.
+            *ri = _mm256_add_ps(_mm256_mul_ps(av, bv), *ri);
+        }
+    }
+    for (i, ri) in r.iter().enumerate() {
+        _mm256_storeu_ps(acc.add(i * NR), *ri);
+    }
+}
+
+/// AVX2 f64 accumulate: the 8 columns split into two 4-lane halves;
+/// the half loop is outermost, so each element's `kk` chain is intact.
+pub fn acc_f64_avx2(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    assert!(ap.len() >= kc * MR, "acc_f64_avx2: A panel too short");
+    assert!(bp.len() >= kc * NR, "acc_f64_avx2: B panel too short");
+    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    // Safety: lengths and CPU support asserted above.
+    unsafe {
+        acc_f64_avx2_imp(
+            kc,
+            ap.as_ptr(),
+            bp.as_ptr(),
+            acc.as_flattened_mut().as_mut_ptr(),
+        )
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn acc_f64_avx2_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut f64) {
+    for h in 0..2 {
+        let mut r = [_mm256_setzero_pd(); MR];
+        for (i, ri) in r.iter_mut().enumerate() {
+            *ri = _mm256_loadu_pd(acc.add(i * NR + h * 4));
+        }
+        for kk in 0..kc {
+            let bv = _mm256_loadu_pd(bp.add(kk * NR + h * 4));
+            let a = ap.add(kk * MR);
+            for (i, ri) in r.iter_mut().enumerate() {
+                let av = _mm256_set1_pd(*a.add(i));
+                *ri = _mm256_add_pd(_mm256_mul_pd(av, bv), *ri);
+            }
+        }
+        for (i, ri) in r.iter().enumerate() {
+            _mm256_storeu_pd(acc.add(i * NR + h * 4), *ri);
+        }
+    }
+}
+
+/// AVX-512 f32 accumulate: rows are paired, one 16-lane zmm covering
+/// rows `2p` and `2p+1`; the B panel row is duplicated into both
+/// 256-bit halves and each half multiplies its own broadcast A value.
+pub fn acc_f32_avx512(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    assert!(ap.len() >= kc * MR, "acc_f32_avx512: A panel too short");
+    assert!(bp.len() >= kc * NR, "acc_f32_avx512: B panel too short");
+    assert!(
+        is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq"),
+        "avx512f/dq not available"
+    );
+    // Safety: lengths and CPU support asserted above.
+    unsafe {
+        acc_f32_avx512_imp(
+            kc,
+            ap.as_ptr(),
+            bp.as_ptr(),
+            acc.as_flattened_mut().as_mut_ptr(),
+        )
+    }
+}
+
+#[target_feature(enable = "avx2,avx512f,avx512dq")]
+unsafe fn acc_f32_avx512_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut f32) {
+    let mut r = [_mm512_setzero_ps(); MR / 2];
+    for (p, rp) in r.iter_mut().enumerate() {
+        // One zmm spans two consecutive 8-wide rows of the tile.
+        *rp = _mm512_loadu_ps(acc.add(p * 2 * NR));
+    }
+    for kk in 0..kc {
+        let b8 = _mm256_loadu_ps(bp.add(kk * NR));
+        let bdup = _mm512_broadcast_f32x8(b8);
+        let a = ap.add(kk * MR);
+        for (p, rp) in r.iter_mut().enumerate() {
+            let av = _mm512_insertf32x8::<1>(
+                _mm512_castps256_ps512(_mm256_set1_ps(*a.add(2 * p))),
+                _mm256_set1_ps(*a.add(2 * p + 1)),
+            );
+            *rp = _mm512_add_ps(_mm512_mul_ps(av, bdup), *rp);
+        }
+    }
+    for (p, rp) in r.iter().enumerate() {
+        _mm512_storeu_ps(acc.add(p * 2 * NR), *rp);
+    }
+}
+
+/// AVX-512 f64 accumulate: one 8-lane zmm per micro-tile row.
+pub fn acc_f64_avx512(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    assert!(ap.len() >= kc * MR, "acc_f64_avx512: A panel too short");
+    assert!(bp.len() >= kc * NR, "acc_f64_avx512: B panel too short");
+    assert!(is_x86_feature_detected!("avx512f"), "avx512f not available");
+    // Safety: lengths and CPU support asserted above.
+    unsafe {
+        acc_f64_avx512_imp(
+            kc,
+            ap.as_ptr(),
+            bp.as_ptr(),
+            acc.as_flattened_mut().as_mut_ptr(),
+        )
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn acc_f64_avx512_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut f64) {
+    let mut r = [_mm512_setzero_pd(); MR];
+    for (i, ri) in r.iter_mut().enumerate() {
+        *ri = _mm512_loadu_pd(acc.add(i * NR));
+    }
+    for kk in 0..kc {
+        let bv = _mm512_loadu_pd(bp.add(kk * NR));
+        let a = ap.add(kk * MR);
+        for (i, ri) in r.iter_mut().enumerate() {
+            let av = _mm512_set1_pd(*a.add(i));
+            *ri = _mm512_add_pd(_mm512_mul_pd(av, bv), *ri);
+        }
+    }
+    for (i, ri) in r.iter().enumerate() {
+        _mm512_storeu_pd(acc.add(i * NR), *ri);
+    }
+}
+
+/// AVX2 f32 streaming-B^T column kernel: all `MR` column accumulators
+/// in one ymm; A panel columns are contiguous (`kk`-major packing), so
+/// each step is one load + one broadcast.
+pub fn bt_f32_avx2(kc: usize, ap: &[f32], brow: &[f32], acc: &mut [f32; MR]) {
+    assert!(ap.len() >= kc * MR, "bt_f32_avx2: A panel too short");
+    assert!(brow.len() >= kc, "bt_f32_avx2: B row too short");
+    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    // Safety: lengths and CPU support asserted above.
+    unsafe { bt_f32_avx2_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn bt_f32_avx2_imp(kc: usize, ap: *const f32, brow: *const f32, acc: *mut f32) {
+    let mut r = _mm256_loadu_ps(acc);
+    for kk in 0..kc {
+        let av = _mm256_loadu_ps(ap.add(kk * MR));
+        let bv = _mm256_set1_ps(*brow.add(kk));
+        r = _mm256_add_ps(_mm256_mul_ps(av, bv), r);
+    }
+    _mm256_storeu_ps(acc, r);
+}
+
+/// AVX2 f64 streaming-B^T column kernel: two 4-lane halves.
+pub fn bt_f64_avx2(kc: usize, ap: &[f64], brow: &[f64], acc: &mut [f64; MR]) {
+    assert!(ap.len() >= kc * MR, "bt_f64_avx2: A panel too short");
+    assert!(brow.len() >= kc, "bt_f64_avx2: B row too short");
+    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    // Safety: lengths and CPU support asserted above.
+    unsafe { bt_f64_avx2_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn bt_f64_avx2_imp(kc: usize, ap: *const f64, brow: *const f64, acc: *mut f64) {
+    let mut r0 = _mm256_loadu_pd(acc);
+    let mut r1 = _mm256_loadu_pd(acc.add(4));
+    for kk in 0..kc {
+        let a = ap.add(kk * MR);
+        let bv = _mm256_set1_pd(*brow.add(kk));
+        r0 = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(a), bv), r0);
+        r1 = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(a.add(4)), bv), r1);
+    }
+    _mm256_storeu_pd(acc, r0);
+    _mm256_storeu_pd(acc.add(4), r1);
+}
+
+/// AVX-512 f64 streaming-B^T column kernel: all `MR` accumulators in
+/// one zmm. (f32 has no AVX-512 variant: one ymm already covers the
+/// eight columns, so the AVX2 kernel is reused by the AVX-512
+/// backend.)
+pub fn bt_f64_avx512(kc: usize, ap: &[f64], brow: &[f64], acc: &mut [f64; MR]) {
+    assert!(ap.len() >= kc * MR, "bt_f64_avx512: A panel too short");
+    assert!(brow.len() >= kc, "bt_f64_avx512: B row too short");
+    assert!(is_x86_feature_detected!("avx512f"), "avx512f not available");
+    // Safety: lengths and CPU support asserted above.
+    unsafe { bt_f64_avx512_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn bt_f64_avx512_imp(kc: usize, ap: *const f64, brow: *const f64, acc: *mut f64) {
+    let mut r = _mm512_loadu_pd(acc);
+    for kk in 0..kc {
+        let av = _mm512_loadu_pd(ap.add(kk * MR));
+        let bv = _mm512_set1_pd(*brow.add(kk));
+        r = _mm512_add_pd(_mm512_mul_pd(av, bv), r);
+    }
+    _mm512_storeu_pd(acc, r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scalar;
+    use super::*;
+
+    fn f32_panels(kc: usize) -> (Vec<f32>, Vec<f32>) {
+        // Non-round values so any reassociation or fusion shows up in
+        // the low bits.
+        let ap = (0..kc * MR).map(|i| (i as f32).sin() * 3.7).collect();
+        let bp = (0..kc * NR).map(|i| (i as f32).cos() * 1.3 - 0.4).collect();
+        (ap, bp)
+    }
+
+    fn f64_panels(kc: usize) -> (Vec<f64>, Vec<f64>) {
+        let ap = (0..kc * MR).map(|i| (i as f64).sin() * 3.7).collect();
+        let bp = (0..kc * NR).map(|i| (i as f64).cos() * 1.3 - 0.4).collect();
+        (ap, bp)
+    }
+
+    #[test]
+    fn avx2_acc_bitwise_matches_scalar() {
+        if !is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for kc in [0, 1, 3, 17, 64] {
+            let (ap, bp) = f32_panels(kc);
+            let mut fast = [[0.5f32; NR]; MR];
+            let mut want = [[0.5f32; NR]; MR];
+            acc_f32_avx2(kc, &ap, &bp, &mut fast);
+            scalar::acc(kc, &ap, &bp, &mut want);
+            assert_eq!(fast, want, "f32 kc={kc}");
+
+            let (ap, bp) = f64_panels(kc);
+            let mut fast = [[0.5f64; NR]; MR];
+            let mut want = [[0.5f64; NR]; MR];
+            acc_f64_avx2(kc, &ap, &bp, &mut fast);
+            scalar::acc(kc, &ap, &bp, &mut want);
+            assert_eq!(fast, want, "f64 kc={kc}");
+        }
+    }
+
+    #[test]
+    fn avx512_acc_bitwise_matches_scalar() {
+        if !(is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq")) {
+            return;
+        }
+        for kc in [0, 1, 3, 17, 64] {
+            let (ap, bp) = f32_panels(kc);
+            let mut fast = [[-0.25f32; NR]; MR];
+            let mut want = [[-0.25f32; NR]; MR];
+            acc_f32_avx512(kc, &ap, &bp, &mut fast);
+            scalar::acc(kc, &ap, &bp, &mut want);
+            assert_eq!(fast, want, "f32 kc={kc}");
+
+            let (ap, bp) = f64_panels(kc);
+            let mut fast = [[-0.25f64; NR]; MR];
+            let mut want = [[-0.25f64; NR]; MR];
+            acc_f64_avx512(kc, &ap, &bp, &mut fast);
+            scalar::acc(kc, &ap, &bp, &mut want);
+            assert_eq!(fast, want, "f64 kc={kc}");
+        }
+    }
+
+    #[test]
+    fn bt_kernels_bitwise_match_scalar() {
+        if !is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for kc in [0, 1, 5, 33] {
+            let (ap, _) = f32_panels(kc.max(1));
+            let brow: Vec<f32> = (0..kc).map(|i| (i as f32 * 0.9).tan()).collect();
+            let mut fast = [1.0f32; MR];
+            let mut want = [1.0f32; MR];
+            bt_f32_avx2(kc, &ap, &brow, &mut fast);
+            scalar::bt(kc, &ap, &brow, &mut want);
+            assert_eq!(fast, want, "f32 kc={kc}");
+
+            let (ap, _) = f64_panels(kc.max(1));
+            let brow: Vec<f64> = (0..kc).map(|i| (i as f64 * 0.9).tan()).collect();
+            let mut fast = [1.0f64; MR];
+            let mut want = [1.0f64; MR];
+            bt_f64_avx2(kc, &ap, &brow, &mut fast);
+            scalar::bt(kc, &ap, &brow, &mut want);
+            assert_eq!(fast, want, "f64 kc={kc}");
+            if is_x86_feature_detected!("avx512f") {
+                let mut fast = [1.0f64; MR];
+                bt_f64_avx512(kc, &ap, &brow, &mut fast);
+                assert_eq!(fast, want, "f64 avx512 kc={kc}");
+            }
+        }
+    }
+}

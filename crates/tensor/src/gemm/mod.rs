@@ -6,7 +6,11 @@
 //!
 //! * **Thread level** — [`kernel::microkernel`]: an `MR x NR`
 //!   register-blocked rank-1-update kernel reading zero-padded packed
-//!   panels with unit stride (the paper's 8x8 QPX kernel).
+//!   panels with unit stride (the paper's 8x8 QPX kernel). The
+//!   accumulate loop itself is supplied by the active
+//!   [`backend::ComputeBackend`] — explicit AVX2/AVX-512/NEON
+//!   `std::arch` kernels selected by runtime feature detection, or the
+//!   portable scalar reference.
 //! * **Core level** — [`pack`]: operands are reformatted into
 //!   micro-panels so every inner-loop access is stride-one, the
 //!   software analogue of engaging the L1P stream prefetcher.
@@ -23,29 +27,52 @@
 //! effect is an efficiency factor, modeled in `pdnn-bgq` (see
 //! DESIGN.md substitutions).
 //!
-//! ## Hot-path entry: prepacked operands
+//! ## Backend dispatch and the bit-exactness contract
 //!
-//! [`gemm`] packs both operands on every call. Training multiplies
-//! every batch against the *same* weights, and a CG solve multiplies
-//! dozens of directions against the *same* curvature-minibatch
-//! activations — so the hot path should enter through [`prepacked`]
-//! instead: [`PackedB`]/[`PackedA`] pack an operand once, and
-//! [`gemm_prepacked`]/[`gemm_prepacked_a`] run the identical blocked
-//! driver against the cached panels, bitwise equal to [`gemm`] under
-//! the same blocking. `pdnn-dnn` builds a `PackedWeights` sidecar per
-//! network and `pdnn-core` holds it across each CG solve; plain
-//! [`gemm`] remains the entry for one-shot products and the parity
-//! oracle in tests.
+//! A [`GemmContext`] carries a `&'static dyn ComputeBackend`; the
+//! constructors embed [`backend::default_backend`] (auto-detected, or
+//! forced via the `PDNN_BACKEND` environment variable), and
+//! [`GemmContext::with_backend`] overrides it per context. Every
+//! backend is required to be **bit-identical** to the forced-scalar
+//! reference: kernels may vectorize across the independent
+//! per-element accumulation chains but must keep each chain's
+//! operation order and use unfused multiply+add (see
+//! [`backend`] module docs). Switching backends therefore never
+//! changes trained weights, telemetry bytes, or any other gated
+//! artifact — only wall-clock time.
+//!
+//! ## Entry points
+//!
+//! All products go through the [`op::GemmOp`] descriptor: name the
+//! operands (plain, prepacked, or streamed-`B^T`), set `alpha`/`beta`,
+//! and [`op::GemmOp::run`] it on a context. Training multiplies every
+//! batch against the *same* weights, and a CG solve multiplies dozens
+//! of directions against the *same* curvature-minibatch activations —
+//! so the hot path prepacks via [`PackedB`]/[`PackedA`] and runs
+//! `GemmOp` against the cached panels, bitwise equal to the plain
+//! two-matrix form under the same blocking. The legacy free functions
+//! ([`gemm`], [`matmul`], [`naive::gemm_naive`], the four
+//! `gemm_prepacked*`) remain as `#[deprecated]` shims over the same
+//! drivers.
 
+pub mod backend;
 pub mod kernel;
 pub mod naive;
+pub mod op;
 pub mod pack;
 pub mod prepacked;
 
+#[allow(deprecated)]
 pub use naive::gemm_naive;
-pub use prepacked::{
-    gemm_prepacked, gemm_prepacked_a, gemm_prepacked_a_bt, gemm_prepacked_ab, PackedA, PackedB,
+#[allow(deprecated)]
+pub use prepacked::{gemm_prepacked, gemm_prepacked_a, gemm_prepacked_a_bt, gemm_prepacked_ab};
+pub use prepacked::{PackedA, PackedB};
+
+pub use backend::{
+    available_isas, backend_for, default_backend, detect_best, scalar_backend, BackendConfig,
+    BackendConfigBuilder, BackendError, ComputeBackend, Isa, BACKEND_ENV,
 };
+pub use op::GemmOp;
 
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
@@ -99,16 +126,19 @@ impl Blocking {
     }
 }
 
-/// Execution context: thread count, pool, and blocking parameters.
+/// Execution context: thread count, pool, blocking parameters, and the
+/// compute backend supplying the microkernels.
 ///
-/// A context is cheap to clone (the pool is shared). The DNN layer
-/// keeps one context per worker rank, mirroring the paper's
-/// "ranks-per-node x OpenMP-threads-per-rank" configurations.
+/// A context is cheap to clone (the pool is shared, the backend is a
+/// static). The DNN layer keeps one context per worker rank, mirroring
+/// the paper's "ranks-per-node x OpenMP-threads-per-rank"
+/// configurations.
 #[derive(Clone)]
 pub struct GemmContext {
     threads: usize,
     pool: Option<Arc<rayon::ThreadPool>>,
     blocking: Blocking,
+    backend: &'static dyn backend::ComputeBackend,
 }
 
 impl std::fmt::Debug for GemmContext {
@@ -116,6 +146,7 @@ impl std::fmt::Debug for GemmContext {
         f.debug_struct("GemmContext")
             .field("threads", &self.threads)
             .field("blocking", &self.blocking)
+            .field("backend", &self.backend.isa())
             .finish()
     }
 }
@@ -127,16 +158,19 @@ impl Default for GemmContext {
 }
 
 impl GemmContext {
-    /// Single-threaded context (deterministic, no pool).
+    /// Single-threaded context (deterministic, no pool), on the
+    /// process-default backend.
     pub fn sequential() -> Self {
         GemmContext {
             threads: 1,
             pool: None,
             blocking: Blocking::default(),
+            backend: backend::default_backend(),
         }
     }
 
-    /// Context with a private pool of `threads` workers.
+    /// Context with a private pool of `threads` workers, on the
+    /// process-default backend.
     ///
     /// `threads == 1` degrades to [`GemmContext::sequential`].
     pub fn threaded(threads: usize) -> Self {
@@ -156,12 +190,21 @@ impl GemmContext {
             threads,
             pool,
             blocking: Blocking::default(),
+            backend: backend::default_backend(),
         }
     }
 
     /// Replace the blocking parameters (used by the blocking ablation).
     pub fn with_blocking(mut self, blocking: Blocking) -> Self {
         self.blocking = blocking.sanitized();
+        self
+    }
+
+    /// Replace the compute backend (used by forced-backend tests and
+    /// the per-ISA bench sweep; production code keeps the
+    /// [`backend::default_backend`] the constructors embed).
+    pub fn with_backend(mut self, backend: &'static dyn backend::ComputeBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -173,6 +216,11 @@ impl GemmContext {
     /// Blocking parameters in effect.
     pub fn blocking(&self) -> Blocking {
         self.blocking
+    }
+
+    /// The compute backend supplying the microkernels.
+    pub fn backend(&self) -> &'static dyn backend::ComputeBackend {
+        self.backend
     }
 
     pub(crate) fn run_pool<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
@@ -195,7 +243,7 @@ pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
 /// # Panics
 /// On any shape mismatch.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
-pub fn gemm<T: Scalar>(
+pub(crate) fn gemm_impl<T: Scalar>(
     ctx: &GemmContext,
     ta: Trans,
     tb: Trans,
@@ -243,6 +291,8 @@ pub fn gemm<T: Scalar>(
     }
 
     let blocking = ctx.blocking;
+    // Backend kernel resolved once per call, not per micro-tile.
+    let acc_fn = T::acc_kernel(ctx.backend());
     // Stripe height: small enough to give the pool ~3 tasks per
     // thread for load balance, but never below the micro-tile and
     // never above MC (the L2 A-panel budget).
@@ -256,17 +306,59 @@ pub fn gemm<T: Scalar>(
     ctx.run_pool(|| {
         if ctx.threads == 1 {
             for (si, stripe) in c_slice.chunks_mut(sh * n).enumerate() {
-                stripe_kernel(ta, tb, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+                stripe_kernel(
+                    acc_fn,
+                    ta,
+                    tb,
+                    alpha,
+                    a,
+                    b,
+                    beta,
+                    stripe,
+                    si * sh,
+                    k,
+                    n,
+                    blocking,
+                );
             }
         } else {
             c_slice
                 .par_chunks_mut(sh * n)
                 .enumerate()
                 .for_each(|(si, stripe)| {
-                    stripe_kernel(ta, tb, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+                    stripe_kernel(
+                        acc_fn,
+                        ta,
+                        tb,
+                        alpha,
+                        a,
+                        b,
+                        beta,
+                        stripe,
+                        si * sh,
+                        k,
+                        n,
+                        blocking,
+                    );
                 });
         }
     });
+}
+
+/// Deprecated free-function entry for the plain two-matrix product.
+#[deprecated(note = "use GemmOp::ab(a, ta, b, tb).alpha(..).beta(..).run(ctx, c)")]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm<T: Scalar>(
+    ctx: &GemmContext,
+    ta: Trans,
+    tb: Trans,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    gemm_impl(ctx, ta, tb, alpha, a, b, beta, c);
 }
 
 /// Process one horizontal stripe of C (rows `ic0 .. ic0 + stripe_rows`).
@@ -277,6 +369,7 @@ pub fn gemm<T: Scalar>(
 /// with zero shared mutable state.
 #[allow(clippy::too_many_arguments)]
 fn stripe_kernel<T: Scalar>(
+    acc_fn: backend::AccFn<T>,
     ta: Trans,
     tb: Trans,
     alpha: T,
@@ -321,7 +414,8 @@ fn stripe_kernel<T: Scalar>(
                     let ap_panel = &ap[ir * kc_eff * MR..(ir + 1) * kc_eff * MR];
                     let c_off = (ir * MR) * n + jc + jr * NR;
                     kernel::microkernel(
-                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff, merge,
+                        acc_fn, kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff,
+                        nr_eff, merge,
                     );
                 }
             }
@@ -332,19 +426,12 @@ fn stripe_kernel<T: Scalar>(
     }
 }
 
-/// Convenience product `A * B` with a sequential context.
+/// Convenience product `A * B` on the forced-scalar backend.
+#[deprecated(note = "use GemmOp::ab(a, Trans::N, b, Trans::N).run(&GemmContext::sequential(), c)")]
 pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     let mut c = Matrix::zeros(a.rows(), b.cols());
-    gemm(
-        &GemmContext::sequential(),
-        Trans::N,
-        Trans::N,
-        T::ONE,
-        a,
-        b,
-        T::ZERO,
-        &mut c,
-    );
+    let ctx = GemmContext::sequential().with_backend(backend::scalar_backend());
+    gemm_impl(&ctx, Trans::N, Trans::N, T::ONE, a, b, T::ZERO, &mut c);
     c
 }
 
@@ -381,8 +468,8 @@ mod tests {
         let c0 = random_matrix(m, n, &mut rng);
         let mut c_fast = c0.clone();
         let mut c_ref = c0.clone();
-        gemm(ctx, ta, tb, alpha, &a, &b, beta, &mut c_fast);
-        gemm_naive(ta, tb, alpha, &a, &b, beta, &mut c_ref);
+        gemm_impl(ctx, ta, tb, alpha, &a, &b, beta, &mut c_fast);
+        naive::reference(ta, tb, alpha, &a, &b, beta, &mut c_ref);
         let tol = 1e-4 * (k as f64).sqrt().max(1.0);
         let diff = c_fast.max_abs_diff(&c_ref);
         assert!(
@@ -444,10 +531,46 @@ mod tests {
         let b = random_matrix(150, 170, &mut rng);
         let mut c1 = Matrix::zeros(200, 170);
         let mut c2 = Matrix::zeros(200, 170);
-        gemm(&seq, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-        gemm(&thr, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c2);
+        gemm_impl(&seq, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
+        gemm_impl(&thr, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c2);
         // Identical block decomposition per stripe ⇒ bitwise equal.
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn forced_backends_are_bitwise_identical() {
+        // The backend contract: same product, same bits, whatever the
+        // dispatched ISA (full shape sweep in tests/backend_parity.rs).
+        let mut rng = Prng::new(77);
+        let a = random_matrix(45, 37, &mut rng);
+        let b = random_matrix(37, 51, &mut rng);
+        let mut want = Matrix::zeros(45, 51);
+        let scalar_ctx = GemmContext::sequential().with_backend(scalar_backend());
+        gemm_impl(
+            &scalar_ctx,
+            Trans::N,
+            Trans::N,
+            1.0f32,
+            &a,
+            &b,
+            0.0,
+            &mut want,
+        );
+        for isa in available_isas() {
+            let ctx = GemmContext::sequential()
+                .with_backend(backend_for(isa).expect("listed as available"));
+            assert_eq!(ctx.backend().isa(), isa);
+            let mut got = Matrix::zeros(45, 51);
+            gemm_impl(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut got);
+            assert_eq!(got, want, "backend {isa} diverged from scalar");
+        }
+    }
+
+    #[test]
+    fn context_debug_names_backend() {
+        let ctx = GemmContext::sequential().with_backend(scalar_backend());
+        let dbg = format!("{ctx:?}");
+        assert!(dbg.contains("Scalar"), "missing backend in {dbg}");
     }
 
     #[test]
@@ -477,11 +600,11 @@ mod tests {
         let a: Matrix<f32> = Matrix::zeros(3, 0);
         let b: Matrix<f32> = Matrix::zeros(0, 4);
         let mut c: Matrix<f32> = Matrix::filled(3, 4, 2.0);
-        gemm(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.5, &mut c);
+        gemm_impl(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.5, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 1.0));
         // beta = 0 with NaN in C must produce zeros.
         let mut c2: Matrix<f32> = Matrix::filled(3, 4, f32::NAN);
-        gemm(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c2);
+        gemm_impl(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c2);
         assert!(c2.as_slice().iter().all(|&v| v == 0.0));
     }
 
@@ -491,7 +614,7 @@ mod tests {
         let a: Matrix<f32> = Matrix::zeros(0, 5);
         let b: Matrix<f32> = Matrix::zeros(5, 4);
         let mut c: Matrix<f32> = Matrix::zeros(0, 4);
-        gemm(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
+        gemm_impl(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
     }
 
     #[test]
@@ -501,7 +624,7 @@ mod tests {
         let a: Matrix<f32> = Matrix::zeros(2, 3);
         let b: Matrix<f32> = Matrix::zeros(4, 2);
         let mut c: Matrix<f32> = Matrix::zeros(2, 2);
-        gemm(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
+        gemm_impl(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
     }
 
     #[test]
@@ -512,16 +635,29 @@ mod tests {
         let b: Matrix<f64> = Matrix::random_normal(30, 10, 1.0, &mut rng);
         let mut c1: Matrix<f64> = Matrix::zeros(20, 10);
         let mut c2 = c1.clone();
-        gemm(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c1);
-        gemm_naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c2);
+        gemm_impl(&ctx, Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c1);
+        naive::reference(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c2);
         assert!(c1.max_abs_diff(&c2) < 1e-10);
     }
 
     #[test]
-    fn matmul_convenience() {
+    #[allow(deprecated)] // exercising the legacy shims on purpose
+    fn deprecated_shims_still_work() {
         let a: Matrix<f32> = Matrix::eye(4);
         let b: Matrix<f32> = Matrix::from_fn(4, 3, |r, c| (r + c) as f32);
         assert_eq!(matmul(&a, &b), b);
+        let mut c = Matrix::zeros(4, 3);
+        gemm(
+            &GemmContext::sequential(),
+            Trans::N,
+            Trans::N,
+            1.0f32,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+        );
+        assert_eq!(c, b);
     }
 
     #[test]

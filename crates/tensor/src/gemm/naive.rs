@@ -12,8 +12,9 @@ use super::Trans;
 
 /// `C = alpha * op(A) * op(B) + beta * C`, naive triple loop.
 ///
-/// Shape contract is identical to [`super::gemm`].
-pub fn gemm_naive<T: Scalar>(
+/// Shape contract is identical to the blocked driver; the public entry
+/// is [`super::op::GemmOp::run_reference`].
+pub(crate) fn reference<T: Scalar>(
     ta: Trans,
     tb: Trans,
     alpha: T,
@@ -63,6 +64,20 @@ pub fn gemm_naive<T: Scalar>(
     }
 }
 
+/// Deprecated free-function entry for the reference triple loop.
+#[deprecated(note = "use GemmOp::ab(a, ta, b, tb).alpha(..).beta(..).run_reference(c)")]
+pub fn gemm_naive<T: Scalar>(
+    ta: Trans,
+    tb: Trans,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    reference(ta, tb, alpha, a, b, beta, c);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,7 +87,7 @@ mod tests {
         let a: Matrix<f32> = Matrix::eye(3);
         let b: Matrix<f32> = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
         let mut c: Matrix<f32> = Matrix::zeros(3, 2);
-        gemm_naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
+        reference(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
         assert_eq!(c, b);
     }
 
@@ -81,7 +96,7 @@ mod tests {
         let a: Matrix<f64> = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let b: Matrix<f64> = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
         let mut c: Matrix<f64> = Matrix::zeros(2, 2);
-        gemm_naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
+        reference(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
     }
 
@@ -91,11 +106,11 @@ mod tests {
         let b: Matrix<f32> = Matrix::from_fn(5, 4, |r, c| (r * c) as f32 - 1.0);
         // C = A * B^T directly…
         let mut c1: Matrix<f32> = Matrix::zeros(3, 5);
-        gemm_naive(Trans::N, Trans::T, 1.0, &a, &b, 0.0, &mut c1);
+        reference(Trans::N, Trans::T, 1.0, &a, &b, 0.0, &mut c1);
         // …equals A * transpose(B) with no flag.
         let bt = b.transposed();
         let mut c2: Matrix<f32> = Matrix::zeros(3, 5);
-        gemm_naive(Trans::N, Trans::N, 1.0, &a, &bt, 0.0, &mut c2);
+        reference(Trans::N, Trans::N, 1.0, &a, &bt, 0.0, &mut c2);
         assert_eq!(c1, c2);
     }
 
@@ -104,7 +119,7 @@ mod tests {
         let a: Matrix<f32> = Matrix::eye(2);
         let b: Matrix<f32> = Matrix::eye(2);
         let mut c: Matrix<f32> = Matrix::filled(2, 2, 10.0);
-        gemm_naive(Trans::N, Trans::N, 3.0, &a, &b, 0.5, &mut c);
+        reference(Trans::N, Trans::N, 3.0, &a, &b, 0.5, &mut c);
         // diag: 3*1 + 0.5*10 = 8; off-diag: 0 + 5.
         assert_eq!(c[(0, 0)], 8.0);
         assert_eq!(c[(0, 1)], 5.0);
@@ -116,6 +131,6 @@ mod tests {
         let a: Matrix<f32> = Matrix::zeros(2, 3);
         let b: Matrix<f32> = Matrix::zeros(4, 2);
         let mut c: Matrix<f32> = Matrix::zeros(2, 2);
-        gemm_naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
+        reference(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
     }
 }

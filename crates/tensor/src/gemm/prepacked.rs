@@ -24,6 +24,7 @@ use crate::scalar::Scalar;
 use crate::workspace::Workspace;
 use rayon::prelude::*;
 
+use super::backend::{AccFn, BtFn};
 use super::{kernel, pack, Blocking, GemmContext, Trans, MR, NR};
 
 /// One `(pc, jc)` block of the packed B operand.
@@ -226,7 +227,7 @@ impl<T: Scalar> PackedB<T> {
 ///
 /// # Panics
 /// On shape mismatch between `op(A)`, the packed operand, and `C`.
-pub fn gemm_prepacked<T: Scalar>(
+pub(crate) fn prepacked_impl<T: Scalar>(
     ctx: &GemmContext,
     ta: Trans,
     alpha: T,
@@ -265,6 +266,7 @@ pub fn gemm_prepacked<T: Scalar>(
     }
 
     let blocking = b.blocking();
+    let acc_fn = T::acc_kernel(ctx.backend());
     let target_tasks = ctx.threads() * 3;
     let sh = m
         .div_ceil(target_tasks)
@@ -275,14 +277,38 @@ pub fn gemm_prepacked<T: Scalar>(
     ctx.run_pool(|| {
         if ctx.threads() == 1 {
             for (si, stripe) in c_slice.chunks_mut(sh * n).enumerate() {
-                stripe_prepacked(ta, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+                stripe_prepacked(
+                    acc_fn,
+                    ta,
+                    alpha,
+                    a,
+                    b,
+                    beta,
+                    stripe,
+                    si * sh,
+                    k,
+                    n,
+                    blocking,
+                );
             }
         } else {
             c_slice
                 .par_chunks_mut(sh * n)
                 .enumerate()
                 .for_each(|(si, stripe)| {
-                    stripe_prepacked(ta, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+                    stripe_prepacked(
+                        acc_fn,
+                        ta,
+                        alpha,
+                        a,
+                        b,
+                        beta,
+                        stripe,
+                        si * sh,
+                        k,
+                        n,
+                        blocking,
+                    );
                 });
         }
     });
@@ -290,6 +316,7 @@ pub fn gemm_prepacked<T: Scalar>(
 
 #[allow(clippy::too_many_arguments)]
 fn stripe_prepacked<T: Scalar>(
+    acc_fn: AccFn<T>,
     ta: Trans,
     alpha: T,
     a: &Matrix<T>,
@@ -331,7 +358,8 @@ fn stripe_prepacked<T: Scalar>(
                     let ap_panel = &ap[ir * kc_eff * MR..(ir + 1) * kc_eff * MR];
                     let c_off = (ir * MR) * n + jc + jr * NR;
                     kernel::microkernel(
-                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff, merge,
+                        acc_fn, kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff,
+                        nr_eff, merge,
                     );
                 }
             }
@@ -475,7 +503,7 @@ impl<T: Scalar> PackedA<T> {
 ///
 /// # Panics
 /// On shape mismatch between the packed operand, `op(B)`, and `C`.
-pub fn gemm_prepacked_a<T: Scalar>(
+pub(crate) fn prepacked_a_impl<T: Scalar>(
     ctx: &GemmContext,
     alpha: T,
     a: &PackedA<T>,
@@ -510,6 +538,7 @@ pub fn gemm_prepacked_a<T: Scalar>(
     }
 
     let blocking = a.blocking();
+    let acc_fn = T::acc_kernel(ctx.backend());
     let target_tasks = ctx.threads() * 3;
     let sh = m
         .div_ceil(target_tasks)
@@ -520,14 +549,38 @@ pub fn gemm_prepacked_a<T: Scalar>(
     ctx.run_pool(|| {
         if ctx.threads() == 1 {
             for (si, stripe) in c_slice.chunks_mut(sh * n).enumerate() {
-                stripe_prepacked_a(alpha, a, tb, b, beta, stripe, si * sh, k, n, blocking);
+                stripe_prepacked_a(
+                    acc_fn,
+                    alpha,
+                    a,
+                    tb,
+                    b,
+                    beta,
+                    stripe,
+                    si * sh,
+                    k,
+                    n,
+                    blocking,
+                );
             }
         } else {
             c_slice
                 .par_chunks_mut(sh * n)
                 .enumerate()
                 .for_each(|(si, stripe)| {
-                    stripe_prepacked_a(alpha, a, tb, b, beta, stripe, si * sh, k, n, blocking);
+                    stripe_prepacked_a(
+                        acc_fn,
+                        alpha,
+                        a,
+                        tb,
+                        b,
+                        beta,
+                        stripe,
+                        si * sh,
+                        k,
+                        n,
+                        blocking,
+                    );
                 });
         }
     });
@@ -535,6 +588,7 @@ pub fn gemm_prepacked_a<T: Scalar>(
 
 #[allow(clippy::too_many_arguments)]
 fn stripe_prepacked_a<T: Scalar>(
+    acc_fn: AccFn<T>,
     alpha: T,
     a: &PackedA<T>,
     tb: Trans,
@@ -578,7 +632,8 @@ fn stripe_prepacked_a<T: Scalar>(
                     let ap_panel = &ap[p * kc_eff * MR..(p + 1) * kc_eff * MR];
                     let c_off = (ir * MR) * n + jc + jr * NR;
                     kernel::microkernel(
-                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff, merge,
+                        acc_fn, kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff,
+                        nr_eff, merge,
                     );
                 }
             }
@@ -601,7 +656,7 @@ fn stripe_prepacked_a<T: Scalar>(
 /// # Panics
 /// On inner-dimension or `C` shape mismatch, or if the two packs were
 /// built under different blockings (their panel grids would disagree).
-pub fn gemm_prepacked_ab<T: Scalar>(
+pub(crate) fn prepacked_ab_impl<T: Scalar>(
     ctx: &GemmContext,
     alpha: T,
     a: &PackedA<T>,
@@ -639,6 +694,7 @@ pub fn gemm_prepacked_ab<T: Scalar>(
     }
 
     let blocking = a.blocking();
+    let acc_fn = T::acc_kernel(ctx.backend());
     let target_tasks = ctx.threads() * 3;
     let sh = m
         .div_ceil(target_tasks)
@@ -649,14 +705,14 @@ pub fn gemm_prepacked_ab<T: Scalar>(
     ctx.run_pool(|| {
         if ctx.threads() == 1 {
             for (si, stripe) in c_slice.chunks_mut(sh * n).enumerate() {
-                stripe_prepacked_ab(alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+                stripe_prepacked_ab(acc_fn, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
             }
         } else {
             c_slice
                 .par_chunks_mut(sh * n)
                 .enumerate()
                 .for_each(|(si, stripe)| {
-                    stripe_prepacked_ab(alpha, a, b, beta, stripe, si * sh, k, n, blocking);
+                    stripe_prepacked_ab(acc_fn, alpha, a, b, beta, stripe, si * sh, k, n, blocking);
                 });
         }
     });
@@ -664,6 +720,7 @@ pub fn gemm_prepacked_ab<T: Scalar>(
 
 #[allow(clippy::too_many_arguments)]
 fn stripe_prepacked_ab<T: Scalar>(
+    acc_fn: AccFn<T>,
     alpha: T,
     a: &PackedA<T>,
     b: &PackedB<T>,
@@ -706,7 +763,8 @@ fn stripe_prepacked_ab<T: Scalar>(
                     let ap_panel = &ap[p * kc_eff * MR..(p + 1) * kc_eff * MR];
                     let c_off = (ir * MR) * n + jc + jr * NR;
                     kernel::microkernel(
-                        kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff, nr_eff, merge,
+                        acc_fn, kc_eff, alpha, ap_panel, bp_panel, stripe, c_off, n, mr_eff,
+                        nr_eff, merge,
                     );
                 }
             }
@@ -738,7 +796,7 @@ fn stripe_prepacked_ab<T: Scalar>(
 /// # Panics
 /// On inner-dimension or `C` shape mismatch, or if `b_rows.len()`
 /// differs from `n * k`.
-pub fn gemm_prepacked_a_bt<T: Scalar>(
+pub(crate) fn prepacked_a_bt_impl<T: Scalar>(
     ctx: &GemmContext,
     alpha: T,
     a: &PackedA<T>,
@@ -770,6 +828,7 @@ pub fn gemm_prepacked_a_bt<T: Scalar>(
     }
 
     let blocking = a.blocking();
+    let bt_fn = T::bt_kernel(ctx.backend());
     let target_tasks = ctx.threads() * 3;
     let sh = m
         .div_ceil(target_tasks)
@@ -780,14 +839,14 @@ pub fn gemm_prepacked_a_bt<T: Scalar>(
     ctx.run_pool(|| {
         if ctx.threads() == 1 {
             for (si, stripe) in c_slice.chunks_mut(sh * n).enumerate() {
-                stripe_prepacked_a_bt(alpha, a, b_rows, beta, stripe, si * sh, k, n);
+                stripe_prepacked_a_bt(bt_fn, alpha, a, b_rows, beta, stripe, si * sh, k, n);
             }
         } else {
             c_slice
                 .par_chunks_mut(sh * n)
                 .enumerate()
                 .for_each(|(si, stripe)| {
-                    stripe_prepacked_a_bt(alpha, a, b_rows, beta, stripe, si * sh, k, n);
+                    stripe_prepacked_a_bt(bt_fn, alpha, a, b_rows, beta, stripe, si * sh, k, n);
                 });
         }
     });
@@ -795,6 +854,7 @@ pub fn gemm_prepacked_a_bt<T: Scalar>(
 
 #[allow(clippy::too_many_arguments)]
 fn stripe_prepacked_a_bt<T: Scalar>(
+    bt_fn: BtFn<T>,
     alpha: T,
     a: &PackedA<T>,
     b_rows: &[T],
@@ -823,17 +883,13 @@ fn stripe_prepacked_a_bt<T: Scalar>(
                 let p = panel0 + ir;
                 let ap_panel = &ap[p * kc_eff * MR..(p + 1) * kc_eff * MR];
 
-                // Same FMA chain as kernel::microkernel: kk ascending
-                // within the block, acc = a.mul_add(b, acc); padded
-                // panel rows compute garbage-free zeros that the
-                // masked C write below discards.
+                // Backend-dispatched column kernel, same FMA chain
+                // as kernel::microkernel: kk ascending within the
+                // block, acc = a.mul_add(b, acc); padded panel rows
+                // compute garbage-free zeros that the masked C write
+                // below discards.
                 let mut acc = [T::ZERO; MR];
-                for (kk, &bv) in brow[pc..pc + kc_eff].iter().enumerate() {
-                    let arow = &ap_panel[kk * MR..kk * MR + MR];
-                    for i in 0..MR {
-                        acc[i] = arow[i].mul_add(bv, acc[i]);
-                    }
-                }
+                bt_fn(kc_eff, ap_panel, &brow[pc..pc + kc_eff], &mut acc);
 
                 let base = (ir * MR) * n + j;
                 match merge {
@@ -863,10 +919,64 @@ fn stripe_prepacked_a_bt<T: Scalar>(
     }
 }
 
+/// Deprecated free-function entry for the prepacked-B driver.
+#[deprecated(note = "use GemmOp::packed_b(a, ta, b).alpha(..).beta(..).run(ctx, c)")]
+pub fn gemm_prepacked<T: Scalar>(
+    ctx: &GemmContext,
+    ta: Trans,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &PackedB<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    prepacked_impl(ctx, ta, alpha, a, b, beta, c);
+}
+
+/// Deprecated free-function entry for the prepacked-A driver.
+#[deprecated(note = "use GemmOp::packed_a(a, b, tb).alpha(..).beta(..).run(ctx, c)")]
+pub fn gemm_prepacked_a<T: Scalar>(
+    ctx: &GemmContext,
+    alpha: T,
+    a: &PackedA<T>,
+    tb: Trans,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    prepacked_a_impl(ctx, alpha, a, tb, b, beta, c);
+}
+
+/// Deprecated free-function entry for the both-operands-prepacked driver.
+#[deprecated(note = "use GemmOp::packed_ab(a, b).alpha(..).beta(..).run(ctx, c)")]
+pub fn gemm_prepacked_ab<T: Scalar>(
+    ctx: &GemmContext,
+    alpha: T,
+    a: &PackedA<T>,
+    b: &PackedB<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    prepacked_ab_impl(ctx, alpha, a, b, beta, c);
+}
+
+/// Deprecated free-function entry for the streamed-`B^T` driver.
+#[deprecated(note = "use GemmOp::packed_a_bt(a, b_rows).alpha(..).beta(..).run(ctx, c)")]
+pub fn gemm_prepacked_a_bt<T: Scalar>(
+    ctx: &GemmContext,
+    alpha: T,
+    a: &PackedA<T>,
+    b_rows: &[T],
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    prepacked_a_bt_impl(ctx, alpha, a, b_rows, beta, c);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gemm::gemm;
+    use crate::gemm::gemm_impl as gemm;
     use pdnn_util::Prng;
 
     fn rand(r: usize, c: usize, seed: u64) -> Matrix<f32> {
@@ -889,7 +999,7 @@ mod tests {
             let mut c1 = Matrix::zeros(m, n);
             let mut c2 = Matrix::zeros(m, n);
             gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-            gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
+            prepacked_impl(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
             assert_eq!(c1, c2, "m={m} k={k} n={n}");
         }
     }
@@ -907,7 +1017,7 @@ mod tests {
         let mut c1 = Matrix::zeros(50, 20);
         let mut c2 = Matrix::zeros(50, 20);
         gemm(&ctx, Trans::N, Trans::T, 1.0f32, &x, &w, 0.0, &mut c1);
-        gemm_prepacked(&ctx, Trans::N, 1.0f32, &x, &packed, 0.0, &mut c2);
+        prepacked_impl(&ctx, Trans::N, 1.0f32, &x, &packed, 0.0, &mut c2);
         assert_eq!(c1, c2);
     }
 
@@ -921,7 +1031,7 @@ mod tests {
             let mut c1 = Matrix::zeros(31, 16);
             let mut c2 = Matrix::zeros(31, 16);
             gemm(&ctx, Trans::N, Trans::T, 1.0f32, &x, &w, 0.0, &mut c1);
-            gemm_prepacked(&ctx, Trans::N, 1.0f32, &x, &packed, 0.0, &mut c2);
+            prepacked_impl(&ctx, Trans::N, 1.0f32, &x, &packed, 0.0, &mut c2);
             assert_eq!(c1, c2);
         }
     }
@@ -936,7 +1046,7 @@ mod tests {
         let mut c1 = c0.clone();
         let mut c2 = c0;
         gemm(&ctx, Trans::T, Trans::N, 1.5f32, &a, &b, -0.5, &mut c1);
-        gemm_prepacked(&ctx, Trans::T, 1.5f32, &a, &packed, -0.5, &mut c2);
+        prepacked_impl(&ctx, Trans::T, 1.5f32, &a, &packed, -0.5, &mut c2);
         assert_eq!(c1, c2);
     }
 
@@ -954,7 +1064,7 @@ mod tests {
         let mut c1 = Matrix::zeros(37, 29);
         let mut c2 = Matrix::zeros(37, 29);
         gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-        gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
+        prepacked_impl(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
         assert_eq!(c1, c2);
     }
 
@@ -974,7 +1084,7 @@ mod tests {
         let b = rand(6, 3, 12);
         let packed = PackedB::new(&b, Trans::N, ctx.blocking());
         let mut c = Matrix::zeros(4, 3);
-        gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c);
+        prepacked_impl(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c);
     }
 
     #[test]
@@ -986,11 +1096,11 @@ mod tests {
         assert_eq!((packed.k(), packed.n()), (0, 4));
         assert_eq!(packed.bytes(), 0);
         let mut c: Matrix<f32> = Matrix::filled(3, 4, 2.0);
-        gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.5, &mut c);
+        prepacked_impl(&ctx, Trans::N, 1.0f32, &a, &packed, 0.5, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 1.0));
         // beta = 0 with NaN in C must overwrite with zeros.
         let mut c2: Matrix<f32> = Matrix::filled(3, 4, f32::NAN);
-        gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
+        prepacked_impl(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c2);
         assert!(c2.as_slice().iter().all(|&v| v == 0.0));
     }
 
@@ -1002,7 +1112,7 @@ mod tests {
         let packed = PackedB::new(&b, Trans::N, ctx.blocking());
         assert_eq!((packed.k(), packed.n()), (7, 0));
         let mut c: Matrix<f32> = Matrix::zeros(5, 0);
-        gemm_prepacked(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c);
+        prepacked_impl(&ctx, Trans::N, 1.0f32, &a, &packed, 0.0, &mut c);
     }
 
     #[test]
@@ -1026,7 +1136,7 @@ mod tests {
             let mut c1 = Matrix::zeros(m, n);
             let mut c2 = Matrix::zeros(m, n);
             gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-            gemm_prepacked_a(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c2);
+            prepacked_a_impl(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c2);
             assert_eq!(c1, c2, "m={m} k={k} n={n}");
         }
     }
@@ -1049,7 +1159,7 @@ mod tests {
             let mut c1 = c0.clone();
             let mut c2 = c0;
             gemm(&ctx, ta, Trans::T, 1.5f32, src, &vw, 1.0, &mut c1);
-            gemm_prepacked_a(&ctx, 1.5f32, &packed, Trans::T, &vw, 1.0, &mut c2);
+            prepacked_a_impl(&ctx, 1.5f32, &packed, Trans::T, &vw, 1.0, &mut c2);
             assert_eq!(c1, c2, "ta={label}");
         }
     }
@@ -1064,7 +1174,7 @@ mod tests {
         let mut c1 = Matrix::zeros(200, 170);
         let mut c2 = Matrix::zeros(200, 170);
         gemm(&seq, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-        gemm_prepacked_a(&thr, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c2);
+        prepacked_a_impl(&thr, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c2);
         assert_eq!(c1, c2);
     }
 
@@ -1082,7 +1192,7 @@ mod tests {
         let mut c1 = Matrix::zeros(37, 29);
         let mut c2 = Matrix::zeros(37, 29);
         gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-        gemm_prepacked_a(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c2);
+        prepacked_a_impl(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c2);
         assert_eq!(c1, c2);
     }
 
@@ -1096,14 +1206,14 @@ mod tests {
         assert_eq!(packed.bytes(), 0);
         let b0: Matrix<f32> = Matrix::zeros(0, 4);
         let mut c: Matrix<f32> = Matrix::filled(3, 4, 2.0);
-        gemm_prepacked_a(&ctx, 1.0f32, &packed, Trans::N, &b0, 0.5, &mut c);
+        prepacked_a_impl(&ctx, 1.0f32, &packed, Trans::N, &b0, 0.5, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 1.0));
         // m == 0: empty output, no-op.
         let am: Matrix<f32> = Matrix::zeros(0, 5);
         let packed = PackedA::new(&am, Trans::N, ctx.blocking());
         let b = rand(5, 4, 34);
         let mut c: Matrix<f32> = Matrix::zeros(0, 4);
-        gemm_prepacked_a(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c);
+        prepacked_a_impl(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c);
     }
 
     #[test]
@@ -1114,7 +1224,7 @@ mod tests {
         let b = rand(6, 3, 36);
         let packed = PackedA::new(&a, Trans::N, ctx.blocking());
         let mut c = Matrix::zeros(4, 3);
-        gemm_prepacked_a(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c);
+        prepacked_a_impl(&ctx, 1.0f32, &packed, Trans::N, &b, 0.0, &mut c);
     }
 
     #[test]
@@ -1135,7 +1245,7 @@ mod tests {
             let mut c1 = Matrix::zeros(m, n);
             let mut c2 = Matrix::zeros(m, n);
             gemm(&ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-            gemm_prepacked_ab(&ctx, 1.0f32, &pa, &pb, 0.0, &mut c2);
+            prepacked_ab_impl(&ctx, 1.0f32, &pa, &pb, 0.0, &mut c2);
             assert_eq!(c1, c2, "m={m} k={k} n={n}");
         }
     }
@@ -1152,7 +1262,7 @@ mod tests {
         let mut c1 = c0.clone();
         let mut c2 = c0;
         gemm(&ctx, Trans::N, Trans::T, 1.5f32, &a, &vw, 1.0, &mut c1);
-        gemm_prepacked_ab(&ctx, 1.5f32, &pa, &pvw, 1.0, &mut c2);
+        prepacked_ab_impl(&ctx, 1.5f32, &pa, &pvw, 1.0, &mut c2);
         assert_eq!(c1, c2);
     }
 
@@ -1164,7 +1274,7 @@ mod tests {
         let pa = PackedA::new(&a0, Trans::N, ctx.blocking());
         let pb = PackedB::new(&b0, Trans::N, ctx.blocking());
         let mut c: Matrix<f32> = Matrix::filled(3, 4, f32::NAN);
-        gemm_prepacked_ab(&ctx, 1.0f32, &pa, &pb, 0.0, &mut c);
+        prepacked_ab_impl(&ctx, 1.0f32, &pa, &pb, 0.0, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 0.0));
     }
 
@@ -1185,7 +1295,7 @@ mod tests {
             },
         );
         let mut c = Matrix::zeros(8, 8);
-        gemm_prepacked_ab(&ctx, 1.0f32, &pa, &pb, 0.0, &mut c);
+        prepacked_ab_impl(&ctx, 1.0f32, &pa, &pb, 0.0, &mut c);
     }
 
     #[test]
@@ -1205,8 +1315,8 @@ mod tests {
             let x = rand(21, 33, seed + 10);
             let mut c1 = Matrix::zeros(21, 40);
             let mut c2 = Matrix::zeros(21, 40);
-            gemm_prepacked(&ctx, Trans::N, 1.0f32, &x, &heap, 0.0, &mut c1);
-            gemm_prepacked(&ctx, Trans::N, 1.0f32, &x, &arena, 0.0, &mut c2);
+            prepacked_impl(&ctx, Trans::N, 1.0f32, &x, &heap, 0.0, &mut c1);
+            prepacked_impl(&ctx, Trans::N, 1.0f32, &x, &arena, 0.0, &mut c2);
             assert_eq!(c1, c2, "seed {seed}");
             arena.give_back(&mut ws);
         }
@@ -1281,7 +1391,7 @@ mod tests {
                     c2.as_mut_slice().fill(f32::NAN);
                 }
                 gemm(&ctx, Trans::N, Trans::T, alpha, &a, &b, beta, &mut c1);
-                gemm_prepacked_a_bt(&ctx, alpha, &pa, b.as_slice(), beta, &mut c2);
+                prepacked_a_bt_impl(&ctx, alpha, &pa, b.as_slice(), beta, &mut c2);
                 assert_eq!(
                     c1.as_slice(),
                     c2.as_slice(),
@@ -1298,11 +1408,11 @@ mod tests {
         let pa = PackedA::new(&a, Trans::N, ctx.blocking());
         let mut c = rand(5, 9, 3);
         let orig = c.clone();
-        gemm_prepacked_a_bt(&ctx, 1.0f32, &pa, &[], 0.5, &mut c);
+        prepacked_a_bt_impl(&ctx, 1.0f32, &pa, &[], 0.5, &mut c);
         for (x, y) in c.as_slice().iter().zip(orig.as_slice()) {
             assert_eq!(*x, 0.5 * y);
         }
-        gemm_prepacked_a_bt(&ctx, 1.0f32, &pa, &[], 0.0, &mut c);
+        prepacked_a_bt_impl(&ctx, 1.0f32, &pa, &[], 0.0, &mut c);
         assert!(c.as_slice().iter().all(|&v| v == 0.0));
     }
 
@@ -1314,7 +1424,7 @@ mod tests {
         let pa = PackedA::new(&a, Trans::N, ctx.blocking());
         let mut c = Matrix::zeros(4, 5);
         let b = vec![0.0f32; 29]; // needs 5 * 6 = 30
-        gemm_prepacked_a_bt(&ctx, 1.0f32, &pa, &b, 0.0, &mut c);
+        prepacked_a_bt_impl(&ctx, 1.0f32, &pa, &b, 0.0, &mut c);
     }
 
     #[test]
@@ -1329,7 +1439,7 @@ mod tests {
             let mut c1 = Matrix::zeros(31, 16);
             let mut c2 = Matrix::zeros(31, 16);
             gemm(&ctx, Trans::N, Trans::T, 1.0f32, &a, &vw, 0.0, &mut c1);
-            gemm_prepacked_a(&ctx, 1.0f32, &packed, Trans::T, &vw, 0.0, &mut c2);
+            prepacked_a_impl(&ctx, 1.0f32, &packed, Trans::T, &vw, 0.0, &mut c2);
             assert_eq!(c1, c2);
         }
     }

@@ -13,13 +13,20 @@
 //! is generic over [`Scalar`] so f64 comparisons are one type
 //! parameter away.
 //!
+//! Products are described by a [`GemmOp`] (plain, prepacked, or
+//! streamed-`B^T` operands) and executed on a [`GemmContext`], whose
+//! [`ComputeBackend`] supplies runtime-dispatched `std::arch`
+//! microkernels (AVX2/AVX-512/NEON) that are bit-identical to the
+//! forced-scalar reference — see the [`gemm::backend`] module docs for
+//! the contract.
+//!
 //! ```
-//! use pdnn_tensor::{Matrix, gemm::{GemmContext, Trans, gemm}};
+//! use pdnn_tensor::{Matrix, gemm::{GemmContext, GemmOp, Trans}};
 //!
 //! let a: Matrix<f32> = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
 //! let b: Matrix<f32> = Matrix::from_fn(3, 2, |r, c| (r * c) as f32);
 //! let mut c: Matrix<f32> = Matrix::zeros(2, 2);
-//! gemm(&GemmContext::sequential(), Trans::N, Trans::N, 1.0, &a, &b, 0.0, &mut c);
+//! GemmOp::ab(&a, Trans::N, &b, Trans::N).run(&GemmContext::sequential(), &mut c);
 //! assert_eq!(c[(1, 1)], 1.0 * 0.0 + 2.0 * 1.0 + 3.0 * 2.0);
 //! ```
 
@@ -30,8 +37,14 @@ pub mod scalar;
 pub mod workspace;
 
 pub use gemm::{
+    available_isas, backend_for, default_backend, detect_best, scalar_backend, BackendConfig,
+    BackendConfigBuilder, BackendError, ComputeBackend, GemmContext, GemmOp, Isa, PackedA, PackedB,
+    Trans, BACKEND_ENV,
+};
+#[allow(deprecated)]
+pub use gemm::{
     gemm as gemm_into, gemm_prepacked, gemm_prepacked_a, gemm_prepacked_a_bt, gemm_prepacked_ab,
-    matmul, GemmContext, PackedA, PackedB, Trans,
+    matmul,
 };
 pub use matrix::Matrix;
 pub use scalar::Scalar;

@@ -9,6 +9,8 @@ use std::fmt::{Debug, Display};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
+use crate::gemm::backend::{AccFn, BtFn, ComputeBackend};
+
 /// Floating-point element type usable by the kernels.
 pub trait Scalar:
     Copy
@@ -59,10 +61,17 @@ pub trait Scalar:
     fn min(self, other: Self) -> Self;
     /// True when the value is finite.
     fn is_finite(self) -> bool;
+
+    /// The `backend`'s packed-panel accumulate kernel for this type
+    /// (per-type projection of [`ComputeBackend::acc_f32`]/`acc_f64`;
+    /// resolved once per GEMM driver call, not per micro-tile).
+    fn acc_kernel(backend: &dyn ComputeBackend) -> AccFn<Self>;
+    /// The `backend`'s streaming-B^T column kernel for this type.
+    fn bt_kernel(backend: &dyn ComputeBackend) -> BtFn<Self>;
 }
 
 macro_rules! impl_scalar {
-    ($t:ty) => {
+    ($t:ty, $acc:ident, $bt:ident) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -110,12 +119,20 @@ macro_rules! impl_scalar {
             fn is_finite(self) -> bool {
                 <$t>::is_finite(self)
             }
+            #[inline(always)]
+            fn acc_kernel(backend: &dyn ComputeBackend) -> AccFn<Self> {
+                backend.$acc()
+            }
+            #[inline(always)]
+            fn bt_kernel(backend: &dyn ComputeBackend) -> BtFn<Self> {
+                backend.$bt()
+            }
         }
     };
 }
 
-impl_scalar!(f32);
-impl_scalar!(f64);
+impl_scalar!(f32, acc_f32, bt_f32);
+impl_scalar!(f64, acc_f64, bt_f64);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,144 @@
+//! Scalar-vs-SIMD bit-identity property tests.
+//!
+//! The backend contract (see `gemm::backend`) promises that every
+//! runtime-dispatched microkernel reproduces the forced-scalar
+//! reference *bitwise* — same FMA-free accumulation chains, same
+//! rounding — so that backend selection can never perturb training
+//! trajectories or telemetry. These tests sweep odd and degenerate
+//! panel shapes (ragged edges, single rows/columns, k = 1, shapes
+//! straddling MR/NR and cache-block boundaries) across every operand
+//! form of [`GemmOp`] for every ISA the host actually supports.
+
+use pdnn_tensor::gemm::{
+    available_isas, backend_for, scalar_backend, Blocking, GemmContext, GemmOp, PackedA, PackedB,
+    Trans, MR, NR,
+};
+use pdnn_tensor::{Matrix, Scalar};
+use pdnn_util::Prng;
+
+/// Shapes chosen to exercise full tiles, ragged edges in both the MR
+/// and NR dimensions, degenerate single-row/column products, and
+/// sizes that straddle the default cache blocks.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (1, 1, 64),
+        (1, 17, 1),
+        (MR, NR, 7),
+        (MR - 1, NR + 1, 13),
+        (MR + 1, NR - 1, 1),
+        (2 * MR + 3, 2 * NR + 5, 31),
+        (37, 29, 41),
+        (64, 64, 64),
+        (129, 65, 257), // straddles mc=128 and kc=256
+    ]
+}
+
+fn rand_matrix<T: Scalar>(rows: usize, cols: usize, rng: &mut Prng) -> Matrix<T> {
+    // Non-round values so any rounding divergence actually shows up.
+    Matrix::from_fn(rows, cols, |r, c| {
+        let _ = (r, c);
+        T::from_f64(rng.uniform() * 2.0 - 1.0)
+    })
+}
+
+/// Run every GemmOp operand form for `(m, n, k)` under `ctx` and
+/// return the results, bitwise-comparable across contexts.
+fn all_forms<T: Scalar>(
+    ctx: &GemmContext,
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<Matrix<T>> {
+    let mut rng = Prng::new(seed);
+    let a: Matrix<T> = rand_matrix(m, k, &mut rng);
+    // b is stored n x k and used transposed, so the same storage can
+    // feed both the plain/packed forms and the streamed-B^T form.
+    let b: Matrix<T> = rand_matrix(n, k, &mut rng);
+    let c0: Matrix<T> = rand_matrix(m, n, &mut rng);
+    let alpha = T::from_f64(0.75);
+    let beta = T::from_f64(-1.25);
+
+    let pa = PackedA::new(&a, Trans::N, ctx.blocking());
+    let pb = PackedB::new(&b, Trans::T, ctx.blocking());
+
+    let ops: Vec<GemmOp<'_, T>> = vec![
+        GemmOp::ab(&a, Trans::N, &b, Trans::T),
+        GemmOp::packed_b(&a, Trans::N, &pb),
+        GemmOp::packed_a(&pa, &b, Trans::T),
+        GemmOp::packed_ab(&pa, &pb),
+        GemmOp::packed_a_bt(&pa, b.as_slice()),
+    ];
+    ops.into_iter()
+        .map(|op| {
+            let mut c = c0.clone();
+            op.alpha(alpha).beta(beta).run(ctx, &mut c);
+            c
+        })
+        .collect()
+}
+
+fn assert_backend_parity<T: Scalar>() {
+    let scalar_ctx = GemmContext::sequential().with_backend(scalar_backend());
+    for isa in available_isas() {
+        let backend = backend_for(isa).expect("available ISA must resolve");
+        let ctx = GemmContext::sequential().with_backend(backend);
+        for (m, n, k) in shapes() {
+            let seed = (m * 1_000_000 + n * 1_000 + k) as u64;
+            let want = all_forms::<T>(&scalar_ctx, m, n, k, seed);
+            let got = all_forms::<T>(&ctx, m, n, k, seed);
+            for (form, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+                assert_eq!(
+                    w, g,
+                    "backend {isa} diverges from scalar: form #{form}, m={m} n={n} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn f32_backends_bitwise_match_scalar_on_awkward_shapes() {
+    assert_backend_parity::<f32>();
+}
+
+#[test]
+fn f64_backends_bitwise_match_scalar_on_awkward_shapes() {
+    assert_backend_parity::<f64>();
+}
+
+#[test]
+fn parity_holds_under_degenerate_blocking() {
+    // Tiny cache blocks force kc=1 panels and maximal edge handling.
+    let blocking = Blocking {
+        mc: 8,
+        kc: 1,
+        nc: 8,
+    };
+    let scalar_ctx = GemmContext::sequential()
+        .with_backend(scalar_backend())
+        .with_blocking(blocking);
+    for isa in available_isas() {
+        let ctx = GemmContext::sequential()
+            .with_backend(backend_for(isa).expect("available ISA must resolve"))
+            .with_blocking(blocking);
+        for (m, n, k) in [(3, 5, 2), (MR, NR, 1), (19, 23, 9)] {
+            let want = all_forms::<f32>(&scalar_ctx, m, n, k, 99);
+            let got = all_forms::<f32>(&ctx, m, n, k, 99);
+            assert_eq!(want, got, "isa {isa} m={m} n={n} k={k}");
+        }
+    }
+}
+
+#[test]
+fn parity_holds_threaded() {
+    // Row-stripe partitioning must not interact with kernel choice.
+    let scalar_ctx = GemmContext::threaded(4).with_backend(scalar_backend());
+    for isa in available_isas() {
+        let ctx = GemmContext::threaded(4).with_backend(backend_for(isa).expect("resolves"));
+        let want = all_forms::<f32>(&scalar_ctx, 70, 33, 48, 7);
+        let got = all_forms::<f32>(&ctx, 70, 33, 48, 7);
+        assert_eq!(want, got, "isa {isa}");
+    }
+}

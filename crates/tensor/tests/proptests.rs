@@ -4,7 +4,7 @@
 //! shape/transpose/alpha/beta combination — edge panels, tiny
 //! matrices, and block-boundary-straddling sizes included.
 
-use pdnn_tensor::gemm::{gemm, gemm_naive, Blocking, GemmContext, Trans};
+use pdnn_tensor::gemm::{Blocking, GemmContext, GemmOp, Trans};
 use pdnn_tensor::{blas1, Matrix};
 use proptest::prelude::*;
 
@@ -44,8 +44,9 @@ proptest! {
 
         let mut fast = c0.clone();
         let mut slow = c0;
-        gemm(&GemmContext::sequential(), ta, tb, alpha, &a, &b, beta, &mut fast);
-        gemm_naive(ta, tb, alpha, &a, &b, beta, &mut slow);
+        let op = GemmOp::ab(&a, ta, &b, tb).alpha(alpha).beta(beta);
+        op.run(&GemmContext::sequential(), &mut fast);
+        op.run_reference(&mut slow);
         prop_assert!(fast.max_abs_diff(&slow) < 1e-3,
             "diff={} m={m} n={n} k={k}", fast.max_abs_diff(&slow));
     }
@@ -68,8 +69,9 @@ proptest! {
         let default_ctx = GemmContext::sequential();
         let odd_ctx = GemmContext::sequential()
             .with_blocking(Blocking { mc, kc, nc });
-        gemm(&default_ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c1);
-        gemm(&odd_ctx, Trans::N, Trans::N, 1.0f32, &a, &b, 0.0, &mut c2);
+        let op = GemmOp::<f32>::ab(&a, Trans::N, &b, Trans::N);
+        op.run(&default_ctx, &mut c1);
+        op.run(&odd_ctx, &mut c2);
         prop_assert!(c1.max_abs_diff(&c2) < 1e-3);
     }
 
@@ -89,7 +91,10 @@ proptest! {
         let mut rng = pdnn_util::Prng::new(seed);
         let a: Matrix<f32> = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
         let b: Matrix<f32> = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+        // The deprecated `matmul` shim must stay behaviourally intact.
+        #[allow(deprecated)]
         let ab_t = pdnn_tensor::matmul(&a, &b).transposed();
+        #[allow(deprecated)]
         let bt_at = pdnn_tensor::matmul(&b.transposed(), &a.transposed());
         prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-3);
     }

@@ -10,6 +10,14 @@ cargo build --release
 echo "== tier-1: test suite =="
 cargo test -q
 
+echo "== backends: tier-1 under forced-scalar and auto dispatch =="
+# The ComputeBackend contract: every runtime-dispatched SIMD kernel is
+# bit-identical to the forced-scalar reference, so the whole suite
+# (determinism byte-gates included) must pass under both. Separate
+# processes because the backend choice is resolved once per process.
+PDNN_BACKEND=scalar cargo test -q -p pdnn-tensor -p pdnn-dnn -p pdnn-core
+PDNN_BACKEND=auto cargo test -q -p pdnn-tensor -p pdnn-dnn -p pdnn-core
+
 echo "== style: rustfmt =="
 cargo fmt --check
 
@@ -42,11 +50,31 @@ echo "== perf: training-step bench smoke (arena zero-growth gate) =="
 # workspace-arena guarantee); the greps assert the emitted JSON has
 # the phase schema consumers of BENCH_4.json rely on.
 mkdir -p target/bench_smoke
-cargo run -q --release -p pdnn-bench --bin training_step -- --smoke \
-  --out target/bench_smoke/BENCH_4.json
+smoke_bench="$(PDNN_BACKEND=scalar cargo run -q --release -p pdnn-bench --bin training_step -- --smoke \
+  --out target/bench_smoke/BENCH_4.json --out-isa target/bench_smoke/BENCH_5.json)"
 for key in '"gn_solve"' '"ns_per_frame"' '"steady_state_heap_growth_bytes": 0'; do
   grep -q "$key" target/bench_smoke/BENCH_4.json \
     || { echo "bench smoke JSON missing $key" >&2; exit 1; }
 done
+
+echo "== backends: dispatch assertions (smoke) =="
+# Forced scalar must report scalar dispatch...
+echo "$smoke_bench" | grep -q "compute backend: dispatching scalar microkernels" \
+  || { echo "forced-scalar smoke did not dispatch scalar kernels" >&2; exit 1; }
+grep -q '"scalar"' target/bench_smoke/BENCH_5.json \
+  || { echo "BENCH_5 smoke JSON missing the scalar ISA row" >&2; exit 1; }
+# ...and auto dispatch must pick a SIMD ISA when the CPU offers one.
+auto_out="$(cargo run -q --release -p pdnn-bench --bin training_step -- --smoke \
+  --out target/bench_smoke/BENCH_4_auto.json --out-isa target/bench_smoke/BENCH_5_auto.json)"
+auto_isa="$(echo "$auto_out" | sed -n 's/^compute backend: dispatching \([a-z0-9]*\) microkernels$/\1/p')"
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  case "$auto_isa" in
+    avx2|avx512) ;;
+    *) echo "auto dispatch picked '$auto_isa' on an AVX2-capable host" >&2; exit 1 ;;
+  esac
+else
+  [ -n "$auto_isa" ] || { echo "auto smoke never reported its dispatched ISA" >&2; exit 1; }
+fi
+echo "auto dispatch: $auto_isa"
 
 echo "verify: OK"

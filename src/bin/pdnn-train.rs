@@ -18,6 +18,8 @@
 //!   --objective ce|sequence                             [ce]
 //!   --workers N        0 = serial, else master+N workers [0]
 //!   --threads N        GEMM threads per rank            [1]
+//!   --backend NAME     GEMM microkernel ISA: auto|scalar|avx2|avx512|neon
+//!                      (default auto; `PDNN_BACKEND` overrides)
 //!   --iters N          HF iterations                    [10]
 //!   --seed N           corpus/init seed                 [2024]
 //!   --strategy lpt|rr|contiguous  utterance assignment  [lpt]
@@ -32,10 +34,12 @@ use pdnn::core::{
     train_distributed, DistributedConfig, DnnProblem, HfConfig, HfOptimizer, IterStats, Objective,
 };
 use pdnn::dnn::{load_network, save_network, Activation, Network};
+use pdnn::obs::{InMemoryRecorder, Recorder, Value};
 use pdnn::speech::{stack_context, Corpus, CorpusSpec, Strategy};
-use pdnn::tensor::GemmContext;
+use pdnn::tensor::{BackendConfig, GemmContext, BACKEND_ENV};
 use pdnn::util::Prng;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn arg_value(key: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
@@ -90,6 +94,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let seed: u64 = arg_num("--seed", 2024);
+
+    // Resolve the compute backend before any GemmContext exists. The
+    // builder validates the name and rejects ISAs this machine lacks;
+    // exporting the validated choice through PDNN_BACKEND makes every
+    // rank's context (distributed workers build their own) dispatch
+    // the same microkernels. Numerically this is a no-op: every
+    // backend is bit-identical to forced scalar (gemm::backend docs).
+    let requested = arg_value("--backend").unwrap_or_else(|| "auto".into());
+    let backend = {
+        let backend_cfg = match BackendConfig::builder().select_name(&requested).build() {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("invalid --backend {requested}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if backend_cfg.selection().is_some() {
+            // A forced flag beats a stale environment: propagate it.
+            std::env::set_var(
+                BACKEND_ENV,
+                backend_cfg.selection().map_or("auto", |i| i.name()),
+            );
+        }
+        match backend_cfg.resolve() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{BACKEND_ENV}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!(
+        "compute backend: requested {requested}, dispatching {} microkernels",
+        backend.isa()
+    );
     let context: usize = arg_num("--context", 0);
     let objective_name = arg_value("--objective").unwrap_or_else(|| "ce".into());
     let strategy = match arg_value("--strategy").as_deref() {
@@ -181,10 +220,20 @@ fn main() -> ExitCode {
             GemmContext::threaded(threads)
         } else {
             GemmContext::sequential()
-        };
+        }
+        .with_backend(backend);
         let train_shard = stack_context(&corpus.shard(&train_ids), context);
         let held_shard = stack_context(&corpus.shard(&held_ids), context);
-        let mut problem = DnnProblem::new(net0, ctx, train_shard, held_shard, objective);
+        let recorder = Arc::new(InMemoryRecorder::new());
+        recorder.event(
+            "compute_backend",
+            vec![
+                ("requested".into(), Value::Str(requested.clone())),
+                ("dispatched".into(), Value::Str(backend.isa().name().into())),
+            ],
+        );
+        let mut problem =
+            DnnProblem::new(net0, ctx, train_shard, held_shard, objective).with_recorder(recorder);
         let stats = HfOptimizer::new(hf).train(&mut problem);
         print_stats(&stats);
         problem.into_network()
