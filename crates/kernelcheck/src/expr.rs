@@ -1,0 +1,379 @@
+//! Symbolic integer polynomials over named `usize` variables.
+//!
+//! Every length and offset the checker reasons about is a polynomial
+//! in the kernel's runtime parameters (`kc`) and driver loop indices
+//! (`ir`, `pc`, ...), with the micro-tile constants `MR`/`NR` already
+//! substituted numerically. Offsets inside kernel bodies are linear in
+//! `kc`; driver slice bounds multiply two symbols (`ir * kc_eff`), so
+//! the representation is a full multivariate polynomial: a map from
+//! monomial (sorted variable multiset) to integer coefficient.
+//!
+//! The one inequality the checker needs — "is `bound - access_end`
+//! nonnegative for every admissible assignment?" — is decided
+//! conservatively: shift each variable by its known minimum
+//! (`v -> v' + min_v`, `v' >= 0`) and require every coefficient of the
+//! result to be nonnegative. For the univariate linear expressions the
+//! kernel bodies produce this is exact; in general it is sound but
+//! incomplete, which is the right polarity for a safety checker.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A multivariate polynomial with integer coefficients.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Poly {
+    /// Monomial (sorted list of variable names, with repetition for
+    /// powers) -> coefficient. Zero coefficients are never stored.
+    terms: BTreeMap<Vec<String>, i64>,
+}
+
+impl Poly {
+    pub fn constant(c: i64) -> Poly {
+        let mut p = Poly::default();
+        p.add_term(Vec::new(), c);
+        p
+    }
+
+    pub fn var(name: &str) -> Poly {
+        let mut p = Poly::default();
+        p.add_term(vec![name.to_string()], 1);
+        p
+    }
+
+    fn add_term(&mut self, mono: Vec<String>, coef: i64) {
+        if coef == 0 {
+            return;
+        }
+        let next = self.terms.get(&mono).copied().unwrap_or(0) + coef;
+        if next == 0 {
+            self.terms.remove(&mono);
+        } else {
+            self.terms.insert(mono, next);
+        }
+    }
+
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.add_term(m.clone(), *c);
+        }
+        out
+    }
+
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.add_term(m.clone(), -c);
+        }
+        out
+    }
+
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::default();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                let mut m = m1.clone();
+                m.extend(m2.iter().cloned());
+                m.sort();
+                out.add_term(m, c1 * c2);
+            }
+        }
+        out
+    }
+
+    /// Exact division by a constant; `None` if any coefficient is not
+    /// divisible (the checker treats inexact division as unanalyzable).
+    pub fn try_div(&self, d: i64) -> Option<Poly> {
+        if d == 0 {
+            return None;
+        }
+        let mut out = Poly::default();
+        for (m, c) in &self.terms {
+            if c % d != 0 {
+                return None;
+            }
+            out.add_term(m.clone(), c / d);
+        }
+        Some(out)
+    }
+
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new()).copied(),
+            _ => None,
+        }
+    }
+
+    pub fn vars(&self) -> BTreeSet<String> {
+        self.terms.keys().flat_map(|m| m.iter().cloned()).collect()
+    }
+
+    /// Substitute `var := rep` throughout.
+    pub fn subst(&self, var: &str, rep: &Poly) -> Poly {
+        let mut out = Poly::default();
+        for (m, c) in &self.terms {
+            let mut part = Poly::constant(*c);
+            for v in m {
+                let factor = if v == var { rep.clone() } else { Poly::var(v) };
+                part = part.mul(&factor);
+            }
+            out = out.add(&part);
+        }
+        out
+    }
+
+    /// Is `self >= 0` for every assignment where each variable is at
+    /// least its entry in `mins` (default 0)? Sound but incomplete:
+    /// shift variables to their minimum and require all coefficients
+    /// nonnegative.
+    pub fn ge_zero(&self, mins: &BTreeMap<String, i64>) -> bool {
+        let mut p = self.clone();
+        for (v, &mn) in mins {
+            if mn != 0 {
+                p = p.subst(v, &Poly::var(v).add(&Poly::constant(mn)));
+            }
+        }
+        p.terms.values().all(|&c| c >= 0)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.terms {
+            if first {
+                if *c < 0 {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else if *c < 0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let mag = c.abs();
+            if m.is_empty() {
+                write!(f, "{mag}")?;
+            } else {
+                if mag != 1 {
+                    write!(f, "{mag}*")?;
+                }
+                write!(f, "{}", m.join("*"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = text[start..i]
+                .parse()
+                .map_err(|_| format!("integer overflow in `{text}`"))?;
+            out.push(Tok::Int(n));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(text[start..i].to_string()));
+        } else {
+            out.push(match c {
+                '+' => Tok::Plus,
+                '-' => Tok::Minus,
+                '*' => Tok::Star,
+                '/' => Tok::Slash,
+                '(' => Tok::LParen,
+                ')' => Tok::RParen,
+                _ => return Err(format!("unexpected `{c}` in expression `{text}`")),
+            });
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    resolve: &'a dyn Fn(&str) -> Option<Poly>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Result<Poly, String> {
+        let mut p = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    p = p.add(&self.term()?);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    p = p.sub(&self.term()?);
+                }
+                _ => return Ok(p),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Poly, String> {
+        let mut p = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    p = p.mul(&self.unary()?);
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    let rhs = self.unary()?;
+                    let d = rhs
+                        .as_const()
+                        .ok_or_else(|| format!("non-constant divisor in `{}`", self.text))?;
+                    p = p
+                        .try_div(d)
+                        .ok_or_else(|| format!("inexact division in `{}`", self.text))?;
+                }
+                _ => return Ok(p),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Poly, String> {
+        if matches!(self.peek(), Some(Tok::Minus)) {
+            self.pos += 1;
+            return Ok(Poly::constant(0).sub(&self.unary()?));
+        }
+        self.factor()
+    }
+
+    fn factor(&mut self) -> Result<Poly, String> {
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Poly::constant(n))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                (self.resolve)(&name).ok_or_else(|| format!("unresolved symbol `{name}`"))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let p = self.expr()?;
+                if !matches!(self.peek(), Some(Tok::RParen)) {
+                    return Err(format!("unbalanced parentheses in `{}`", self.text));
+                }
+                self.pos += 1;
+                Ok(p)
+            }
+            _ => Err(format!("malformed expression `{}`", self.text)),
+        }
+    }
+}
+
+/// Parse an integer expression into a [`Poly`], resolving identifiers
+/// through `resolve` (constants, loop maxima, symbolic parameters).
+pub fn parse(text: &str, resolve: &dyn Fn(&str) -> Option<Poly>) -> Result<Poly, String> {
+    let toks = tokenize(text)?;
+    if toks.is_empty() {
+        return Err("empty expression".to_string());
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        resolve,
+        text,
+    };
+    let out = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(format!("trailing tokens in `{text}`"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts(name: &str) -> Option<Poly> {
+        match name {
+            "MR" | "NR" => Some(Poly::constant(8)),
+            _ => Some(Poly::var(name)),
+        }
+    }
+
+    #[test]
+    fn parses_linear_offsets() {
+        let p = parse("kk * NR + h * 4", &consts).unwrap();
+        let q = Poly::var("kk")
+            .mul(&Poly::constant(8))
+            .add(&Poly::var("h").mul(&Poly::constant(4)));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn division_must_be_exact() {
+        assert_eq!(parse("MR / 2", &consts).unwrap(), Poly::constant(4));
+        assert!(parse("MR / 3", &consts).is_err());
+        assert!(parse("kc / 2", &consts).is_err());
+    }
+
+    #[test]
+    fn products_of_symbols_cancel_in_differences() {
+        // ((ir + 1) - ir) * kc * 8 == kc * 8
+        let hi = parse("(ir + 1) * kc_eff * MR", &consts).unwrap();
+        let lo = parse("ir * kc_eff * MR", &consts).unwrap();
+        let len = hi.sub(&lo);
+        let want = parse("kc_eff * MR", &consts).unwrap();
+        assert_eq!(len, want);
+    }
+
+    #[test]
+    fn ge_zero_uses_minimums() {
+        // 8kc - 8 >= 0 only when kc >= 1.
+        let p = parse("kc * 8 - 8", &consts).unwrap();
+        assert!(!p.ge_zero(&BTreeMap::new()));
+        let mut mins = BTreeMap::new();
+        mins.insert("kc".to_string(), 1);
+        assert!(p.ge_zero(&mins));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = parse("kc * MR - 3", &consts).unwrap();
+        assert_eq!(p.to_string(), "-3 + 8*kc");
+    }
+}

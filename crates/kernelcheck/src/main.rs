@@ -1,0 +1,143 @@
+//! CLI: `pdnn-kernelcheck [--static] [--mutations] [root]`.
+//!
+//! With no pass flags, runs both the static verification and the
+//! mutation self-test. Writes `results/kernelcheck_report.json` under
+//! the workspace root and exits nonzero when any pass fails: a
+//! finding, a meta diagnostic, an uncovered unsafe site, or a missed
+//! mutation.
+
+use pdnn_kernelcheck::{mutate, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    run_static: bool,
+    run_mutations: bool,
+    root: PathBuf,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        run_static: false,
+        run_mutations: false,
+        root: PathBuf::from("."),
+    };
+    let mut any_flag = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--static" => {
+                cli.run_static = true;
+                any_flag = true;
+            }
+            "--mutations" => {
+                cli.run_mutations = true;
+                any_flag = true;
+            }
+            "--help" | "-h" => {
+                return Err("usage: pdnn-kernelcheck [--static] [--mutations] [root]".to_string())
+            }
+            other if !other.starts_with('-') => cli.root = PathBuf::from(other),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !any_flag {
+        cli.run_static = true;
+        cli.run_mutations = true;
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+
+    // The clean tree is also the mutation baseline, so load it for
+    // either pass.
+    let tree = match pdnn_kernelcheck::Tree::load(&cli.root) {
+        Ok(tree) => tree,
+        Err(err) => {
+            eprintln!(
+                "error: cannot read the kernel zone under {:?}: {err}",
+                cli.root
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = pdnn_kernelcheck::analyze(&tree);
+
+    if cli.run_static {
+        for finding in &outcome.findings {
+            println!("{finding}\n");
+        }
+        for diag in &outcome.meta {
+            println!("{diag}\n");
+        }
+        for (finding, reason) in &outcome.suppressed {
+            println!(
+                "note: suppressed {} at {}:{} ({reason})",
+                finding.rule, finding.path, finding.line
+            );
+        }
+        let covered = outcome.coverage.iter().filter(|c| c.covered).count();
+        for c in outcome.coverage.iter().filter(|c| !c.covered) {
+            println!("UNCOVERED {} `{}` at {}:{}", c.kind, c.item, c.path, c.line);
+        }
+        println!(
+            "kernelcheck static: {} finding(s), {} suppressed, {}/{} unsafe sites covered",
+            outcome.findings.len(),
+            outcome.suppressed.len(),
+            covered,
+            outcome.coverage.len()
+        );
+        if !outcome.is_clean() {
+            failed = true;
+        }
+    }
+
+    let mutation_results = if cli.run_mutations {
+        match mutate::run_mutations(&tree, &outcome) {
+            Ok(results) => {
+                let caught = results.iter().filter(|r| r.caught).count();
+                for r in results.iter().filter(|r| !r.caught) {
+                    println!(
+                        "MISSED {}: expected {} but only {:?} fired",
+                        r.name, r.expected_rule, r.fired_rules
+                    );
+                }
+                println!("kernelcheck mutations: {caught}/{} caught", results.len());
+                if caught != results.len() {
+                    failed = true;
+                }
+                Some(results)
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                failed = true;
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let rep = report::Report {
+        static_outcome: Some(&outcome),
+        mutation_results: mutation_results.as_deref(),
+    };
+    if let Err(err) = report::write(&cli.root, &rep) {
+        eprintln!("error: cannot write results/kernelcheck_report.json: {err}");
+        return ExitCode::from(2);
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,197 @@
+//! Machine-readable report (`results/kernelcheck_report.json`).
+//!
+//! Hand-rolled JSON, like `pdnn_lint::report` — the workspace has no
+//! serde. The coverage section is the acceptance artifact: every
+//! `unsafe` site in the kernel zone, the contracts that cover it, and
+//! whether verification succeeded.
+
+use crate::check::{CoverageSite, KernelSummary};
+use crate::mutate::MutationResult;
+use crate::StaticOutcome;
+use pdnn_lint::report::json_escape;
+use pdnn_lint::Finding;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Everything one CLI invocation learned.
+pub struct Report<'a> {
+    pub static_outcome: Option<&'a StaticOutcome>,
+    pub mutation_results: Option<&'a [MutationResult]>,
+}
+
+fn push_findings(out: &mut String, findings: &[Finding]) {
+    out.push('[');
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+        );
+    }
+    out.push(']');
+}
+
+fn push_str_list(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(s));
+    }
+    out.push(']');
+}
+
+fn push_coverage(out: &mut String, coverage: &[CoverageSite]) {
+    let covered = coverage.iter().filter(|c| c.covered).count();
+    let _ = write!(
+        out,
+        "{{\"unsafe_sites\": {}, \"covered\": {covered}, \"sites\": [",
+        coverage.len()
+    );
+    for (i, c) in coverage.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"path\":\"{}\",\"line\":{},\"kind\":\"{}\",\"item\":\"{}\",\"covered\":{},\"via\":",
+            json_escape(&c.path),
+            c.line,
+            c.kind,
+            json_escape(&c.item),
+            c.covered,
+        );
+        push_str_list(out, &c.via);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn push_kernels(out: &mut String, kernels: &[KernelSummary]) {
+    out.push('[');
+    for (i, k) in kernels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"path\":\"{}\",\"name\":\"{}\",\"line\":{},\"unsafe\":{},\"contracts\":{},\
+             \"accesses\":{},\"intrinsics\":{},\"preconditions\":{}}}",
+            json_escape(&k.path),
+            json_escape(&k.name),
+            k.line,
+            k.is_unsafe,
+            k.contracts,
+            k.accesses,
+            k.intrinsics,
+            k.preconditions,
+        );
+    }
+    out.push(']');
+}
+
+/// Render the report as a JSON string.
+pub fn render(report: &Report<'_>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"pdnn-kernelcheck\",\n");
+    out.push_str("  \"static\": ");
+    match report.static_outcome {
+        Some(o) => {
+            let _ = write!(
+                out,
+                "{{\"findings\": {}, \"suppressed\": {}, \"meta\": {}, \"violations\": ",
+                o.findings.len(),
+                o.suppressed.len(),
+                o.meta.len()
+            );
+            push_findings(&mut out, &o.findings);
+            out.push_str(", \"suppressions\": [");
+            for (i, (f, reason)) in o.suppressed.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"reason\":\"{}\"}}",
+                    json_escape(f.rule),
+                    json_escape(&f.path),
+                    f.line,
+                    json_escape(reason),
+                );
+            }
+            out.push_str("], \"coverage\": ");
+            push_coverage(&mut out, &o.coverage);
+            out.push_str(", \"kernels\": ");
+            push_kernels(&mut out, &o.kernels);
+            out.push('}');
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"mutation_selftest\": ");
+    match report.mutation_results {
+        Some(results) => {
+            let caught = results.iter().filter(|r| r.caught).count();
+            let _ = write!(
+                out,
+                "{{\"mutations\": {}, \"caught\": {caught}, \"results\": [",
+                results.len()
+            );
+            for (i, r) in results.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let fired: Vec<String> = r.fired_rules.clone();
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"expected\":\"{}\",\"caught\":{},\"flagged\":{},\
+                     \"what\":\"{}\",\"fired\":",
+                    json_escape(r.name),
+                    json_escape(r.expected_rule),
+                    r.caught,
+                    r.flagged,
+                    json_escape(r.what),
+                );
+                push_str_list(&mut out, &fired);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Write the report under `<root>/results/kernelcheck_report.json`.
+pub fn write(root: &Path, report: &Report<'_>) -> io::Result<()> {
+    let dir = root.join("results");
+    fs::create_dir_all(&dir)?;
+    fs::write(dir.join("kernelcheck_report.json"), render(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_valid_shaped_json_even_when_empty() {
+        let r = Report {
+            static_outcome: None,
+            mutation_results: None,
+        };
+        let s = render(&r);
+        assert!(s.contains("\"static\": null"));
+        assert!(s.contains("\"mutation_selftest\": null"));
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+    }
+}

@@ -28,9 +28,12 @@
 //! itself an error (`meta-suppression`) so the allow-list can never
 //! rot silently.
 
+pub mod directives;
 pub mod report;
 pub mod rules;
 pub mod source;
+
+pub use directives::{MetaDiag, Suppression};
 
 use source::SourceFile;
 use std::fmt;
@@ -77,112 +80,13 @@ impl fmt::Display for Finding {
     }
 }
 
-/// A parsed `// pdnn-lint: allow(<rule>): <reason>` directive.
-#[derive(Clone, Debug)]
-pub struct Suppression {
-    pub rule: String,
-    pub reason: Option<String>,
-    /// 1-based line the directive waives.
-    pub target_line: usize,
-    /// 1-based line the comment itself is on.
-    pub comment_line: usize,
-}
-
-/// Problems with the suppression comments themselves.
-#[derive(Clone, Debug)]
-pub struct MetaDiag {
-    pub path: String,
-    pub line: usize,
-    pub message: String,
-}
-
-impl fmt::Display for MetaDiag {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "error[meta-suppression]: {}", self.message)?;
-        write!(f, "  --> {}:{}", self.path, self.line)
-    }
-}
-
-const DIRECTIVE: &str = "pdnn-lint:";
-
-/// Extract suppression directives from a file's comments. Malformed
-/// directives become meta diagnostics immediately.
+/// Extract suppression directives from a file's comments, validating
+/// rule names against the full workspace vocabulary (lint, protocheck,
+/// and kernelcheck rules). Malformed directives become meta
+/// diagnostics immediately. See [`directives::parse`] for a version
+/// with a caller-supplied rule predicate.
 pub fn suppressions(file: &SourceFile) -> (Vec<Suppression>, Vec<MetaDiag>) {
-    let mut sup = Vec::new();
-    let mut meta = Vec::new();
-    let masked_lines: Vec<&str> = file.masked.lines().collect();
-    for c in &file.comments {
-        // Directives live in plain `//` comments only; doc comments
-        // (`///`, `//!`) routinely *describe* the syntax without
-        // meaning it (this file's own docs, RULES.md excerpts).
-        if c.text.starts_with('/') || c.text.starts_with('!') {
-            continue;
-        }
-        let Some(at) = c.text.find(DIRECTIVE) else {
-            continue;
-        };
-        let rest = c.text[at + DIRECTIVE.len()..].trim();
-        let comment_line = c.line + 1;
-        let Some(args) = rest.strip_prefix("allow(") else {
-            meta.push(MetaDiag {
-                path: file.path.clone(),
-                line: comment_line,
-                message: format!("unrecognized pdnn-lint directive `{rest}`; expected `allow(<rule-id>): <reason>`"),
-            });
-            continue;
-        };
-        let Some(close) = args.find(')') else {
-            meta.push(MetaDiag {
-                path: file.path.clone(),
-                line: comment_line,
-                message: "unclosed `allow(` in pdnn-lint directive".to_string(),
-            });
-            continue;
-        };
-        let rule = args[..close].trim().to_string();
-        if !rules::known_rule(&rule) {
-            meta.push(MetaDiag {
-                path: file.path.clone(),
-                line: comment_line,
-                message: format!("unknown rule `{rule}` in pdnn-lint allow"),
-            });
-            continue;
-        }
-        let after = args[close + 1..].trim();
-        let reason = after
-            .strip_prefix(':')
-            .map(str::trim)
-            .filter(|r| !r.is_empty())
-            .map(str::to_string);
-        if reason.is_none() {
-            meta.push(MetaDiag {
-                path: file.path.clone(),
-                line: comment_line,
-                message: format!(
-                    "pdnn-lint allow({rule}) without a reason; append `: <why this is safe>`"
-                ),
-            });
-            continue;
-        }
-        // A standalone comment waives the next line that has code; an
-        // end-of-line comment waives its own line.
-        let target_line = if c.standalone {
-            let mut t = c.line + 1;
-            while t < masked_lines.len() && masked_lines[t].trim().is_empty() {
-                t += 1;
-            }
-            t + 1
-        } else {
-            comment_line
-        };
-        sup.push(Suppression {
-            rule,
-            reason,
-            target_line,
-            comment_line,
-        });
-    }
-    (sup, meta)
+    directives::parse(file, &rules::known_rule)
 }
 
 /// Outcome of linting one file.
@@ -219,10 +123,11 @@ pub fn lint_text(path: &str, text: &str) -> FileOutcome {
     }
     for (i, s) in sups.iter().enumerate() {
         if !used[i] {
-            // Protocheck-owned rules (`p*`) are validated and consumed
-            // by `pdnn-protocheck`, which sees the whole protocol model;
-            // the per-file pass cannot tell whether they are used.
-            if s.rule.starts_with('p') {
+            // Protocheck-owned rules (`p*`) and kernelcheck-owned
+            // rules (`k*`) are validated and consumed by their own
+            // passes, which see the whole model; the per-file pass
+            // cannot tell whether they are used.
+            if s.rule.starts_with('p') || s.rule.starts_with('k') {
                 continue;
             }
             meta.push(MetaDiag {

@@ -86,9 +86,53 @@ pub const PROTOCHECK_RULES: &[RuleInfo] = &[
     },
 ];
 
+/// Rule ids owned by `pdnn-kernelcheck`, registered here for the same
+/// reason as [`PROTOCHECK_RULES`]: the shared suppression machinery
+/// must accept `// pdnn-lint: allow(k...)` directives inside the
+/// kernel zone, while kernelcheck itself validates and consumes them.
+pub const KERNELCHECK_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "k1-oob-access",
+        summary: "every raw-pointer access in a kernel must be provably \
+                  in bounds under the declared kernel-contract lengths",
+    },
+    RuleInfo {
+        id: "k2-missing-contract",
+        summary: "every unsafe kernel fn and every raw-pointer parameter \
+                  must carry a kernel-contract annotation",
+    },
+    RuleInfo {
+        id: "k3-alignment",
+        summary: "aligned load/store intrinsics require an align(N) \
+                  kernel-contract on the pointer they dereference",
+    },
+    RuleInfo {
+        id: "k4-feature-guard",
+        summary: "every SIMD intrinsic must be covered by target_feature, \
+                  a runtime detection guard, and a matching dispatch path",
+    },
+    RuleInfo {
+        id: "k5-wrapper-precondition",
+        summary: "safe kernel wrappers must establish every declared \
+                  contract via kernel_precondition! or slice types",
+    },
+    RuleInfo {
+        id: "k6-driver-guarantee",
+        summary: "safe GEMM drivers must slice panels to exactly the \
+                  lengths the kernel contracts require",
+    },
+    RuleInfo {
+        id: "k7-noalias",
+        summary: "operands annotated noalias must be fed from distinct \
+                  sources, with *mut params sourced from &mut slices",
+    },
+];
+
 /// Is `id` a rule id the suppression parser should accept?
 pub fn known_rule(id: &str) -> bool {
-    RULES.iter().any(|r| r.id == id) || PROTOCHECK_RULES.iter().any(|r| r.id == id)
+    RULES.iter().any(|r| r.id == id)
+        || PROTOCHECK_RULES.iter().any(|r| r.id == id)
+        || KERNELCHECK_RULES.iter().any(|r| r.id == id)
 }
 
 /// Crates whose behaviour (and telemetry) must be a pure function of

@@ -21,6 +21,28 @@ use crate::scalar::Scalar;
 use super::backend::AccFn;
 use super::{MR, NR};
 
+/// Kernel-zone precondition: an always-on assert in a standardized
+/// shape that `pdnn-kernelcheck` parses as the machine-checkable
+/// guarantee backing a `// kernel-contract:` annotation.
+///
+/// The first argument must be either a slice-length bound
+/// (`<slice>.len() >= <expr>`), a micro-tile bound (`x <= MR`), or a
+/// runtime CPU-feature check (`is_x86_feature_detected!("...")`
+/// conjunction) — the forms the checker knows how to match against
+/// declared contracts. Using one macro for both the debug-build story
+/// and the static pass keeps the contract text in a single place: a
+/// kernel entry point whose declared contract is not backed by a
+/// `kernel_precondition!` (or by the parameter's own type) is a
+/// `k5-wrapper-precondition` finding.
+///
+/// Cost: a handful of integer compares per micro-panel call, noise
+/// next to the `MR x NR x kc` FLOP loop each call performs.
+macro_rules! kernel_precondition {
+    ($cond:expr, $($msg:tt)+) => {
+        assert!($cond, $($msg)+)
+    };
+}
+
 pub mod scalar;
 
 #[cfg(target_arch = "x86_64")]
@@ -62,9 +84,9 @@ pub fn microkernel<T: Scalar>(
     nr_eff: usize,
     merge_beta: Option<T>,
 ) {
-    debug_assert!(ap.len() >= kc * MR);
-    debug_assert!(bp.len() >= kc * NR);
-    debug_assert!(mr_eff <= MR && nr_eff <= NR);
+    kernel_precondition!(ap.len() >= kc * MR, "microkernel: A panel too short");
+    kernel_precondition!(bp.len() >= kc * NR, "microkernel: B panel too short");
+    kernel_precondition!(mr_eff <= MR && nr_eff <= NR, "microkernel: tile overrun");
 
     let mut acc = [[T::ZERO; NR]; MR];
     acc_fn(kc, ap, bp, &mut acc);

@@ -19,8 +19,8 @@ const _: () = assert!(MR == 8 && NR == 8);
 /// NEON f32 accumulate: the 8 columns split into two 4-lane halves;
 /// the half loop is outermost, so each element's `kk` chain is intact.
 pub fn acc_f32_neon(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    assert!(ap.len() >= kc * MR, "acc_f32_neon: A panel too short");
-    assert!(bp.len() >= kc * NR, "acc_f32_neon: B panel too short");
+    kernel_precondition!(ap.len() >= kc * MR, "acc_f32_neon: A panel too short");
+    kernel_precondition!(bp.len() >= kc * NR, "acc_f32_neon: B panel too short");
     // Safety: lengths asserted above; NEON is baseline on aarch64.
     unsafe {
         acc_f32_neon_imp(
@@ -32,6 +32,10 @@ pub fn acc_f32_neon(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]
     }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: bp points-to len >= kc * NR, noalias
+// kernel-contract: acc points-to len >= MR * NR, noalias
+// kernel-contract: requires target_feature(neon), baseline(aarch64)
 #[target_feature(enable = "neon")]
 unsafe fn acc_f32_neon_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut f32) {
     for h in 0..2 {
@@ -57,8 +61,8 @@ unsafe fn acc_f32_neon_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut 
 
 /// NEON f64 accumulate: the 8 columns split into four 2-lane quarters.
 pub fn acc_f64_neon(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
-    assert!(ap.len() >= kc * MR, "acc_f64_neon: A panel too short");
-    assert!(bp.len() >= kc * NR, "acc_f64_neon: B panel too short");
+    kernel_precondition!(ap.len() >= kc * MR, "acc_f64_neon: A panel too short");
+    kernel_precondition!(bp.len() >= kc * NR, "acc_f64_neon: B panel too short");
     // Safety: lengths asserted above; NEON is baseline on aarch64.
     unsafe {
         acc_f64_neon_imp(
@@ -70,6 +74,10 @@ pub fn acc_f64_neon(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]
     }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: bp points-to len >= kc * NR, noalias
+// kernel-contract: acc points-to len >= MR * NR, noalias
+// kernel-contract: requires target_feature(neon), baseline(aarch64)
 #[target_feature(enable = "neon")]
 unsafe fn acc_f64_neon_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut f64) {
     for h in 0..4 {
@@ -94,12 +102,16 @@ unsafe fn acc_f64_neon_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut 
 /// NEON f32 streaming-B^T column kernel: two 4-lane halves over the
 /// `MR` column accumulators.
 pub fn bt_f32_neon(kc: usize, ap: &[f32], brow: &[f32], acc: &mut [f32; MR]) {
-    assert!(ap.len() >= kc * MR, "bt_f32_neon: A panel too short");
-    assert!(brow.len() >= kc, "bt_f32_neon: B row too short");
+    kernel_precondition!(ap.len() >= kc * MR, "bt_f32_neon: A panel too short");
+    kernel_precondition!(brow.len() >= kc, "bt_f32_neon: B row too short");
     // Safety: lengths asserted above; NEON is baseline on aarch64.
     unsafe { bt_f32_neon_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: brow points-to len >= kc, noalias
+// kernel-contract: acc points-to len >= MR, noalias
+// kernel-contract: requires target_feature(neon), baseline(aarch64)
 #[target_feature(enable = "neon")]
 unsafe fn bt_f32_neon_imp(kc: usize, ap: *const f32, brow: *const f32, acc: *mut f32) {
     let mut r0 = vld1q_f32(acc);
@@ -116,12 +128,16 @@ unsafe fn bt_f32_neon_imp(kc: usize, ap: *const f32, brow: *const f32, acc: *mut
 
 /// NEON f64 streaming-B^T column kernel: four 2-lane quarters.
 pub fn bt_f64_neon(kc: usize, ap: &[f64], brow: &[f64], acc: &mut [f64; MR]) {
-    assert!(ap.len() >= kc * MR, "bt_f64_neon: A panel too short");
-    assert!(brow.len() >= kc, "bt_f64_neon: B row too short");
+    kernel_precondition!(ap.len() >= kc * MR, "bt_f64_neon: A panel too short");
+    kernel_precondition!(brow.len() >= kc, "bt_f64_neon: B row too short");
     // Safety: lengths asserted above; NEON is baseline on aarch64.
     unsafe { bt_f64_neon_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: brow points-to len >= kc, noalias
+// kernel-contract: acc points-to len >= MR, noalias
+// kernel-contract: requires target_feature(neon), baseline(aarch64)
 #[target_feature(enable = "neon")]
 unsafe fn bt_f64_neon_imp(kc: usize, ap: *const f64, brow: *const f64, acc: *mut f64) {
     let mut r = [vdupq_n_f64(0.0); 4];

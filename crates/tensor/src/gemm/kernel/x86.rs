@@ -26,9 +26,9 @@ const _: () = assert!(MR == 8 && NR == 8);
 
 /// AVX2 f32 accumulate: one 8-lane ymm per micro-tile row.
 pub fn acc_f32_avx2(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    assert!(ap.len() >= kc * MR, "acc_f32_avx2: A panel too short");
-    assert!(bp.len() >= kc * NR, "acc_f32_avx2: B panel too short");
-    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    kernel_precondition!(ap.len() >= kc * MR, "acc_f32_avx2: A panel too short");
+    kernel_precondition!(bp.len() >= kc * NR, "acc_f32_avx2: B panel too short");
+    kernel_precondition!(is_x86_feature_detected!("avx2"), "avx2 not available");
     // Safety: lengths and CPU support asserted above; `acc` is a
     // fixed-size 8x8 tile.
     unsafe {
@@ -41,6 +41,10 @@ pub fn acc_f32_avx2(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]
     }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: bp points-to len >= kc * NR, noalias
+// kernel-contract: acc points-to len >= MR * NR, noalias
+// kernel-contract: requires target_feature(avx2)
 #[target_feature(enable = "avx2")]
 unsafe fn acc_f32_avx2_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut f32) {
     let mut r = [_mm256_setzero_ps(); MR];
@@ -65,9 +69,9 @@ unsafe fn acc_f32_avx2_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut 
 /// AVX2 f64 accumulate: the 8 columns split into two 4-lane halves;
 /// the half loop is outermost, so each element's `kk` chain is intact.
 pub fn acc_f64_avx2(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
-    assert!(ap.len() >= kc * MR, "acc_f64_avx2: A panel too short");
-    assert!(bp.len() >= kc * NR, "acc_f64_avx2: B panel too short");
-    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    kernel_precondition!(ap.len() >= kc * MR, "acc_f64_avx2: A panel too short");
+    kernel_precondition!(bp.len() >= kc * NR, "acc_f64_avx2: B panel too short");
+    kernel_precondition!(is_x86_feature_detected!("avx2"), "avx2 not available");
     // Safety: lengths and CPU support asserted above.
     unsafe {
         acc_f64_avx2_imp(
@@ -79,6 +83,10 @@ pub fn acc_f64_avx2(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]
     }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: bp points-to len >= kc * NR, noalias
+// kernel-contract: acc points-to len >= MR * NR, noalias
+// kernel-contract: requires target_feature(avx2)
 #[target_feature(enable = "avx2")]
 unsafe fn acc_f64_avx2_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut f64) {
     for h in 0..2 {
@@ -104,11 +112,13 @@ unsafe fn acc_f64_avx2_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut 
 /// rows `2p` and `2p+1`; the B panel row is duplicated into both
 /// 256-bit halves and each half multiplies its own broadcast A value.
 pub fn acc_f32_avx512(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    assert!(ap.len() >= kc * MR, "acc_f32_avx512: A panel too short");
-    assert!(bp.len() >= kc * NR, "acc_f32_avx512: B panel too short");
-    assert!(
-        is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq"),
-        "avx512f/dq not available"
+    kernel_precondition!(ap.len() >= kc * MR, "acc_f32_avx512: A panel too short");
+    kernel_precondition!(bp.len() >= kc * NR, "acc_f32_avx512: B panel too short");
+    kernel_precondition!(
+        is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512dq"),
+        "avx2/avx512f/avx512dq not available"
     );
     // Safety: lengths and CPU support asserted above.
     unsafe {
@@ -121,6 +131,10 @@ pub fn acc_f32_avx512(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; M
     }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: bp points-to len >= kc * NR, noalias
+// kernel-contract: acc points-to len >= MR * NR, noalias
+// kernel-contract: requires target_feature(avx2, avx512f, avx512dq)
 #[target_feature(enable = "avx2,avx512f,avx512dq")]
 unsafe fn acc_f32_avx512_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mut f32) {
     let mut r = [_mm512_setzero_ps(); MR / 2];
@@ -147,9 +161,9 @@ unsafe fn acc_f32_avx512_imp(kc: usize, ap: *const f32, bp: *const f32, acc: *mu
 
 /// AVX-512 f64 accumulate: one 8-lane zmm per micro-tile row.
 pub fn acc_f64_avx512(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
-    assert!(ap.len() >= kc * MR, "acc_f64_avx512: A panel too short");
-    assert!(bp.len() >= kc * NR, "acc_f64_avx512: B panel too short");
-    assert!(is_x86_feature_detected!("avx512f"), "avx512f not available");
+    kernel_precondition!(ap.len() >= kc * MR, "acc_f64_avx512: A panel too short");
+    kernel_precondition!(bp.len() >= kc * NR, "acc_f64_avx512: B panel too short");
+    kernel_precondition!(is_x86_feature_detected!("avx512f"), "avx512f not available");
     // Safety: lengths and CPU support asserted above.
     unsafe {
         acc_f64_avx512_imp(
@@ -161,6 +175,10 @@ pub fn acc_f64_avx512(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; M
     }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: bp points-to len >= kc * NR, noalias
+// kernel-contract: acc points-to len >= MR * NR, noalias
+// kernel-contract: requires target_feature(avx512f)
 #[target_feature(enable = "avx512f")]
 unsafe fn acc_f64_avx512_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mut f64) {
     let mut r = [_mm512_setzero_pd(); MR];
@@ -184,13 +202,17 @@ unsafe fn acc_f64_avx512_imp(kc: usize, ap: *const f64, bp: *const f64, acc: *mu
 /// in one ymm; A panel columns are contiguous (`kk`-major packing), so
 /// each step is one load + one broadcast.
 pub fn bt_f32_avx2(kc: usize, ap: &[f32], brow: &[f32], acc: &mut [f32; MR]) {
-    assert!(ap.len() >= kc * MR, "bt_f32_avx2: A panel too short");
-    assert!(brow.len() >= kc, "bt_f32_avx2: B row too short");
-    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    kernel_precondition!(ap.len() >= kc * MR, "bt_f32_avx2: A panel too short");
+    kernel_precondition!(brow.len() >= kc, "bt_f32_avx2: B row too short");
+    kernel_precondition!(is_x86_feature_detected!("avx2"), "avx2 not available");
     // Safety: lengths and CPU support asserted above.
     unsafe { bt_f32_avx2_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: brow points-to len >= kc, noalias
+// kernel-contract: acc points-to len >= MR, noalias
+// kernel-contract: requires target_feature(avx2)
 #[target_feature(enable = "avx2")]
 unsafe fn bt_f32_avx2_imp(kc: usize, ap: *const f32, brow: *const f32, acc: *mut f32) {
     let mut r = _mm256_loadu_ps(acc);
@@ -204,13 +226,17 @@ unsafe fn bt_f32_avx2_imp(kc: usize, ap: *const f32, brow: *const f32, acc: *mut
 
 /// AVX2 f64 streaming-B^T column kernel: two 4-lane halves.
 pub fn bt_f64_avx2(kc: usize, ap: &[f64], brow: &[f64], acc: &mut [f64; MR]) {
-    assert!(ap.len() >= kc * MR, "bt_f64_avx2: A panel too short");
-    assert!(brow.len() >= kc, "bt_f64_avx2: B row too short");
-    assert!(is_x86_feature_detected!("avx2"), "avx2 not available");
+    kernel_precondition!(ap.len() >= kc * MR, "bt_f64_avx2: A panel too short");
+    kernel_precondition!(brow.len() >= kc, "bt_f64_avx2: B row too short");
+    kernel_precondition!(is_x86_feature_detected!("avx2"), "avx2 not available");
     // Safety: lengths and CPU support asserted above.
     unsafe { bt_f64_avx2_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: brow points-to len >= kc, noalias
+// kernel-contract: acc points-to len >= MR, noalias
+// kernel-contract: requires target_feature(avx2)
 #[target_feature(enable = "avx2")]
 unsafe fn bt_f64_avx2_imp(kc: usize, ap: *const f64, brow: *const f64, acc: *mut f64) {
     let mut r0 = _mm256_loadu_pd(acc);
@@ -230,13 +256,17 @@ unsafe fn bt_f64_avx2_imp(kc: usize, ap: *const f64, brow: *const f64, acc: *mut
 /// eight columns, so the AVX2 kernel is reused by the AVX-512
 /// backend.)
 pub fn bt_f64_avx512(kc: usize, ap: &[f64], brow: &[f64], acc: &mut [f64; MR]) {
-    assert!(ap.len() >= kc * MR, "bt_f64_avx512: A panel too short");
-    assert!(brow.len() >= kc, "bt_f64_avx512: B row too short");
-    assert!(is_x86_feature_detected!("avx512f"), "avx512f not available");
+    kernel_precondition!(ap.len() >= kc * MR, "bt_f64_avx512: A panel too short");
+    kernel_precondition!(brow.len() >= kc, "bt_f64_avx512: B row too short");
+    kernel_precondition!(is_x86_feature_detected!("avx512f"), "avx512f not available");
     // Safety: lengths and CPU support asserted above.
     unsafe { bt_f64_avx512_imp(kc, ap.as_ptr(), brow.as_ptr(), acc.as_mut_ptr()) }
 }
 
+// kernel-contract: ap points-to len >= kc * MR, noalias
+// kernel-contract: brow points-to len >= kc, noalias
+// kernel-contract: acc points-to len >= MR, noalias
+// kernel-contract: requires target_feature(avx512f)
 #[target_feature(enable = "avx512f")]
 unsafe fn bt_f64_avx512_imp(kc: usize, ap: *const f64, brow: *const f64, acc: *mut f64) {
     let mut r = _mm512_loadu_pd(acc);
