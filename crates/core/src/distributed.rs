@@ -56,7 +56,8 @@ use pdnn_dnn::network::{ForwardCache, Network};
 use pdnn_dnn::packed::{PackedActivations, PackedWeights};
 use pdnn_dnn::sequence::mmi_batch;
 use pdnn_mpisim::{
-    Comm, CommError, CommTrace, FaultPlan, HbViolation, Payload, RankOutcome, ReduceOp, Src,
+    Comm, CommError, CommEvent, CommTrace, FaultPlan, HbViolation, Payload, RankOutcome, ReduceOp,
+    Src,
 };
 use pdnn_obs::{InMemoryRecorder, Recorder, RecorderExt, SpanKind, Telemetry};
 use pdnn_speech::{partition, Corpus, Shard, Strategy};
@@ -154,6 +155,13 @@ pub struct TrainOutput {
     pub dead_ranks: Vec<usize>,
     /// How many worker failures the master recovered from.
     pub recoveries: usize,
+    /// Master-rank comm-event trace (one entry per p2p op outside
+    /// collectives, one per collective invocation), in program order.
+    /// `pdnn-protomc` replays these through the abstract protocol
+    /// automata to check trace conformance.
+    pub master_events: Vec<CommEvent>,
+    /// Per-worker comm-event traces, worker order.
+    pub worker_events: Vec<Vec<CommEvent>>,
 }
 
 /// A failure the master observed mid-protocol. The problem stays
@@ -610,11 +618,13 @@ fn worker_loop(
     // `CommError::TypeMismatch` instead of a payload panic.
     let load_span = rec.span("load_data", SpanKind::CommP2p);
     let mut train_ids: Vec<usize> = comm
+        // pdnn-lint: allow(l8-timed-recv): initial rendezvous — the master sends both assignment messages before training starts and faults are only armed at collectives, so blocking here cannot outlive a live master
         .recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?
         .into_iter()
         .map(|v| v as usize)
         .collect();
     let mut held_ids: Vec<usize> = comm
+        // pdnn-lint: allow(l8-timed-recv): initial rendezvous — second half of the startup shard transfer, same reasoning as the first receive
         .recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?
         .into_iter()
         .map(|v| v as usize)
@@ -770,9 +780,15 @@ fn worker_loop(
             CMD_LOAD_DATA => {
                 // A peer died: the master re-partitioned its shard and
                 // ships this worker its extra utterance assignments.
+                // The timed receive keeps recovery itself recoverable:
+                // if the master dies mid-redistribute, the worker
+                // surfaces Timeout instead of blocking forever.
                 let _s = rec.span("load_data", SpanKind::CommP2p);
-                let extra_train = comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?;
-                let extra_held = comm.recv_vec::<u64>(Src::Of(0), TAG_LOAD_DATA)?;
+                let timeout = comm.p2p_timeout();
+                let extra_train =
+                    comm.recv_vec_timeout::<u64>(Src::Of(0), TAG_LOAD_DATA, timeout)?;
+                let extra_held =
+                    comm.recv_vec_timeout::<u64>(Src::Of(0), TAG_LOAD_DATA, timeout)?;
                 train_ids.extend(extra_train.into_iter().map(|v| v as usize));
                 held_ids.extend(extra_held.into_iter().map(|v| v as usize));
                 train = corpus.shard(&train_ids);
@@ -1153,6 +1169,8 @@ fn train_impl(
     let mut worker_traces = Vec::new();
     let mut worker_telemetries = Vec::new();
     let mut hb_violations = Vec::new();
+    let mut master_events = Vec::new();
+    let mut worker_events = Vec::new();
     for mut outcome in outcomes {
         outcome.telemetry.schedule_seed = schedule_seed;
         hb_violations.extend(outcome.hb.into_iter().map(|v| (outcome.rank, v)));
@@ -1161,10 +1179,12 @@ fn train_impl(
                 master_out = Some(*boxed);
                 master_trace = outcome.trace;
                 master_telemetry = outcome.telemetry;
+                master_events = outcome.events;
             }
             RoleOutput::Worker => {
                 worker_traces.push(outcome.trace);
                 worker_telemetries.push(outcome.telemetry);
+                worker_events.push(outcome.events);
             }
         }
     }
@@ -1192,6 +1212,8 @@ fn train_impl(
         schedule_seed,
         dead_ranks: master.dead_ranks,
         recoveries: master.recoveries,
+        master_events,
+        worker_events,
     })
 }
 

@@ -14,6 +14,7 @@ use pdnn_core::{
     HfProblem, Objective, TrainOutput,
 };
 use pdnn_dnn::{Activation, Network};
+use pdnn_mpisim::{events_from_jsonl, events_to_jsonl};
 use pdnn_obs::jsonl::to_jsonl_string;
 use pdnn_obs::Telemetry;
 use pdnn_speech::{Corpus, CorpusSpec};
@@ -203,6 +204,66 @@ fn forced_scalar_and_auto_backends_train_identically() {
         jsonl_scalar, jsonl_auto,
         "telemetry bytes diverge across backends"
     );
+}
+
+/// Serialize a run's per-rank comm-event traces exactly as
+/// `pdnn-protomc` consumes them for trace conformance (rank 0 =
+/// master; each rank's events are one JSONL block, ranks separated by
+/// a `# rank N` header line so byte comparison covers rank order too).
+fn events_jsonl(out: &TrainOutput) -> String {
+    let mut blocks = vec![events_to_jsonl(&out.master_events)];
+    blocks.extend(out.worker_events.iter().map(|e| events_to_jsonl(e)));
+    let mut jsonl = String::new();
+    for (rank, block) in blocks.iter().enumerate() {
+        jsonl.push_str(&format!("# rank {rank}\n"));
+        jsonl.push_str(block);
+    }
+    jsonl
+}
+
+/// The comm-event trace hook is part of the determinism contract:
+/// two identically-seeded runs must record byte-identical serialized
+/// event streams on every rank, and the hand-rolled JSONL codec must
+/// round-trip each stream exactly (pdnn-protomc replays traces
+/// through this codec, so a lossy serialization would silently
+/// weaken trace conformance).
+#[test]
+fn identical_runs_emit_byte_identical_comm_events() {
+    let corpus = Corpus::generate(CorpusSpec::tiny(23));
+    let first = run_once(&corpus);
+    let second = run_once(&corpus);
+
+    assert!(
+        !first.master_events.is_empty(),
+        "master recorded no comm events"
+    );
+    assert_eq!(first.worker_events.len(), 3);
+    for (w, events) in first.worker_events.iter().enumerate() {
+        assert!(!events.is_empty(), "worker {w} recorded no comm events");
+    }
+
+    let jsonl_a = events_jsonl(&first);
+    let jsonl_b = events_jsonl(&second);
+    if jsonl_a != jsonl_b {
+        for (i, (la, lb)) in jsonl_a.lines().zip(jsonl_b.lines()).enumerate() {
+            assert_eq!(la, lb, "comm events diverge at line {}", i + 1);
+        }
+        panic!(
+            "comm event line counts diverge: {} vs {}",
+            jsonl_a.lines().count(),
+            jsonl_b.lines().count()
+        );
+    }
+
+    // Round trip every rank's stream through the codec.
+    let mut ranks = vec![&first.master_events];
+    ranks.extend(first.worker_events.iter());
+    for (rank, events) in ranks.into_iter().enumerate() {
+        let encoded = events_to_jsonl(events);
+        let decoded = events_from_jsonl(&encoded)
+            .unwrap_or_else(|e| panic!("rank {rank} stream failed to parse: {e}"));
+        assert_eq!(&decoded, events, "rank {rank} events do not round-trip");
+    }
 }
 
 #[test]

@@ -8,10 +8,8 @@
 use crate::check::{CoverageSite, KernelSummary};
 use crate::mutate::MutationResult;
 use crate::StaticOutcome;
-use pdnn_lint::report::json_escape;
-use pdnn_lint::Finding;
+use pdnn_lint::report::{json_escape, push_findings, push_str_list, push_suppressions};
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -19,36 +17,6 @@ use std::path::Path;
 pub struct Report<'a> {
     pub static_outcome: Option<&'a StaticOutcome>,
     pub mutation_results: Option<&'a [MutationResult]>,
-}
-
-fn push_findings(out: &mut String, findings: &[Finding]) {
-    out.push('[');
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
-            json_escape(f.rule),
-            json_escape(&f.path),
-            f.line,
-            f.col,
-            json_escape(&f.message),
-        );
-    }
-    out.push(']');
-}
-
-fn push_str_list(out: &mut String, items: &[String]) {
-    out.push('[');
-    for (i, s) in items.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{}\"", json_escape(s));
-    }
-    out.push(']');
 }
 
 fn push_coverage(out: &mut String, coverage: &[CoverageSite]) {
@@ -115,21 +83,9 @@ pub fn render(report: &Report<'_>) -> String {
                 o.meta.len()
             );
             push_findings(&mut out, &o.findings);
-            out.push_str(", \"suppressions\": [");
-            for (i, (f, reason)) in o.suppressed.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let _ = write!(
-                    out,
-                    "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"reason\":\"{}\"}}",
-                    json_escape(f.rule),
-                    json_escape(&f.path),
-                    f.line,
-                    json_escape(reason),
-                );
-            }
-            out.push_str("], \"coverage\": ");
+            out.push_str(", \"suppressions\": ");
+            push_suppressions(&mut out, &o.suppressed);
+            out.push_str(", \"coverage\": ");
             push_coverage(&mut out, &o.coverage);
             out.push_str(", \"kernels\": ");
             push_kernels(&mut out, &o.kernels);
@@ -174,9 +130,7 @@ pub fn render(report: &Report<'_>) -> String {
 
 /// Write the report under `<root>/results/kernelcheck_report.json`.
 pub fn write(root: &Path, report: &Report<'_>) -> io::Result<()> {
-    let dir = root.join("results");
-    fs::create_dir_all(&dir)?;
-    fs::write(dir.join("kernelcheck_report.json"), render(report))
+    pdnn_lint::report::write_results(root, "kernelcheck_report.json", &render(report))
 }
 
 #[cfg(test)]

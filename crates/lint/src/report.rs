@@ -14,14 +14,81 @@
 //! }
 //! ```
 
-use crate::{rules, FileOutcome};
+use crate::{rules, FileOutcome, Finding};
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 
 /// Escape a string for embedding in a JSON double-quoted literal.
 /// Shared with `pdnn-protocheck`, whose report writer reuses this
 /// crate's hand-rolled serialization conventions.
 pub fn json_escape(s: &str) -> String {
     esc(s)
+}
+
+/// Append a compact JSON array of finding objects
+/// (`{"rule":…,"path":…,"line":…,"col":…,"message":…}`). The shared
+/// scaffolding for every checker report in the workspace
+/// (`pdnn-protocheck`, `pdnn-kernelcheck`, `pdnn-protomc`).
+pub fn push_findings(out: &mut String, findings: &[Finding]) {
+    out.push('[');
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            esc(f.rule),
+            esc(&f.path),
+            f.line,
+            f.col,
+            esc(&f.message),
+        );
+    }
+    out.push(']');
+}
+
+/// Append a compact JSON array of strings.
+pub fn push_str_list(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", esc(s));
+    }
+    out.push(']');
+}
+
+/// Append a compact JSON array of suppression objects
+/// (`{"rule":…,"path":…,"line":…,"reason":…}`) from the
+/// `(finding, reason)` pairs the checkers collect.
+pub fn push_suppressions(out: &mut String, suppressed: &[(Finding, String)]) {
+    out.push('[');
+    for (i, (f, reason)) in suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"reason\":\"{}\"}}",
+            esc(f.rule),
+            esc(&f.path),
+            f.line,
+            esc(reason),
+        );
+    }
+    out.push(']');
+}
+
+/// Write a rendered report under `<root>/results/<file_name>`,
+/// creating the directory if needed — the one place the checkers'
+/// acceptance artifacts land.
+pub fn write_results(root: &Path, file_name: &str, contents: &str) -> io::Result<()> {
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join(file_name), contents)
 }
 
 fn esc(s: &str) -> String {

@@ -49,6 +49,12 @@ pub const RULES: &[RuleInfo] = &[
                   modules (explicit SIMD microkernels); everywhere else \
                   needs a reasoned suppression",
     },
+    RuleInfo {
+        id: L8,
+        summary: "every receive in the distributed protocol must use the \
+                  timed variant so a dead peer cannot block recovery; \
+                  intentional blocking waits need a reasoned suppression",
+    },
 ];
 
 pub const L1: &str = "l1-sim-wall-clock";
@@ -58,6 +64,7 @@ pub const L4: &str = "l4-float-exact-compare";
 pub const L5: &str = "l5-phase-span";
 pub const L6: &str = "l6-lossy-cast";
 pub const L7: &str = "l7-unsafe-outside-kernel";
+pub const L8: &str = "l8-timed-recv";
 
 /// Rule ids owned by `pdnn-protocheck` but registered here so the
 /// shared suppression machinery (`pdnn_lint::suppressions`) accepts
@@ -128,11 +135,36 @@ pub const KERNELCHECK_RULES: &[RuleInfo] = &[
     },
 ];
 
+/// Rule ids owned by `pdnn-protomc`, the explicit-state model checker:
+/// global protocol properties proved by exhaustive exploration of the
+/// abstract state machines, not by lexical analysis. Registered here
+/// so the shared suppression machinery accepts them; protomc emits
+/// findings under these ids when a property fails.
+pub const PROTOMC_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "p5-deadlock-free",
+        summary: "no reachable global protocol state leaves a live rank \
+                  blocked forever, for any interleaving and any single \
+                  injected failure",
+    },
+    RuleInfo {
+        id: "p6-no-lost-message",
+        summary: "at every terminal protocol state, every abstract send \
+                  was consumed or explicitly dropped by a dead-rank mark",
+    },
+    RuleInfo {
+        id: "p7-recovery-termination",
+        summary: "from any single-fault state the protocol reaches \
+                  training-resumed (or a clean no-survivors abort)",
+    },
+];
+
 /// Is `id` a rule id the suppression parser should accept?
 pub fn known_rule(id: &str) -> bool {
     RULES.iter().any(|r| r.id == id)
         || PROTOCHECK_RULES.iter().any(|r| r.id == id)
         || KERNELCHECK_RULES.iter().any(|r| r.id == id)
+        || PROTOMC_RULES.iter().any(|r| r.id == id)
 }
 
 /// Crates whose behaviour (and telemetry) must be a pure function of
@@ -189,6 +221,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     l5_phase_span(file, &mut out);
     l6_lossy_cast(file, &mut out);
     l7_unsafe_outside_kernel(file, &mut out);
+    l8_timed_recv(file, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
@@ -567,6 +600,47 @@ fn l5_phase_span(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// The protocol file L8 governs: PR 5 made timed receives the
+/// convention in the recovery path; this rule makes it checkable.
+const TIMED_RECV_PATH: &str = "crates/core/src/distributed.rs";
+
+fn l8_timed_recv(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.path != TIMED_RECV_PATH {
+        return;
+    }
+    let b = file.masked.as_bytes();
+    for word in ["recv", "recv_vec"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(&file.masked, word, from) {
+            from = pos + word.len();
+            let line = file.line_of(pos);
+            if file.test_lines.get(line).copied().unwrap_or(false) {
+                continue;
+            }
+            // Only method calls `.recv(` / `.recv_vec(`, including the
+            // turbofish form `.recv_vec::<T>(`. The timed variants are
+            // distinct words (`recv_timeout`, `recv_vec_timeout`) so
+            // the word search never matches them here.
+            let is_method = pos > 0 && b[pos - 1] == b'.';
+            let rest = &file.masked[pos + word.len()..];
+            let called = rest.trim_start().starts_with('(') || rest.starts_with("::<");
+            if is_method && called {
+                out.push(Finding::new(
+                    file,
+                    L8,
+                    pos,
+                    format!(
+                        "blocking `.{word}()` in the distributed protocol; use \
+                         `.{word}_timeout()` with `comm.p2p_timeout()` so a dead \
+                         peer cannot block recovery (or suppress with the reason \
+                         the blocking wait is intentional)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +794,52 @@ fn f(x: f64, n: u32) -> bool {
         assert!(known_rule("p4-command-space"));
         assert!(known_rule(L6));
         assert!(!known_rule("p9-nonsense"));
+    }
+
+    #[test]
+    fn protomc_rule_ids_are_known() {
+        assert!(known_rule("p5-deadlock-free"));
+        assert!(known_rule("p6-no-lost-message"));
+        assert!(known_rule("p7-recovery-termination"));
+        assert!(!known_rule("p8-nonsense"));
+    }
+
+    #[test]
+    fn l8_flags_blocking_recvs_in_distributed_only() {
+        let src = "\
+fn f(comm: &mut Comm) -> Result<(), CommError> {
+    let a = comm.recv(Src::Of(0), 17)?;
+    let b = comm.recv_vec::<u64>(Src::Of(0), 17)?;
+    let c = comm.recv_timeout(Src::Of(0), 17, t)?;
+    let d = comm.recv_vec_timeout::<u64>(Src::Of(0), 17, t)?;
+    let _ = (a, b, c, d);
+    Ok(())
+}
+";
+        let hits = findings_for("crates/core/src/distributed.rs", src);
+        let l8: Vec<_> = hits.iter().filter(|f| f.rule == L8).collect();
+        assert_eq!(l8.len(), 2, "{l8:?}");
+        assert_eq!(l8[0].line, 2);
+        assert_eq!(l8[1].line, 3);
+        // Other files are out of scope (the collectives implement the
+        // untimed variants themselves).
+        assert!(findings_for("crates/mpisim/src/collectives.rs", src)
+            .iter()
+            .all(|f| f.rule != L8));
+    }
+
+    #[test]
+    fn l8_ignores_non_method_uses_and_tests() {
+        let src = "\
+fn recv() {}
+fn f() { recv(); }
+#[cfg(test)]
+mod tests {
+    fn t(comm: &mut Comm) { let _ = comm.recv(Src::Any, 1); }
+}
+";
+        let hits = findings_for("crates/core/src/distributed.rs", src);
+        assert!(hits.iter().all(|f| f.rule != L8), "{hits:?}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! never cross-match even with `Src::Any` receives in user code.
 
 use crate::comm::{Comm, CommError, COLLECTIVE_TAG_BASE};
+use crate::events::CommEvent;
 use crate::message::{Payload, Src};
 use pdnn_obs::{RecorderExt, SpanKind};
 use std::time::Duration;
@@ -124,6 +125,19 @@ fn with_collective<R>(
     out
 }
 
+/// First element of a collective buffer when the element type is
+/// `u64` — the command opcode for protocol header broadcasts — else
+/// `None`. Rides every collective's [`CommEvent::Coll`] entry so the
+/// trace-conformance replay can dispatch on the command a header
+/// broadcast carried.
+fn first_u64<T: CollElem>(buf: &[T]) -> Option<u64> {
+    let first = *buf.first()?;
+    match T::wrap(vec![first]) {
+        Payload::U64(v) => v.first().copied(),
+        _ => None,
+    }
+}
+
 impl Comm {
     /// Broadcast `buf` from `root` to all ranks (binomial tree).
     ///
@@ -159,6 +173,14 @@ impl Comm {
                 }
                 mask >>= 1;
             }
+            comm.push_event(CommEvent::Coll {
+                op: "bcast",
+                root,
+                kind: T::KIND,
+                len: buf.len(),
+                first: first_u64(buf),
+                ok: true,
+            });
             comm.trace_collective_done();
             Ok(())
         })
@@ -205,6 +227,14 @@ impl Comm {
                 }
                 mask <<= 1;
             }
+            comm.push_event(CommEvent::Coll {
+                op: "reduce",
+                root,
+                kind: T::KIND,
+                len: buf.len(),
+                first: None,
+                ok: true,
+            });
             comm.trace_collective_done();
             Ok(())
         })
@@ -242,6 +272,14 @@ impl Comm {
             } else {
                 *buf = comm.recv_vec_timeout::<T>(Src::Of(root), tag, timeout)?;
             }
+            comm.push_event(CommEvent::Coll {
+                op: "bcast",
+                root,
+                kind: T::KIND,
+                len: buf.len(),
+                first: first_u64(buf),
+                ok: true,
+            });
             comm.trace_collective_done();
             Ok(())
         })
@@ -274,6 +312,14 @@ impl Comm {
         with_collective(self, "reduce", |comm, tag| {
             if comm.rank() != root {
                 comm.send(root, tag, T::wrap(buf.to_vec()))?;
+                comm.push_event(CommEvent::Coll {
+                    op: "reduce",
+                    root,
+                    kind: T::KIND,
+                    len: buf.len(),
+                    first: None,
+                    ok: true,
+                });
                 comm.trace_collective_done();
                 return Ok(());
             }
@@ -303,6 +349,18 @@ impl Comm {
                     }
                 }
             }
+            // The drain above completes the collective structurally
+            // even when a contribution failed, so the event is
+            // recorded either way — with `ok` carrying the verdict —
+            // keeping the root's trace command-aligned under faults.
+            comm.push_event(CommEvent::Coll {
+                op: "reduce",
+                root,
+                kind: T::KIND,
+                len: buf.len(),
+                first: None,
+                ok: first_err.is_none(),
+            });
             comm.trace_collective_done();
             match first_err {
                 None => Ok(()),
@@ -352,6 +410,14 @@ impl Comm {
                         comm.send(dst, tag + 1, Payload::Empty)?;
                     }
                 }
+                comm.push_event(CommEvent::Coll {
+                    op: "barrier",
+                    root: 0,
+                    kind: "Empty",
+                    len: 0,
+                    first: None,
+                    ok: first_err.is_none(),
+                });
                 comm.trace_collective_done();
                 match first_err {
                     None => Ok(()),
@@ -360,6 +426,14 @@ impl Comm {
             } else {
                 comm.send(0, tag, Payload::Empty)?;
                 comm.recv_timeout(Src::Of(0), tag + 1, timeout)?;
+                comm.push_event(CommEvent::Coll {
+                    op: "barrier",
+                    root: 0,
+                    kind: "Empty",
+                    len: 0,
+                    first: None,
+                    ok: true,
+                });
                 comm.trace_collective_done();
                 Ok(())
             }
@@ -402,10 +476,20 @@ impl Comm {
                     }
                     mask <<= 1;
                 }
+                comm.push_event(CommEvent::Coll {
+                    op: "allreduce",
+                    root: 0,
+                    kind: T::KIND,
+                    len: buf.len(),
+                    first: None,
+                    ok: true,
+                });
                 comm.trace_collective_done();
                 Ok(())
             })
         } else {
+            // Non-power-of-two worlds decompose into reduce + bcast,
+            // which record their own events.
             self.reduce(buf, op, 0)?;
             self.bcast(buf, 0)
         }
@@ -498,6 +582,14 @@ impl Comm {
                 mask <<= 1;
             }
             debug_assert_eq!((lo, hi), (0, size));
+            comm.push_event(CommEvent::Coll {
+                op: "allreduce_rabenseifner",
+                root: 0,
+                kind: T::KIND,
+                len: buf.len(),
+                first: None,
+                ok: true,
+            });
             comm.trace_collective_done();
             Ok(())
         })
@@ -512,7 +604,16 @@ impl Comm {
     ) -> Result<Option<Vec<Vec<T>>>, CommError> {
         assert!(root < self.size(), "gather: root out of range");
         let size = self.size();
+        let dlen = data.len();
         with_collective(self, "gather", |comm, tag| {
+            let ev = CommEvent::Coll {
+                op: "gather",
+                root,
+                kind: T::KIND,
+                len: dlen,
+                first: None,
+                ok: true,
+            };
             if comm.rank() == root {
                 let mut out: Vec<Vec<T>> = Vec::with_capacity(size);
                 for r in 0..size {
@@ -522,10 +623,12 @@ impl Comm {
                         out.push(comm.recv_vec::<T>(Src::Of(r), tag)?);
                     }
                 }
+                comm.push_event(ev);
                 comm.trace_collective_done();
                 Ok(Some(out))
             } else {
                 comm.send(root, tag, T::wrap(data))?;
+                comm.push_event(ev);
                 comm.trace_collective_done();
                 Ok(None)
             }
@@ -554,10 +657,26 @@ impl Comm {
                         comm.send(r, tag, T::wrap(chunk))?;
                     }
                 }
+                comm.push_event(CommEvent::Coll {
+                    op: "scatter",
+                    root,
+                    kind: T::KIND,
+                    len: own.len(),
+                    first: None,
+                    ok: true,
+                });
                 comm.trace_collective_done();
                 Ok(own)
             } else {
                 let chunk = comm.recv_vec::<T>(Src::Of(root), tag)?;
+                comm.push_event(CommEvent::Coll {
+                    op: "scatter",
+                    root,
+                    kind: T::KIND,
+                    len: chunk.len(),
+                    first: None,
+                    ok: true,
+                });
                 comm.trace_collective_done();
                 Ok(chunk)
             }
@@ -567,6 +686,7 @@ impl Comm {
     /// Allgather via ring: returns all ranks' vectors in rank order.
     pub fn allgather<T: CollElem>(&mut self, data: Vec<T>) -> Result<Vec<Vec<T>>, CommError> {
         let size = self.size();
+        let dlen = data.len();
         with_collective(self, "allgather", |comm, tag| {
             let rank = comm.rank();
             let mut slots: Vec<Option<Vec<T>>> = (0..size).map(|_| None).collect();
@@ -579,6 +699,14 @@ impl Comm {
                 current = comm.recv_vec::<T>(Src::Of(prev), tag)?;
             }
             slots[(rank + 1) % size] = Some(current);
+            comm.push_event(CommEvent::Coll {
+                op: "allgather",
+                root: 0,
+                kind: T::KIND,
+                len: dlen,
+                first: None,
+                ok: true,
+            });
             comm.trace_collective_done();
             Ok(slots
                 .into_iter()
@@ -608,6 +736,14 @@ impl Comm {
                 comm.recv(Src::Of(src), tag)?;
                 step <<= 1;
             }
+            comm.push_event(CommEvent::Coll {
+                op: "barrier",
+                root: 0,
+                kind: "Empty",
+                len: 0,
+                first: None,
+                ok: true,
+            });
             comm.trace_collective_done();
             Ok(())
         })

@@ -8,6 +8,7 @@
 //! exactly like MPI, not by arrival order.
 
 use crate::collectives::CollElem;
+use crate::events::CommEvent;
 use crate::fault::{FaultAction, FaultPlan, FAULT_TICK};
 use crate::hb::{HbTracker, HbViolation};
 use crate::message::{Packet, Payload, Src};
@@ -118,6 +119,11 @@ pub struct Comm {
     peers: Vec<Sender<Packet>>,
     pending: Vec<Packet>,
     pub(crate) trace: CommTrace,
+    /// Ordered protocol-visible event trace (see `crate::events`):
+    /// point-to-point ops outside collectives plus one entry per
+    /// completed collective invocation. Replayed by `pdnn-protomc`
+    /// for trace conformance against the abstract protocol model.
+    events: Vec<CommEvent>,
     /// Shared telemetry sink: spans opened by collectives and by user
     /// code running on this rank all land here.
     recorder: Arc<InMemoryRecorder>,
@@ -220,6 +226,7 @@ impl Comm {
             peers,
             pending: Vec::new(),
             trace: CommTrace::default(),
+            events: Vec::new(),
             recorder: Arc::new(InMemoryRecorder::with_clock(clock.clone())),
             in_collective: false,
             coll_seq: 0,
@@ -496,6 +503,36 @@ impl Comm {
         std::mem::take(&mut self.trace)
     }
 
+    /// Ordered comm-event trace accumulated so far (see
+    /// `crate::events`).
+    pub fn events(&self) -> &[CommEvent] {
+        &self.events
+    }
+
+    /// Take the comm-event trace, leaving an empty one (used by the
+    /// runner at rank exit).
+    pub fn take_events(&mut self) -> Vec<CommEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Record one completed collective invocation on the event trace
+    /// (called by the collective implementations).
+    pub(crate) fn push_event(&mut self, ev: CommEvent) {
+        self.events.push(ev);
+    }
+
+    /// Timeout window for protocol point-to-point receives outside
+    /// collectives (the `CMD_LOAD_DATA` shard transfers): the worker
+    /// window when fault tolerance is armed — it must outlast a whole
+    /// recovery cycle at the root — else the generous fault-free
+    /// default.
+    pub fn p2p_timeout(&self) -> Duration {
+        match &self.fault {
+            Some(ctx) => ctx.plan.worker_timeout,
+            None => Duration::from_secs(30),
+        }
+    }
+
     /// This rank's telemetry sink. Clone the `Arc` into components
     /// that should record spans, counters, or events for this rank.
     pub fn recorder(&self) -> &Arc<InMemoryRecorder> {
@@ -531,6 +568,8 @@ impl Comm {
         self.fate_check()?;
         let start = self.clock.now();
         let bytes = payload.size_bytes();
+        let kind = payload.kind();
+        let elems = payload.elems();
         let class = self.class();
         // Fault injection: drop/delay actions key on the per-link send
         // count (logical progress), so the same plan hits the same
@@ -597,6 +636,14 @@ impl Comm {
         self.trace.add_seconds(class, self.clock.now() - start);
         if result.is_ok() {
             self.trace.on_send(class, bytes);
+            if !self.in_collective {
+                self.events.push(CommEvent::Send {
+                    to: dst,
+                    tag,
+                    kind,
+                    len: elems,
+                });
+            }
         }
         result
     }
@@ -745,6 +792,14 @@ impl Comm {
                 hb.on_consumed(pkt);
             }
             self.trace.on_recv(class, pkt.payload.size_bytes());
+            if !self.in_collective {
+                self.events.push(CommEvent::Recv {
+                    from: pkt.src,
+                    tag: pkt.tag,
+                    kind: pkt.payload.kind(),
+                    len: pkt.payload.elems(),
+                });
+            }
             // Virtual timing: the message is available no earlier than
             // the sender's completion time.
             if pkt.sent_vtime > self.vtime {

@@ -32,6 +32,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod events;
 pub mod fault;
 pub mod hb;
 pub mod message;
@@ -42,6 +43,7 @@ pub mod vtime;
 
 pub use collectives::{CollElem, ReduceOp};
 pub use comm::{comm_ok, Comm, CommError};
+pub use events::{events_from_jsonl, events_to_jsonl, CommEvent};
 pub use fault::{FaultAction, FaultPlan, FAULT_TICK};
 pub use hb::{HbTracker, HbViolation};
 pub use message::{Packet, Payload, Src};

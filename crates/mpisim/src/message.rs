@@ -59,6 +59,17 @@ impl Payload {
         }
     }
 
+    /// Element count (bytes count as elements for `Bytes`).
+    pub fn elems(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::F32(v) => v.len(),
+            Payload::F64(v) => v.len(),
+            Payload::U64(v) => v.len(),
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
     /// Short kind name for diagnostics.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -3,6 +3,7 @@
 //! communication traces in rank order.
 
 use crate::comm::Comm;
+use crate::events::CommEvent;
 use crate::fault::FaultPlan;
 use crate::hb::HbViolation;
 use crate::message::Packet;
@@ -31,6 +32,11 @@ pub struct RankOutcome<R> {
     /// (always empty unless the world ran under
     /// [`run_world_perturbed`] or tracking was enabled by hand).
     pub hb: Vec<HbViolation>,
+    /// Ordered comm-event trace: every point-to-point op outside a
+    /// collective plus one entry per completed collective (see
+    /// `crate::events`). Replayed by `pdnn-protomc` for trace
+    /// conformance against the abstract protocol model.
+    pub events: Vec<CommEvent>,
 }
 
 /// Build the communicators for an `n`-rank world without spawning
@@ -181,6 +187,7 @@ where
                 scope.spawn(move || {
                     let result = f(&mut comm);
                     let hb = comm.hb_finish();
+                    let events = comm.take_events();
                     let telemetry = comm.take_telemetry();
                     let trace = telemetry.comm.clone();
                     RankOutcome {
@@ -189,6 +196,7 @@ where
                         trace,
                         telemetry,
                         hb,
+                        events,
                     }
                 }),
             ));

@@ -151,13 +151,14 @@ mod tests {
     fn extracted_model_matches_the_protocol_shape() {
         let outcome = run_static(&workspace_root()).expect("protocol surfaces readable");
         let m = &outcome.model;
-        // Seven commands + the data-load tag.
+        // Eight commands (incl. the recovery-path CMD_LOAD_DATA) + the
+        // data-load tag.
         assert_eq!(
             m.consts
                 .iter()
                 .filter(|(n, _, _)| n.starts_with("CMD_"))
                 .count(),
-            7,
+            8,
             "{:?}",
             m.consts
         );

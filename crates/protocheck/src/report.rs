@@ -6,10 +6,9 @@
 
 use crate::dynamic::DynamicOutcome;
 use crate::mutate::MutationResult;
-use pdnn_lint::report::json_escape;
+use pdnn_lint::report::{json_escape, push_findings, push_str_list};
 use pdnn_lint::Finding;
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -19,25 +18,6 @@ pub struct Report<'a> {
     pub suppressed: usize,
     pub mutation_results: Option<&'a [MutationResult]>,
     pub dynamic: Option<&'a DynamicOutcome>,
-}
-
-fn push_findings(out: &mut String, findings: &[Finding]) {
-    out.push('[');
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
-            json_escape(f.rule),
-            json_escape(&f.path),
-            f.line,
-            f.col,
-            json_escape(&f.message),
-        );
-    }
-    out.push(']');
 }
 
 /// Render the report as a JSON string.
@@ -72,21 +52,16 @@ pub fn render(report: &Report<'_>) -> String {
                 if i > 0 {
                     out.push(',');
                 }
-                let mut fired = String::new();
-                for (j, rule) in r.fired_rules.iter().enumerate() {
-                    if j > 0 {
-                        fired.push(',');
-                    }
-                    let _ = write!(fired, "\"{}\"", json_escape(rule));
-                }
+                let fired: Vec<String> = r.fired_rules.iter().map(|s| s.to_string()).collect();
                 let _ = write!(
                     out,
-                    "{{\"name\":\"{}\",\"expected\":\"{}\",\"flagged\":{},\"fired\":[{}]}}",
+                    "{{\"name\":\"{}\",\"expected\":\"{}\",\"flagged\":{},\"fired\":",
                     json_escape(r.name),
                     json_escape(r.expected_rule),
                     r.flagged,
-                    fired,
                 );
+                push_str_list(&mut out, &fired);
+                out.push('}');
             }
             out.push_str("]}");
         }
@@ -132,9 +107,7 @@ pub fn render(report: &Report<'_>) -> String {
 
 /// Write the report under `<root>/results/protocheck_report.json`.
 pub fn write(root: &Path, report: &Report<'_>) -> io::Result<()> {
-    let dir = root.join("results");
-    fs::create_dir_all(&dir)?;
-    fs::write(dir.join("protocheck_report.json"), render(report))
+    pdnn_lint::report::write_results(root, "protocheck_report.json", &render(report))
 }
 
 #[cfg(test)]

@@ -1,0 +1,238 @@
+//! Mutation self-test: seed protocol bugs into the compiled spec and
+//! require the explorer to flag each with the expected rule.
+//!
+//! Each mutation is the abstract image of a realistic editing mistake
+//! in `distributed.rs` (dropping a collective from one role, adding an
+//! extra one, unbalancing the startup rendezvous, breaking a recovery
+//! step). A mutation is *caught* when exploring the mutated spec on
+//! the 3-rank world with fault budget 1 fires the rule the mutation
+//! was designed to break; the clean spec must fire none (checked by
+//! the explorer's own tests and the CLI gate).
+
+use crate::explorer::{explore, P5, P6, P7};
+use crate::spec::{AOp, APeer, ProtoSpec};
+
+/// One seeded protocol bug.
+pub struct Mutation {
+    pub name: &'static str,
+    pub expected_rule: &'static str,
+    /// What the mutation does, for the report.
+    pub summary: &'static str,
+    apply: fn(&mut ProtoSpec),
+}
+
+/// Outcome of exploring one mutated spec.
+pub struct MutationResult {
+    pub name: &'static str,
+    pub expected_rule: &'static str,
+    pub summary: &'static str,
+    pub caught: bool,
+    /// Rules that actually fired on the mutant.
+    pub fired_rules: Vec<&'static str>,
+}
+
+fn grad(spec: &ProtoSpec) -> usize {
+    spec.commands
+        .iter()
+        .position(|c| c.name == "CMD_GRADIENT")
+        .unwrap_or(0)
+}
+
+fn gn(spec: &ProtoSpec) -> usize {
+    spec.commands
+        .iter()
+        .position(|c| c.name == "CMD_GN")
+        .unwrap_or(0)
+}
+
+fn sample(spec: &ProtoSpec) -> usize {
+    spec.commands
+        .iter()
+        .position(|c| c.name == "CMD_SAMPLE")
+        .unwrap_or(0)
+}
+
+fn pop_last_matching(ops: &mut Vec<AOp>, pred: fn(&AOp) -> bool) {
+    if let Some(i) = ops.iter().rposition(pred) {
+        ops.remove(i);
+    }
+}
+
+/// The full mutation battery (≥ 12 per the acceptance gate).
+pub fn mutations() -> Vec<Mutation> {
+    vec![
+        Mutation {
+            name: "worker-drops-gradient-reduce",
+            expected_rule: P5,
+            summary: "worker arm skips its half of a gradient reduction",
+            apply: |s| {
+                let g = grad(s);
+                pop_last_matching(&mut s.commands[g].worker, |o| {
+                    matches!(o, AOp::Reduce { .. })
+                });
+            },
+        },
+        Mutation {
+            name: "master-extra-gn-reduce",
+            expected_rule: P5,
+            summary: "master drains one more GN reduction than workers send",
+            apply: |s| {
+                let g = gn(s);
+                s.commands[g].master.push(AOp::Reduce {
+                    root: 0,
+                    kind: pdnn_protocheck::model::ElemKind::F32,
+                });
+            },
+        },
+        Mutation {
+            name: "worker-drops-theta-recv",
+            expected_rule: P5,
+            summary: "worker arm skips the SET_THETA broadcast receive",
+            apply: |s| {
+                let t = s.set_theta;
+                pop_last_matching(&mut s.commands[t].worker, |o| {
+                    matches!(o, AOp::Bcast { .. })
+                });
+            },
+        },
+        Mutation {
+            name: "master-skips-shutdown-barrier",
+            expected_rule: P5,
+            summary: "master exits without joining the teardown barrier",
+            apply: |s| {
+                let d = s.shutdown;
+                pop_last_matching(&mut s.commands[d].master, |o| matches!(o, AOp::Barrier));
+            },
+        },
+        Mutation {
+            name: "startup-send-missing",
+            expected_rule: P5,
+            summary: "master sends one rendezvous message, workers expect two",
+            apply: |s| s.startup_sends = s.startup_sends.saturating_sub(1),
+        },
+        Mutation {
+            name: "worker-wrong-dispatch-root",
+            expected_rule: P5,
+            summary: "workers listen for command headers from rank 1, not 0",
+            apply: |s| s.dispatch_root = 1,
+        },
+        Mutation {
+            name: "startup-extra-send",
+            expected_rule: P6,
+            summary: "master sends a third rendezvous message nobody receives",
+            apply: |s| s.startup_sends += 1,
+        },
+        Mutation {
+            name: "loaddata-partial-recv",
+            expected_rule: P6,
+            summary: "worker consumes one of the two redistribution messages",
+            apply: |s| {
+                let l = s.load_data;
+                pop_last_matching(&mut s.commands[l].worker, |o| matches!(o, AOp::Recv { .. }));
+            },
+        },
+        Mutation {
+            name: "sample-extra-p2p-send",
+            expected_rule: P6,
+            summary: "master sends an unsolicited tagged message during SAMPLE",
+            apply: |s| {
+                let c = sample(s);
+                let tag = s.startup_tag;
+                s.commands[c].master.push(AOp::Send {
+                    to: APeer::EachWorker,
+                    tag,
+                    kind: pdnn_protocheck::model::ElemKind::U64,
+                });
+            },
+        },
+        Mutation {
+            name: "recovery-extra-send",
+            expected_rule: P6,
+            summary: "redistribution sends three messages per worker, arm reads two",
+            apply: |s| {
+                let l = s.load_data;
+                let tag = s.startup_tag;
+                s.commands[l].master.push(AOp::Send {
+                    to: APeer::EachWorker,
+                    tag,
+                    kind: pdnn_protocheck::model::ElemKind::U64,
+                });
+            },
+        },
+        Mutation {
+            name: "recovery-skips-ack",
+            expected_rule: P7,
+            summary: "master never acknowledges the death; recovery loops forever",
+            apply: |s| s.quirks.skip_ack = true,
+        },
+        Mutation {
+            name: "recovery-skips-theta-restore",
+            expected_rule: P7,
+            summary: "recovery redistributes shards but never restores theta",
+            apply: |s| s.quirks.skip_settheta = true,
+        },
+        Mutation {
+            name: "recovery-skips-replay",
+            expected_rule: P7,
+            summary: "recovery shuts down instead of replaying the lost iteration",
+            apply: |s| s.quirks.skip_replay = true,
+        },
+        Mutation {
+            name: "fault-ignored",
+            expected_rule: P7,
+            summary: "master treats a surfaced worker death as success",
+            apply: |s| s.quirks.ignore_fault = true,
+        },
+    ]
+}
+
+/// Explore every mutant on the 3-rank world with fault budget 1.
+pub fn run_mutations(spec: &ProtoSpec) -> Vec<MutationResult> {
+    mutations()
+        .into_iter()
+        .map(|m| {
+            let mut mutant = spec.clone();
+            (m.apply)(&mut mutant);
+            let out = explore(&mutant, 2, 1);
+            let mut fired: Vec<&'static str> = out.violations.iter().map(|v| v.rule).collect();
+            fired.dedup();
+            MutationResult {
+                name: m.name,
+                expected_rule: m.expected_rule,
+                summary: m.summary,
+                caught: fired.contains(&m.expected_rule),
+                fired_rules: fired,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn every_seeded_mutation_is_caught() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_default();
+        let outcome = pdnn_protocheck::run_static(&root).expect("surfaces readable");
+        let spec = spec::compile(&outcome.model).expect("model compiles");
+        let results = run_mutations(&spec);
+        assert!(results.len() >= 12, "battery shrank to {}", results.len());
+        let missed: Vec<String> = results
+            .iter()
+            .filter(|r| !r.caught)
+            .map(|r| {
+                format!(
+                    "{} (expected {}, fired {:?})",
+                    r.name, r.expected_rule, r.fired_rules
+                )
+            })
+            .collect();
+        assert!(missed.is_empty(), "missed mutations: {missed:?}");
+    }
+}

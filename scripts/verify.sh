@@ -33,6 +33,25 @@ cargo run -q -p pdnn-protocheck -- --static --mutations
 echo "== protocol: pdnn-protocheck dynamic sweep =="
 cargo run -q --release -p pdnn-protocheck -- --dynamic 8 --workers 3 --iters 2
 
+echo "== protocol: pdnn-protomc model check + mutation self-test + trace conformance =="
+# Exhaustive interleaving exploration of the 2/3/4-rank worlds with a
+# one-kill fault budget, cross-checked against a sleep-set-reduced
+# run; then the seeded-mutation battery and replay of two real 4-rank
+# training traces (fault-free + injected kill) through the automata.
+cargo run -q --release -p pdnn-protomc
+pm_report=results/protomc_report.json
+grep -q '"findings": 0,' "$pm_report" \
+  || { echo "protomc report shows property violations" >&2; exit 1; }
+grep -q '"reduction_ok": true,' "$pm_report" \
+  || { echo "protomc partial-order reduction disagrees with the full exploration" >&2; exit 1; }
+pm_muts="$(sed -n 's/.*"mutations": \([0-9]*\),.*/\1/p' "$pm_report")"
+pm_caught="$(sed -n 's/.*"caught": \([0-9]*\),.*/\1/p' "$pm_report" | head -n1)"
+[ -n "$pm_muts" ] && [ "$pm_muts" -ge 12 ] && [ "$pm_caught" = "$pm_muts" ] \
+  || { echo "protomc mutation self-test: $pm_caught/$pm_muts caught (need all of >= 12)" >&2; exit 1; }
+grep -q '"conformance": {"unmapped": 0, "accepted": 2,' "$pm_report" \
+  || { echo "protomc trace conformance: a real training trace did not conform" >&2; exit 1; }
+echo "protomc: $pm_caught/$pm_muts mutations caught, 2/2 traces conform"
+
 echo "== kernel safety: pdnn-kernelcheck static + mutation self-test =="
 cargo run -q -p pdnn-kernelcheck -- --static --mutations
 # The report is an acceptance artifact: the clean tree must verify
