@@ -3,7 +3,9 @@
 //! see a significant speed up, the speed improvements are sub-linear."
 
 use pdnn_bench::{arg_num, emit};
-use pdnn_perfmodel::figures::scaling_curve;
+use pdnn_perfmodel::figures::{
+    scaling_curve, sync_crossover_rank, sync_crossover_table, INT8_PAYLOAD_FACTOR,
+};
 use pdnn_perfmodel::JobSpec;
 
 fn main() {
@@ -20,5 +22,22 @@ fn main() {
         "Efficiency decays as the serial master share (CG vector arithmetic,\n\
          per-rank coordination) stops shrinking while worker compute halves —\n\
          the Amdahl mechanism behind the paper's sub-linear regime past 4096."
+    );
+
+    // Masterless sync moves the byte hotspot off rank 0: the
+    // master-centric curve grows with log2(ranks), the ring curves do
+    // not, and wire compression shifts the crossover to smaller
+    // worlds (measured counterpart: BENCH_6.json).
+    let sync_ranks = [2usize, 4, 8, 16, 64, 256, 1024, 4096];
+    emit(&sync_crossover_table(&job, &sync_ranks), "sync_crossover");
+    let at = |factor: f64| {
+        sync_crossover_rank(&job, factor, 2.0, &sync_ranks)
+            .map(|p| format!("P={p}"))
+            .unwrap_or_else(|| "beyond the sweep".into())
+    };
+    println!(
+        "2x rank-0 byte-reduction crossover: plain ring at {}, ring+int8 at {}",
+        at(1.0),
+        at(INT8_PAYLOAD_FACTOR)
     );
 }

@@ -1,0 +1,208 @@
+//! Sync-strategy benchmark: master-centric vs ring vs compressed-ring
+//! gradient aggregation, at 4 / 8 / 16 simulated ranks.
+//!
+//! Each cell runs the same distributed HF training job under one
+//! `SyncStrategy` and records wall time plus the comm-trace byte
+//! counters: everything rank 0 moved (either direction, either
+//! class), rank 0's point-to-point share specifically, and the total
+//! bytes put on the wire across all ranks (sent-side, so nothing is
+//! double counted). Master-centric runs use `ranks - 1` workers so
+//! every row occupies the same world size.
+//!
+//! Emits `BENCH_6.json` and self-asserts the ISSUE 9 acceptance
+//! gates at 8 ranks:
+//! * ring leaves the master rendezvous entirely — rank-0 p2p bytes
+//!   are ≤ 25% of master-sync's (measured: zero);
+//! * plain ring moves ≥ 2x fewer bytes through rank 0 than
+//!   master-centric sync (the rooted trees put ~3n per collective on
+//!   rank 0 at P=8; a symmetric ring still moves ~4n per allreduce,
+//!   but drops the θ-shipping phases, so the honest plain-ring
+//!   reduction is ~2x);
+//! * ring + int8 wire compression reaches the ≥ 4x reduction.
+//!
+//! `--smoke` shrinks the corpus and iteration count to run in
+//! seconds; `--out PATH` overrides the JSON destination.
+
+use pdnn_bench::arg_value;
+use pdnn_core::{train_distributed, DistributedConfig, Objective, SyncStrategy, TrainOutput};
+use pdnn_dnn::{Activation, Network};
+use pdnn_mpisim::WireCodec;
+use pdnn_speech::{Corpus, CorpusSpec};
+use pdnn_util::Prng;
+use std::time::Instant;
+
+/// One (world size, sync mode) measurement.
+struct ModeRow {
+    label: &'static str,
+    wall_ms: f64,
+    rank0_bytes: u64,
+    rank0_p2p_bytes: u64,
+    wire_bytes: u64,
+}
+
+/// All bytes rank 0 moved, in either direction, either class.
+fn rank0_bytes(out: &TrainOutput) -> u64 {
+    let t = &out.master_trace;
+    t.p2p.bytes_sent + t.p2p.bytes_received + t.collective.bytes_sent + t.collective.bytes_received
+}
+
+/// Rank 0's point-to-point share (the master-rendezvous signature).
+fn rank0_p2p_bytes(out: &TrainOutput) -> u64 {
+    out.master_trace.p2p.bytes_sent + out.master_trace.p2p.bytes_received
+}
+
+/// Total bytes on the wire across the world: sent side only, so each
+/// message is counted once.
+fn wire_bytes(out: &TrainOutput) -> u64 {
+    let sent = |t: &pdnn_mpisim::CommTrace| t.p2p.bytes_sent + t.collective.bytes_sent;
+    sent(&out.master_trace) + out.worker_traces.iter().map(sent).sum::<u64>()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_6.json".into());
+
+    // Smoke shrinks the task, not the world: the byte-ratio gates are
+    // properties of the communication pattern at P=8, so every world
+    // size runs in both modes.
+    let (spec, hidden, iters) = if smoke {
+        (CorpusSpec::tiny(7), 12usize, 2usize)
+    } else {
+        (CorpusSpec::default(), 32usize, 3usize)
+    };
+    let corpus = Corpus::generate(spec);
+    let mut rng = Prng::new(2);
+    let net0: Network<f32> = Network::new(
+        &[corpus.spec().feature_dim, hidden, corpus.spec().states],
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    println!(
+        "sync_modes: {} utterances, {} states, hidden {hidden}, {iters} HF iters{}",
+        corpus.spec().utterances,
+        corpus.spec().states,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let run = |sync: SyncStrategy, workers: usize, codec: WireCodec| -> (f64, TrainOutput) {
+        let mut config = DistributedConfig {
+            workers,
+            sync,
+            ..DistributedConfig::default()
+        };
+        config.wire_codec = codec;
+        config.hf.max_iters = iters;
+        let t0 = Instant::now();
+        let out = train_distributed(&net0, &corpus, &Objective::CrossEntropy, &config)
+            .expect("training run failed");
+        (t0.elapsed().as_secs_f64() * 1e3, out)
+    };
+
+    let world_sizes: [usize; 3] = [4, 8, 16];
+    let mut tables: Vec<(usize, Vec<ModeRow>)> = Vec::new();
+    for ranks in world_sizes {
+        let mut rows = Vec::new();
+        for (label, sync, workers, codec) in [
+            ("master", SyncStrategy::Master, ranks - 1, WireCodec::None),
+            ("ring", SyncStrategy::Ring, ranks, WireCodec::None),
+            ("ring_int8", SyncStrategy::Ring, ranks, WireCodec::Int8),
+        ] {
+            let (wall_ms, out) = run(sync, workers, codec);
+            let row = ModeRow {
+                label,
+                wall_ms,
+                rank0_bytes: rank0_bytes(&out),
+                rank0_p2p_bytes: rank0_p2p_bytes(&out),
+                wire_bytes: wire_bytes(&out),
+            };
+            println!(
+                "  P={ranks:>2} {label:<9} wall {:>8.1} ms  rank0 {:>9} B (p2p {:>8} B)  wire {:>10} B",
+                row.wall_ms, row.rank0_bytes, row.rank0_p2p_bytes, row.wire_bytes
+            );
+            rows.push(row);
+        }
+        tables.push((ranks, rows));
+    }
+
+    // Acceptance gates, evaluated at the 8-rank table.
+    let table8 = &tables
+        .iter()
+        .find(|(ranks, _)| *ranks == 8)
+        .expect("8-rank table present")
+        .1;
+    let by = |label: &str| -> &ModeRow {
+        table8
+            .iter()
+            .find(|r| r.label == label)
+            .expect("mode row present")
+    };
+    let (master, ring, ring_i8) = (by("master"), by("ring"), by("ring_int8"));
+    let gate_p2p = master.rank0_p2p_bytes > 0 && ring.rank0_p2p_bytes * 4 <= master.rank0_p2p_bytes;
+    let gate_ring_2x = ring.rank0_bytes * 2 <= master.rank0_bytes;
+    let gate_int8_4x = ring_i8.rank0_bytes * 4 <= master.rank0_bytes;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"sync_modes\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"utterances\": {}, \"states\": {}, \"feature_dim\": {}, \"hidden\": {hidden}, \"hf_iters\": {iters}, \"smoke\": {smoke}}},\n",
+        corpus.spec().utterances,
+        corpus.spec().states,
+        corpus.spec().feature_dim,
+    ));
+    json.push_str("  \"worlds\": [\n");
+    for (wi, (ranks, rows)) in tables.iter().enumerate() {
+        json.push_str(&format!("    {{\"ranks\": {ranks}, \"modes\": {{\n"));
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      \"{}\": {{\"wall_ms\": {:.1}, \"rank0_bytes\": {}, \"rank0_p2p_bytes\": {}, \"wire_bytes\": {}}}{}\n",
+                r.label,
+                r.wall_ms,
+                r.rank0_bytes,
+                r.rank0_p2p_bytes,
+                r.wire_bytes,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        let m = rows
+            .iter()
+            .find(|r| r.label == "master")
+            .expect("master row");
+        let reduction = |r: &ModeRow| m.rank0_bytes as f64 / r.rank0_bytes.max(1) as f64;
+        let ring_row = rows.iter().find(|r| r.label == "ring").expect("ring row");
+        let i8_row = rows
+            .iter()
+            .find(|r| r.label == "ring_int8")
+            .expect("ring_int8 row");
+        json.push_str(&format!(
+            "    }}, \"rank0_reduction\": {{\"ring\": {:.2}, \"ring_int8\": {:.2}}}}}{}\n",
+            reduction(ring_row),
+            reduction(i8_row),
+            if wi + 1 < tables.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"gates_at_8_ranks\": {{\"ring_rank0_p2p_le_quarter_of_master\": {gate_p2p}, \"ring_rank0_ge_2x_reduction\": {gate_ring_2x}, \"ring_int8_rank0_ge_4x_reduction\": {gate_int8_4x}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("failed to write BENCH json");
+    print!("{json}");
+    println!("[json] {out_path}");
+
+    assert!(
+        gate_p2p,
+        "ring rank-0 p2p bytes {} exceed 25% of master's {}",
+        ring.rank0_p2p_bytes, master.rank0_p2p_bytes
+    );
+    assert!(
+        gate_ring_2x,
+        "ring rank-0 bytes {} not ≥2x below master {}",
+        ring.rank0_bytes, master.rank0_bytes
+    );
+    assert!(
+        gate_int8_4x,
+        "compressed-ring rank-0 bytes {} not ≥4x below master {}",
+        ring_i8.rank0_bytes, master.rank0_bytes
+    );
+    println!("gates at 8 ranks: all hold — OK");
+}

@@ -57,7 +57,7 @@ use pdnn_dnn::packed::{PackedActivations, PackedWeights};
 use pdnn_dnn::sequence::mmi_batch;
 use pdnn_mpisim::{
     Comm, CommError, CommEvent, CommTrace, FaultPlan, HbViolation, Payload, RankOutcome, ReduceOp,
-    Src,
+    Src, WireCodec,
 };
 use pdnn_obs::{InMemoryRecorder, Recorder, RecorderExt, SpanKind, Telemetry};
 use pdnn_speech::{partition, Corpus, Shard, Strategy};
@@ -80,11 +80,72 @@ const CMD_LOAD_DATA: u64 = 7;
 /// start-up distribution and the recovery replay).
 const TAG_LOAD_DATA: u64 = 17;
 
+/// How ranks synchronize gradients, curvature products, and weights.
+///
+/// [`Master`](SyncStrategy::Master) is the paper's one-master
+/// architecture (Section IV): rank 0 runs the optimizer and every
+/// exchange is a rooted bcast/reduce rendezvousing at the master.
+/// [`Ring`](SyncStrategy::Ring) and [`Tree`](SyncStrategy::Tree) are
+/// masterless: the world is `workers` peer ranks, each runs a replica
+/// of the Hessian-free optimizer in lockstep, and the GRADIENT /
+/// GN-product / HELDOUT reductions are symmetric allreduces —
+/// bandwidth-optimal ring (reduce-scatter + allgather) or binomial
+/// tree — so no phase rendezvouses at rank 0, there are no command
+/// headers, no θ broadcasts, and no start-up `load_data` p2p phase.
+/// Every decision the replicated optimizers take is a function of
+/// bit-identical allreduce results, so all replicas stay bitwise in
+/// lockstep (asserted at the end of every run).
+///
+/// Fault plans are only supported under `Master`: checkpoint-restart
+/// recovery needs the asymmetric coordinator role that masterless
+/// modes remove.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncStrategy {
+    /// One master, many workers; rooted collectives (the paper's
+    /// architecture). Supports fault plans.
+    #[default]
+    Master,
+    /// Masterless replicated optimizer over chunked ring allreduce
+    /// (bandwidth-optimal: each rank moves `2(P-1)/P · n` elements,
+    /// neighbour-only traffic).
+    Ring,
+    /// Masterless replicated optimizer over binomial-tree allreduce
+    /// (latency-optimal: `2⌈log2 P⌉` rounds).
+    Tree,
+}
+
+impl SyncStrategy {
+    /// Short name for CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncStrategy::Master => "master",
+            SyncStrategy::Ring => "ring",
+            SyncStrategy::Tree => "tree",
+        }
+    }
+
+    /// Parse a CLI spelling; the inverse of [`SyncStrategy::name`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        [Self::Master, Self::Ring, Self::Tree]
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| format!("unknown sync strategy `{s}` (use master|ring|tree)"))
+    }
+}
+
 /// Distributed training configuration.
 #[derive(Clone, Debug)]
 pub struct DistributedConfig {
-    /// Number of worker ranks (world size is `workers + 1`).
+    /// Number of worker ranks. Under [`SyncStrategy::Master`] the
+    /// world size is `workers + 1` (rank 0 is the master); under the
+    /// masterless strategies the world size is exactly `workers`.
     pub workers: usize,
+    /// How gradients, curvature products, and weights synchronize
+    /// across ranks.
+    pub sync: SyncStrategy,
+    /// Wire-level compression applied to `f32` collective payloads
+    /// (gradients, Gv products, θ broadcasts). Orthogonal to `sync`.
+    pub wire_codec: WireCodec,
     /// Optimizer configuration.
     pub hf: HfConfig,
     /// Utterance-to-worker assignment strategy (paper Section V.C).
@@ -108,6 +169,8 @@ impl Default for DistributedConfig {
     fn default() -> Self {
         DistributedConfig {
             workers: 4,
+            sync: SyncStrategy::default(),
+            wire_codec: WireCodec::None,
             hf: HfConfig::small_task(),
             strategy: Strategy::SortedBalanced,
             heldout_frac: 0.2,
@@ -812,6 +875,537 @@ fn worker_loop(
     Ok(())
 }
 
+/// Peer-rank implementation of [`HfProblem`] for the masterless sync
+/// strategies: local compute over this rank's shard plus symmetric
+/// allreduces. No command headers, no rooted collectives, no p2p.
+///
+/// Every rank holds one of these and drives its own replicated
+/// [`HfOptimizer`]; because ring and tree allreduce return
+/// bit-identical results on every rank, the replicas make identical
+/// decisions and their θ vectors never diverge.
+struct DecentralProblem<'a> {
+    comm: &'a mut Comm,
+    rec: Arc<InMemoryRecorder>,
+    sync: SyncStrategy,
+    theta: Vec<f32>,
+    net: Network<f32>,
+    /// Trial-θ evaluation network (heldout probes never disturb the
+    /// packed weights of `net`).
+    scratch: Network<f32>,
+    train: Shard,
+    heldout: Shard,
+    objective: &'a Objective,
+    ctx: GemmContext,
+    ws: Workspace<f32>,
+    packs: Option<PackedWeights<f32>>,
+    sample: Option<WorkerSample>,
+    /// Global training frame count (identical on every rank).
+    train_frames: u64,
+    /// First unhandled fault; poisons the problem until taken. In the
+    /// masterless modes a communication error is always a harness bug
+    /// (no fault plans), so only `ZeroFrames` lands here.
+    fault: Option<TrainFault>,
+}
+
+impl DecentralProblem<'_> {
+    /// Sum-allreduce under the configured masterless strategy.
+    fn sync_f32(&mut self, buf: &mut Vec<f32>) -> Result<(), CommError> {
+        match self.sync {
+            SyncStrategy::Ring => self.comm.allreduce_ring(buf, ReduceOp::Sum),
+            _ => self.comm.allreduce_tree(buf, ReduceOp::Sum),
+        }
+    }
+
+    fn sync_f64(&mut self, buf: &mut Vec<f64>) -> Result<(), CommError> {
+        match self.sync {
+            SyncStrategy::Ring => self.comm.allreduce_ring(buf, ReduceOp::Sum),
+            _ => self.comm.allreduce_tree(buf, ReduceOp::Sum),
+        }
+    }
+
+    fn poisoned(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    fn on_fault(&mut self, fault: TrainFault) {
+        match &fault {
+            TrainFault::Comm(e) => {
+                // pdnn-lint: allow(l3-no-unwrap): masterless modes never run under a fault plan, so a communication error means the simulated world itself is broken
+                panic!("decentralized protocol failure: {e}");
+            }
+            TrainFault::ZeroFrames { phase } => {
+                self.rec
+                    .event("zero_frames", vec![("phase".into(), (*phase).into())]);
+            }
+        }
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    fn take_fault(&mut self) -> Option<TrainFault> {
+        self.fault.take()
+    }
+
+    fn try_gradient(&mut self) -> Result<(f64, Vec<f32>), TrainFault> {
+        let (loss_sum, mut grad) = {
+            let _s = self.rec.span("gradient_loss", SpanKind::DenseCompute);
+            if self.train.frames() == 0 {
+                (0.0, vec![0.0f32; self.net.num_params()])
+            } else {
+                ensure_worker_packs(&mut self.packs, &self.net, &self.ctx, self.rec.as_ref());
+                let cache = self.net.forward_ws(
+                    &self.ctx,
+                    &self.train.x,
+                    self.packs.as_ref(),
+                    &mut self.ws,
+                );
+                let (loss, dlogits) = eval_objective(
+                    self.objective,
+                    &cache,
+                    &self.train.labels,
+                    &self.train.utt_lens,
+                );
+                let grad = backprop_ws(
+                    &self.net,
+                    &self.ctx,
+                    &cache,
+                    &dlogits,
+                    self.packs.as_ref(),
+                    &mut self.ws,
+                );
+                self.ws.give_matrix(dlogits);
+                cache.give_back(&mut self.ws);
+                (loss, grad)
+            }
+        };
+        let rec = self.rec.clone();
+        let _span = rec.span("gradient_allreduce", SpanKind::CommCollective);
+        let r1 = self.sync_f32(&mut grad);
+        let mut meta = vec![loss_sum, self.train.frames() as f64];
+        let r2 = self.sync_f64(&mut meta);
+        r1.and(r2).map_err(TrainFault::Comm)?;
+        if meta[1] <= 0.0 {
+            return Err(TrainFault::ZeroFrames { phase: "gradient" });
+        }
+        let frames = meta[1];
+        pdnn_tensor::blas1::scal((1.0 / frames) as f32, &mut grad);
+        Ok((meta[0] / frames, grad))
+    }
+
+    fn try_gn_product(&mut self, v: &[f32]) -> Result<Vec<f32>, TrainFault> {
+        let (mut gv, frames) = {
+            let _s = self
+                .rec
+                .span("worker_curvature_product", SpanKind::DenseCompute);
+            match &self.sample {
+                Some(s) => {
+                    ensure_worker_packs(&mut self.packs, &self.net, &self.ctx, self.rec.as_ref());
+                    let gv = gn_product_ws(
+                        &self.net,
+                        &self.ctx,
+                        &s.cache,
+                        Curvature::Fisher(&s.dist),
+                        v,
+                        self.packs.as_ref(),
+                        Some(&s.packed_acts),
+                        &mut self.ws,
+                    );
+                    (gv, s.x.rows() as f64)
+                }
+                None => (vec![0.0f32; self.net.num_params()], 0.0),
+            }
+        };
+        let rec = self.rec.clone();
+        let _span = rec.span("curvature_allreduce", SpanKind::CommCollective);
+        let r1 = self.sync_f32(&mut gv);
+        let mut meta = vec![frames];
+        let r2 = self.sync_f64(&mut meta);
+        r1.and(r2).map_err(TrainFault::Comm)?;
+        if meta[0] <= 0.0 {
+            return Err(TrainFault::ZeroFrames {
+                phase: "gn_product",
+            });
+        }
+        pdnn_tensor::blas1::scal((1.0 / meta[0]) as f32, &mut gv);
+        Ok(gv)
+    }
+
+    fn try_fisher(&mut self) -> Result<Vec<f32>, TrainFault> {
+        let (mut diag, frames) = {
+            let _s = self
+                .rec
+                .span("worker_curvature_product", SpanKind::DenseCompute);
+            match &self.sample {
+                Some(s) => {
+                    let (_, dlogits) =
+                        eval_objective(self.objective, &s.cache, &s.labels, &s.utt_lens);
+                    let diag = pdnn_dnn::fisher::empirical_fisher_diagonal(
+                        &self.net, &self.ctx, &s.cache, &dlogits,
+                    );
+                    (diag, s.x.rows() as f64)
+                }
+                None => (vec![0.0f32; self.net.num_params()], 0.0),
+            }
+        };
+        let rec = self.rec.clone();
+        let _span = rec.span("curvature_allreduce", SpanKind::CommCollective);
+        let r1 = self.sync_f32(&mut diag);
+        let mut meta = vec![frames];
+        let r2 = self.sync_f64(&mut meta);
+        r1.and(r2).map_err(TrainFault::Comm)?;
+        if meta[0] <= 0.0 {
+            return Err(TrainFault::ZeroFrames { phase: "fisher" });
+        }
+        pdnn_tensor::blas1::scal((1.0 / meta[0]) as f32, &mut diag);
+        Ok(diag)
+    }
+
+    fn try_heldout(&mut self, theta: &[f32]) -> Result<HeldoutEval, TrainFault> {
+        let mut meta = {
+            let _s = self.rec.span("eval_heldout", SpanKind::DenseCompute);
+            if self.heldout.frames() == 0 {
+                vec![0.0f64, 0.0, 0.0]
+            } else {
+                self.scratch.set_flat(theta);
+                let logits = self
+                    .scratch
+                    .logits_ws(&self.ctx, &self.heldout.x, None, &mut self.ws);
+                let (loss_sum, correct) = heldout_objective(
+                    self.objective,
+                    &logits,
+                    &self.heldout.labels,
+                    &self.heldout.utt_lens,
+                );
+                self.ws.give_matrix(logits);
+                vec![loss_sum, correct as f64, self.heldout.frames() as f64]
+            }
+        };
+        let rec = self.rec.clone();
+        let _span = rec.span("heldout_allreduce", SpanKind::CommCollective);
+        self.sync_f64(&mut meta).map_err(TrainFault::Comm)?;
+        if meta[2] <= 0.0 {
+            return Err(TrainFault::ZeroFrames { phase: "heldout" });
+        }
+        let frames = meta[2];
+        Ok(HeldoutEval {
+            loss: meta[0] / frames,
+            accuracy: meta[1] / frames,
+            frames: meta[2] as u64,
+        })
+    }
+}
+
+impl HfProblem for DecentralProblem<'_> {
+    fn num_params(&self) -> usize {
+        self.theta.len()
+    }
+
+    fn theta(&self) -> Vec<f32> {
+        self.theta.clone()
+    }
+
+    fn set_theta(&mut self, theta: &[f32]) {
+        // Replicated state: every rank applies the identical update
+        // locally. Zero communication — this is the masterless win
+        // over the Master-mode θ broadcast.
+        let rec = self.rec.clone();
+        let _span = rec.span("sync_weights_replicated", SpanKind::MemoryBound);
+        self.theta = theta.to_vec();
+        self.net.set_flat(theta);
+        // The cached curvature sample holds activations of the old θ.
+        if let Some(s) = self.sample.take() {
+            s.cache.give_back(&mut self.ws);
+            self.ws.give_matrix(s.x);
+            self.ws.give_matrix(s.dist);
+        }
+    }
+
+    fn gradient(&mut self) -> (f64, Vec<f32>) {
+        if self.poisoned() {
+            return (f64::NAN, vec![0.0f32; self.theta.len()]);
+        }
+        match self.try_gradient() {
+            Ok(out) => out,
+            Err(f) => {
+                self.on_fault(f);
+                (f64::NAN, vec![0.0f32; self.theta.len()])
+            }
+        }
+    }
+
+    fn sample_curvature(&mut self, seed: u64, fraction: f64) {
+        if self.poisoned() {
+            return;
+        }
+        if let Some(s) = self.sample.take() {
+            s.cache.give_back(&mut self.ws);
+            self.ws.give_matrix(s.x);
+            self.ws.give_matrix(s.dist);
+        }
+        self.sample = {
+            let _s = self
+                .rec
+                .span("worker_curvature_sample", SpanKind::DenseCompute);
+            draw_sample(
+                &self.train,
+                &self.net,
+                &self.ctx,
+                self.objective,
+                seed,
+                fraction,
+                self.comm.rank(),
+            )
+        };
+    }
+
+    fn gn_product(&mut self, v: &[f32]) -> Vec<f32> {
+        if self.poisoned() {
+            return vec![0.0f32; v.len()];
+        }
+        match self.try_gn_product(v) {
+            Ok(gv) => gv,
+            Err(f) => {
+                self.on_fault(f);
+                vec![0.0f32; v.len()]
+            }
+        }
+    }
+
+    fn fisher_diagonal(&mut self) -> Option<Vec<f32>> {
+        if self.poisoned() {
+            return None;
+        }
+        match self.try_fisher() {
+            Ok(diag) => Some(diag),
+            Err(f) => {
+                self.on_fault(f);
+                None
+            }
+        }
+    }
+
+    fn heldout_eval(&mut self, theta: &[f32]) -> HeldoutEval {
+        if self.poisoned() {
+            return HeldoutEval {
+                loss: f64::NAN,
+                accuracy: f64::NAN,
+                frames: 0,
+            };
+        }
+        match self.try_heldout(theta) {
+            Ok(eval) => eval,
+            Err(f) => {
+                self.on_fault(f);
+                HeldoutEval {
+                    loss: f64::NAN,
+                    accuracy: f64::NAN,
+                    frames: 0,
+                }
+            }
+        }
+    }
+
+    fn train_frames(&self) -> u64 {
+        self.train_frames
+    }
+}
+
+/// The replicated outer loop every masterless rank runs: the same
+/// [`HfOptimizer::step`] / [`StopState`] sequence as [`hf_loop`],
+/// without the recovery machinery (fault plans are Master-only).
+fn decentral_loop(
+    problem: &mut DecentralProblem<'_>,
+    config: &DistributedConfig,
+    rec: &Arc<InMemoryRecorder>,
+) -> Result<Vec<IterStats>, Error> {
+    let hf = config.hf;
+    let mut opt = HfOptimizer::with_recorder(hf, rec.clone());
+    let mut rule = hf.stop;
+    if rule.target_loss.is_none() {
+        rule.target_loss = hf.target_heldout_loss;
+    }
+    let mut stop = StopState::new(rule);
+    let mut stats: Vec<IterStats> = Vec::with_capacity(hf.max_iters);
+    for iter in 0..hf.max_iters {
+        let s = opt.step(problem, iter);
+        if let Some(fault) = problem.take_fault() {
+            return Err(fault_error(fault));
+        }
+        let reason = stop.observe(s.heldout_before, s.heldout_after);
+        stats.push(s);
+        if reason.is_some() {
+            break;
+        }
+    }
+    Ok(stats)
+}
+
+/// What each masterless rank returns from its world closure: the
+/// optimizer outcome plus the final flat θ (for the replica-agreement
+/// check at collection time).
+type DecentralExit = (Result<Vec<IterStats>, Error>, Vec<f32>);
+
+/// Masterless training: `config.workers` peer ranks, each running a
+/// replicated optimizer over symmetric allreduces. See
+/// [`SyncStrategy`].
+fn train_decentral_impl(
+    net0: &Network<f32>,
+    corpus: &Corpus,
+    objective: &Objective,
+    config: &DistributedConfig,
+    mode: WorldMode,
+) -> Result<TrainOutput, Error> {
+    if matches!(mode, WorldMode::Faulted(_)) {
+        return Err(Error::Train(format!(
+            "fault plans require SyncStrategy::Master; `{}` has no coordinator to drive recovery",
+            config.sync.name()
+        )));
+    }
+    assert!(config.workers >= 1, "need at least one worker");
+    config.hf.validate();
+
+    let (train_ids, held_ids) = corpus.split_heldout(config.heldout_frac);
+    let train_lens: Vec<usize> = train_ids
+        .iter()
+        .map(|&i| corpus.utterances()[i].frames())
+        .collect();
+    let train_assign = partition(&train_lens, config.workers, config.strategy);
+    let held_lens: Vec<usize> = held_ids
+        .iter()
+        .map(|&i| corpus.utterances()[i].frames())
+        .collect();
+    let held_assign = partition(&held_lens, config.workers, config.strategy);
+    // Corpus-id shards per rank; every rank derives its own from the
+    // shared deterministic partition — nothing is shipped point-to-point.
+    let assigned_train: Vec<Vec<usize>> = train_assign
+        .iter()
+        .map(|part| part.iter().map(|&pos| train_ids[pos]).collect())
+        .collect();
+    let assigned_held: Vec<Vec<usize>> = held_assign
+        .iter()
+        .map(|part| part.iter().map(|&pos| held_ids[pos]).collect())
+        .collect();
+
+    let theta0 = net0.to_flat();
+    let total_train_frames: u64 = train_lens.iter().map(|&l| l as u64).sum();
+
+    let world = config.workers;
+    let body = |comm: &mut Comm| {
+        comm.set_wire_codec(config.wire_codec);
+        let rank = comm.rank();
+        let rec = comm.recorder().clone();
+        let ctx = if config.threads_per_rank > 1 {
+            GemmContext::threaded(config.threads_per_rank)
+        } else {
+            GemmContext::sequential()
+        };
+        let mut net = net0.clone();
+        net.set_flat(&theta0);
+        let scratch = net.clone();
+        let mut problem = DecentralProblem {
+            comm,
+            rec: rec.clone(),
+            sync: config.sync,
+            theta: theta0.clone(),
+            net,
+            scratch,
+            train: corpus.shard(&assigned_train[rank]),
+            heldout: corpus.shard(&assigned_held[rank]),
+            objective,
+            ctx,
+            ws: Workspace::new(),
+            packs: None,
+            sample: None,
+            train_frames: total_train_frames,
+            fault: None,
+        };
+        let result = decentral_loop(&mut problem, config, &rec);
+        let theta = problem.theta();
+        // Quiescence barrier closing the protocol, as in Master mode.
+        let barrier = problem.comm.barrier();
+        let result = result.and_then(|stats| match barrier {
+            Ok(()) => Ok(stats),
+            Err(e) => Err(Error::Comm(e.to_string())),
+        });
+        (result, theta)
+    };
+    let outcomes: Vec<RankOutcome<DecentralExit>> = match &mode {
+        WorldMode::Normal => pdnn_mpisim::run_world(world, body),
+        WorldMode::Deterministic => pdnn_mpisim::run_world_deterministic(world, body),
+        WorldMode::Perturbed(seed) => pdnn_mpisim::run_world_perturbed(world, *seed, body),
+        // Rejected above; kept exhaustive so a new mode must decide.
+        WorldMode::Faulted(_) => unreachable!("fault plans rejected before world construction"),
+    };
+    let schedule_seed = match &mode {
+        WorldMode::Perturbed(seed) => Some(*seed),
+        _ => None,
+    };
+
+    let mut network = net0.clone();
+    let mut rank0: Option<DecentralExit> = None;
+    let mut rank0_theta: Option<Vec<f32>> = None;
+    let mut master_trace = CommTrace::default();
+    let mut master_telemetry = Telemetry::default();
+    let mut master_events = Vec::new();
+    let mut worker_traces = Vec::new();
+    let mut worker_telemetries = Vec::new();
+    let mut worker_events = Vec::new();
+    let mut hb_violations = Vec::new();
+    for mut outcome in outcomes {
+        outcome.telemetry.schedule_seed = schedule_seed;
+        hb_violations.extend(outcome.hb.into_iter().map(|v| (outcome.rank, v)));
+        if outcome.rank == 0 {
+            master_trace = outcome.trace;
+            master_telemetry = outcome.telemetry;
+            master_events = outcome.events;
+            rank0_theta = Some(outcome.result.1.clone());
+            rank0 = Some(outcome.result);
+        } else {
+            // The replicas must be bitwise in lockstep — any drift is
+            // a determinism bug in the allreduce layer.
+            if let Some(t0) = &rank0_theta {
+                if &outcome.result.1 != t0 {
+                    return Err(Error::Train(format!(
+                        "replicated optimizers diverged: rank {} θ differs from rank 0",
+                        outcome.rank
+                    )));
+                }
+            }
+            worker_traces.push(outcome.trace);
+            worker_telemetries.push(outcome.telemetry);
+            worker_events.push(outcome.events);
+        }
+    }
+    let Some((result, theta_final)) = rank0 else {
+        return Err(Error::Train("rank 0 produced no output".into()));
+    };
+    let stats = result?;
+    network.set_flat(&theta_final);
+
+    let master_phases = master_telemetry.phase_totals();
+    let worker_phases = worker_telemetries
+        .iter()
+        .map(Telemetry::phase_totals)
+        .collect();
+    Ok(TrainOutput {
+        network,
+        stats,
+        master_trace,
+        worker_traces,
+        master_phases,
+        worker_phases,
+        master_telemetry,
+        worker_telemetries,
+        hb_violations,
+        schedule_seed,
+        dead_ranks: Vec::new(),
+        recoveries: 0,
+        master_events,
+        worker_events,
+    })
+}
+
 /// θ snapshot the master can rewind to after a worker failure.
 struct Snapshot {
     iter: usize,
@@ -1041,6 +1635,9 @@ fn train_impl(
     config: &DistributedConfig,
     mode: WorldMode,
 ) -> Result<TrainOutput, Error> {
+    if config.sync != SyncStrategy::Master {
+        return train_decentral_impl(net0, corpus, objective, config, mode);
+    }
     assert!(config.workers >= 1, "need at least one worker");
     config.hf.validate();
 
@@ -1081,6 +1678,7 @@ fn train_impl(
     let faulted = matches!(mode, WorldMode::Faulted(_));
     let world = config.workers + 1;
     let body = |comm: &mut Comm| {
+        comm.set_wire_codec(config.wire_codec);
         if comm.rank() == 0 {
             // ---- master ----
             let rec = comm.recorder().clone();

@@ -60,7 +60,7 @@ pub use config::HfConfig;
 pub use damping::{Damping, LambdaRule};
 pub use distributed::{
     train_distributed, train_distributed_deterministic, train_distributed_faulted,
-    train_distributed_perturbed, DistributedConfig, TrainOutput,
+    train_distributed_perturbed, DistributedConfig, SyncStrategy, TrainOutput,
 };
 pub use line_search::{armijo_search, ArmijoConfig};
 pub use optimizer::{HfOptimizer, IterStats};

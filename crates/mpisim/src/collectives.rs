@@ -20,7 +20,7 @@
 use crate::comm::{Comm, CommError, COLLECTIVE_TAG_BASE};
 use crate::events::CommEvent;
 use crate::message::{Payload, Src};
-use pdnn_obs::{RecorderExt, SpanKind};
+use pdnn_obs::{Recorder, RecorderExt, SpanKind};
 use std::time::Duration;
 
 /// Element type usable in typed collectives.
@@ -105,13 +105,44 @@ impl_coll_elem!(f32, F32);
 impl_coll_elem!(f64, F64);
 impl_coll_elem!(u64, U64);
 
+/// Per-collective wire-byte counter names (recorder counters take
+/// `&'static str`, so the mapping is a closed table).
+fn wire_counters(name: &'static str) -> (&'static str, &'static str) {
+    match name {
+        "bcast" => ("wire_sent_bcast", "wire_recv_bcast"),
+        "reduce" => ("wire_sent_reduce", "wire_recv_reduce"),
+        "barrier" => ("wire_sent_barrier", "wire_recv_barrier"),
+        "allreduce" => ("wire_sent_allreduce", "wire_recv_allreduce"),
+        "allreduce_rabenseifner" => (
+            "wire_sent_allreduce_rabenseifner",
+            "wire_recv_allreduce_rabenseifner",
+        ),
+        "allreduce_ring" => ("wire_sent_allreduce_ring", "wire_recv_allreduce_ring"),
+        "allreduce_tree" => ("wire_sent_allreduce_tree", "wire_recv_allreduce_tree"),
+        "gather" => ("wire_sent_gather", "wire_recv_gather"),
+        "scatter" => ("wire_sent_scatter", "wire_recv_scatter"),
+        "allgather" => ("wire_sent_allgather", "wire_recv_allgather"),
+        _ => ("wire_sent_other", "wire_recv_other"),
+    }
+}
+
 /// RAII-ish helper: run `f` with the communicator in collective
 /// tracing mode and a fresh tag window, recording the whole
 /// invocation as a named `CommCollective` span on the rank's
-/// telemetry recorder.
+/// telemetry recorder, and attributing the bytes it moved to
+/// per-collective wire-byte counters (`wire_sent_<op>` /
+/// `wire_recv_<op>`).
+///
+/// `codec` arms the wire codec for the invocation: only collectives
+/// whose algorithm stays rank-consistent under lossy narrowing
+/// (broadcast/reduce shapes and the ring/tree allreduces) pass
+/// `true`; the rank-symmetric exchanges in recursive doubling and
+/// Rabenseifner would leave partners with different lossy views of
+/// each other's data, so they run uncompressed.
 fn with_collective<R>(
     comm: &mut Comm,
     name: &'static str,
+    codec: bool,
     f: impl FnOnce(&mut Comm, u64) -> R,
 ) -> R {
     let recorder = comm.recorder().clone();
@@ -120,9 +151,35 @@ fn with_collective<R>(
     comm.coll_seq += 1;
     let was = comm.in_collective;
     comm.in_collective = true;
+    let was_codec = comm.codec_armed;
+    comm.codec_armed = codec;
+    let sent0 = comm.trace.collective.bytes_sent;
+    let recv0 = comm.trace.collective.bytes_received;
     let out = f(comm, tag);
+    let sent = comm.trace.collective.bytes_sent - sent0;
+    let received = comm.trace.collective.bytes_received - recv0;
+    let (sent_ctr, recv_ctr) = wire_counters(name);
+    if sent > 0 {
+        recorder.counter_add(sent_ctr, sent);
+    }
+    if received > 0 {
+        recorder.counter_add(recv_ctr, received);
+    }
+    comm.codec_armed = was_codec;
     comm.in_collective = was;
     out
+}
+
+/// Decode a forwarded wire image and unwrap it as `T`, reporting a
+/// kind mismatch with the on-wire kind (mirrors `Comm::typed`).
+fn decoded_vec<T: CollElem>(payload: Payload, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+    let got = payload.kind();
+    T::unwrap_checked(crate::wire::decode(payload)).map_err(|_| CommError::TypeMismatch {
+        src,
+        tag,
+        expected: T::KIND,
+        got,
+    })
 }
 
 /// First element of a collective buffer when the element type is
@@ -153,23 +210,36 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, "bcast", |comm, tag| {
+        with_collective(self, "bcast", true, |comm, tag| {
             let rank = comm.rank();
             let vrank = (rank + size - root) % size;
+            // The root encodes the buffer once; relays forward the
+            // received wire image untouched. Every rank — root
+            // included — installs the decoded image, so the buffer
+            // ends bit-identical across ranks even under a lossy
+            // codec (re-encoding at each relay could wobble the int8
+            // scale by one ULP).
             let mut mask = 1usize;
+            let mut received: Option<(Payload, usize)> = None;
             while mask < size {
                 if vrank & mask != 0 {
                     let src = (vrank - mask + root) % size;
-                    *buf = comm.recv_vec::<T>(Src::Of(src), tag)?;
+                    let pkt = comm.recv(Src::Of(src), tag)?;
+                    received = Some((pkt.payload, pkt.src));
                     break;
                 }
                 mask <<= 1;
             }
+            let (img, origin) = match received {
+                Some(image) => image,
+                None => (comm.codec_encode(T::wrap(buf.clone())), rank),
+            };
+            *buf = decoded_vec::<T>(img.clone(), origin, tag)?;
             mask >>= 1;
             while mask > 0 {
                 if vrank + mask < size {
                     let dst = (vrank + mask + root) % size;
-                    comm.send(dst, tag, T::wrap(buf.clone()))?;
+                    comm.send(dst, tag, img.clone())?;
                 }
                 mask >>= 1;
             }
@@ -207,7 +277,7 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, "reduce", |comm, tag| {
+        with_collective(self, "reduce", true, |comm, tag| {
             let rank = comm.rank();
             let vrank = (rank + size - root) % size;
             let mut mask = 1usize;
@@ -262,11 +332,16 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, "bcast", |comm, tag| {
+        with_collective(self, "bcast", true, |comm, tag| {
             if comm.rank() == root {
+                // Encode once and install the decoded image locally,
+                // so the root agrees bitwise with every receiver even
+                // under a lossy codec.
+                let img = comm.codec_encode(T::wrap(buf.clone()));
+                *buf = decoded_vec::<T>(img.clone(), root, tag)?;
                 for dst in 0..size {
                     if dst != root && !comm.is_dead(dst) {
-                        comm.send(dst, tag, T::wrap(buf.clone()))?;
+                        comm.send(dst, tag, img.clone())?;
                     }
                 }
             } else {
@@ -309,7 +384,7 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, "reduce", |comm, tag| {
+        with_collective(self, "reduce", true, |comm, tag| {
             if comm.rank() != root {
                 comm.send(root, tag, T::wrap(buf.to_vec()))?;
                 comm.push_event(CommEvent::Coll {
@@ -380,7 +455,7 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, "barrier", |comm, tag| {
+        with_collective(self, "barrier", false, |comm, tag| {
             if comm.rank() == 0 {
                 let mut first_err: Option<CommError> = None;
                 for src in 1..size {
@@ -455,7 +530,7 @@ impl Comm {
             return Ok(());
         }
         if size.is_power_of_two() {
-            with_collective(self, "allreduce", |comm, tag| {
+            with_collective(self, "allreduce", false, |comm, tag| {
                 let rank = comm.rank();
                 let mut mask = 1usize;
                 while mask < size {
@@ -518,7 +593,7 @@ impl Comm {
             // complicate the halving. Use the standard path.
             return self.allreduce(buf, op);
         }
-        with_collective(self, "allreduce_rabenseifner", |comm, tag| {
+        with_collective(self, "allreduce_rabenseifner", false, |comm, tag| {
             let rank = comm.rank();
             let n = buf.len();
             // Block b owns range [bounds[b], bounds[b+1]).
@@ -595,6 +670,182 @@ impl Comm {
         })
     }
 
+    /// Allreduce via a bandwidth-optimal ring: chunked reduce-scatter
+    /// followed by a ring allgather.
+    ///
+    /// Each rank moves `2·(P−1)/P · n` elements total and — unlike
+    /// the rooted reduce + bcast decomposition — no rank ever
+    /// rendezvouses at rank 0: every rank talks only to its ring
+    /// neighbours `(rank ± 1) mod P`. Works for any world size and
+    /// any vector length (short vectors simply leave some chunks
+    /// empty).
+    ///
+    /// Determinism: chunk `c` is folded in ring order starting at
+    /// rank `c` — `((x_c ⊕ x_{c+1}) ⊕ x_{c+2}) ⊕ …` — a fixed
+    /// left-deep association independent of arrival order, so results
+    /// are bitwise identical across ranks and across runs. (The
+    /// association differs from the binomial-tree order of
+    /// [`Comm::reduce`]; see [`Comm::allreduce_tree`] for the variant
+    /// that reproduces the flat reduce + bcast bits exactly.)
+    ///
+    /// Codec-armed: under a lossy wire codec the fully reduced chunk
+    /// is encoded once by its owner and forwarded around the ring as
+    /// an opaque wire image, so all ranks still end bit-identical.
+    pub fn allreduce_ring<T: CollElem>(
+        &mut self,
+        buf: &mut [T],
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        with_collective(self, "allreduce_ring", true, |comm, tag| {
+            let rank = comm.rank();
+            let n = buf.len();
+            // Chunk b owns range [bounds[b], bounds[b+1]).
+            let bounds: Vec<usize> = (0..=size).map(|b| b * n / size).collect();
+            let next = (rank + 1) % size;
+            let prev = (rank + size - 1) % size;
+
+            // ---- reduce-scatter ----
+            // At step s this rank sends its accumulation of chunk
+            // (rank − s) mod P downstream and folds the incoming
+            // accumulation into chunk (rank − s − 1) mod P. After
+            // P − 1 steps this rank owns the fully reduced chunk
+            // (rank + 1) mod P.
+            for step in 0..size - 1 {
+                let send_c = (rank + size - step) % size;
+                let recv_c = (rank + 2 * size - step - 1) % size;
+                let send_slice = buf[bounds[send_c]..bounds[send_c + 1]].to_vec();
+                comm.send(next, tag + 1, T::wrap(send_slice))?;
+                let incoming = comm.recv_vec::<T>(Src::Of(prev), tag + 1)?;
+                let own = &mut buf[bounds[recv_c]..bounds[recv_c + 1]];
+                // Upstream accumulation is the left operand, so the
+                // fold stays left-deep in ring order.
+                let mut acc = incoming;
+                T::combine(op, &mut acc, own);
+                own.copy_from_slice(&acc);
+            }
+
+            // ---- ring allgather ----
+            // The owner encodes its reduced chunk once and installs
+            // the decoded image locally; relays forward the wire
+            // image untouched, so every rank installs identical
+            // bytes for every chunk.
+            let owned = (rank + 1) % size;
+            let img = comm.codec_encode(T::wrap(buf[bounds[owned]..bounds[owned + 1]].to_vec()));
+            let chunk = decoded_vec::<T>(img.clone(), rank, tag + 2)?;
+            buf[bounds[owned]..bounds[owned + 1]].copy_from_slice(&chunk);
+            let mut fwd = img;
+            for step in 0..size - 1 {
+                comm.send(next, tag + 2, fwd)?;
+                let pkt = comm.recv(Src::Of(prev), tag + 2)?;
+                // At step s the chunk arriving from upstream is
+                // (rank − s) mod P (its owner is prev at s = 0).
+                let recv_c = (rank + size - step) % size;
+                let chunk = decoded_vec::<T>(pkt.payload.clone(), pkt.src, tag + 2)?;
+                buf[bounds[recv_c]..bounds[recv_c + 1]].copy_from_slice(&chunk);
+                fwd = pkt.payload;
+            }
+
+            comm.push_event(CommEvent::Coll {
+                op: "allreduce_ring",
+                root: 0,
+                kind: T::KIND,
+                len: buf.len(),
+                first: None,
+                ok: true,
+            });
+            comm.trace_collective_done();
+            Ok(())
+        })
+    }
+
+    /// Allreduce via a binomial tree: reduce to rank 0 and broadcast
+    /// back, inside one collective invocation.
+    ///
+    /// Reuses the exact tree shape and combine order of
+    /// [`Comm::reduce`] with root 0 followed by [`Comm::bcast`], so
+    /// the result is bitwise identical to that flat decomposition —
+    /// the hierarchical drop-in for code that previously
+    /// rendezvoused at the master. Latency is `2·⌈log₂ P⌉` hops with
+    /// the full vector per hop; prefer [`Comm::allreduce_ring`] for
+    /// bandwidth-bound sizes.
+    ///
+    /// Codec-armed: rank 0 encodes the reduced vector once and the
+    /// broadcast phase forwards the wire image untouched, so all
+    /// ranks end bit-identical even under a lossy codec.
+    pub fn allreduce_tree<T: CollElem>(
+        &mut self,
+        buf: &mut Vec<T>,
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        with_collective(self, "allreduce_tree", true, |comm, tag| {
+            let rank = comm.rank();
+
+            // ---- binomial reduce to rank 0 (same tree and operand
+            // order as `Comm::reduce` with root 0) ----
+            let mut mask = 1usize;
+            while mask < size {
+                if rank & mask == 0 {
+                    let src = rank | mask;
+                    if src < size {
+                        let other = comm.recv_vec::<T>(Src::Of(src), tag + 1)?;
+                        T::combine(op, buf, &other);
+                    }
+                } else {
+                    let dst = rank & !mask;
+                    comm.send(dst, tag + 1, T::wrap(buf.to_vec()))?;
+                    break;
+                }
+                mask <<= 1;
+            }
+
+            // ---- binomial broadcast from rank 0 (same tree as
+            // `Comm::bcast`, forwarding the root's wire image) ----
+            let mut mask = 1usize;
+            let mut received: Option<(Payload, usize)> = None;
+            while mask < size {
+                if rank & mask != 0 {
+                    let src = rank - mask;
+                    let pkt = comm.recv(Src::Of(src), tag + 2)?;
+                    received = Some((pkt.payload, pkt.src));
+                    break;
+                }
+                mask <<= 1;
+            }
+            let (img, origin) = match received {
+                Some(image) => image,
+                None => (comm.codec_encode(T::wrap(buf.clone())), rank),
+            };
+            *buf = decoded_vec::<T>(img.clone(), origin, tag + 2)?;
+            mask >>= 1;
+            while mask > 0 {
+                if rank + mask < size {
+                    let dst = rank + mask;
+                    comm.send(dst, tag + 2, img.clone())?;
+                }
+                mask >>= 1;
+            }
+
+            comm.push_event(CommEvent::Coll {
+                op: "allreduce_tree",
+                root: 0,
+                kind: T::KIND,
+                len: buf.len(),
+                first: None,
+                ok: true,
+            });
+            comm.trace_collective_done();
+            Ok(())
+        })
+    }
+
     /// Gather each rank's `data` to `root`; returns `Some(vec of
     /// per-rank vectors, rank order)` on the root, `None` elsewhere.
     pub fn gather<T: CollElem>(
@@ -605,7 +856,7 @@ impl Comm {
         assert!(root < self.size(), "gather: root out of range");
         let size = self.size();
         let dlen = data.len();
-        with_collective(self, "gather", |comm, tag| {
+        with_collective(self, "gather", false, |comm, tag| {
             let ev = CommEvent::Coll {
                 op: "gather",
                 root,
@@ -644,7 +895,7 @@ impl Comm {
     ) -> Result<Vec<T>, CommError> {
         assert!(root < self.size(), "scatter: root out of range");
         let size = self.size();
-        with_collective(self, "scatter", |comm, tag| {
+        with_collective(self, "scatter", false, |comm, tag| {
             if comm.rank() == root {
                 // pdnn-lint: allow(l3-no-unwrap): documented API contract — the root rank must pass Some(chunks)
                 let chunks = chunks.expect("scatter root must provide chunks");
@@ -687,7 +938,7 @@ impl Comm {
     pub fn allgather<T: CollElem>(&mut self, data: Vec<T>) -> Result<Vec<Vec<T>>, CommError> {
         let size = self.size();
         let dlen = data.len();
-        with_collective(self, "allgather", |comm, tag| {
+        with_collective(self, "allgather", false, |comm, tag| {
             let rank = comm.rank();
             let mut slots: Vec<Option<Vec<T>>> = (0..size).map(|_| None).collect();
             let mut current = data;
@@ -726,7 +977,7 @@ impl Comm {
         if size == 1 {
             return Ok(());
         }
-        with_collective(self, "barrier", |comm, tag| {
+        with_collective(self, "barrier", false, |comm, tag| {
             let rank = comm.rank();
             let mut step = 1usize;
             while step < size {
@@ -898,6 +1149,263 @@ mod tests {
         });
         for r in &results {
             assert!(r.result.iter().all(|&x| x == 3.0));
+        }
+    }
+
+    /// Per-rank test vector: a deterministic function of (rank, i) so
+    /// reference reductions can be computed without communication.
+    fn gen_f32(rank: usize, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((rank * 131 + i) as f32).sin() * 1e-3 + 1.0)
+            .collect()
+    }
+
+    fn gen_f64(rank: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((rank * 131 + i) as f64).sin() * 1e-3 + 1.0)
+            .collect()
+    }
+
+    /// The serial reference for `allreduce_ring`: chunk `c` folded
+    /// left-deep in ring order starting at rank `c`.
+    fn ring_reference_f32(size: usize, n: usize) -> Vec<f32> {
+        let bounds: Vec<usize> = (0..=size).map(|b| b * n / size).collect();
+        let mut out = vec![0.0f32; n];
+        for c in 0..size {
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            let mut acc = gen_f32(c, n)[lo..hi].to_vec();
+            for k in 1..size {
+                let contrib = gen_f32((c + k) % size, n);
+                for (a, b) in acc.iter_mut().zip(&contrib[lo..hi]) {
+                    *a += b;
+                }
+            }
+            out[lo..hi].copy_from_slice(&acc);
+        }
+        out
+    }
+
+    #[test]
+    fn tree_allreduce_is_bit_identical_to_reduce_plus_bcast() {
+        // The tentpole determinism contract: allreduce_tree reuses the
+        // binomial structure of reduce(root 0) + bcast(0), so its
+        // result reproduces that flat path's bits exactly.
+        for size in [2usize, 3, 5, 8] {
+            for n in [1usize, 3, 64, 257] {
+                let results = run_world(size, move |comm| {
+                    let mut flat = gen_f32(comm.rank(), n);
+                    comm.reduce(&mut flat, ReduceOp::Sum, 0).unwrap();
+                    comm.bcast(&mut flat, 0).unwrap();
+                    let mut tree = gen_f32(comm.rank(), n);
+                    comm.allreduce_tree(&mut tree, ReduceOp::Sum).unwrap();
+                    let mut flat64 = gen_f64(comm.rank(), n);
+                    comm.reduce(&mut flat64, ReduceOp::Sum, 0).unwrap();
+                    comm.bcast(&mut flat64, 0).unwrap();
+                    let mut tree64 = gen_f64(comm.rank(), n);
+                    comm.allreduce_tree(&mut tree64, ReduceOp::Sum).unwrap();
+                    (flat, tree, flat64, tree64)
+                });
+                for r in &results {
+                    let (flat, tree, flat64, tree64) = &r.result;
+                    let fb: Vec<u32> = flat.iter().map(|x| x.to_bits()).collect();
+                    let tb: Vec<u32> = tree.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(fb, tb, "f32 size={size} n={n} rank={}", r.rank);
+                    let fb64: Vec<u64> = flat64.iter().map(|x| x.to_bits()).collect();
+                    let tb64: Vec<u64> = tree64.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(fb64, tb64, "f64 size={size} n={n} rank={}", r.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_serial_reference_bitwise() {
+        // Ring fold orders are ring rotations per chunk — a different
+        // (but equally fixed) association than the binomial tree. The
+        // contract is bit-identity with the documented serial
+        // reference, bit-identity across ranks, and numerical
+        // agreement with the standard path.
+        for size in [2usize, 3, 5, 8] {
+            for n in [1usize, 3, size, size + 3, 257] {
+                let results = run_world(size, move |comm| {
+                    let mut ring = gen_f32(comm.rank(), n);
+                    comm.allreduce_ring(&mut ring, ReduceOp::Sum).unwrap();
+                    let mut std = gen_f32(comm.rank(), n);
+                    comm.allreduce(&mut std, ReduceOp::Sum).unwrap();
+                    (ring, std)
+                });
+                let expect: Vec<u32> = ring_reference_f32(size, n)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect();
+                for r in &results {
+                    let got: Vec<u32> = r.result.0.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(got, expect, "size={size} n={n} rank={}", r.rank);
+                    for (x, y) in r.result.0.iter().zip(&r.result.1) {
+                        assert!(
+                            (x - y).abs() < 1e-4 * (1.0 + x.abs()),
+                            "size={size} n={n}: ring {x} vs standard {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_f64_and_operators() {
+        for size in [2usize, 3, 5, 8] {
+            let results = run_world(size, move |comm| {
+                let mut sum = gen_f64(comm.rank(), 37);
+                comm.allreduce_ring(&mut sum, ReduceOp::Sum).unwrap();
+                let mut mx = vec![comm.rank() as f64];
+                comm.allreduce_ring(&mut mx, ReduceOp::Max).unwrap();
+                let mut mn = vec![comm.rank() as u64 + 5];
+                comm.allreduce_ring(&mut mn, ReduceOp::Min).unwrap();
+                (sum, mx[0], mn[0])
+            });
+            for r in &results[1..] {
+                assert_eq!(r.result.0, results[0].result.0, "size={size}");
+            }
+            for r in &results {
+                assert_eq!(r.result.1, (size - 1) as f64);
+                assert_eq!(r.result.2, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_and_tree_are_arrival_order_independent() {
+        use crate::runner::run_world_perturbed;
+        let body = |comm: &mut Comm| {
+            let mut ring = gen_f32(comm.rank(), 100);
+            comm.allreduce_ring(&mut ring, ReduceOp::Sum).unwrap();
+            let mut tree = gen_f32(comm.rank(), 100);
+            comm.allreduce_tree(&mut tree, ReduceOp::Sum).unwrap();
+            (ring, tree)
+        };
+        let baseline = run_world(5, body);
+        for seed in [1u64, 7, 23] {
+            let perturbed = run_world_perturbed(5, seed, body);
+            for (b, p) in baseline.iter().zip(&perturbed) {
+                assert_eq!(b.result, p.result, "seed={seed} rank={}", b.rank);
+                assert!(p.hb.is_empty(), "hb violations under seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_never_touches_nonneighbor_ranks() {
+        // Masterless contract: every byte a rank moves in
+        // allreduce_ring goes to/from its ring neighbours, so rank 0
+        // is never a rendezvous point. With 1000 f32 elements over 5
+        // ranks each rank sends 2·(P−1) chunks of ~n/P elements.
+        let results = run_world(5, |comm| {
+            let mut v = gen_f32(comm.rank(), 1000);
+            comm.allreduce_ring(&mut v, ReduceOp::Sum).unwrap();
+        });
+        for r in &results {
+            // 2·(P−1)/P·n = 1600 elements = 6400 bytes per rank, the
+            // same on every rank — nobody is a hotspot.
+            assert_eq!(r.trace.collective.bytes_sent, 6400);
+            assert_eq!(r.trace.collective.bytes_received, 6400);
+            assert_eq!(r.trace.p2p.bytes_sent, 0);
+        }
+    }
+
+    #[test]
+    fn wire_byte_counters_attribute_per_collective() {
+        let results = run_world(4, |comm| {
+            let mut v = vec![1.0f32; 100];
+            comm.allreduce_ring(&mut v, ReduceOp::Sum).unwrap();
+            let mut w = vec![1.0f32; 100];
+            comm.allreduce_tree(&mut w, ReduceOp::Sum).unwrap();
+            comm.take_telemetry()
+        });
+        for r in &results {
+            let t = &r.result;
+            assert!(t.counter("wire_sent_allreduce_ring") > 0);
+            assert!(t.counter("wire_recv_allreduce_ring") > 0);
+            assert!(t.counter("wire_sent_allreduce_tree") > 0);
+            assert_eq!(t.counter("wire_sent_bcast"), 0);
+        }
+    }
+
+    #[test]
+    fn codec_halves_ring_bytes_and_keeps_ranks_identical() {
+        use crate::wire::WireCodec;
+        for codec in [WireCodec::F16, WireCodec::Int8] {
+            let plain = run_world(5, |comm| {
+                let mut v = gen_f32(comm.rank(), 1000);
+                comm.allreduce_ring(&mut v, ReduceOp::Sum).unwrap();
+                v
+            });
+            let coded = run_world(5, move |comm| {
+                comm.set_wire_codec(codec);
+                let mut v = gen_f32(comm.rank(), 1000);
+                comm.allreduce_ring(&mut v, ReduceOp::Sum).unwrap();
+                v
+            });
+            // All ranks bit-identical under the lossy codec (the
+            // encode-once/forward pattern), and close to the exact sum.
+            for r in &coded[1..] {
+                let a: Vec<u32> = r.result.iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u32> = coded[0].result.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(a, b, "codec={codec:?} rank={}", r.rank);
+            }
+            for (x, y) in coded[0].result.iter().zip(&plain[0].result) {
+                assert!((x - y).abs() < 0.35 * (1.0 + y.abs()), "codec={codec:?}");
+            }
+            // Compressed wire bytes: ≤ ~55% (f16) / ~30% (int8) of
+            // the uncompressed volume.
+            let frac = match codec {
+                WireCodec::F16 => 0.55,
+                _ => 0.30,
+            };
+            for (p, c) in plain.iter().zip(&coded) {
+                let full = p.trace.collective.bytes_sent as f64;
+                let small = c.trace.collective.bytes_sent as f64;
+                assert!(small < full * frac, "codec={codec:?}: {small} vs {full}");
+            }
+        }
+    }
+
+    #[test]
+    fn codec_keeps_bcast_and_tree_consistent_across_ranks() {
+        use crate::wire::WireCodec;
+        let results = run_world(4, |comm| {
+            comm.set_wire_codec(WireCodec::Int8);
+            let mut b = if comm.rank() == 2 {
+                gen_f32(9, 101)
+            } else {
+                vec![]
+            };
+            comm.bcast(&mut b, 2).unwrap();
+            let mut t = gen_f32(comm.rank(), 101);
+            comm.allreduce_tree(&mut t, ReduceOp::Sum).unwrap();
+            (b, t)
+        });
+        for r in &results[1..] {
+            // Root and relays agree bitwise with every receiver —
+            // including the roundtripped origin copies.
+            assert_eq!(
+                r.result.0.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                results[0]
+                    .result
+                    .0
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(
+                r.result.1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                results[0]
+                    .result
+                    .1
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>()
+            );
         }
     }
 

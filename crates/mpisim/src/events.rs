@@ -75,6 +75,8 @@ fn intern_kind(s: &str) -> Option<&'static str> {
         "F64" => Some("F64"),
         "U64" => Some("U64"),
         "Bytes" => Some("Bytes"),
+        "F16" => Some("F16"),
+        "QI8" => Some("QI8"),
         _ => None,
     }
 }
@@ -87,6 +89,8 @@ fn intern_op(s: &str) -> Option<&'static str> {
         "barrier" => Some("barrier"),
         "allreduce" => Some("allreduce"),
         "allreduce_rabenseifner" => Some("allreduce_rabenseifner"),
+        "allreduce_ring" => Some("allreduce_ring"),
+        "allreduce_tree" => Some("allreduce_tree"),
         "gather" => Some("gather"),
         "scatter" => Some("scatter"),
         "allgather" => Some("allgather"),

@@ -40,6 +40,7 @@ pub mod runner;
 pub mod timeline;
 pub mod trace;
 pub mod vtime;
+pub mod wire;
 
 pub use collectives::{CollElem, ReduceOp};
 pub use comm::{comm_ok, Comm, CommError};
@@ -54,3 +55,4 @@ pub use runner::{
 pub use timeline::{render_gantt, Span, SpanKind, SpanRecorder};
 pub use trace::{ClassTotals, CommClass, CommTrace};
 pub use vtime::{AlphaBeta, LinkModel};
+pub use wire::WireCodec;

@@ -18,6 +18,18 @@ pub enum Payload {
     U64(Vec<u64>),
     /// Raw bytes.
     Bytes(Vec<u8>),
+    /// Half-precision wire image of an `F32` payload, produced by the
+    /// wire codec (see `crate::wire`); 2 bytes per element.
+    F16(Vec<u16>),
+    /// Int8-quantized wire image of an `F32` payload: element `i`
+    /// decodes to `q[i] as f32 * scale`; 1 byte per element plus the
+    /// 4-byte scale.
+    QI8 {
+        /// Deterministic dequantization scale (`max_abs / 127`).
+        scale: f32,
+        /// Quantized values in `[-127, 127]`.
+        q: Vec<i8>,
+    },
 }
 
 impl Payload {
@@ -29,6 +41,8 @@ impl Payload {
             Payload::F64(v) => 8 * v.len() as u64,
             Payload::U64(v) => 8 * v.len() as u64,
             Payload::Bytes(v) => v.len() as u64,
+            Payload::F16(v) => 2 * v.len() as u64,
+            Payload::QI8 { q, .. } => 4 + q.len() as u64,
         }
     }
 
@@ -67,6 +81,8 @@ impl Payload {
             Payload::F64(v) => v.len(),
             Payload::U64(v) => v.len(),
             Payload::Bytes(v) => v.len(),
+            Payload::F16(v) => v.len(),
+            Payload::QI8 { q, .. } => q.len(),
         }
     }
 
@@ -78,6 +94,8 @@ impl Payload {
             Payload::F64(_) => "F64",
             Payload::U64(_) => "U64",
             Payload::Bytes(_) => "Bytes",
+            Payload::F16(_) => "F16",
+            Payload::QI8 { .. } => "QI8",
         }
     }
 }
@@ -131,6 +149,15 @@ mod tests {
         assert_eq!(Payload::F64(vec![0.0; 10]).size_bytes(), 80);
         assert_eq!(Payload::U64(vec![0; 3]).size_bytes(), 24);
         assert_eq!(Payload::Bytes(vec![1, 2, 3]).size_bytes(), 3);
+        assert_eq!(Payload::F16(vec![0; 10]).size_bytes(), 20);
+        assert_eq!(
+            Payload::QI8 {
+                scale: 1.0,
+                q: vec![0; 10]
+            }
+            .size_bytes(),
+            14
+        );
     }
 
     #[test]

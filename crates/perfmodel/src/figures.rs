@@ -365,6 +365,103 @@ pub fn billions_values() -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// Int8 wire compression shrinks the f32 payload to one byte per
+/// element plus a per-chunk scale header; measured against the
+/// simulator's byte counters the effective payload factor is ~0.26.
+pub const INT8_PAYLOAD_FACTOR: f64 = 0.26;
+
+/// Modeled bytes through rank 0 per HF iteration under master-centric
+/// sync. Every phase is a rooted binomial collective, so rank 0
+/// terminates `⌈log₂P⌉` full-payload message lanes per collective —
+/// the master's byte load *grows* with the world. The per-iteration
+/// schedule is one θ broadcast, one gradient reduce, `cg`
+/// (bcast + reduce) pairs for the CG solve, and `backtrack_evals`
+/// trial-θ broadcasts (the scalar held-out reduce is negligible).
+pub fn master_rank0_bytes_per_iter(job: &JobSpec, ranks: usize) -> f64 {
+    let n = cast::exact_f64(job.param_bytes());
+    let lanes = f64::from(ranks.next_power_of_two().trailing_zeros());
+    let collectives = 2.0
+        + 2.0 * cast::exact_f64_usize(job.cg_iters)
+        + cast::exact_f64_usize(job.backtrack_evals);
+    n * lanes * collectives
+}
+
+/// Modeled bytes through rank 0 per HF iteration under ring sync with
+/// a wire-payload factor (1.0 = raw f32, [`INT8_PAYLOAD_FACTOR`] for
+/// int8). The replicated optimizer drops every θ-shipping broadcast;
+/// what remains is one allreduce per gradient and per CG product, and
+/// a symmetric ring moves `2n·(P-1)/P` out plus the same in through
+/// *every* rank — near-constant in P, no hotspot.
+pub fn ring_rank0_bytes_per_iter(job: &JobSpec, ranks: usize, payload_factor: f64) -> f64 {
+    let n = cast::exact_f64(job.param_bytes()) * payload_factor;
+    let p = cast::exact_f64_usize(ranks);
+    let allreduces = 1.0 + cast::exact_f64_usize(job.cg_iters);
+    4.0 * n * (p - 1.0) / p * allreduces
+}
+
+/// Raw `(ranks, master, ring, ring_int8)` rank-0 bytes per HF
+/// iteration, for tests and the table builder.
+pub fn sync_crossover_values(job: &JobSpec, rank_counts: &[usize]) -> Vec<(usize, f64, f64, f64)> {
+    rank_counts
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                master_rank0_bytes_per_iter(job, p),
+                ring_rank0_bytes_per_iter(job, p, 1.0),
+                ring_rank0_bytes_per_iter(job, p, INT8_PAYLOAD_FACTOR),
+            )
+        })
+        .collect()
+}
+
+/// Smallest world size in `rank_counts` at which the masterless
+/// strategy's rank-0 traffic is at least `threshold` times below the
+/// master-centric rendezvous — the crossover the wire codec moves.
+pub fn sync_crossover_rank(
+    job: &JobSpec,
+    payload_factor: f64,
+    threshold: f64,
+    rank_counts: &[usize],
+) -> Option<usize> {
+    rank_counts.iter().copied().find(|&p| {
+        master_rank0_bytes_per_iter(job, p)
+            >= threshold * ring_rank0_bytes_per_iter(job, p, payload_factor)
+    })
+}
+
+/// Rank-0 bytes-per-iteration across world sizes by sync strategy:
+/// the master-centric curve grows with `log₂P` while the ring curves
+/// stay flat, so the reduction factor rises with scale — and wire
+/// compression shifts the whole ring curve down, moving the ≥2x
+/// crossover (the BENCH_6 gate tier) from mid-size worlds to the
+/// smallest. Validated against the simulator's measured counters in
+/// `BENCH_6.json` (P=8: ring ~2.1x, ring+int8 ~8x).
+pub fn sync_crossover_table(job: &JobSpec, rank_counts: &[usize]) -> Table {
+    let mut t = Table::new(
+        "Rank-0 sync traffic per HF iteration, by sync strategy",
+        &[
+            "ranks",
+            "master (MB)",
+            "ring (MB)",
+            "ring+int8 (MB)",
+            "ring reduction",
+            "int8 reduction",
+        ],
+    );
+    for (p, master, ring, ring_i8) in sync_crossover_values(job, rank_counts) {
+        t.row(&[
+            format!("{p}"),
+            format!("{:.1}", master / 1e6),
+            format!("{:.1}", ring / 1e6),
+            format!("{:.1}", ring_i8 / 1e6),
+            format!("{:.2}x", master / ring),
+            format!("{:.2}x", master / ring_i8),
+        ]);
+    }
+    t
+}
+
 /// Helper for the comm ablation: total weight-sync time per network.
 pub fn comm_ablation(param_bytes: u64, ranks: usize) -> Table {
     use pdnn_bgq::comm_model::{ethernet_1g, socket_1g, Network};
@@ -582,6 +679,46 @@ mod tests {
         }
         // And the frame count at 2800 h really is ~1e9.
         assert!(JobSpec::ce_hours(2800.0).frames() > 1_000_000_000);
+    }
+
+    #[test]
+    fn master_rank0_traffic_grows_while_ring_stays_flat() {
+        let job = JobSpec::ce_50h();
+        let v = sync_crossover_values(&job, &[4, 8, 16, 64, 1024, 4096]);
+        // Master-centric rank-0 bytes grow with log2(P)...
+        for w in v.windows(2) {
+            assert!(w[1].1 > w[0].1, "master not growing: {w:?}");
+        }
+        // ...while the ring curve is bounded by its P→∞ asymptote.
+        let asymptote =
+            4.0 * cast::exact_f64(job.param_bytes()) * (1.0 + cast::exact_f64_usize(job.cg_iters));
+        for (_, _, ring, _) in &v {
+            assert!(*ring < asymptote);
+        }
+        // The model tracks the simulator's measured counters
+        // (BENCH_6.json, P=8: ring 2.08x, ring+int8 8.01x).
+        let (_, master8, ring8, i8_8) = v[1];
+        assert!(
+            (1.5..2.6).contains(&(master8 / ring8)),
+            "P=8 ring reduction {} off the measured band",
+            master8 / ring8
+        );
+        assert!(master8 / i8_8 >= 4.0, "P=8 int8 reduction below the gate");
+    }
+
+    #[test]
+    fn wire_compression_moves_the_crossover_down() {
+        let job = JobSpec::ce_50h();
+        let sweep = [2usize, 4, 8, 16, 32, 64, 128];
+        let plain = sync_crossover_rank(&job, 1.0, 2.0, &sweep).expect("plain ring reaches 2x");
+        let int8 = sync_crossover_rank(&job, INT8_PAYLOAD_FACTOR, 2.0, &sweep)
+            .expect("compressed ring reaches 2x");
+        assert!(
+            int8 < plain,
+            "compression did not move the 2x crossover: int8 at P={int8}, plain at P={plain}"
+        );
+        assert_eq!(int8, 2, "int8 should clear 2x at the smallest world");
+        assert_eq!(sync_crossover_table(&job, &sweep).len(), sweep.len());
     }
 
     #[test]

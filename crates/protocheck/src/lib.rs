@@ -173,8 +173,18 @@ mod tests {
         assert!(m.worker_catchall);
         assert_eq!(m.startup_sends.len(), 2);
         assert_eq!(m.startup_recvs.len(), 2);
-        // The collective algorithms were all modeled.
-        for name in ["bcast", "reduce", "allreduce", "allreduce_rabenseifner"] {
+        // The collective algorithms were all modeled — including the
+        // masterless ring and binomial-tree allreduces, whose internal
+        // tag windows fall under the same p2 pairing rule.
+        for name in [
+            "bcast",
+            "reduce",
+            "allreduce",
+            "allreduce_rabenseifner",
+            "allreduce_ring",
+            "allreduce_tree",
+            "barrier",
+        ] {
             assert!(
                 m.collective_fns.iter().any(|f| f.name == name),
                 "collective `{name}` not extracted"

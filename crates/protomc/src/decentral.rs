@@ -1,0 +1,879 @@
+//! Masterless sync-mode automata: explicit-state checking for the
+//! ring and tree allreduce schedules (`SyncStrategy::Ring` /
+//! `SyncStrategy::Tree`).
+//!
+//! The master/worker explorer ([`crate::explorer`]) walks a rooted
+//! command protocol; the masterless modes have no commands at all —
+//! every rank runs the same replicated program whose only
+//! communication is symmetric allreduces plus one closing barrier.
+//! This module lowers that program into per-rank *micro-step*
+//! automata, one [`MOp`] per blocking primitive inside the collective
+//! algorithms of `crates/mpisim/src/collectives.rs`:
+//!
+//! * **ring allreduce** — `P − 1` reduce-scatter hops (send the
+//!   outgoing chunk to `(rank + 1) % P`, receive from
+//!   `(rank + P − 1) % P` on the `tag + 1` window) followed by
+//!   `P − 1` allgather hops on the `tag + 2` window;
+//! * **tree allreduce** — a binomial reduce to rank 0 on `tag + 1`
+//!   followed by a binomial broadcast from rank 0 on `tag + 2`,
+//!   mirroring the exact mask arithmetic of `allreduce_tree`;
+//! * **barrier** — the dissemination pattern (`log₂ P` rounds of
+//!   send-to-`(rank + step) % P` / receive-from-`(rank − step) % P`).
+//!
+//! The explorer enumerates every interleaving of those micro-steps on
+//! 2–4 rank worlds and proves the shared properties: `p5` (no
+//! reachable state wedges a rank), `p6` (no message is left
+//! undelivered at a completed terminal), and `p7` (every execution
+//! terminates completed — structural here, since program counters only
+//! advance and `p5` rules out stuck states; the masterless modes have
+//! no recovery to model because fault plans are rejected outside
+//! `SyncStrategy::Master`).
+//!
+//! Fidelity is closed from the trace side by
+//! [`replay_decentral_run`], which accepts the per-rank
+//! [`CommEvent`] streams of *real* ring-/tree-mode training runs: all
+//! collectives must carry the mode's op name, follow the
+//! `DecentralProblem` phase grammar (an `f32` payload allreduce
+//! immediately chased by its `f64` metadata allreduce, or a
+//! standalone `f64` heldout allreduce), stay point-to-point silent,
+//! be byte-identical in shape across ranks (the SPMD invariant behind
+//! the replicated-optimizer design), and end in exactly one barrier.
+
+use crate::conformance::{RankReplay, RunReplay};
+use crate::explorer::{Violation, P5, P6, P7};
+use crate::mutate::MutationResult;
+use pdnn_mpisim::CommEvent;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Which masterless allreduce family a world runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DMode {
+    Ring,
+    Tree,
+}
+
+impl DMode {
+    /// The `CommEvent::Coll` op name this mode's allreduces record.
+    pub fn op_name(self) -> &'static str {
+        match self {
+            DMode::Ring => "allreduce_ring",
+            DMode::Tree => "allreduce_tree",
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DMode::Ring => "ring",
+            DMode::Tree => "tree",
+        }
+    }
+}
+
+/// One blocking micro-step inside a collective. `coll` numbers the
+/// collective within the replicated program (the fresh-tag-window
+/// discipline of `with_collective`); `phase` is the sub-window
+/// (`1`/`2` for the two halves of an allreduce, `0` for the barrier).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum MOp {
+    Send { to: u8, coll: u8, phase: u8 },
+    Recv { from: u8, coll: u8, phase: u8 },
+}
+
+/// Lower one ring allreduce (collective number `c`) for `rank` of
+/// `size`: the reduce-scatter ring on phase 1, the allgather ring on
+/// phase 2. Chunk indices don't affect blocking so they are elided.
+fn lower_ring(c: u8, rank: usize, size: usize, out: &mut Vec<MOp>) {
+    let next = ((rank + 1) % size) as u8;
+    let prev = ((rank + size - 1) % size) as u8;
+    for phase in [1u8, 2u8] {
+        for _step in 0..size - 1 {
+            out.push(MOp::Send {
+                to: next,
+                coll: c,
+                phase,
+            });
+            out.push(MOp::Recv {
+                from: prev,
+                coll: c,
+                phase,
+            });
+        }
+    }
+}
+
+/// Lower one tree allreduce: binomial reduce to rank 0 (phase 1) then
+/// binomial broadcast from rank 0 (phase 2), with the same mask walk
+/// as `Comm::allreduce_tree`.
+fn lower_tree(c: u8, rank: usize, size: usize, out: &mut Vec<MOp>) {
+    let mut mask = 1usize;
+    while mask < size {
+        if rank & mask == 0 {
+            let src = rank | mask;
+            if src < size {
+                out.push(MOp::Recv {
+                    from: src as u8,
+                    coll: c,
+                    phase: 1,
+                });
+            }
+        } else {
+            let dst = rank & !mask;
+            out.push(MOp::Send {
+                to: dst as u8,
+                coll: c,
+                phase: 1,
+            });
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut mask = 1usize;
+    while mask < size {
+        if rank & mask != 0 {
+            let src = rank - mask;
+            out.push(MOp::Recv {
+                from: src as u8,
+                coll: c,
+                phase: 2,
+            });
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if rank + mask < size {
+            let dst = rank + mask;
+            out.push(MOp::Send {
+                to: dst as u8,
+                coll: c,
+                phase: 2,
+            });
+        }
+        mask >>= 1;
+    }
+}
+
+/// Lower the dissemination barrier closing the protocol.
+fn lower_barrier(c: u8, rank: usize, size: usize, out: &mut Vec<MOp>) {
+    let mut step = 1usize;
+    while step < size {
+        let dst = ((rank + step) % size) as u8;
+        let src = ((rank + size - step) % size) as u8;
+        out.push(MOp::Send {
+            to: dst,
+            coll: c,
+            phase: 0,
+        });
+        out.push(MOp::Recv {
+            from: src,
+            coll: c,
+            phase: 0,
+        });
+        step <<= 1;
+    }
+}
+
+/// How many allreduces the canonical replicated program performs
+/// before the closing barrier. The shape abstracts one HF iteration
+/// of `DecentralProblem`: the gradient pair (`f32` vector + `f64`
+/// metadata), one curvature pair, and the heldout metadata allreduce.
+/// Further iterations repeat the same window pattern, so one
+/// iteration plus the barrier covers every cross-collective
+/// dependency the real program can exhibit.
+const CANONICAL_ALLREDUCES: u8 = 5;
+
+/// Build the per-rank micro-step programs for `size` ranks under
+/// `mode`: the canonical allreduce schedule plus the closing barrier.
+fn programs(mode: DMode, size: usize) -> Vec<Vec<MOp>> {
+    (0..size)
+        .map(|rank| {
+            let mut ops = Vec::new();
+            for c in 0..CANONICAL_ALLREDUCES {
+                match mode {
+                    DMode::Ring => lower_ring(c, rank, size, &mut ops),
+                    DMode::Tree => lower_tree(c, rank, size, &mut ops),
+                }
+            }
+            lower_barrier(CANONICAL_ALLREDUCES, rank, size, &mut ops);
+            ops
+        })
+        .collect()
+}
+
+/// One explored micro-step state: per-rank program counters plus
+/// in-flight message counts per directed channel and tag window.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct DState {
+    pcs: Vec<u16>,
+    /// `(src, dst, coll, phase)` → pending message count. `mpisim`
+    /// receives match on `(source, tag)`, so counts per window are a
+    /// faithful abstraction — payloads never affect blocking.
+    chans: BTreeMap<(u8, u8, u8, u8), u8>,
+}
+
+/// What exploring one masterless world learned.
+#[derive(Clone, Debug, Default)]
+pub struct DecentralOutcome {
+    pub states: usize,
+    pub transitions: usize,
+    pub terminals: usize,
+    pub violations: Vec<Violation>,
+}
+
+/// Enumerate every interleaving of the per-rank programs, checking
+/// `p5` (a state with no enabled micro-step must have every rank
+/// completed) and `p6` (a completed terminal must have no in-flight
+/// messages). `p7` follows structurally: program counters strictly
+/// advance, so the state graph is acyclic and — absent `p5`
+/// violations — every maximal path ends with all ranks done.
+fn explore_programs(progs: &[Vec<MOp>]) -> DecentralOutcome {
+    let size = progs.len();
+    let init = DState {
+        pcs: vec![0; size],
+        chans: BTreeMap::new(),
+    };
+    let mut seen: HashSet<DState> = HashSet::new();
+    seen.insert(init.clone());
+    let mut frontier: VecDeque<DState> = VecDeque::from([init]);
+    let mut out = DecentralOutcome::default();
+    let mut violations: Vec<Violation> = Vec::new();
+    while let Some(st) = frontier.pop_front() {
+        out.states += 1;
+        let mut enabled = 0usize;
+        let mut blocked: Option<(usize, MOp)> = None;
+        for (rank, prog) in progs.iter().enumerate() {
+            let pc = st.pcs[rank] as usize;
+            let Some(op) = prog.get(pc) else {
+                continue;
+            };
+            let mut next = st.clone();
+            next.pcs[rank] += 1;
+            match *op {
+                MOp::Send { to, coll, phase } => {
+                    *next.chans.entry((rank as u8, to, coll, phase)).or_insert(0) += 1;
+                }
+                MOp::Recv { from, coll, phase } => {
+                    let key = (from, rank as u8, coll, phase);
+                    match next.chans.get_mut(&key) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            if *n == 0 {
+                                next.chans.remove(&key);
+                            }
+                        }
+                        _ => {
+                            if blocked.is_none() {
+                                blocked = Some((rank, *op));
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+            enabled += 1;
+            out.transitions += 1;
+            if seen.insert(next.clone()) {
+                frontier.push_back(next);
+            }
+        }
+        if enabled > 0 {
+            continue;
+        }
+        let done = st
+            .pcs
+            .iter()
+            .zip(progs)
+            .all(|(&pc, p)| pc as usize == p.len());
+        if done {
+            out.terminals += 1;
+            if !st.chans.is_empty() {
+                let pending: usize = st.chans.values().map(|&n| n as usize).sum();
+                violations.push(Violation {
+                    rule: P6,
+                    detail: format!(
+                        "{pending} message(s) still in flight at a completed \
+                         terminal of the {size}-rank masterless world"
+                    ),
+                });
+            }
+        } else if let Some((rank, op)) = blocked {
+            let what = match op {
+                MOp::Recv { from, coll, phase } => {
+                    format!("recv(from {from}, coll {coll}, window {phase})")
+                }
+                // Sends never block in mpisim; a wedged rank is
+                // always waiting on a receive.
+                MOp::Send { .. } => "send".to_string(),
+            };
+            violations.push(Violation {
+                rule: P5,
+                detail: format!(
+                    "deadlock in the {size}-rank masterless world: rank {rank} \
+                     wedged at {what}"
+                ),
+            });
+        }
+    }
+    violations.sort();
+    violations.dedup();
+    out.violations = violations;
+    out
+}
+
+/// One model-checked masterless world for the report.
+pub struct DecentralWorld {
+    pub mode: DMode,
+    pub ranks: usize,
+    pub outcome: DecentralOutcome,
+}
+
+/// The checked masterless worlds: both modes at 2, 3, and 4 ranks.
+pub fn check_worlds() -> Vec<DecentralWorld> {
+    let mut out = Vec::new();
+    for mode in [DMode::Ring, DMode::Tree] {
+        for ranks in [2usize, 3, 4] {
+            out.push(DecentralWorld {
+                mode,
+                ranks,
+                outcome: explore_programs(&programs(mode, ranks)),
+            });
+        }
+    }
+    out
+}
+
+/// Verdict per property for one world, for the report renderer.
+pub fn verdicts(outcome: &DecentralOutcome) -> [(&'static str, bool); 3] {
+    let p5_ok = !outcome.violations.iter().any(|v| v.rule == P5);
+    let p6_ok = !outcome.violations.iter().any(|v| v.rule == P6);
+    // Termination is structural (acyclic state graph) + completion is
+    // exactly the absence of wedged states.
+    [(P5, p5_ok), (P6, p6_ok), (P7, p5_ok)]
+}
+
+// ---------------------------------------------------------------------------
+// Mutation self-test
+// ---------------------------------------------------------------------------
+
+/// One seeded masterless-protocol bug, applied to the generated
+/// 3-rank micro-step programs.
+struct DMutation {
+    name: &'static str,
+    expected_rule: &'static str,
+    summary: &'static str,
+    mode: DMode,
+    apply: fn(&mut Vec<Vec<MOp>>),
+}
+
+const MUT_RANKS: usize = 3;
+
+fn decentral_mutations() -> Vec<DMutation> {
+    vec![
+        DMutation {
+            name: "ring-wrong-neighbor",
+            expected_rule: P5,
+            summary: "one rank's reduce-scatter hops send upstream instead of downstream",
+            mode: DMode::Ring,
+            apply: |progs| {
+                for op in progs[1].iter_mut() {
+                    if let MOp::Send {
+                        to,
+                        coll: 0,
+                        phase: 1,
+                    } = op
+                    {
+                        // prev(1) instead of next(1) on the 3-ring.
+                        *to = 0;
+                    }
+                }
+            },
+        },
+        DMutation {
+            name: "ring-skipped-hop",
+            expected_rule: P5,
+            summary: "one rank skips its first allgather forward, starving its successor",
+            mode: DMode::Ring,
+            apply: |progs| {
+                if let Some(i) = progs[1].iter().position(|o| {
+                    matches!(
+                        o,
+                        MOp::Send {
+                            coll: 0,
+                            phase: 2,
+                            ..
+                        }
+                    )
+                }) {
+                    progs[1].remove(i);
+                }
+            },
+        },
+        DMutation {
+            name: "ring-extra-step",
+            expected_rule: P5,
+            summary: "one rank runs an extra reduce-scatter hop nobody pairs with",
+            mode: DMode::Ring,
+            apply: |progs| {
+                if let Some(i) = progs[0].iter().rposition(|o| {
+                    matches!(
+                        o,
+                        MOp::Recv {
+                            coll: 0,
+                            phase: 1,
+                            ..
+                        }
+                    )
+                }) {
+                    progs[0].insert(
+                        i + 1,
+                        MOp::Send {
+                            to: 1,
+                            coll: 0,
+                            phase: 1,
+                        },
+                    );
+                    progs[0].insert(
+                        i + 2,
+                        MOp::Recv {
+                            from: 2,
+                            coll: 0,
+                            phase: 1,
+                        },
+                    );
+                }
+            },
+        },
+        DMutation {
+            name: "ring-seq-skew",
+            expected_rule: P5,
+            summary: "one rank skips a whole collective, desynchronizing tag windows",
+            mode: DMode::Ring,
+            apply: |progs| {
+                progs[2].retain(|o| {
+                    !matches!(o, MOp::Send { coll: 0, .. } | MOp::Recv { coll: 0, .. })
+                });
+            },
+        },
+        DMutation {
+            name: "ring-barrier-dropped",
+            expected_rule: P5,
+            summary: "one rank exits without joining the closing dissemination barrier",
+            mode: DMode::Ring,
+            apply: |progs| {
+                let c = CANONICAL_ALLREDUCES;
+                progs[0].retain(|o| match o {
+                    MOp::Send { coll, .. } | MOp::Recv { coll, .. } => *coll != c,
+                });
+            },
+        },
+        DMutation {
+            name: "ring-stray-final-send",
+            expected_rule: P6,
+            summary: "one rank emits a trailing message nobody ever receives",
+            mode: DMode::Ring,
+            apply: |progs| {
+                progs[0].push(MOp::Send {
+                    to: 1,
+                    coll: CANONICAL_ALLREDUCES,
+                    phase: 2,
+                });
+            },
+        },
+        DMutation {
+            name: "tree-wrong-root",
+            expected_rule: P6,
+            summary: "one rank broadcasts as if it were the root, stranding the real root's sends",
+            mode: DMode::Tree,
+            apply: |progs| {
+                // Rank 1 runs the broadcast half of collective 0 as the
+                // vrank-0 root of a root-1 tree (sends to ranks 0 and
+                // 2) instead of receiving from rank 0. Every rank
+                // still completes — the real root's message to rank 1
+                // and both stray sends are left in flight.
+                if let Some(i) = progs[1].iter().position(|o| {
+                    matches!(
+                        o,
+                        MOp::Recv {
+                            coll: 0,
+                            phase: 2,
+                            ..
+                        }
+                    )
+                }) {
+                    progs[1].splice(
+                        i..i + 1,
+                        [
+                            MOp::Send {
+                                to: 0,
+                                coll: 0,
+                                phase: 2,
+                            },
+                            MOp::Send {
+                                to: 2,
+                                coll: 0,
+                                phase: 2,
+                            },
+                        ],
+                    );
+                }
+            },
+        },
+    ]
+}
+
+/// Explore every masterless mutant on the 3-rank world. The results
+/// join the master-protocol battery in the report and the
+/// `verify.sh` caught-them-all gate.
+pub fn run_decentral_mutations() -> Vec<MutationResult> {
+    decentral_mutations()
+        .into_iter()
+        .map(|m| {
+            let mut progs = programs(m.mode, MUT_RANKS);
+            (m.apply)(&mut progs);
+            let out = explore_programs(&progs);
+            let mut fired: Vec<&'static str> = out.violations.iter().map(|v| v.rule).collect();
+            fired.dedup();
+            MutationResult {
+                name: m.name,
+                expected_rule: m.expected_rule,
+                summary: m.summary,
+                caught: fired.contains(&m.expected_rule),
+                fired_rules: fired,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Trace conformance
+// ---------------------------------------------------------------------------
+
+/// Shape of one collective event for the SPMD cross-rank check.
+type CollShape = (&'static str, &'static str, usize);
+
+fn coll_shape(ev: &CommEvent) -> Option<CollShape> {
+    match ev {
+        CommEvent::Coll { op, kind, len, .. } => Some((op, kind, *len)),
+        _ => None,
+    }
+}
+
+/// Replay one masterless rank's stream against the `DecentralProblem`
+/// phase grammar: `((f32-allreduce f64-allreduce) | f64-allreduce)*
+/// barrier`, with every allreduce carrying the mode's op name.
+fn replay_decentral_rank(mode: DMode, rank: usize, events: &[CommEvent]) -> RankReplay {
+    let total = events.len();
+    let want = mode.op_name();
+    let fail = |pos: usize, msg: String| RankReplay {
+        rank,
+        consumed: pos,
+        total,
+        completed: false,
+        accepted: false,
+        error: Some(format!("event {pos}: {msg}")),
+    };
+    let mut pos = 0usize;
+    let mut allreduces = 0usize;
+    while pos < total {
+        let (op, kind) = match &events[pos] {
+            CommEvent::Coll {
+                op,
+                kind,
+                root: 0,
+                ok: true,
+                ..
+            } => (*op, *kind),
+            other => {
+                let what = match other {
+                    CommEvent::Coll { op, root, .. } => {
+                        format!("collective {op} with root {root} or a failed verdict")
+                    }
+                    CommEvent::Send { to, tag, .. } => format!("p2p send(to {to}, tag {tag})"),
+                    CommEvent::Recv { from, tag, .. } => {
+                        format!("p2p recv(from {from}, tag {tag})")
+                    }
+                };
+                return fail(pos, format!("masterless stream contains {what}"));
+            }
+        };
+        match (op, kind) {
+            ("barrier", _) => {
+                if pos + 1 != total {
+                    return fail(
+                        pos,
+                        format!("{} event(s) after the closing barrier", total - pos - 1),
+                    );
+                }
+                if allreduces == 0 {
+                    return fail(pos, "barrier before any allreduce".to_string());
+                }
+                return RankReplay {
+                    rank,
+                    consumed: total,
+                    total,
+                    completed: true,
+                    accepted: true,
+                    error: None,
+                };
+            }
+            (o, "F32") if o == want => {
+                // A payload allreduce is always chased by its f64
+                // metadata allreduce inside the same phase.
+                match events.get(pos + 1) {
+                    Some(CommEvent::Coll {
+                        op,
+                        kind: "F64",
+                        root: 0,
+                        ok: true,
+                        ..
+                    }) if *op == want => {
+                        allreduces += 2;
+                        pos += 2;
+                    }
+                    _ => {
+                        return fail(
+                            pos + 1,
+                            format!("f32 {o} not chased by its f64 metadata allreduce"),
+                        )
+                    }
+                }
+            }
+            (o, "F64") if o == want => {
+                allreduces += 1;
+                pos += 1;
+            }
+            (o, k) => {
+                return fail(
+                    pos,
+                    format!("expected {want} or barrier, saw {o} ({k} payload)"),
+                )
+            }
+        }
+    }
+    fail(pos, "stream ended without the closing barrier".to_string())
+}
+
+/// Replay a whole masterless run. On top of the per-rank grammar,
+/// enforces the SPMD invariant: every rank's collective sequence must
+/// be shape-identical (op, payload kind, element count) to rank 0's —
+/// the property the replicated-optimizer design rests on.
+pub fn replay_decentral_run(mode: DMode, rank_events: &[&[CommEvent]]) -> RunReplay {
+    let mut ranks = Vec::new();
+    let mut unmapped = 0usize;
+    let mut p2p_events = 0usize;
+    let mut coll_events = 0usize;
+    let shape0: Vec<CollShape> = rank_events
+        .first()
+        .map(|evs| evs.iter().filter_map(coll_shape).collect())
+        .unwrap_or_default();
+    for (rank, events) in rank_events.iter().enumerate() {
+        for ev in events.iter() {
+            match ev {
+                CommEvent::Coll { .. } => coll_events += 1,
+                _ => p2p_events += 1,
+            }
+        }
+        let mut r = replay_decentral_rank(mode, rank, events);
+        if r.accepted {
+            let shape: Vec<CollShape> = events.iter().filter_map(coll_shape).collect();
+            if shape != shape0 {
+                let at = shape
+                    .iter()
+                    .zip(&shape0)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(shape.len().min(shape0.len()));
+                r.accepted = false;
+                r.completed = false;
+                r.consumed = at;
+                r.error = Some(format!(
+                    "SPMD divergence: collective {at} differs in shape from rank 0"
+                ));
+            }
+        }
+        unmapped += r.total - r.consumed;
+        ranks.push(r);
+    }
+    let accepted = !ranks.is_empty() && ranks.iter().all(|r| r.accepted && r.completed);
+    RunReplay {
+        ranks,
+        unmapped,
+        accepted,
+        p2p_events,
+        coll_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_are_clean_on_small_worlds() {
+        for w in check_worlds() {
+            assert!(
+                w.outcome.violations.is_empty(),
+                "{} mode, {} ranks: {:?}",
+                w.mode.label(),
+                w.ranks,
+                w.outcome.violations
+            );
+            assert!(w.outcome.states > 1);
+            assert!(
+                w.outcome.terminals >= 1,
+                "{} mode, {} ranks never completed",
+                w.mode.label(),
+                w.ranks
+            );
+        }
+    }
+
+    #[test]
+    fn micro_programs_conserve_messages_pairwise() {
+        // Every (src, dst, coll, window) send has exactly one matching
+        // recv — the static invariant behind the p6 verdict.
+        for mode in [DMode::Ring, DMode::Tree] {
+            for size in [2usize, 3, 4, 5, 8] {
+                let progs = programs(mode, size);
+                let mut balance: BTreeMap<(u8, u8, u8, u8), i64> = BTreeMap::new();
+                for (rank, prog) in progs.iter().enumerate() {
+                    for op in prog {
+                        match *op {
+                            MOp::Send { to, coll, phase } => {
+                                *balance.entry((rank as u8, to, coll, phase)).or_default() += 1;
+                            }
+                            MOp::Recv { from, coll, phase } => {
+                                *balance.entry((from, rank as u8, coll, phase)).or_default() -= 1;
+                            }
+                        }
+                    }
+                }
+                assert!(
+                    balance.values().all(|&v| v == 0),
+                    "{} mode, {size} ranks: unbalanced channels {balance:?}",
+                    mode.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_programs_match_the_implementation_hop_count() {
+        // 2·(P−1) hops per allreduce per rank (reduce-scatter +
+        // allgather), each hop one send and one recv.
+        for size in [2usize, 3, 4, 8] {
+            let progs = programs(DMode::Ring, size);
+            let barrier_ops = 2 * (usize::BITS - (size - 1).leading_zeros()) as usize;
+            for prog in &progs {
+                assert_eq!(
+                    prog.len(),
+                    CANONICAL_ALLREDUCES as usize * 4 * (size - 1) + barrier_ops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_decentral_mutation_is_caught() {
+        let results = run_decentral_mutations();
+        assert!(results.len() >= 5, "battery shrank to {}", results.len());
+        let missed: Vec<String> = results
+            .iter()
+            .filter(|r| !r.caught)
+            .map(|r| {
+                format!(
+                    "{} (expected {}, fired {:?})",
+                    r.name, r.expected_rule, r.fired_rules
+                )
+            })
+            .collect();
+        assert!(missed.is_empty(), "missed mutations: {missed:?}");
+    }
+
+    fn ar(mode: DMode, kind: &'static str, len: usize) -> CommEvent {
+        CommEvent::Coll {
+            op: mode.op_name(),
+            root: 0,
+            kind,
+            len,
+            first: None,
+            ok: true,
+        }
+    }
+
+    fn barrier() -> CommEvent {
+        CommEvent::Coll {
+            op: "barrier",
+            root: 0,
+            kind: "Empty",
+            len: 0,
+            first: None,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn a_well_formed_ring_stream_conforms() {
+        let stream = vec![
+            ar(DMode::Ring, "F32", 100),
+            ar(DMode::Ring, "F64", 2),
+            ar(DMode::Ring, "F64", 3),
+            barrier(),
+        ];
+        let run = replay_decentral_run(DMode::Ring, &[&stream, &stream, &stream]);
+        assert!(run.accepted, "{:?}", run.ranks[0].error);
+        assert_eq!(run.unmapped, 0);
+        assert_eq!(run.p2p_events, 0);
+    }
+
+    #[test]
+    fn wrong_mode_and_p2p_and_divergence_are_rejected() {
+        let good = vec![ar(DMode::Ring, "F64", 3), barrier()];
+        // Tree ops in a ring-mode replay.
+        let tree = vec![ar(DMode::Tree, "F64", 3), barrier()];
+        let run = replay_decentral_run(DMode::Ring, &[&good, &tree]);
+        assert!(!run.accepted);
+        assert!(run.ranks[1]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("allreduce_tree"));
+        // A stray p2p event.
+        let p2p = vec![
+            CommEvent::Send {
+                to: 1,
+                tag: 9,
+                kind: "F32",
+                len: 4,
+            },
+            barrier(),
+        ];
+        let run = replay_decentral_run(DMode::Ring, &[&good, &p2p]);
+        assert!(!run.accepted);
+        assert_eq!(run.p2p_events, 1);
+        // Shape-divergent but individually grammatical streams.
+        let other = vec![ar(DMode::Ring, "F64", 4), barrier()];
+        let run = replay_decentral_run(DMode::Ring, &[&good, &other]);
+        assert!(!run.accepted);
+        assert!(run.ranks[1].error.as_deref().unwrap_or("").contains("SPMD"));
+    }
+
+    #[test]
+    fn truncated_and_trailing_streams_are_rejected() {
+        let no_barrier = vec![ar(DMode::Ring, "F64", 3)];
+        let run = replay_decentral_run(DMode::Ring, &[&no_barrier]);
+        assert!(!run.accepted);
+        let trailing = vec![
+            ar(DMode::Ring, "F64", 3),
+            barrier(),
+            ar(DMode::Ring, "F64", 3),
+        ];
+        let run = replay_decentral_run(DMode::Ring, &[&trailing]);
+        assert!(!run.accepted);
+        assert!(run.unmapped > 0);
+        // An f32 allreduce with no f64 chaser.
+        let orphan = vec![ar(DMode::Ring, "F32", 100), barrier()];
+        let run = replay_decentral_run(DMode::Ring, &[&orphan]);
+        assert!(!run.accepted);
+    }
+}

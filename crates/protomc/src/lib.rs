@@ -32,8 +32,16 @@
 //! are reported as [`pdnn_lint::Finding`]s under the shared
 //! `p5`/`p6`/`p7` rule ids registered in `pdnn_lint::rules`, and the
 //! CLI writes `results/protomc_report.json` for the verify.sh gate.
+//!
+//! The masterless sync strategies (`--sync ring` / `--sync tree`)
+//! have no command loop to extract, so [`decentral`] models them
+//! directly: per-rank micro-step automata of the ring and binomial
+//! tree allreduce algorithms, explored exhaustively on 2–4 rank
+//! worlds, with their own mutation battery and a trace-conformance
+//! replayer for real masterless training runs.
 
 pub mod conformance;
+pub mod decentral;
 pub mod explorer;
 pub mod mutate;
 pub mod por;

@@ -1,19 +1,21 @@
 //! CLI: `pdnn-protomc [--check] [--mutations] [--conformance] [--emit-diagram] [root]`.
 //!
 //! With no pass flags, runs all three passes. `--check` model-checks
-//! the 2/3/4-rank worlds (full + sleep-set-reduced, fault budget 1);
-//! `--mutations` runs the seeded-bug self-test; `--conformance`
-//! executes real 4-rank training runs in-process (one fault-free, one
-//! with an injected worker kill) and replays their recorded comm-event
-//! traces through the abstract automata. `--emit-diagram` prints the
-//! compiled protocol as a mermaid state diagram and exits.
+//! the 2/3/4-rank master-protocol worlds (full + sleep-set-reduced,
+//! fault budget 1) plus the masterless ring/tree worlds at the same
+//! sizes; `--mutations` runs the seeded-bug self-test (master battery
+//! plus the decentral battery); `--conformance` executes real 4-rank
+//! training runs in-process (fault-free, injected worker kill, and
+//! one each under ring and tree sync) and replays their recorded
+//! comm-event traces through the abstract automata. `--emit-diagram`
+//! prints the compiled protocol as a mermaid state diagram and exits.
 //!
 //! Writes `results/protomc_report.json` under the workspace root and
 //! exits nonzero on any finding, reduction disagreement, missed
 //! mutation, or non-conforming trace.
 
 use pdnn_protomc::report::{self, NamedRun};
-use pdnn_protomc::{conformance, mutate};
+use pdnn_protomc::{conformance, decentral, mutate};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -78,7 +80,7 @@ const WORLDS: [(usize, u8); 3] = [(1, 1), (2, 1), (3, 1)];
 fn run_training_traces(spec: &pdnn_protomc::ProtoSpec) -> Result<Vec<NamedRun>, String> {
     use pdnn_core::{
         train_distributed_deterministic, train_distributed_faulted, DistributedConfig, Objective,
-        TrainOutput,
+        SyncStrategy, TrainOutput,
     };
     use pdnn_dnn::{Activation, Network};
     use pdnn_mpisim::FaultPlan;
@@ -127,6 +129,39 @@ fn run_training_traces(spec: &pdnn_protomc::ProtoSpec) -> Result<Vec<NamedRun>, 
         ));
     }
     runs.push(replay("faulted-4rank-kill-rank2-at-gradient", &faulted));
+
+    // Masterless modes: the same training job under ring and tree
+    // sync, replayed through the decentral automata (rank 0 is a peer
+    // here, not a master — its stream obeys the same grammar).
+    for (dmode, sync, name) in [
+        (
+            decentral::DMode::Ring,
+            SyncStrategy::Ring,
+            "ring-masterless-4rank",
+        ),
+        (
+            decentral::DMode::Tree,
+            SyncStrategy::Tree,
+            "tree-masterless-4rank",
+        ),
+    ] {
+        let mut dconfig = DistributedConfig {
+            workers: 4,
+            sync,
+            ..DistributedConfig::default()
+        };
+        dconfig.hf.max_iters = 3;
+        let out =
+            train_distributed_deterministic(&net0, &corpus, &Objective::CrossEntropy, &dconfig)
+                .map_err(|e| format!("{name} training run failed: {e:?}"))?;
+        let mut streams: Vec<&[pdnn_mpisim::CommEvent]> = vec![&out.master_events];
+        streams.extend(out.worker_events.iter().map(|e| e.as_slice()));
+        runs.push(NamedRun {
+            name: name.to_string(),
+            dead_ranks: Vec::new(),
+            replay: decentral::replay_decentral_run(dmode, &streams),
+        });
+    }
     Ok(runs)
 }
 
@@ -193,8 +228,32 @@ fn main() -> ExitCode {
         None
     };
 
+    let decentral_worlds = if cli.run_check {
+        let worlds = decentral::check_worlds();
+        for w in &worlds {
+            println!(
+                "protomc decentral: {} mode, {}-rank world: {} states / {} transitions, \
+                 {} terminals, {} violation(s)",
+                w.mode.label(),
+                w.ranks,
+                w.outcome.states,
+                w.outcome.transitions,
+                w.outcome.terminals,
+                w.outcome.violations.len()
+            );
+            for v in &w.outcome.violations {
+                println!("{}: {}", v.rule, v.detail);
+                failed = true;
+            }
+        }
+        Some(worlds)
+    } else {
+        None
+    };
+
     let mutation_results = if cli.run_mutations {
-        let results = mutate::run_mutations(&spec);
+        let mut results = mutate::run_mutations(&spec);
+        results.extend(decentral::run_decentral_mutations());
         let caught = results.iter().filter(|r| r.caught).count();
         for r in results.iter().filter(|r| !r.caught) {
             println!(
@@ -253,6 +312,7 @@ fn main() -> ExitCode {
 
     let rep = report::Report {
         check: check.as_ref(),
+        decentral: decentral_worlds.as_deref(),
         mutation_results: mutation_results.as_deref(),
         conformance_runs: conformance_runs.as_deref(),
     };

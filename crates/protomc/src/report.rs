@@ -15,12 +15,16 @@
 //!               "transitions_reduced": 0, "reduction_ratio": 0.0,
 //!               "terminals": 0, "kill_placements": 0,
 //!               "verdicts": {"p5-deadlock-free": "proved"}, "agrees": true}],
-//!   "mutation_selftest": {"mutations": 14, "caught": 14, "results": []},
+//!   "decentral": {"findings": 0, "worlds": [{"mode": "ring", "ranks": 3,
+//!               "states": 0, "transitions": 0, "terminals": 0,
+//!               "verdicts": {"p5-deadlock-free": "proved"}}]},
+//!   "mutation_selftest": {"mutations": 21, "caught": 21, "results": []},
 //!   "conformance": {"unmapped": 0, "runs": []}
 //! }
 //! ```
 
 use crate::conformance::RunReplay;
+use crate::decentral::{self, DecentralWorld};
 use crate::explorer::{P5, P6, P7};
 use crate::mutate::MutationResult;
 use crate::{CheckOutcome, WorldResult};
@@ -39,6 +43,9 @@ pub struct NamedRun {
 /// Everything one CLI invocation learned.
 pub struct Report<'a> {
     pub check: Option<&'a CheckOutcome>,
+    /// Masterless (ring/tree) world results, checked alongside the
+    /// master-protocol worlds.
+    pub decentral: Option<&'a [DecentralWorld]>,
     pub mutation_results: Option<&'a [MutationResult]>,
     pub conformance_runs: Option<&'a [NamedRun]>,
 }
@@ -77,6 +84,36 @@ fn push_world(out: &mut String, w: &WorldResult) {
         let _ = write!(out, "\"{rule}\": \"{verdict}\"");
     }
     let _ = write!(out, "}}, \"agrees\": {}}}", w.agrees);
+}
+
+fn push_decentral(out: &mut String, worlds: &[DecentralWorld]) {
+    let findings: usize = worlds.iter().map(|w| w.outcome.violations.len()).sum();
+    let _ = write!(out, "{{\"findings\": {findings}, \"worlds\": [");
+    for (i, w) in worlds.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"mode\": \"{}\", \"ranks\": {}, \"states\": {}, \"transitions\": {}, \
+             \"terminals\": {}",
+            w.mode.label(),
+            w.ranks,
+            w.outcome.states,
+            w.outcome.transitions,
+            w.outcome.terminals
+        );
+        out.push_str(", \"verdicts\": {");
+        for (j, (rule, ok)) in decentral::verdicts(&w.outcome).iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let verdict = if *ok { "proved" } else { "violated" };
+            let _ = write!(out, "\"{rule}\": \"{verdict}\"");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
 }
 
 fn push_mutations(out: &mut String, results: &[MutationResult]) {
@@ -167,7 +204,12 @@ pub fn render(rep: &Report) -> String {
             push_world(&mut s, w);
         }
     }
-    s.push_str("],\n  \"mutation_selftest\": ");
+    s.push_str("],\n  \"decentral\": ");
+    match rep.decentral {
+        Some(worlds) => push_decentral(&mut s, worlds),
+        None => s.push_str("null"),
+    }
+    s.push_str(",\n  \"mutation_selftest\": ");
     match rep.mutation_results {
         Some(results) => push_mutations(&mut s, results),
         None => s.push_str("null"),
@@ -194,11 +236,27 @@ mod tests {
     fn empty_report_keeps_the_gate_greppable_shape() {
         let r = render(&Report {
             check: None,
+            decentral: None,
             mutation_results: None,
             conformance_runs: None,
         });
         assert!(r.contains("\"tool\": \"pdnn-protomc\""), "{r}");
         assert!(r.contains("\"findings\": 0,"), "{r}");
+        assert!(r.contains("\"decentral\": null"), "{r}");
         assert!(r.contains("\"mutation_selftest\": null"), "{r}");
+    }
+
+    #[test]
+    fn decentral_section_keeps_the_greppable_shape() {
+        let worlds = crate::decentral::check_worlds();
+        let r = render(&Report {
+            check: None,
+            decentral: Some(&worlds),
+            mutation_results: None,
+            conformance_runs: None,
+        });
+        assert!(r.contains("\"decentral\": {\"findings\": 0,"), "{r}");
+        assert!(r.contains("\"mode\": \"ring\""), "{r}");
+        assert!(r.contains("\"mode\": \"tree\""), "{r}");
     }
 }

@@ -17,6 +17,13 @@
 //!   --hidden A,B,...   hidden layer widths              [24]
 //!   --objective ce|sequence                             [ce]
 //!   --workers N        0 = serial, else master+N workers [0]
+//!   --sync master|ring|tree  distributed sync strategy  [master]
+//!                      master: rank 0 coordinates via rooted
+//!                      bcast/reduce (the paper's architecture);
+//!                      ring/tree: masterless replicated optimizer
+//!                      over symmetric allreduces (world = N peers)
+//!   --codec none|f16|int8    wire compression for f32 collective
+//!                      payloads                         [none]
 //!   --threads N        GEMM threads per rank            [1]
 //!   --backend NAME     GEMM microkernel ISA: auto|scalar|avx2|avx512|neon
 //!                      (default auto; `PDNN_BACKEND` overrides)
@@ -32,8 +39,10 @@
 use pdnn::core::config::Preconditioner;
 use pdnn::core::{
     train_distributed, DistributedConfig, DnnProblem, HfConfig, HfOptimizer, IterStats, Objective,
+    SyncStrategy,
 };
 use pdnn::dnn::{load_network, save_network, Activation, Network};
+use pdnn::mpisim::WireCodec;
 use pdnn::obs::{InMemoryRecorder, Recorder, Value};
 use pdnn::speech::{stack_context, Corpus, CorpusSpec, Strategy};
 use pdnn::tensor::{BackendConfig, GemmContext, BACKEND_ENV};
@@ -130,6 +139,21 @@ fn main() -> ExitCode {
         backend.isa()
     );
     let context: usize = arg_num("--context", 0);
+    let sync = match SyncStrategy::parse(&arg_value("--sync").unwrap_or_else(|| "master".into())) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid --sync: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wire_codec = match WireCodec::parse(&arg_value("--codec").unwrap_or_else(|| "none".into()))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid --codec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let objective_name = arg_value("--objective").unwrap_or_else(|| "ce".into());
     let strategy = match arg_value("--strategy").as_deref() {
         None | Some("lpt") => Strategy::SortedBalanced,
@@ -214,6 +238,10 @@ fn main() -> ExitCode {
     let hf = hf_builder.build().expect("invalid HF configuration");
 
     let trained = if workers == 0 {
+        if sync != SyncStrategy::Master || wire_codec != WireCodec::None {
+            eprintln!("--sync/--codec apply to distributed runs only (use --workers N)");
+            return ExitCode::FAILURE;
+        }
         println!("mode: serial\n");
         let (train_ids, held_ids) = corpus.split_heldout(0.2);
         let ctx = if threads > 1 {
@@ -242,9 +270,26 @@ fn main() -> ExitCode {
             eprintln!("--context is only supported in serial mode (workers = 0)");
             return ExitCode::FAILURE;
         }
-        println!("mode: 1 master + {workers} workers ({threads} threads/rank)\n");
+        match sync {
+            SyncStrategy::Master => {
+                println!("mode: 1 master + {workers} workers ({threads} threads/rank)")
+            }
+            other => println!(
+                "mode: {workers} peer ranks, {} allreduce sync ({threads} threads/rank)",
+                other.name()
+            ),
+        }
+        if wire_codec != WireCodec::None {
+            println!(
+                "wire codec: {} on f32 collective payloads",
+                wire_codec.name()
+            );
+        }
+        println!();
         let config = DistributedConfig {
             workers,
+            sync,
+            wire_codec,
             hf,
             strategy,
             heldout_frac: 0.2,
