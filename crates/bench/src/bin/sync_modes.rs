@@ -20,8 +20,27 @@
 //!   reduction is ~2x);
 //! * ring + int8 wire compression reaches the ≥ 4x reduction.
 //!
+//! And the ISSUE 10 wall-clock gate at 16 ranks: the ring must not be
+//! slower than master-centric sync (`ring_wall_le_master`) — the
+//! regression the small-vector tree-shape fallback in
+//! `allreduce_ring` fixed (2(P−1) latency-bound hops on sub-chunk
+//! vectors lose to 2·log₂P tree steps at P=16).
+//!
+//! Wall times are paired min-of-N: every round measures all modes of
+//! a world back-to-back and each cell keeps its minimum across
+//! rounds, so host-load drift between cells cannot skew the
+//! comparison (the training runs themselves are bit-deterministic).
+//! The 16-rank wall gate additionally records the median per-round
+//! ring−master delta and allows a small noise fraction on the minima
+//! — on a single shared core the two modes are within scheduler
+//! jitter of each other, and the gate must detect a real regression
+//! (the one it guards against was a 67% slowdown) without flaking on
+//! that jitter.
+//!
 //! `--smoke` shrinks the corpus and iteration count to run in
-//! seconds; `--out PATH` overrides the JSON destination.
+//! seconds; `--out PATH` overrides the JSON destination (wall gates
+//! are emitted but not asserted under `--smoke`, where timing is
+//! noise).
 
 use pdnn_bench::arg_value;
 use pdnn_core::{train_distributed, DistributedConfig, Objective, SyncStrategy, TrainOutput};
@@ -98,16 +117,59 @@ fn main() {
         (t0.elapsed().as_secs_f64() * 1e3, out)
     };
 
+    // The runs are bit-deterministic, so wall-time spread is pure host
+    // noise. Measurements are therefore paired: each round runs every
+    // mode once back-to-back (so slow host intervals hit all modes
+    // alike, instead of skewing whichever mode was measured last), and
+    // each cell keeps its minimum wall across rounds — the
+    // least-contended measurement of the fixed work. Byte counters
+    // must agree across rounds exactly.
     let world_sizes: [usize; 3] = [4, 8, 16];
     let mut tables: Vec<(usize, Vec<ModeRow>)> = Vec::new();
+    // Per-round (master, ring) walls at 16 ranks, for the paired
+    // wall-clock gate.
+    let mut paired16: Vec<(f64, f64)> = Vec::new();
     for ranks in world_sizes {
-        let mut rows = Vec::new();
-        for (label, sync, workers, codec) in [
+        // The wall-gated world gets more rounds: the gate compares two
+        // noisy minima, and extra rounds tighten both toward the true
+        // floor.
+        let reps = match (smoke, ranks) {
+            (true, _) => 1,
+            (false, 16) => 17,
+            (false, _) => 5,
+        };
+        let modes = [
             ("master", SyncStrategy::Master, ranks - 1, WireCodec::None),
             ("ring", SyncStrategy::Ring, ranks, WireCodec::None),
             ("ring_int8", SyncStrategy::Ring, ranks, WireCodec::Int8),
-        ] {
-            let (wall_ms, out) = run(sync, workers, codec);
+        ];
+        let mut cells: Vec<Option<(f64, TrainOutput)>> = vec![None, None, None];
+        for _ in 0..reps {
+            let mut round = [0.0f64; 3];
+            for (i, (cell, (_, sync, workers, codec))) in cells.iter_mut().zip(modes).enumerate() {
+                let (wall, out) = run(sync, workers, codec);
+                round[i] = wall;
+                match cell {
+                    Some((w, prev)) => {
+                        assert_eq!(
+                            rank0_bytes(prev),
+                            rank0_bytes(&out),
+                            "byte counters drifted across rounds"
+                        );
+                        if wall < *w {
+                            *cell = Some((wall, out));
+                        }
+                    }
+                    None => *cell = Some((wall, out)),
+                }
+            }
+            if ranks == 16 {
+                paired16.push((round[0], round[1]));
+            }
+        }
+        let mut rows = Vec::new();
+        for ((label, ..), cell) in modes.iter().zip(cells) {
+            let (wall_ms, out) = cell.expect("at least one round");
             let row = ModeRow {
                 label,
                 wall_ms,
@@ -140,6 +202,34 @@ fn main() {
     let gate_p2p = master.rank0_p2p_bytes > 0 && ring.rank0_p2p_bytes * 4 <= master.rank0_p2p_bytes;
     let gate_ring_2x = ring.rank0_bytes * 2 <= master.rank0_bytes;
     let gate_int8_4x = ring_i8.rank0_bytes * 4 <= master.rank0_bytes;
+
+    // Wall-clock gate at the 16-rank table: the latency-bound ring
+    // regression at small vectors is fixed by the tree-shape fallback,
+    // so the ring may not lose to master-centric sync beyond
+    // single-core scheduling noise. Two criteria, either suffices:
+    // the ring's best-of-N wall within `WALL_NOISE_FRAC` of master's
+    // best-of-N, or the median per-round paired delta favouring the
+    // ring. (The regression this guards against was a 67% slowdown;
+    // a few percent of noise tolerance cannot mask its return.)
+    const WALL_NOISE_FRAC: f64 = 0.05;
+    let table16 = &tables
+        .iter()
+        .find(|(ranks, _)| *ranks == 16)
+        .expect("16-rank table present")
+        .1;
+    let at16 = |label: &str| -> &ModeRow {
+        table16
+            .iter()
+            .find(|r| r.label == label)
+            .expect("mode row present")
+    };
+    let median_delta16 = {
+        let mut deltas: Vec<f64> = paired16.iter().map(|(m, r)| r - m).collect();
+        deltas.sort_by(f64::total_cmp);
+        deltas.get(deltas.len() / 2).copied().unwrap_or(0.0)
+    };
+    let gate_wall16 = at16("ring").wall_ms <= (1.0 + WALL_NOISE_FRAC) * at16("master").wall_ms
+        || median_delta16 <= 0.0;
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"sync_modes\",\n");
@@ -182,7 +272,14 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"gates_at_8_ranks\": {{\"ring_rank0_p2p_le_quarter_of_master\": {gate_p2p}, \"ring_rank0_ge_2x_reduction\": {gate_ring_2x}, \"ring_int8_rank0_ge_4x_reduction\": {gate_int8_4x}}}\n"
+        "  \"gates_at_8_ranks\": {{\"ring_rank0_p2p_le_quarter_of_master\": {gate_p2p}, \"ring_rank0_ge_2x_reduction\": {gate_ring_2x}, \"ring_int8_rank0_ge_4x_reduction\": {gate_int8_4x}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"gate_at_16_ranks\": {{\"ring_wall_le_master\": {gate_wall16}, \
+         \"ring_wall_ms\": {:.1}, \"master_wall_ms\": {:.1}, \
+         \"median_paired_delta_ms\": {median_delta16:.1}, \"noise_tolerance_frac\": 0.05}}\n",
+        at16("ring").wall_ms,
+        at16("master").wall_ms,
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("failed to write BENCH json");
@@ -204,5 +301,25 @@ fn main() {
         "compressed-ring rank-0 bytes {} not ≥4x below master {}",
         ring_i8.rank0_bytes, master.rank0_bytes
     );
+    if !smoke {
+        assert!(
+            gate_wall16,
+            "ring wall {:.1} ms slower than master {:.1} ms at 16 ranks \
+             (median paired delta {median_delta16:+.1} ms, tolerance {:.0}%)",
+            at16("ring").wall_ms,
+            at16("master").wall_ms,
+            WALL_NOISE_FRAC * 100.0
+        );
+    }
     println!("gates at 8 ranks: all hold — OK");
+    println!(
+        "gate at 16 ranks: ring {:.1} ms vs master {:.1} ms (median paired delta {median_delta16:+.1} ms) — {}",
+        at16("ring").wall_ms,
+        at16("master").wall_ms,
+        if !smoke {
+            "OK"
+        } else {
+            "NOT ASSERTED (smoke)"
+        }
+    );
 }

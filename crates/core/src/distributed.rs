@@ -44,6 +44,15 @@
 //! iteration *k* recomputes exactly what an undisturbed run over the
 //! re-sharded data would have, so recovery is bit-deterministic given
 //! the same plan.
+//!
+//! The masterless modes recover without a standing coordinator: the
+//! timed ring/tree hops surface the failure on every survivor, the
+//! survivors run a membership-agreement round coordinated by the
+//! lowest live rank (`TAG_RECOVER_REPORT` / `TAG_RECOVER_AGREE`),
+//! re-stitch the ring/tree over the agreed survivor set, replay the
+//! dead rank's shard through the same LPT partitioner, and rewind
+//! their replicated optimizers to the last in-memory snapshot — the
+//! same bit-deterministic contract as master-mode recovery.
 
 use crate::config::HfConfig;
 use crate::optimizer::{HfOptimizer, IterStats};
@@ -65,6 +74,7 @@ use pdnn_tensor::gemm::GemmContext;
 use pdnn_tensor::{Matrix, Workspace};
 use pdnn_util::{Error, PhaseTimer};
 use std::sync::Arc;
+use std::time::Duration;
 
 const CMD_SHUTDOWN: u64 = 0;
 const CMD_SET_THETA: u64 = 1;
@@ -79,6 +89,14 @@ const CMD_LOAD_DATA: u64 = 7;
 /// Tag for the utterance-assignment messages (`load_data`, both the
 /// start-up distribution and the recovery replay).
 const TAG_LOAD_DATA: u64 = 17;
+
+/// Tag for a survivor's dead-set report to the membership coordinator
+/// (masterless recovery).
+const TAG_RECOVER_REPORT: u64 = 18;
+
+/// Tag for the coordinator's agreed dead-set broadcast back to the
+/// survivors (masterless recovery).
+const TAG_RECOVER_AGREE: u64 = 19;
 
 /// How ranks synchronize gradients, curvature products, and weights.
 ///
@@ -96,9 +114,11 @@ const TAG_LOAD_DATA: u64 = 17;
 /// bit-identical allreduce results, so all replicas stay bitwise in
 /// lockstep (asserted at the end of every run).
 ///
-/// Fault plans are only supported under `Master`: checkpoint-restart
-/// recovery needs the asymmetric coordinator role that masterless
-/// modes remove.
+/// All three strategies support fault plans. `Master` recovers via
+/// the coordinator's checkpoint-restart; the masterless modes elect
+/// the lowest live rank as a per-failure membership coordinator,
+/// re-stitch the ring/tree over the survivors, and rewind their
+/// replicated optimizers in lockstep (see the module docs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SyncStrategy {
     /// One master, many workers; rooted collectives (the paper's
@@ -899,24 +919,43 @@ struct DecentralProblem<'a> {
     ws: Workspace<f32>,
     packs: Option<PackedWeights<f32>>,
     sample: Option<WorkerSample>,
+    /// Global frame count of the current curvature sample, agreed by
+    /// one f64 allreduce the first time the sample is used (fisher or
+    /// first CG product) and reused for every later product on the
+    /// same sample — the count cannot change between draws, so the
+    /// per-CG-step metadata chaser would be pure collective overhead.
+    /// Cleared with the sample (redraw, θ update, re-shard).
+    sample_frames: Option<f64>,
     /// Global training frame count (identical on every rank).
     train_frames: u64,
-    /// First unhandled fault; poisons the problem until taken. In the
-    /// masterless modes a communication error is always a harness bug
-    /// (no fault plans), so only `ZeroFrames` lands here.
+    /// Source corpus, for rebuilding shards after a re-partition.
+    corpus: &'a Corpus,
+    /// Per-rank corpus utterance ids currently assigned (training).
+    /// Replicated on every rank — each survivor replays the identical
+    /// LPT re-partition locally, so no ledger owner can die.
+    train_ids: Vec<Vec<u64>>,
+    /// Per-rank corpus utterance ids currently assigned (held-out).
+    held_ids: Vec<Vec<u64>>,
+    /// Frame count of every corpus utterance, for LPT re-partition.
+    utt_frames: Vec<usize>,
+    strategy: Strategy,
+    /// First unhandled fault; poisons the problem until taken.
     fault: Option<TrainFault>,
+    /// Without a fault plan a communication error is a harness bug:
+    /// fail loudly instead of attempting recovery.
+    strict: bool,
 }
 
 impl DecentralProblem<'_> {
     /// Sum-allreduce under the configured masterless strategy.
-    fn sync_f32(&mut self, buf: &mut Vec<f32>) -> Result<(), CommError> {
+    fn sync_f32(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
         match self.sync {
             SyncStrategy::Ring => self.comm.allreduce_ring(buf, ReduceOp::Sum),
             _ => self.comm.allreduce_tree(buf, ReduceOp::Sum),
         }
     }
 
-    fn sync_f64(&mut self, buf: &mut Vec<f64>) -> Result<(), CommError> {
+    fn sync_f64(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
         match self.sync {
             SyncStrategy::Ring => self.comm.allreduce_ring(buf, ReduceOp::Sum),
             _ => self.comm.allreduce_tree(buf, ReduceOp::Sum),
@@ -927,11 +966,18 @@ impl DecentralProblem<'_> {
         self.fault.is_some()
     }
 
+    /// Record a fault and poison the problem. The first fault wins:
+    /// later ones are consequences of the degraded values the
+    /// short-circuiting methods return.
     fn on_fault(&mut self, fault: TrainFault) {
         match &fault {
             TrainFault::Comm(e) => {
-                // pdnn-lint: allow(l3-no-unwrap): masterless modes never run under a fault plan, so a communication error means the simulated world itself is broken
-                panic!("decentralized protocol failure: {e}");
+                if self.strict {
+                    // pdnn-lint: allow(l3-no-unwrap): without a fault plan a communication error means the simulated world itself is broken; recovery would mask the harness bug
+                    panic!("decentralized protocol failure: {e}");
+                }
+                self.rec
+                    .event("comm_fault", vec![("error".into(), e.to_string().into())]);
             }
             TrainFault::ZeroFrames { phase } => {
                 self.rec
@@ -945,6 +991,181 @@ impl DecentralProblem<'_> {
 
     fn take_fault(&mut self) -> Option<TrainFault> {
         self.fault.take()
+    }
+
+    /// Bitmap of this rank's locally observed dead set (acknowledged
+    /// or not).
+    fn dead_bitmap(&self) -> u64 {
+        debug_assert!(
+            self.comm.size() <= 64,
+            "membership bitmap holds at most 64 ranks"
+        );
+        self.comm
+            .dead_ranks()
+            .iter()
+            .fold(0u64, |acc, &r| acc | (1u64 << r))
+    }
+
+    /// Membership-agreement round: every survivor reports its locally
+    /// observed dead set to a coordinator — the lowest rank it does
+    /// not know to be dead — which unions the reports and sends the
+    /// agreed set back. Deterministic: the coordinator is a pure
+    /// function of the dead set, reports are collected in ascending
+    /// rank order, and the agreed bitmap is identical on every
+    /// survivor.
+    ///
+    /// Survivors abort the failed collective up to one detect-timeout
+    /// apart, so this round runs under the generous `timeout`
+    /// (the plan's worker timeout); once AGREE lands everybody is
+    /// re-synchronized to within one hop and the re-stitched
+    /// collectives can safely use the short detect-timeout again. A
+    /// reporter that stays silent past the window is evicted and
+    /// folded into the agreed set; a dead coordinator makes the
+    /// survivors retry under the next candidate.
+    fn agree_membership(&mut self, timeout: Duration) -> Result<u64, TrainFault> {
+        loop {
+            let me = self.comm.rank();
+            let Some(coord) = (0..self.comm.size()).find(|&r| !self.comm.is_dead(r)) else {
+                return Err(TrainFault::Comm(CommError::WorldShutDown));
+            };
+            if coord == me {
+                let mut union = self.dead_bitmap();
+                for src in 0..self.comm.size() {
+                    if src == me || self.comm.is_dead(src) {
+                        continue;
+                    }
+                    match self.comm.recv_vec_timeout::<u64>(
+                        Src::Of(src),
+                        TAG_RECOVER_REPORT,
+                        timeout,
+                    ) {
+                        Ok(bits) => union |= bits.first().copied().unwrap_or(0),
+                        Err(CommError::RankDead { rank }) => union |= 1u64 << rank,
+                        Err(CommError::Timeout) => {
+                            self.comm.evict(src);
+                            union |= 1u64 << src;
+                        }
+                        Err(e) => return Err(TrainFault::Comm(e)),
+                    }
+                }
+                for dst in 0..self.comm.size() {
+                    if dst == me || union & (1u64 << dst) != 0 {
+                        continue;
+                    }
+                    self.comm
+                        .send(dst, TAG_RECOVER_AGREE, Payload::U64(vec![union]))
+                        .map_err(TrainFault::Comm)?;
+                }
+                return Ok(union);
+            }
+            self.comm
+                .send(
+                    coord,
+                    TAG_RECOVER_REPORT,
+                    Payload::U64(vec![self.dead_bitmap()]),
+                )
+                .map_err(TrainFault::Comm)?;
+            match self
+                .comm
+                .recv_vec_timeout::<u64>(Src::Of(coord), TAG_RECOVER_AGREE, timeout)
+            {
+                Ok(bits) => return Ok(bits.first().copied().unwrap_or(0)),
+                Err(CommError::RankDead { .. }) => {
+                    // Already marked dead by the receive path; the next
+                    // pass picks the next candidate coordinator.
+                }
+                Err(CommError::Timeout) => self.comm.evict(coord),
+                Err(e) => return Err(TrainFault::Comm(e)),
+            }
+        }
+    }
+
+    /// Peer-coordinated recovery after a collective aborted on a dead
+    /// rank: agree on membership, acknowledge every agreed death, and
+    /// re-partition each dead rank's shard onto the survivors with the
+    /// same LPT strategy as start-up.
+    ///
+    /// Every survivor replays the identical re-partition from its
+    /// replicated assignment ledger, and the coordinator *also* ships
+    /// each survivor its extras over `TAG_LOAD_DATA` — the same wire
+    /// exchange as master-mode `CMD_LOAD_DATA` recovery — which
+    /// doubles as a cross-check that the replicas agree on the new
+    /// assignment.
+    fn recover(&mut self, timeout: Duration) -> Result<(), TrainFault> {
+        let union = self.agree_membership(timeout)?;
+        let unacked = self.comm.unacked_dead();
+        let newly: Vec<usize> = (0..self.comm.size())
+            .filter(|&r| union & (1u64 << r) != 0)
+            .filter(|&r| unacked.contains(&r) || !self.comm.is_dead(r))
+            .collect();
+        for &r in &newly {
+            self.comm.ack_dead(r);
+        }
+        let me = self.comm.rank();
+        for &d in &newly {
+            let orphan_train = std::mem::take(&mut self.train_ids[d]);
+            let orphan_held = std::mem::take(&mut self.held_ids[d]);
+            let live: Vec<usize> = (0..self.comm.size())
+                .filter(|&r| !self.comm.is_dead(r))
+                .collect();
+            let t_lens: Vec<usize> = orphan_train
+                .iter()
+                .map(|&id| self.utt_frames[id as usize])
+                .collect();
+            let t_parts = partition(&t_lens, live.len(), self.strategy);
+            let h_lens: Vec<usize> = orphan_held
+                .iter()
+                .map(|&id| self.utt_frames[id as usize])
+                .collect();
+            let h_parts = partition(&h_lens, live.len(), self.strategy);
+            let coord = live[0];
+            let mut my_extra: (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+            for (i, &w) in live.iter().enumerate() {
+                let t: Vec<u64> = t_parts[i].iter().map(|&p| orphan_train[p]).collect();
+                let h: Vec<u64> = h_parts[i].iter().map(|&p| orphan_held[p]).collect();
+                if me == coord && w != coord {
+                    let s1 = self.comm.send(w, TAG_LOAD_DATA, Payload::U64(t.clone()));
+                    let s2 = self.comm.send(w, TAG_LOAD_DATA, Payload::U64(h.clone()));
+                    s1.and(s2).map_err(TrainFault::Comm)?;
+                }
+                if w == me {
+                    my_extra = (t.clone(), h.clone());
+                }
+                self.train_ids[w].extend(t);
+                self.held_ids[w].extend(h);
+            }
+            if me != coord {
+                let t = self
+                    .comm
+                    .recv_vec_timeout::<u64>(Src::Of(coord), TAG_LOAD_DATA, timeout)
+                    .map_err(TrainFault::Comm)?;
+                let h = self
+                    .comm
+                    .recv_vec_timeout::<u64>(Src::Of(coord), TAG_LOAD_DATA, timeout)
+                    .map_err(TrainFault::Comm)?;
+                assert!(
+                    t == my_extra.0 && h == my_extra.1,
+                    "replicated re-partition diverged from the coordinator's"
+                );
+            }
+            self.rec.counter_add("shard_reassignments", 1);
+        }
+        if !newly.is_empty() {
+            // Rebuild this rank's shards from the updated ledger and
+            // drop the cached curvature sample: its activations belong
+            // to the pre-failure θ and shard.
+            let mine_t: Vec<usize> = self.train_ids[me].iter().map(|&id| id as usize).collect();
+            let mine_h: Vec<usize> = self.held_ids[me].iter().map(|&id| id as usize).collect();
+            self.train = self.corpus.shard(&mine_t);
+            self.heldout = self.corpus.shard(&mine_h);
+            self.sample_frames = None;
+            if let Some(s) = self.sample.take() {
+                s.cache.give_back(&mut self.ws);
+                self.ws.give_matrix(s.x);
+                self.ws.give_matrix(s.dist);
+            }
+        }
+        Ok(())
     }
 
     fn try_gradient(&mut self) -> Result<(f64, Vec<f32>), TrainFault> {
@@ -1018,17 +1239,29 @@ impl DecentralProblem<'_> {
         };
         let rec = self.rec.clone();
         let _span = rec.span("curvature_allreduce", SpanKind::CommCollective);
-        let r1 = self.sync_f32(&mut gv);
-        let mut meta = vec![frames];
-        let r2 = self.sync_f64(&mut meta);
-        r1.and(r2).map_err(TrainFault::Comm)?;
-        if meta[0] <= 0.0 {
-            return Err(TrainFault::ZeroFrames {
-                phase: "gn_product",
-            });
-        }
-        pdnn_tensor::blas1::scal((1.0 / meta[0]) as f32, &mut gv);
+        self.sync_f32(&mut gv).map_err(TrainFault::Comm)?;
+        let total = self.sample_frames_total(frames, "gn_product")?;
+        pdnn_tensor::blas1::scal((1.0 / total) as f32, &mut gv);
         Ok(gv)
+    }
+
+    /// Global frame count of the current curvature sample: the cached
+    /// agreement if one exists, else one f64 metadata allreduce whose
+    /// result is cached until the sample changes.
+    fn sample_frames_total(&mut self, local: f64, phase: &'static str) -> Result<f64, TrainFault> {
+        let total = match self.sample_frames {
+            Some(t) => t,
+            None => {
+                let mut meta = vec![local];
+                self.sync_f64(&mut meta).map_err(TrainFault::Comm)?;
+                self.sample_frames = Some(meta[0]);
+                meta[0]
+            }
+        };
+        if total <= 0.0 {
+            return Err(TrainFault::ZeroFrames { phase });
+        }
+        Ok(total)
     }
 
     fn try_fisher(&mut self) -> Result<Vec<f32>, TrainFault> {
@@ -1050,14 +1283,9 @@ impl DecentralProblem<'_> {
         };
         let rec = self.rec.clone();
         let _span = rec.span("curvature_allreduce", SpanKind::CommCollective);
-        let r1 = self.sync_f32(&mut diag);
-        let mut meta = vec![frames];
-        let r2 = self.sync_f64(&mut meta);
-        r1.and(r2).map_err(TrainFault::Comm)?;
-        if meta[0] <= 0.0 {
-            return Err(TrainFault::ZeroFrames { phase: "fisher" });
-        }
-        pdnn_tensor::blas1::scal((1.0 / meta[0]) as f32, &mut diag);
+        self.sync_f32(&mut diag).map_err(TrainFault::Comm)?;
+        let total = self.sample_frames_total(frames, "fisher")?;
+        pdnn_tensor::blas1::scal((1.0 / total) as f32, &mut diag);
         Ok(diag)
     }
 
@@ -1114,6 +1342,7 @@ impl HfProblem for DecentralProblem<'_> {
         self.theta = theta.to_vec();
         self.net.set_flat(theta);
         // The cached curvature sample holds activations of the old θ.
+        self.sample_frames = None;
         if let Some(s) = self.sample.take() {
             s.cache.give_back(&mut self.ws);
             self.ws.give_matrix(s.x);
@@ -1138,6 +1367,7 @@ impl HfProblem for DecentralProblem<'_> {
         if self.poisoned() {
             return;
         }
+        self.sample_frames = None;
         if let Some(s) = self.sample.take() {
             s.cache.give_back(&mut self.ws);
             self.ws.give_matrix(s.x);
@@ -1213,12 +1443,16 @@ impl HfProblem for DecentralProblem<'_> {
 
 /// The replicated outer loop every masterless rank runs: the same
 /// [`HfOptimizer::step`] / [`StopState`] sequence as [`hf_loop`],
-/// without the recovery machinery (fault plans are Master-only).
+/// including peer-coordinated recovery when a collective surfaces a
+/// dead rank. Snapshots are in-memory — every rank rewinds to its own
+/// replica of θ, so there is no checkpoint file to race on and
+/// nothing to ship.
 fn decentral_loop(
     problem: &mut DecentralProblem<'_>,
     config: &DistributedConfig,
     rec: &Arc<InMemoryRecorder>,
-) -> Result<Vec<IterStats>, Error> {
+    recover_timeout: Duration,
+) -> (Result<Vec<IterStats>, Error>, usize) {
     let hf = config.hf;
     let mut opt = HfOptimizer::with_recorder(hf, rec.clone());
     let mut rule = hf.stop;
@@ -1227,24 +1461,83 @@ fn decentral_loop(
     }
     let mut stop = StopState::new(rule);
     let mut stats: Vec<IterStats> = Vec::with_capacity(hf.max_iters);
-    for iter in 0..hf.max_iters {
+    let mut snap = Snapshot {
+        iter: 0,
+        theta: problem.theta(),
+        lambda: opt.lambda(),
+    };
+    let mut recoveries = 0usize;
+    let mut iter = 0usize;
+    while iter < hf.max_iters {
         let s = opt.step(problem, iter);
-        if let Some(fault) = problem.take_fault() {
-            return Err(fault_error(fault));
-        }
-        let reason = stop.observe(s.heldout_before, s.heldout_after);
-        stats.push(s);
-        if reason.is_some() {
-            break;
+        match problem.take_fault() {
+            None => {
+                let reason = stop.observe(s.heldout_before, s.heldout_after);
+                stats.push(s);
+                iter += 1;
+                if config.checkpoint_every > 0 && iter.is_multiple_of(config.checkpoint_every) {
+                    snap = Snapshot {
+                        iter,
+                        theta: problem.theta(),
+                        lambda: opt.lambda(),
+                    };
+                }
+                if reason.is_some() {
+                    break;
+                }
+            }
+            Some(TrainFault::Comm(CommError::RankDead { rank })) => {
+                let _span = rec.span("recovery", SpanKind::Scalar);
+                rec.event(
+                    "worker_failure",
+                    vec![
+                        ("rank".into(), (rank as u64).into()),
+                        ("iter".into(), (iter as u64).into()),
+                    ],
+                );
+                if let Err(f) = problem.recover(recover_timeout) {
+                    return (Err(fault_error(f)), recoveries);
+                }
+                rec.gauge_set("dead_workers", problem.comm.dead_ranks().len() as f64);
+                // Replicated rewind: every survivor restores its own
+                // in-memory snapshot, rebuilds the optimizer at the
+                // snapshot's damping level, and replays. Sample seeds
+                // are a pure function of the iteration index, so the
+                // replay is bit-deterministic.
+                problem.set_theta(&snap.theta);
+                opt = HfOptimizer::resume_with_recorder(hf, snap.lambda, rec.clone());
+                stop = StopState::new(rule);
+                stats.truncate(snap.iter);
+                // Re-feed the surviving history so patience/target
+                // stopping sees the same sequence an undisturbed run
+                // would have.
+                for s in &stats {
+                    let _ = stop.observe(s.heldout_before, s.heldout_after);
+                }
+                iter = snap.iter;
+                recoveries += 1;
+                rec.counter_add("recoveries", 1);
+                rec.event(
+                    "recovery_complete",
+                    vec![("resume_iter".into(), (iter as u64).into())],
+                );
+            }
+            Some(fault) => return (Err(fault_error(fault)), recoveries),
         }
     }
-    Ok(stats)
+    (Ok(stats), recoveries)
 }
 
 /// What each masterless rank returns from its world closure: the
-/// optimizer outcome plus the final flat θ (for the replica-agreement
-/// check at collection time).
-type DecentralExit = (Result<Vec<IterStats>, Error>, Vec<f32>);
+/// optimizer outcome, the final flat θ (for the replica-agreement
+/// check at collection time), and this rank's view of the fault
+/// history.
+struct DecentralOut {
+    result: Result<Vec<IterStats>, Error>,
+    theta: Vec<f32>,
+    dead_ranks: Vec<usize>,
+    recoveries: usize,
+}
 
 /// Masterless training: `config.workers` peer ranks, each running a
 /// replicated optimizer over symmetric allreduces. See
@@ -1256,12 +1549,6 @@ fn train_decentral_impl(
     config: &DistributedConfig,
     mode: WorldMode,
 ) -> Result<TrainOutput, Error> {
-    if matches!(mode, WorldMode::Faulted(_)) {
-        return Err(Error::Train(format!(
-            "fault plans require SyncStrategy::Master; `{}` has no coordinator to drive recovery",
-            config.sync.name()
-        )));
-    }
     assert!(config.workers >= 1, "need at least one worker");
     config.hf.validate();
 
@@ -1278,19 +1565,27 @@ fn train_decentral_impl(
     let held_assign = partition(&held_lens, config.workers, config.strategy);
     // Corpus-id shards per rank; every rank derives its own from the
     // shared deterministic partition — nothing is shipped point-to-point.
-    let assigned_train: Vec<Vec<usize>> = train_assign
+    // Kept as u64 ids so the replicated ledger matches the recovery
+    // wire format (`TAG_LOAD_DATA`) and the master-mode ledger.
+    let assigned_train: Vec<Vec<u64>> = train_assign
         .iter()
-        .map(|part| part.iter().map(|&pos| train_ids[pos]).collect())
+        .map(|part| part.iter().map(|&pos| train_ids[pos] as u64).collect())
         .collect();
-    let assigned_held: Vec<Vec<usize>> = held_assign
+    let assigned_held: Vec<Vec<u64>> = held_assign
         .iter()
-        .map(|part| part.iter().map(|&pos| held_ids[pos]).collect())
+        .map(|part| part.iter().map(|&pos| held_ids[pos] as u64).collect())
         .collect();
+    let utt_frames: Vec<usize> = corpus.utterances().iter().map(|u| u.frames()).collect();
 
     let theta0 = net0.to_flat();
     let total_train_frames: u64 = train_lens.iter().map(|&l| l as u64).sum();
 
     let world = config.workers;
+    let faulted = matches!(mode, WorldMode::Faulted(_));
+    let recover_timeout = match &mode {
+        WorldMode::Faulted(plan) => plan.worker_timeout,
+        _ => Duration::from_secs(60),
+    };
     let body = |comm: &mut Comm| {
         comm.set_wire_codec(config.wire_codec);
         let rank = comm.rank();
@@ -1303,6 +1598,8 @@ fn train_decentral_impl(
         let mut net = net0.clone();
         net.set_flat(&theta0);
         let scratch = net.clone();
+        let my_train: Vec<usize> = assigned_train[rank].iter().map(|&id| id as usize).collect();
+        let my_held: Vec<usize> = assigned_held[rank].iter().map(|&id| id as usize).collect();
         let mut problem = DecentralProblem {
             comm,
             rec: rec.clone(),
@@ -1310,32 +1607,54 @@ fn train_decentral_impl(
             theta: theta0.clone(),
             net,
             scratch,
-            train: corpus.shard(&assigned_train[rank]),
-            heldout: corpus.shard(&assigned_held[rank]),
+            train: corpus.shard(&my_train),
+            heldout: corpus.shard(&my_held),
             objective,
             ctx,
             ws: Workspace::new(),
             packs: None,
             sample: None,
+            sample_frames: None,
             train_frames: total_train_frames,
+            corpus,
+            train_ids: assigned_train.clone(),
+            held_ids: assigned_held.clone(),
+            utt_frames: utt_frames.clone(),
+            strategy: config.strategy,
             fault: None,
+            strict: !faulted,
         };
-        let result = decentral_loop(&mut problem, config, &rec);
+        let (result, recoveries) = decentral_loop(&mut problem, config, &rec, recover_timeout);
         let theta = problem.theta();
         // Quiescence barrier closing the protocol, as in Master mode.
+        // A rank dying between the last collective and the barrier is
+        // tolerated — the survivors already hold the final θ.
         let barrier = problem.comm.barrier();
         let result = result.and_then(|stats| match barrier {
-            Ok(()) => Ok(stats),
+            Ok(()) | Err(CommError::RankDead { .. }) => Ok(stats),
             Err(e) => Err(Error::Comm(e.to_string())),
         });
-        (result, theta)
+        if faulted {
+            if let Err(e) = &result {
+                rec.event(
+                    "worker_comm_abort",
+                    vec![("error".into(), e.to_string().into())],
+                );
+            }
+        }
+        let dead_ranks = problem.comm.dead_ranks().to_vec();
+        DecentralOut {
+            result,
+            theta,
+            dead_ranks,
+            recoveries,
+        }
     };
-    let outcomes: Vec<RankOutcome<DecentralExit>> = match &mode {
+    let outcomes: Vec<RankOutcome<DecentralOut>> = match &mode {
         WorldMode::Normal => pdnn_mpisim::run_world(world, body),
         WorldMode::Deterministic => pdnn_mpisim::run_world_deterministic(world, body),
         WorldMode::Perturbed(seed) => pdnn_mpisim::run_world_perturbed(world, *seed, body),
-        // Rejected above; kept exhaustive so a new mode must decide.
-        WorldMode::Faulted(_) => unreachable!("fault plans rejected before world construction"),
+        WorldMode::Faulted(plan) => pdnn_mpisim::run_world_faulted(world, plan, body),
     };
     let schedule_seed = match &mode {
         WorldMode::Perturbed(seed) => Some(*seed),
@@ -1343,8 +1662,6 @@ fn train_decentral_impl(
     };
 
     let mut network = net0.clone();
-    let mut rank0: Option<DecentralExit> = None;
-    let mut rank0_theta: Option<Vec<f32>> = None;
     let mut master_trace = CommTrace::default();
     let mut master_telemetry = Telemetry::default();
     let mut master_events = Vec::new();
@@ -1352,6 +1669,7 @@ fn train_decentral_impl(
     let mut worker_telemetries = Vec::new();
     let mut worker_events = Vec::new();
     let mut hb_violations = Vec::new();
+    let mut rank_outs: Vec<(usize, DecentralOut)> = Vec::with_capacity(outcomes.len());
     for mut outcome in outcomes {
         outcome.telemetry.schedule_seed = schedule_seed;
         hb_violations.extend(outcome.hb.into_iter().map(|v| (outcome.rank, v)));
@@ -1359,29 +1677,44 @@ fn train_decentral_impl(
             master_trace = outcome.trace;
             master_telemetry = outcome.telemetry;
             master_events = outcome.events;
-            rank0_theta = Some(outcome.result.1.clone());
-            rank0 = Some(outcome.result);
         } else {
-            // The replicas must be bitwise in lockstep — any drift is
-            // a determinism bug in the allreduce layer.
-            if let Some(t0) = &rank0_theta {
-                if &outcome.result.1 != t0 {
-                    return Err(Error::Train(format!(
-                        "replicated optimizers diverged: rank {} θ differs from rank 0",
-                        outcome.rank
-                    )));
-                }
-            }
             worker_traces.push(outcome.trace);
             worker_telemetries.push(outcome.telemetry);
             worker_events.push(outcome.events);
         }
+        rank_outs.push((outcome.rank, outcome.result));
     }
-    let Some((result, theta_final)) = rank0 else {
-        return Err(Error::Train("rank 0 produced no output".into()));
-    };
+    rank_outs.sort_by_key(|(rank, _)| *rank);
+    // The reference replica is the lowest rank that finished cleanly
+    // (a kill victim exits early with an error and carries stale θ).
+    // Every other clean rank must match it bitwise — any drift is a
+    // determinism bug in the allreduce or recovery layer.
+    let reference = rank_outs
+        .iter()
+        .position(|(_, o)| o.result.is_ok())
+        .unwrap_or(0);
+    let ref_rank = rank_outs[reference].0;
+    for (rank, out) in &rank_outs {
+        if *rank == ref_rank || out.result.is_err() {
+            continue;
+        }
+        if out.theta != rank_outs[reference].1.theta {
+            return Err(Error::Train(format!(
+                "replicated optimizers diverged: rank {rank} θ differs from rank {ref_rank}"
+            )));
+        }
+    }
+    let (
+        _,
+        DecentralOut {
+            result,
+            theta,
+            dead_ranks,
+            recoveries,
+        },
+    ) = rank_outs.swap_remove(reference);
     let stats = result?;
-    network.set_flat(&theta_final);
+    network.set_flat(&theta);
 
     let master_phases = master_telemetry.phase_totals();
     let worker_phases = worker_telemetries
@@ -1399,14 +1732,16 @@ fn train_decentral_impl(
         worker_telemetries,
         hb_violations,
         schedule_seed,
-        dead_ranks: Vec::new(),
-        recoveries: 0,
+        dead_ranks,
+        recoveries,
         master_events,
         worker_events,
     })
 }
 
-/// θ snapshot the master can rewind to after a worker failure.
+/// θ snapshot a rank can rewind to after a worker failure — the
+/// master's checkpoint-restart anchor, or every masterless replica's
+/// in-memory rewind point.
 struct Snapshot {
     iter: usize,
     theta: Vec<f32>,
@@ -1587,10 +1922,16 @@ pub fn train_distributed_perturbed(
 
 /// [`train_distributed_deterministic`] under a seeded [`FaultPlan`]
 /// (see [`pdnn_mpisim::run_world_faulted`]): ranks can be killed,
-/// stalled, or have messages dropped at plan-chosen points, and the
-/// master recovers by re-sharding onto the survivors and replaying
-/// from the last checkpoint. Two runs under the same plan produce
-/// bit-identical weights and byte-identical telemetry.
+/// stalled, or have messages dropped at plan-chosen points. Under
+/// [`SyncStrategy::Master`] the master recovers by re-sharding onto
+/// the survivors and replaying from the last checkpoint; under the
+/// masterless modes the survivors run the peer-coordinated
+/// membership-agreement round, re-stitch the ring/tree, re-shard, and
+/// rewind their replicated optimizers in lockstep. Either way, two
+/// runs under the same plan produce bit-identical weights and
+/// byte-identical telemetry. (Stall and message-drop faults are
+/// best-effort in the masterless modes: the protocol only guarantees
+/// recovery for kills, which is what the test suite exercises.)
 pub fn train_distributed_faulted(
     net0: &Network<f32>,
     corpus: &Corpus,

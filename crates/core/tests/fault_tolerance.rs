@@ -8,8 +8,19 @@
 //! `GRADIENT` 5–7, `SAMPLE` is 8, and the first CG `GN_PRODUCT`
 //! occupies 9–12 — so the kill points below land before the gradient,
 //! inside the CG solve, and inside the held-out evaluation.
+//!
+//! The masterless suite (ISSUE 10) exercises the peer-coordinated
+//! recovery protocol: kills before the first gradient allreduce, mid
+//! ring hop, and during the binomial-tree drain at 4 and 8 ranks;
+//! same-plan bit-determinism; empty-plan byte-identity against the
+//! fault-free deterministic ring run; and the wire-codec interaction
+//! (a chunk whose owner dies mid-reduce-scatter must not leave a
+//! half-decoded image in any survivor's buffer).
 
-use pdnn_core::{train_distributed_faulted, DistributedConfig, Objective, TrainOutput};
+use pdnn_core::{
+    train_distributed_deterministic, train_distributed_faulted, DistributedConfig, Objective,
+    SyncStrategy, TrainOutput,
+};
 use pdnn_dnn::network::Network;
 use pdnn_mpisim::FaultPlan;
 use pdnn_obs::Telemetry;
@@ -190,4 +201,199 @@ fn faultless_plan_changes_nothing_observable() {
     assert_eq!(out.dead_ranks, Vec::<usize>::new());
     assert_eq!(out.recoveries, 0);
     assert_eq!(out.stats.len(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Masterless (ring/tree) recovery suite.
+// ---------------------------------------------------------------------
+
+fn masterless_config(sync: SyncStrategy, workers: usize, max_iters: usize) -> DistributedConfig {
+    let mut config = DistributedConfig {
+        workers,
+        sync,
+        ..DistributedConfig::default()
+    };
+    config.hf.max_iters = max_iters;
+    config
+}
+
+fn theta_bits(out: &TrainOutput) -> Vec<u32> {
+    out.network.to_flat().iter().map(|w| w.to_bits()).collect()
+}
+
+/// Shared assertions for a masterless run that lost exactly one rank.
+/// The victim may be any rank (including rank 0 — the collection layer
+/// then reports the lowest surviving replica), so events are searched
+/// across every rank's telemetry.
+fn assert_masterless_recovered(out: &TrainOutput, victim: usize, max_iters: usize) {
+    assert_eq!(out.dead_ranks, vec![victim]);
+    assert_eq!(out.recoveries, 1, "expected exactly one recovery");
+    assert_eq!(out.stats.len(), max_iters, "training did not complete");
+    for s in &out.stats {
+        assert!(
+            s.train_loss.is_finite() && s.heldout_after.is_finite(),
+            "non-finite stats after recovery: {s:?}"
+        );
+    }
+    let all: Vec<&Telemetry> = std::iter::once(&out.master_telemetry)
+        .chain(out.worker_telemetries.iter())
+        .collect();
+    let any_event = |name: &str| all.iter().any(|t| t.events.iter().any(|e| e.name == name));
+    assert!(any_event("worker_failure"), "no worker_failure event");
+    assert!(any_event("recovery_complete"), "no recovery_complete event");
+    assert!(
+        any_event("worker_comm_abort"),
+        "killed rank did not record its abort"
+    );
+    // Every survivor replays the re-partition locally: world-1 ranks
+    // each record one shard reassignment, the victim none.
+    let world = out.worker_telemetries.len() + 1;
+    let reassignments: u64 = all.iter().map(|t| t.counter("shard_reassignments")).sum();
+    assert_eq!(
+        reassignments,
+        (world - 1) as u64,
+        "every survivor must absorb a share of the orphaned shard"
+    );
+}
+
+fn run_masterless_kill(
+    seed: u64,
+    sync: SyncStrategy,
+    workers: usize,
+    max_iters: usize,
+    victim: usize,
+    at_collective: u64,
+) -> TrainOutput {
+    let (corpus, net0) = corpus_and_net(seed);
+    let cfg = masterless_config(sync, workers, max_iters);
+    let plan = kill_plan(victim, at_collective);
+    train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+        .expect("masterless training must survive one rank death")
+}
+
+#[test]
+fn ring_kill_before_gradient_recovers_at_4_ranks() {
+    // Rank 2 dies entering its very first collective: the survivors
+    // abort the first gradient allreduce, agree on membership, and
+    // replay from iteration 0.
+    let out = run_masterless_kill(21, SyncStrategy::Ring, 4, 3, 2, 0);
+    assert_masterless_recovered(&out, 2, 3);
+}
+
+#[test]
+fn ring_kill_mid_hop_recovers_at_8_ranks() {
+    // A kill a few collectives in lands while the survivors are mid
+    // ring hop (reduce-scatter/allgather in flight on every rank).
+    let out = run_masterless_kill(23, SyncStrategy::Ring, 8, 2, 5, 7);
+    assert_masterless_recovered(&out, 5, 2);
+}
+
+#[test]
+fn tree_kill_during_drain_recovers_at_4_ranks() {
+    // The binomial tree is draining toward its root when the victim
+    // disappears; the re-parented tree must route around it.
+    let out = run_masterless_kill(25, SyncStrategy::Tree, 4, 2, 1, 4);
+    assert_masterless_recovered(&out, 1, 2);
+}
+
+#[test]
+fn tree_kill_recovers_at_8_ranks() {
+    let out = run_masterless_kill(27, SyncStrategy::Tree, 8, 2, 3, 2);
+    assert_masterless_recovered(&out, 3, 2);
+}
+
+#[test]
+fn masterless_kill_of_rank0_elects_next_coordinator() {
+    // Rank 0 is the default membership coordinator; killing it forces
+    // the survivors to elect rank 1 and the collection layer to report
+    // from the lowest surviving replica.
+    let out = run_masterless_kill(29, SyncStrategy::Ring, 4, 2, 0, 5);
+    assert_masterless_recovered(&out, 0, 2);
+}
+
+#[test]
+fn masterless_same_plan_is_bit_deterministic() {
+    let (corpus, net0) = corpus_and_net(31);
+    let cfg = masterless_config(SyncStrategy::Ring, 4, 2);
+    let plan = kill_plan(1, 6);
+    let run = || {
+        train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+            .expect("masterless training must survive one rank death")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        theta_bits(&a),
+        theta_bits(&b),
+        "weights diverged across same-plan masterless runs"
+    );
+    assert_eq!(
+        telemetry_jsonl(&a),
+        telemetry_jsonl(&b),
+        "telemetry diverged across same-plan masterless runs"
+    );
+    assert_eq!(a.dead_ranks, b.dead_ranks);
+    assert_eq!(a.recoveries, b.recoveries);
+}
+
+#[test]
+fn masterless_empty_plan_is_byte_identical_to_fault_free_ring() {
+    // Arming the fault machinery without any scheduled fault must not
+    // perturb anything observable: same θ bits, same telemetry bytes
+    // as the fault-free deterministic ring run.
+    let (corpus, net0) = corpus_and_net(33);
+    let cfg = masterless_config(SyncStrategy::Ring, 3, 2);
+    let plan = FaultPlan::new(1);
+    let faulted = train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &cfg, &plan)
+        .expect("empty-plan masterless run");
+    let clean = train_distributed_deterministic(&net0, &corpus, &Objective::CrossEntropy, &cfg)
+        .expect("fault-free masterless run");
+    assert_eq!(faulted.dead_ranks, Vec::<usize>::new());
+    assert_eq!(faulted.recoveries, 0);
+    assert_eq!(theta_bits(&faulted), theta_bits(&clean), "θ diverged");
+    assert_eq!(
+        telemetry_jsonl(&faulted),
+        telemetry_jsonl(&clean),
+        "telemetry diverged between empty-plan and fault-free ring runs"
+    );
+}
+
+#[test]
+fn codec_armed_kill_matches_uncompressed_faulted_ring() {
+    use pdnn_mpisim::{CommError, ReduceOp, WireCodec};
+    // Integer-valued f32 inputs are exact in binary16, so the F16
+    // codec is lossless here — any half-decoded wire image left in a
+    // survivor's buffer by the aborted reduce-scatter would surface as
+    // a bitwise mismatch against the uncompressed faulted run.
+    let survivors = |codec: WireCodec| -> Vec<Vec<u32>> {
+        let plan = FaultPlan::new(7)
+            .kill(2, 0)
+            .with_timeouts(Duration::from_millis(200), Duration::from_secs(30));
+        let n = 640usize;
+        let outs = pdnn_mpisim::run_world_faulted(5, &plan, move |comm| {
+            comm.set_wire_codec(codec);
+            let seed_buf = |rank: usize| -> Vec<f32> {
+                (0..n).map(|i| ((rank * 97 + i) % 50) as f32).collect()
+            };
+            let mut buf = seed_buf(comm.rank());
+            match comm.allreduce_ring(&mut buf, ReduceOp::Sum) {
+                Err(CommError::Killed) => return None,
+                Err(CommError::RankDead { rank }) => comm.ack_dead(rank),
+                other => panic!("unexpected first allreduce outcome: {other:?}"),
+            }
+            // Survivors re-seed and rerun over the re-stitched ring.
+            let mut buf = seed_buf(comm.rank());
+            comm.allreduce_ring_timed(&mut buf, ReduceOp::Sum, Duration::from_secs(30))
+                .expect("re-stitched ring must complete");
+            Some(buf.iter().map(|x| x.to_bits()).collect::<Vec<u32>>())
+        });
+        outs.into_iter().filter_map(|o| o.result).collect()
+    };
+    let plain = survivors(WireCodec::None);
+    let coded = survivors(WireCodec::F16);
+    assert_eq!(plain.len(), 4, "expected 4 survivors");
+    assert_eq!(
+        plain, coded,
+        "codec-armed re-stitched ring differs from the uncompressed faulted run"
+    );
 }

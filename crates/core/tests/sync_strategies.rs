@@ -8,7 +8,10 @@
 //!   rank 0 than master-centric sync at 8 ranks, zero p2p;
 //! * wire compression (f16) reaches held-out accuracy parity with the
 //!   uncompressed run under the same seed;
-//! * fault plans are rejected outside Master mode (no coordinator).
+//! * fault plans work in every mode: the masterless modes recover via
+//!   the peer-coordinated membership round (ISSUE 10), exercised in
+//!   depth by `tests/fault_tolerance.rs` — here we just check the
+//!   entry point accepts a plan and survives a kill.
 
 use pdnn_core::{
     train_distributed, train_distributed_deterministic, train_distributed_faulted,
@@ -272,23 +275,24 @@ fn wire_codec_reaches_heldout_parity() {
 }
 
 #[test]
-fn fault_plans_are_rejected_outside_master_mode() {
+fn fault_plans_are_accepted_and_recovered_in_masterless_modes() {
     let corpus = Corpus::generate(CorpusSpec::tiny(9));
     let net0 = small_net(&corpus, 8);
-    let plan = FaultPlan::new(41).kill(1, 5);
+    let plan = FaultPlan::new(41).kill(1, 5).with_timeouts(
+        std::time::Duration::from_millis(500),
+        std::time::Duration::from_secs(30),
+    );
     for sync in [SyncStrategy::Ring, SyncStrategy::Tree] {
-        let err = train_distributed_faulted(
+        let out = train_distributed_faulted(
             &net0,
             &corpus,
             &Objective::CrossEntropy,
             &config_for(sync, 3, 2),
             &plan,
         )
-        .err()
-        .expect("fault plan must be rejected in masterless modes");
-        assert!(
-            err.to_string().contains("SyncStrategy::Master"),
-            "unhelpful error: {err}"
-        );
+        .unwrap_or_else(|e| panic!("{sync:?}: masterless fault plan failed: {e}"));
+        assert_eq!(out.dead_ranks, vec![1], "{sync:?}");
+        assert!(out.recoveries >= 1, "{sync:?}: no recovery recorded");
+        assert_eq!(out.stats.len(), 2, "{sync:?}: run did not complete");
     }
 }

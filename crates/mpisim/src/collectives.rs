@@ -34,8 +34,16 @@ pub trait CollElem: Copy + Send + 'static {
     fn unwrap_checked(p: Payload) -> Result<Vec<Self>, Payload>;
     /// Unwrap a payload (panics on type mismatch — protocol bug).
     fn unwrap(p: Payload) -> Vec<Self>;
+    /// Borrow the payload's elements when it carries exactly this
+    /// type (no wire decode, no copy).
+    fn try_slice(p: &Payload) -> Option<&[Self]>;
     /// Combine `b` into `a` under `op`.
     fn combine(op: ReduceOp, a: &mut [Self], b: &[Self]);
+    /// Fold `incoming` into `own` in place with `incoming` as the
+    /// *left* operand — bitwise identical to combining `own` into a
+    /// copy of `incoming` and writing the copy back, without the
+    /// allocation. The ring reduce-scatter hot loop runs on this.
+    fn fold_into(op: ReduceOp, incoming: &[Self], own: &mut [Self]);
 }
 
 /// Reduction operator.
@@ -73,6 +81,12 @@ macro_rules! impl_coll_elem {
                     ),
                 }
             }
+            fn try_slice(p: &Payload) -> Option<&[Self]> {
+                match p {
+                    Payload::$variant(v) => Some(v),
+                    _ => None,
+                }
+            }
             fn combine(op: ReduceOp, a: &mut [Self], b: &[Self]) {
                 assert_eq!(a.len(), b.len(), "collective length mismatch across ranks");
                 match op {
@@ -92,6 +106,40 @@ macro_rules! impl_coll_elem {
                         for (x, &y) in a.iter_mut().zip(b) {
                             if y < *x {
                                 *x = y;
+                            }
+                        }
+                    }
+                }
+            }
+            fn fold_into(op: ReduceOp, incoming: &[Self], own: &mut [Self]) {
+                assert_eq!(
+                    incoming.len(),
+                    own.len(),
+                    "collective length mismatch across ranks"
+                );
+                match op {
+                    ReduceOp::Sum => {
+                        for (y, &x) in own.iter_mut().zip(incoming) {
+                            *y += x;
+                        }
+                    }
+                    // `combine` keeps the incoming (left) element
+                    // unless `own` compares strictly greater/less;
+                    // the `partial_cmp` match reproduces that exactly,
+                    // NaN handling included.
+                    ReduceOp::Max => {
+                        for (y, &x) in own.iter_mut().zip(incoming) {
+                            match (*y).partial_cmp(&x) {
+                                Some(core::cmp::Ordering::Greater) => {}
+                                _ => *y = x,
+                            }
+                        }
+                    }
+                    ReduceOp::Min => {
+                        for (y, &x) in own.iter_mut().zip(incoming) {
+                            match (*y).partial_cmp(&x) {
+                                Some(core::cmp::Ordering::Less) => {}
+                                _ => *y = x,
                             }
                         }
                     }
@@ -193,6 +241,240 @@ fn first_u64<T: CollElem>(buf: &[T]) -> Option<u64> {
         Payload::U64(v) => v.first().copied(),
         _ => None,
     }
+}
+
+/// World sizes at or below this always run the chunked ring — the
+/// worlds the byte-ratio gates and the protomc ring model are pinned
+/// to.
+const RING_LATENCY_WORLD: usize = 8;
+
+/// Minimum per-chunk element count for the chunked ring to be worth
+/// its `2·(P−1)` sequential hops on larger worlds.
+const RING_CHUNK_FLOOR: usize = 128;
+
+/// MPICH-style size-dependent algorithm selection for
+/// [`Comm::allreduce_ring`]: the chunked ring is bandwidth-optimal,
+/// but its critical path is `2·(P−1)` sequential hops, which
+/// dominates wall time once per-chunk payloads get small. Large
+/// worlds with sub-floor chunks run the binomial tree shape
+/// (`2·⌈log₂ P⌉` hops) inside the same collective instead.
+fn use_tree_shape(m: usize, n: usize) -> bool {
+    m > RING_LATENCY_WORLD && n < RING_CHUNK_FLOOR * m
+}
+
+/// Ring/tree participants: every rank whose death has not been
+/// *acknowledged*, in rank order. Freshly-dead-but-unacknowledged
+/// ranks stay in the topology — every survivor keys the shape on the
+/// same acknowledged set, so re-stitching happens only through the
+/// recovery driver's membership-agreement round, never from raced
+/// death observations mid-collective.
+fn live_parts(comm: &Comm) -> Vec<usize> {
+    (0..comm.size()).filter(|&r| !comm.is_acked(r)).collect()
+}
+
+/// Decode a received chunk into `dst` without cloning the payload:
+/// payloads already carrying `T` are copied straight out of the
+/// borrow; wire images are decoded by reference first. Reports a
+/// kind mismatch with the on-wire kind (mirrors [`decoded_vec`]).
+fn decode_chunk_into<T: CollElem>(
+    payload: &Payload,
+    dst: &mut [T],
+    src: usize,
+    tag: u64,
+) -> Result<(), CommError> {
+    if let Some(slice) = T::try_slice(payload) {
+        dst.copy_from_slice(slice);
+        return Ok(());
+    }
+    let mismatch = || CommError::TypeMismatch {
+        src,
+        tag,
+        expected: T::KIND,
+        got: payload.kind(),
+    };
+    let decoded = crate::wire::decode_ref(payload).ok_or_else(mismatch)?;
+    let slice = T::try_slice(&decoded).ok_or_else(mismatch)?;
+    dst.copy_from_slice(slice);
+    Ok(())
+}
+
+/// The chunked-ring exchange body shared by the fault-free and timed
+/// [`Comm::allreduce_ring`] paths: reduce-scatter then ring
+/// allgather, run over `parts` — the participating ranks in rank
+/// order (all ranks fault-free; the surviving membership after a
+/// re-stitch). Positions in `parts` take the role ranks play in the
+/// full-world ring, so a re-stitched ring is exactly the textbook
+/// ring over `m = parts.len()` members.
+///
+/// With `timeout` set, every hop receive is bounded and a miss is
+/// mapped through [`Comm::hop_failure`] so the caller sees
+/// [`CommError::RankDead`] for the rank the recovery round must
+/// evict — not for the innocent upstream neighbour the timeout
+/// happened to fire on.
+fn ring_exchange<T: CollElem>(
+    comm: &mut Comm,
+    buf: &mut [T],
+    op: ReduceOp,
+    tag: u64,
+    parts: &[usize],
+    timeout: Option<Duration>,
+) -> Result<(), CommError> {
+    let m = parts.len();
+    let Some(p) = parts.iter().position(|&r| r == comm.rank()) else {
+        // A rank acknowledged as dead must not re-enter the topology;
+        // its own fate check surfaces the eviction.
+        return Err(CommError::RankDead { rank: comm.rank() });
+    };
+    if m == 1 {
+        return Ok(());
+    }
+    let n = buf.len();
+    // Chunk b owns range [bounds[b], bounds[b+1]).
+    let bounds: Vec<usize> = (0..=m).map(|b| b * n / m).collect();
+    let next = parts[(p + 1) % m];
+    let prev = parts[(p + m - 1) % m];
+
+    // ---- reduce-scatter ----
+    // At step s position p sends its accumulation of chunk
+    // (p − s) mod m downstream and folds the incoming accumulation
+    // into chunk (p − s − 1) mod m. After m − 1 steps position p owns
+    // the fully reduced chunk (p + 1) mod m.
+    for step in 0..m - 1 {
+        let send_c = (p + m - step) % m;
+        let recv_c = (p + 2 * m - step - 1) % m;
+        let send_slice = buf[bounds[send_c]..bounds[send_c + 1]].to_vec();
+        comm.send(next, tag + 1, T::wrap(send_slice))?;
+        let incoming = match timeout {
+            None => comm.recv_vec::<T>(Src::Of(prev), tag + 1)?,
+            Some(t) => match comm.recv_vec_timeout::<T>(Src::Of(prev), tag + 1, t) {
+                Ok(v) => v,
+                Err(e) => return Err(comm.hop_failure(prev, e)),
+            },
+        };
+        // Upstream accumulation is the left operand, so the fold
+        // stays left-deep in ring order.
+        T::fold_into(op, &incoming, &mut buf[bounds[recv_c]..bounds[recv_c + 1]]);
+    }
+
+    // ---- ring allgather ----
+    // The owner encodes its reduced chunk once and installs the
+    // decoded image locally; relays forward the wire image untouched,
+    // so every rank installs identical bytes for every chunk.
+    let owned = (p + 1) % m;
+    let img = comm.codec_encode(T::wrap(buf[bounds[owned]..bounds[owned + 1]].to_vec()));
+    let self_rank = comm.rank();
+    decode_chunk_into::<T>(
+        &img,
+        &mut buf[bounds[owned]..bounds[owned + 1]],
+        self_rank,
+        tag + 2,
+    )?;
+    let mut fwd = img;
+    for step in 0..m - 1 {
+        comm.send(next, tag + 2, fwd)?;
+        let pkt = match timeout {
+            None => comm.recv(Src::Of(prev), tag + 2)?,
+            Some(t) => match comm.recv_timeout(Src::Of(prev), tag + 2, t) {
+                Ok(pkt) => pkt,
+                Err(e) => return Err(comm.hop_failure(prev, e)),
+            },
+        };
+        // At step s the chunk arriving from upstream is (p − s) mod m
+        // (its owner is prev at s = 0).
+        let recv_c = (p + m - step) % m;
+        decode_chunk_into::<T>(
+            &pkt.payload,
+            &mut buf[bounds[recv_c]..bounds[recv_c + 1]],
+            pkt.src,
+            tag + 2,
+        )?;
+        fwd = pkt.payload;
+    }
+    Ok(())
+}
+
+/// The binomial-tree exchange body shared by the fault-free and
+/// timed [`Comm::allreduce_tree`] paths (and by the small-vector
+/// fallback of [`Comm::allreduce_ring`]): binomial reduce to
+/// `parts[0]` then binomial broadcast of the root's wire image, run
+/// over `parts` positions exactly like [`ring_exchange`]. With all
+/// ranks participating this reproduces the flat reduce-to-0 + bcast
+/// bits exactly. Timed receives map misses through
+/// [`Comm::hop_failure`].
+fn tree_exchange<T: CollElem>(
+    comm: &mut Comm,
+    buf: &mut [T],
+    op: ReduceOp,
+    tag: u64,
+    parts: &[usize],
+    timeout: Option<Duration>,
+) -> Result<(), CommError> {
+    let m = parts.len();
+    let Some(p) = parts.iter().position(|&r| r == comm.rank()) else {
+        return Err(CommError::RankDead { rank: comm.rank() });
+    };
+    if m == 1 {
+        return Ok(());
+    }
+
+    // ---- binomial reduce to parts[0] (same tree and operand order
+    // as `Comm::reduce` with root 0, over positions) ----
+    let mut mask = 1usize;
+    while mask < m {
+        if p & mask == 0 {
+            let src_p = p | mask;
+            if src_p < m {
+                let src = parts[src_p];
+                let other = match timeout {
+                    None => comm.recv_vec::<T>(Src::Of(src), tag + 1)?,
+                    Some(t) => match comm.recv_vec_timeout::<T>(Src::Of(src), tag + 1, t) {
+                        Ok(v) => v,
+                        Err(e) => return Err(comm.hop_failure(src, e)),
+                    },
+                };
+                T::combine(op, buf, &other);
+            }
+        } else {
+            let dst = parts[p & !mask];
+            comm.send(dst, tag + 1, T::wrap(buf.to_vec()))?;
+            break;
+        }
+        mask <<= 1;
+    }
+
+    // ---- binomial broadcast from parts[0] (same tree as
+    // `Comm::bcast`, forwarding the root's wire image) ----
+    let mut mask = 1usize;
+    let mut received: Option<(Payload, usize)> = None;
+    while mask < m {
+        if p & mask != 0 {
+            let src = parts[p - mask];
+            let pkt = match timeout {
+                None => comm.recv(Src::Of(src), tag + 2)?,
+                Some(t) => match comm.recv_timeout(Src::Of(src), tag + 2, t) {
+                    Ok(pkt) => pkt,
+                    Err(e) => return Err(comm.hop_failure(src, e)),
+                },
+            };
+            received = Some((pkt.payload, pkt.src));
+            break;
+        }
+        mask <<= 1;
+    }
+    let self_rank = comm.rank();
+    let (img, origin) = match received {
+        Some(image) => image,
+        None => (comm.codec_encode(T::wrap(buf.to_vec())), self_rank),
+    };
+    decode_chunk_into::<T>(&img, buf, origin, tag + 2)?;
+    mask >>= 1;
+    while mask > 0 {
+        if p + mask < m {
+            comm.send(parts[p + mask], tag + 2, img.clone())?;
+        }
+        mask >>= 1;
+    }
+    Ok(())
 }
 
 impl Comm {
@@ -444,22 +726,26 @@ impl Comm {
         })
     }
 
-    /// Fault-tolerant barrier: rank 0 collects an arrival from every
-    /// live rank (evicting any that miss the window) and then
-    /// releases them with an acknowledgement. Reports the first
-    /// failure as [`CommError::RankDead`]; [`Comm::barrier`]
-    /// dispatches here automatically when fault injection is armed.
+    /// Fault-tolerant barrier: the lowest rank not acknowledged dead
+    /// collects an arrival from every live rank (evicting any that
+    /// miss the window) and then releases them with an
+    /// acknowledgement. In master mode the root is always rank 0; in
+    /// a re-stitched masterless world it is the surviving
+    /// coordinator. Reports the first failure as
+    /// [`CommError::RankDead`]; [`Comm::barrier`] dispatches here
+    /// automatically when fault injection is armed.
     fn barrier_timed(&mut self, timeout: Duration) -> Result<(), CommError> {
         self.fault_gate()?;
         let size = self.size();
         if size == 1 {
             return Ok(());
         }
+        let root = self.barrier_root();
         with_collective(self, "barrier", false, |comm, tag| {
-            if comm.rank() == 0 {
+            if comm.rank() == root {
                 let mut first_err: Option<CommError> = None;
-                for src in 1..size {
-                    if comm.is_acked(src) {
+                for src in 0..size {
+                    if src == root || comm.is_acked(src) {
                         continue;
                     }
                     if comm.is_dead(src) {
@@ -480,14 +766,14 @@ impl Comm {
                         }
                     }
                 }
-                for dst in 1..size {
-                    if !comm.is_dead(dst) {
+                for dst in 0..size {
+                    if dst != root && !comm.is_dead(dst) {
                         comm.send(dst, tag + 1, Payload::Empty)?;
                     }
                 }
                 comm.push_event(CommEvent::Coll {
                     op: "barrier",
-                    root: 0,
+                    root,
                     kind: "Empty",
                     len: 0,
                     first: None,
@@ -499,11 +785,11 @@ impl Comm {
                     Some(e) => Err(e),
                 }
             } else {
-                comm.send(0, tag, Payload::Empty)?;
-                comm.recv_timeout(Src::Of(0), tag + 1, timeout)?;
+                comm.send(root, tag, Payload::Empty)?;
+                comm.recv_timeout(Src::Of(root), tag + 1, timeout)?;
                 comm.push_event(CommEvent::Coll {
                     op: "barrier",
-                    root: 0,
+                    root,
                     kind: "Empty",
                     len: 0,
                     first: None,
@@ -513,6 +799,12 @@ impl Comm {
                 Ok(())
             }
         })
+    }
+
+    /// Root of the timed barrier: the lowest rank whose death has not
+    /// been acknowledged (rank 0 until a recovery round evicts it).
+    fn barrier_root(&self) -> usize {
+        (0..self.size()).find(|&r| !self.is_acked(r)).unwrap_or(0)
     }
 
     /// Allreduce: every rank ends with the full reduction.
@@ -696,69 +988,75 @@ impl Comm {
         buf: &mut [T],
         op: ReduceOp,
     ) -> Result<(), CommError> {
+        if self.ft() {
+            let timeout = self.ft_timeout_peer();
+            return self.allreduce_ring_timed(buf, op, timeout);
+        }
         let size = self.size();
         if size == 1 {
             return Ok(());
         }
+        let parts: Vec<usize> = (0..size).collect();
+        let n = buf.len();
         with_collective(self, "allreduce_ring", true, |comm, tag| {
-            let rank = comm.rank();
-            let n = buf.len();
-            // Chunk b owns range [bounds[b], bounds[b+1]).
-            let bounds: Vec<usize> = (0..=size).map(|b| b * n / size).collect();
-            let next = (rank + 1) % size;
-            let prev = (rank + size - 1) % size;
-
-            // ---- reduce-scatter ----
-            // At step s this rank sends its accumulation of chunk
-            // (rank − s) mod P downstream and folds the incoming
-            // accumulation into chunk (rank − s − 1) mod P. After
-            // P − 1 steps this rank owns the fully reduced chunk
-            // (rank + 1) mod P.
-            for step in 0..size - 1 {
-                let send_c = (rank + size - step) % size;
-                let recv_c = (rank + 2 * size - step - 1) % size;
-                let send_slice = buf[bounds[send_c]..bounds[send_c + 1]].to_vec();
-                comm.send(next, tag + 1, T::wrap(send_slice))?;
-                let incoming = comm.recv_vec::<T>(Src::Of(prev), tag + 1)?;
-                let own = &mut buf[bounds[recv_c]..bounds[recv_c + 1]];
-                // Upstream accumulation is the left operand, so the
-                // fold stays left-deep in ring order.
-                let mut acc = incoming;
-                T::combine(op, &mut acc, own);
-                own.copy_from_slice(&acc);
-            }
-
-            // ---- ring allgather ----
-            // The owner encodes its reduced chunk once and installs
-            // the decoded image locally; relays forward the wire
-            // image untouched, so every rank installs identical
-            // bytes for every chunk.
-            let owned = (rank + 1) % size;
-            let img = comm.codec_encode(T::wrap(buf[bounds[owned]..bounds[owned + 1]].to_vec()));
-            let chunk = decoded_vec::<T>(img.clone(), rank, tag + 2)?;
-            buf[bounds[owned]..bounds[owned + 1]].copy_from_slice(&chunk);
-            let mut fwd = img;
-            for step in 0..size - 1 {
-                comm.send(next, tag + 2, fwd)?;
-                let pkt = comm.recv(Src::Of(prev), tag + 2)?;
-                // At step s the chunk arriving from upstream is
-                // (rank − s) mod P (its owner is prev at s = 0).
-                let recv_c = (rank + size - step) % size;
-                let chunk = decoded_vec::<T>(pkt.payload.clone(), pkt.src, tag + 2)?;
-                buf[bounds[recv_c]..bounds[recv_c + 1]].copy_from_slice(&chunk);
-                fwd = pkt.payload;
-            }
-
+            let r = if use_tree_shape(size, n) {
+                tree_exchange(comm, buf, op, tag, &parts, None)
+            } else {
+                ring_exchange(comm, buf, op, tag, &parts, None)
+            };
             comm.push_event(CommEvent::Coll {
                 op: "allreduce_ring",
-                root: 0,
+                root: parts[0],
                 kind: T::KIND,
-                len: buf.len(),
+                len: n,
                 first: None,
-                ok: true,
+                ok: r.is_ok(),
             });
             comm.trace_collective_done();
-            Ok(())
+            r
+        })
+    }
+
+    /// Fault-tolerant ring allreduce: every hop receive is bounded,
+    /// and a dead neighbour surfaces as [`CommError::RankDead`]
+    /// naming the lowest unacknowledged dead rank — the rank the
+    /// recovery round will evict — rather than wedging the ring.
+    ///
+    /// The exchange runs over the *acknowledged-live* membership, so
+    /// after the recovery driver's membership-agreement round the
+    /// same entry point is the re-stitched ring over survivors.
+    /// Starvation is structural: when a member dies mid-collective,
+    /// its downstream neighbour fails on the missing hop and every
+    /// rank further downstream starves in turn within the same
+    /// invocation, so all survivors abort the *same* collective
+    /// sequence number and re-enter recovery in lockstep.
+    /// [`Comm::allreduce_ring`] dispatches here automatically when a
+    /// non-empty fault plan is armed.
+    pub fn allreduce_ring_timed<T: CollElem>(
+        &mut self,
+        buf: &mut [T],
+        op: ReduceOp,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        self.fault_gate()?;
+        let parts = live_parts(self);
+        let n = buf.len();
+        with_collective(self, "allreduce_ring", true, |comm, tag| {
+            let r = if use_tree_shape(parts.len(), n) {
+                tree_exchange(comm, buf, op, tag, &parts, Some(timeout))
+            } else {
+                ring_exchange(comm, buf, op, tag, &parts, Some(timeout))
+            };
+            comm.push_event(CommEvent::Coll {
+                op: "allreduce_ring",
+                root: parts[0],
+                kind: T::KIND,
+                len: n,
+                first: None,
+                ok: r.is_ok(),
+            });
+            comm.trace_collective_done();
+            r
         })
     }
 
@@ -778,71 +1076,65 @@ impl Comm {
     /// ranks end bit-identical even under a lossy codec.
     pub fn allreduce_tree<T: CollElem>(
         &mut self,
-        buf: &mut Vec<T>,
+        buf: &mut [T],
         op: ReduceOp,
     ) -> Result<(), CommError> {
+        if self.ft() {
+            let timeout = self.ft_timeout_peer();
+            return self.allreduce_tree_timed(buf, op, timeout);
+        }
         let size = self.size();
         if size == 1 {
             return Ok(());
         }
+        let parts: Vec<usize> = (0..size).collect();
+        let n = buf.len();
         with_collective(self, "allreduce_tree", true, |comm, tag| {
-            let rank = comm.rank();
-
-            // ---- binomial reduce to rank 0 (same tree and operand
-            // order as `Comm::reduce` with root 0) ----
-            let mut mask = 1usize;
-            while mask < size {
-                if rank & mask == 0 {
-                    let src = rank | mask;
-                    if src < size {
-                        let other = comm.recv_vec::<T>(Src::Of(src), tag + 1)?;
-                        T::combine(op, buf, &other);
-                    }
-                } else {
-                    let dst = rank & !mask;
-                    comm.send(dst, tag + 1, T::wrap(buf.to_vec()))?;
-                    break;
-                }
-                mask <<= 1;
-            }
-
-            // ---- binomial broadcast from rank 0 (same tree as
-            // `Comm::bcast`, forwarding the root's wire image) ----
-            let mut mask = 1usize;
-            let mut received: Option<(Payload, usize)> = None;
-            while mask < size {
-                if rank & mask != 0 {
-                    let src = rank - mask;
-                    let pkt = comm.recv(Src::Of(src), tag + 2)?;
-                    received = Some((pkt.payload, pkt.src));
-                    break;
-                }
-                mask <<= 1;
-            }
-            let (img, origin) = match received {
-                Some(image) => image,
-                None => (comm.codec_encode(T::wrap(buf.clone())), rank),
-            };
-            *buf = decoded_vec::<T>(img.clone(), origin, tag + 2)?;
-            mask >>= 1;
-            while mask > 0 {
-                if rank + mask < size {
-                    let dst = rank + mask;
-                    comm.send(dst, tag + 2, img.clone())?;
-                }
-                mask >>= 1;
-            }
-
+            let r = tree_exchange(comm, buf, op, tag, &parts, None);
             comm.push_event(CommEvent::Coll {
                 op: "allreduce_tree",
-                root: 0,
+                root: parts[0],
                 kind: T::KIND,
-                len: buf.len(),
+                len: n,
                 first: None,
-                ok: true,
+                ok: r.is_ok(),
             });
             comm.trace_collective_done();
-            Ok(())
+            r
+        })
+    }
+
+    /// Fault-tolerant tree allreduce: the binomial exchange of
+    /// [`Comm::allreduce_tree`] over the acknowledged-live membership
+    /// (re-parented over survivors after a re-stitch), with bounded
+    /// hop receives mapping a dead relay to [`CommError::RankDead`]
+    /// for the lowest unacknowledged dead rank. All survivors abort
+    /// the same collective invocation — a dead interior node starves
+    /// its parent in the reduce and its subtree in the drain
+    /// broadcast, within this invocation's tag window.
+    /// [`Comm::allreduce_tree`] dispatches here automatically when a
+    /// non-empty fault plan is armed.
+    pub fn allreduce_tree_timed<T: CollElem>(
+        &mut self,
+        buf: &mut [T],
+        op: ReduceOp,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        self.fault_gate()?;
+        let parts = live_parts(self);
+        let n = buf.len();
+        with_collective(self, "allreduce_tree", true, |comm, tag| {
+            let r = tree_exchange(comm, buf, op, tag, &parts, Some(timeout));
+            comm.push_event(CommEvent::Coll {
+                op: "allreduce_tree",
+                root: parts[0],
+                kind: T::KIND,
+                len: n,
+                first: None,
+                ok: r.is_ok(),
+            });
+            comm.trace_collective_done();
+            r
         })
     }
 
@@ -970,7 +1262,7 @@ impl Comm {
     /// Dissemination barrier.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         if self.ft() {
-            let timeout = self.ft_timeout_for_root(0);
+            let timeout = self.ft_timeout_for_root(self.barrier_root());
             return self.barrier_timed(timeout);
         }
         let size = self.size();
@@ -1310,6 +1602,114 @@ mod tests {
             assert_eq!(r.trace.collective.bytes_sent, 6400);
             assert_eq!(r.trace.collective.bytes_received, 6400);
             assert_eq!(r.trace.p2p.bytes_sent, 0);
+        }
+    }
+
+    #[test]
+    fn small_vector_ring_falls_back_to_tree_shape_on_large_worlds() {
+        // P=16 with a sub-floor chunk (100/16 ≈ 6 elements): the ring
+        // entry point keeps its name and counters but runs the
+        // binomial tree shape, so the result is bit-identical to
+        // allreduce_tree and the critical path is 2·⌈log₂P⌉ hops
+        // instead of 2·(P−1).
+        let n = 100usize;
+        let results = run_world(16, move |comm| {
+            let mut ring = gen_f32(comm.rank(), n);
+            comm.allreduce_ring(&mut ring, ReduceOp::Sum).unwrap();
+            let mut tree = gen_f32(comm.rank(), n);
+            comm.allreduce_tree(&mut tree, ReduceOp::Sum).unwrap();
+            (ring, tree, comm.take_telemetry())
+        });
+        for r in &results {
+            let (ring, tree, t) = &r.result;
+            let rb: Vec<u32> = ring.iter().map(|x| x.to_bits()).collect();
+            let tb: Vec<u32> = tree.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(rb, tb, "rank={}", r.rank);
+            // The fallback is still attributed to the collective the
+            // caller asked for.
+            assert!(t.counter("wire_sent_allreduce_ring") > 0, "rank={}", r.rank);
+        }
+    }
+
+    #[test]
+    fn large_vector_ring_stays_chunked_on_large_worlds() {
+        // At the chunk floor (128 elements per rank at P=16) the ring
+        // keeps its bandwidth-optimal chunked shape: bits match the
+        // serial ring reference and every rank moves exactly
+        // 2·(P−1)·(n/P) elements, symmetric across ranks.
+        let n = 16 * RING_CHUNK_FLOOR;
+        let results = run_world(16, move |comm| {
+            let mut v = gen_f32(comm.rank(), n);
+            comm.allreduce_ring(&mut v, ReduceOp::Sum).unwrap();
+            v
+        });
+        let expect: Vec<u32> = ring_reference_f32(16, n)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let per_rank = (2 * 15 * RING_CHUNK_FLOOR * 4) as u64;
+        for r in &results {
+            let got: Vec<u32> = r.result.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, expect, "rank={}", r.rank);
+            assert_eq!(r.trace.collective.bytes_sent, per_rank);
+            assert_eq!(r.trace.collective.bytes_received, per_rank);
+        }
+    }
+
+    #[test]
+    fn killed_ring_surfaces_rank_dead_and_restitches_over_survivors() {
+        use crate::fault::FaultPlan;
+        use crate::runner::run_world_faulted;
+        let plan = FaultPlan::new(7)
+            .kill(2, 0)
+            .with_timeouts(Duration::from_millis(200), Duration::from_secs(30));
+        let results = run_world_faulted(5, &plan, |comm| {
+            let mut v = gen_f32(comm.rank(), 40);
+            let first = comm.allreduce_ring(&mut v, ReduceOp::Sum);
+            if matches!(first, Err(CommError::Killed)) {
+                return None;
+            }
+            // Every survivor aborts the same invocation naming the
+            // same dead rank — the victim's successor sees the death
+            // notice directly, everyone further downstream starves on
+            // a timed hop that `hop_failure` attributes to the dead
+            // rank rather than the innocent upstream neighbour.
+            assert!(
+                matches!(first, Err(CommError::RankDead { rank: 2 })),
+                "rank={}: {first:?}",
+                comm.rank()
+            );
+            comm.ack_dead(2);
+            // Once acknowledged, the same exchanges run re-stitched
+            // over the four survivors. Survivors abort the failed
+            // collective up to one detect-timeout apart (the victim's
+            // successor fails instantly, the furthest downstream rank
+            // waits out its whole window), so the first re-stitched
+            // hop uses the generous post-agreement window the recovery
+            // driver grants — the driver's membership round plays this
+            // role in training runs.
+            let wide = Duration::from_secs(30);
+            let mut w = gen_f32(comm.rank(), 40);
+            comm.allreduce_ring_timed(&mut w, ReduceOp::Sum, wide)
+                .unwrap();
+            let mut t = gen_f32(comm.rank(), 40);
+            comm.allreduce_tree_timed(&mut t, ReduceOp::Sum, wide)
+                .unwrap();
+            Some((w, t))
+        });
+        let survivors: Vec<_> = results.iter().filter_map(|r| r.result.clone()).collect();
+        assert_eq!(survivors.len(), 4, "exactly the victim is missing");
+        for s in &survivors[1..] {
+            let (a0, b0) = &survivors[0];
+            let (a, b) = s;
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                a0.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b0.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -321,9 +321,13 @@ impl Comm {
     }
 
     /// Whether fault tolerance is armed (collectives dispatch to
-    /// their timed flat variants when it is).
+    /// their timed variants when it is). An armed but *empty* plan
+    /// does not count: the timed variants have different message
+    /// shapes (flat star vs tree/dissemination), and a faulted world
+    /// running an empty plan must stay byte-identical to the
+    /// fault-free run.
     pub(crate) fn ft(&self) -> bool {
-        self.fault.is_some()
+        matches!(&self.fault, Some(ctx) if !ctx.plan.actions.is_empty())
     }
 
     /// Timeout window for a timed collective: the root runs the short
@@ -334,6 +338,55 @@ impl Comm {
             Some(ctx) if self.rank == root => ctx.plan.detect_timeout,
             Some(ctx) => ctx.plan.worker_timeout,
             None => Duration::from_secs(30),
+        }
+    }
+
+    /// Timeout window for a peer hop in the masterless ring/tree
+    /// collectives: every survivor runs the short detection window —
+    /// there is no asymmetric root to out-wait, and the
+    /// membership-agreement round re-synchronizes the survivors after
+    /// a failure.
+    pub(crate) fn ft_timeout_peer(&self) -> Duration {
+        match &self.fault {
+            Some(ctx) => ctx.plan.detect_timeout,
+            None => Duration::from_secs(30),
+        }
+    }
+
+    /// Lowest-numbered dead rank whose failure has not been
+    /// acknowledged yet — the failure the masterless recovery layer
+    /// agrees on next. Rank order, not discovery order, so every
+    /// survivor picks the same one.
+    pub(crate) fn lowest_unacked_dead(&self) -> Option<usize> {
+        self.dead
+            .iter()
+            .copied()
+            .filter(|r| !self.acked.contains(r))
+            .min()
+    }
+
+    /// Normalize a failed timed hop in a masterless collective into
+    /// the death the recovery layer should act on. A timeout while an
+    /// unacknowledged peer death is already known is attributed to
+    /// that death — the hop peer is merely starved downstream of the
+    /// dead rank and must *not* be evicted. A timeout with no known
+    /// death evicts the hop peer itself (it went silent). A
+    /// `RankDead` report is re-pointed at the lowest unacknowledged
+    /// death so every survivor recovers the same failure first.
+    pub(crate) fn hop_failure(&mut self, peer: usize, e: CommError) -> CommError {
+        match e {
+            CommError::Timeout => match self.lowest_unacked_dead() {
+                Some(dead) => CommError::RankDead { rank: dead },
+                None => {
+                    self.evict(peer);
+                    CommError::RankDead { rank: peer }
+                }
+            },
+            CommError::RankDead { rank } => {
+                let rank = self.lowest_unacked_dead().unwrap_or(rank);
+                CommError::RankDead { rank }
+            }
+            other => other,
         }
     }
 
@@ -362,11 +415,28 @@ impl Comm {
         });
     }
 
+    /// Dead ranks whose failure has not been acknowledged yet, in
+    /// rank order — the set a masterless recovery round must agree on
+    /// and then [`Comm::ack_dead`]. Empty once every known death is
+    /// acknowledged.
+    pub fn unacked_dead(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .dead
+            .iter()
+            .copied()
+            .filter(|r| !self.acked.contains(r))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Declare `rank` dead after it missed a timeout window: mark it
     /// locally and send it `CTRL_EVICT` so that, if it is merely
     /// stalled, it stops participating instead of corrupting later
-    /// tag windows.
-    pub(crate) fn evict(&mut self, rank: usize) {
+    /// tag windows. Public so recovery layers (the master's
+    /// checkpoint-restart driver, the masterless membership round) can
+    /// expel a coordinator or reporter that went silent.
+    pub fn evict(&mut self, rank: usize) {
         self.recorder.event(
             "rank_evicted",
             vec![

@@ -175,6 +175,23 @@ pub fn encode(codec: WireCodec, payload: Payload) -> Payload {
     }
 }
 
+/// Decode a wire image by reference: `Some(F32)` for `F16`/`QI8`
+/// payloads, `None` for anything already in its final form. Lets the
+/// ring allgather decode a received chunk into the caller's buffer
+/// while still forwarding the original wire image untouched, without
+/// cloning the packet payload first.
+pub fn decode_ref(payload: &Payload) -> Option<Payload> {
+    match payload {
+        Payload::F16(v) => Some(Payload::F32(
+            v.iter().map(|&h| f16_bits_to_f32(h)).collect(),
+        )),
+        Payload::QI8 { scale, q } => Some(Payload::F32(
+            q.iter().map(|&x| f32::from(x) * *scale).collect(),
+        )),
+        _ => None,
+    }
+}
+
 /// Decode a wire image back to `F32`; payloads that are not wire
 /// images pass through untouched. Unconditional: `F16`/`QI8`
 /// payloads only ever originate from [`encode`].

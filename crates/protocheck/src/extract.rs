@@ -1086,6 +1086,52 @@ fn extract_collectives(file: &SourceFile, model: &mut Model) {
     }
 }
 
+// ---------------------------------------------------------------
+// masterless recovery sub-protocol (distributed.rs)
+// ---------------------------------------------------------------
+
+/// The peer-coordinated recovery fns (membership agreement, re-shard
+/// replay) are symmetric sub-protocols living in `distributed.rs`:
+/// every participant both sends and receives on the same tag set
+/// within one fn, unlike the master/worker role split where send and
+/// recv sites pair up *across* fns. Any fn with both send and recv
+/// sites is therefore modeled like a collective and held to the same
+/// p2 tag-pairing rule.
+fn extract_decentral_recovery(file: &SourceFile, model: &mut Model) {
+    let text = &file.masked;
+    for f in fns_in(text, 0..text.len()) {
+        let line = file.line_of(f.offset);
+        if file.test_lines.get(line).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut send_tags = Vec::new();
+        let mut recv_tags = Vec::new();
+        for call in scan_calls(file, f.body.clone()) {
+            let tag_expr = call
+                .args
+                .get(1)
+                .map(|a| a.chars().filter(|c| !c.is_whitespace()).collect::<String>());
+            let Some(tag) = tag_expr else {
+                continue;
+            };
+            match call.name {
+                "send" => send_tags.push(tag),
+                "recv" | "recv_vec" | "recv_timeout" | "recv_vec_timeout" => recv_tags.push(tag),
+                _ => {}
+            }
+        }
+        if send_tags.is_empty() || recv_tags.is_empty() {
+            continue;
+        }
+        model.collective_fns.push(CollectiveFn {
+            name: f.name.clone(),
+            site: site(file, f.offset),
+            send_tags,
+            recv_tags,
+        });
+    }
+}
+
 /// Extract the full protocol model from the two source files.
 pub fn extract(distributed: &SourceFile, collectives: &SourceFile) -> Model {
     let mut model = Model {
@@ -1098,6 +1144,7 @@ pub fn extract(distributed: &SourceFile, collectives: &SourceFile) -> Model {
     extract_master_branch(distributed, &mut model);
     extract_worker(distributed, &mut model);
     extract_collectives(collectives, &mut model);
+    extract_decentral_recovery(distributed, &mut model);
     model
 }
 

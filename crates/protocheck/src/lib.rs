@@ -173,17 +173,22 @@ mod tests {
         assert!(m.worker_catchall);
         assert_eq!(m.startup_sends.len(), 2);
         assert_eq!(m.startup_recvs.len(), 2);
-        // The collective algorithms were all modeled — including the
-        // masterless ring and binomial-tree allreduces, whose internal
-        // tag windows fall under the same p2 pairing rule.
+        // The collective algorithms were all modeled — the masterless
+        // ring and binomial-tree tag windows now live in the shared
+        // `ring_exchange` / `tree_exchange` bodies (the dispatchers
+        // hold no send/recv sites of their own) — plus the
+        // peer-coordinated recovery sub-protocol from distributed.rs,
+        // whose symmetric fns fall under the same p2 pairing rule.
         for name in [
             "bcast",
             "reduce",
             "allreduce",
             "allreduce_rabenseifner",
-            "allreduce_ring",
-            "allreduce_tree",
+            "ring_exchange",
+            "tree_exchange",
             "barrier",
+            "agree_membership",
+            "recover",
         ] {
             assert!(
                 m.collective_fns.iter().any(|f| f.name == name),

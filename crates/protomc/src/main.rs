@@ -162,6 +162,42 @@ fn run_training_traces(spec: &pdnn_protomc::ProtoSpec) -> Result<Vec<NamedRun>, 
             replay: decentral::replay_decentral_run(dmode, &streams),
         });
     }
+
+    // A *real* killed ring: rank 2 dies entering a collective, the
+    // survivors run the peer-coordinated recovery, and the recorded
+    // streams must map onto the faulted grammar with nothing left
+    // over — victim silent, one aborted collective per survivor,
+    // recovery p2p only on the report/agree/shard tags, resumed
+    // schedule re-rooted at the lowest survivor.
+    let mut ring_cfg = DistributedConfig {
+        workers: 4,
+        sync: SyncStrategy::Ring,
+        ..DistributedConfig::default()
+    };
+    ring_cfg.hf.max_iters = 3;
+    let plan = FaultPlan::new(41)
+        .kill(2, 5)
+        .with_timeouts(Duration::from_millis(500), Duration::from_secs(30));
+    let killed_ring =
+        train_distributed_faulted(&net0, &corpus, &Objective::CrossEntropy, &ring_cfg, &plan)
+            .map_err(|e| format!("killed ring training run failed: {e:?}"))?;
+    if killed_ring.dead_ranks != vec![2] {
+        return Err(format!(
+            "ring fault injection did not take: dead ranks {:?}",
+            killed_ring.dead_ranks
+        ));
+    }
+    let mut streams: Vec<&[pdnn_mpisim::CommEvent]> = vec![&killed_ring.master_events];
+    streams.extend(killed_ring.worker_events.iter().map(|e| e.as_slice()));
+    runs.push(NamedRun {
+        name: "ring-masterless-4rank-kill-rank2".to_string(),
+        dead_ranks: killed_ring.dead_ranks.clone(),
+        replay: decentral::replay_decentral_faulted_run(
+            decentral::DMode::Ring,
+            &streams,
+            &killed_ring.dead_ranks,
+        ),
+    });
     Ok(runs)
 }
 
@@ -229,13 +265,19 @@ fn main() -> ExitCode {
     };
 
     let decentral_worlds = if cli.run_check {
-        let worlds = decentral::check_worlds();
+        let mut worlds = decentral::check_worlds();
+        worlds.extend(decentral::check_recovery_worlds());
         for w in &worlds {
             println!(
-                "protomc decentral: {} mode, {}-rank world: {} states / {} transitions, \
+                "protomc decentral: {} mode, {}-rank world ({}): {} states / {} transitions, \
                  {} terminals, {} violation(s)",
                 w.mode.label(),
                 w.ranks,
+                if w.kill_placements == 0 {
+                    "fault-free".to_string()
+                } else {
+                    format!("{} kill placements", w.kill_placements)
+                },
                 w.outcome.states,
                 w.outcome.transitions,
                 w.outcome.terminals,

@@ -16,7 +16,8 @@
 //!               "terminals": 0, "kill_placements": 0,
 //!               "verdicts": {"p5-deadlock-free": "proved"}, "agrees": true}],
 //!   "decentral": {"findings": 0, "worlds": [{"mode": "ring", "ranks": 3,
-//!               "states": 0, "transitions": 0, "terminals": 0,
+//!               "kill_placements": 0, "states": 0, "transitions": 0,
+//!               "terminals": 0,
 //!               "verdicts": {"p5-deadlock-free": "proved"}}]},
 //!   "mutation_selftest": {"mutations": 21, "caught": 21, "results": []},
 //!   "conformance": {"unmapped": 0, "runs": []}
@@ -95,10 +96,11 @@ fn push_decentral(out: &mut String, worlds: &[DecentralWorld]) {
         }
         let _ = write!(
             out,
-            "{{\"mode\": \"{}\", \"ranks\": {}, \"states\": {}, \"transitions\": {}, \
-             \"terminals\": {}",
+            "{{\"mode\": \"{}\", \"ranks\": {}, \"kill_placements\": {}, \"states\": {}, \
+             \"transitions\": {}, \"terminals\": {}",
             w.mode.label(),
             w.ranks,
+            w.kill_placements,
             w.outcome.states,
             w.outcome.transitions,
             w.outcome.terminals

@@ -36,10 +36,13 @@ cargo run -q --release -p pdnn-protocheck -- --dynamic 8 --workers 3 --iters 2
 echo "== protocol: pdnn-protomc model check + mutation self-test + trace conformance =="
 # Exhaustive interleaving exploration of the 2/3/4-rank worlds with a
 # one-kill fault budget, cross-checked against a sleep-set-reduced
-# run, plus the masterless ring/tree micro-step worlds at the same
-# sizes; then the seeded-mutation battery (master + decentral) and
-# replay of four real 4-rank training traces (fault-free, injected
-# kill, ring sync, tree sync) through the automata.
+# run, plus the masterless ring/tree worlds at the same sizes —
+# fault-free and with a one-kill budget at every (victim,
+# collective-entry) placement of the peer-coordinated recovery model;
+# then the seeded-mutation battery (master + decentral + recovery)
+# and replay of five real 4-rank training traces (fault-free,
+# injected kill, ring sync, tree sync, ring sync with a mid-training
+# kill) through the automata.
 cargo run -q --release -p pdnn-protomc
 pm_report=results/protomc_report.json
 grep -q '"findings": 0,' "$pm_report" \
@@ -48,18 +51,21 @@ grep -q '"reduction_ok": true,' "$pm_report" \
   || { echo "protomc partial-order reduction disagrees with the full exploration" >&2; exit 1; }
 grep -q '"decentral": {"findings": 0,' "$pm_report" \
   || { echo "protomc masterless (ring/tree) worlds show property violations" >&2; exit 1; }
+grep -q '"mode": "ring", "ranks": 4, "kill_placements": 8,' "$pm_report" \
+  || { echo "protomc decentral recovery model did not explore the 4-rank ring kill placements" >&2; exit 1; }
 pm_muts="$(sed -n 's/.*"mutations": \([0-9]*\),.*/\1/p' "$pm_report")"
 pm_caught="$(sed -n 's/.*"caught": \([0-9]*\),.*/\1/p' "$pm_report" | head -n1)"
-[ -n "$pm_muts" ] && [ "$pm_muts" -ge 19 ] && [ "$pm_caught" = "$pm_muts" ] \
-  || { echo "protomc mutation self-test: $pm_caught/$pm_muts caught (need all of >= 19)" >&2; exit 1; }
-grep -q '"conformance": {"unmapped": 0, "accepted": 4,' "$pm_report" \
+[ -n "$pm_muts" ] && [ "$pm_muts" -ge 26 ] && [ "$pm_caught" = "$pm_muts" ] \
+  || { echo "protomc mutation self-test: $pm_caught/$pm_muts caught (need all of >= 26)" >&2; exit 1; }
+grep -q '"conformance": {"unmapped": 0, "accepted": 5,' "$pm_report" \
   || { echo "protomc trace conformance: a real training trace did not conform" >&2; exit 1; }
-echo "protomc: $pm_caught/$pm_muts mutations caught, 4/4 traces conform"
+echo "protomc: $pm_caught/$pm_muts mutations caught, 5/5 traces conform"
 
 echo "== sync strategies: masterless suite + trainer ring smoke =="
 # The masterless contract end to end (bit-determinism, byte gates,
-# codec parity, fault-plan rejection), then the CLI trainer under
-# --sync ring must actually run masterless.
+# codec parity, peer-coordinated kill-and-recover in ring and tree
+# modes), then the CLI trainer under --sync ring must actually run
+# masterless.
 cargo test -q --release -p pdnn-core --test sync_strategies
 ring_out="$(cargo run -q --release --bin pdnn-train -- --workers 4 --sync ring --iters 2 --utterances 48)"
 echo "$ring_out" | grep -q "peer ranks, ring allreduce sync" \
@@ -79,6 +85,11 @@ for key in '"bench": "sync_modes"' \
   grep -q "$key" target/bench_smoke/BENCH_6.json \
     || { echo "sync_modes smoke JSON missing $key" >&2; exit 1; }
 done
+# The 16-rank wall gate (ring within noise of master) needs the full
+# paired-round measurement, which the smoke run skips; assert the
+# committed artifact carries it so a regression can't be checked in.
+grep -q '"ring_wall_le_master": true' BENCH_6.json \
+  || { echo "committed BENCH_6.json does not carry the 16-rank ring-wall gate" >&2; exit 1; }
 
 echo "== kernel safety: pdnn-kernelcheck static + mutation self-test =="
 cargo run -q -p pdnn-kernelcheck -- --static --mutations
